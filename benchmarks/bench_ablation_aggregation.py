@@ -1,0 +1,61 @@
+"""Ablation — aggregated vs per-server formulation.
+
+DESIGN.md's server-aggregation claim: because servers within a data
+center are homogeneous, the aggregated formulation reaches the same
+optimum as the paper-faithful per-server layout for fixed-level
+problems, at a fraction of the size and time.  (For multi-level TUFs the
+per-server layout may mix levels across servers and edge slightly
+ahead.)  This bench quantifies both sides on §VI and §VII slots.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.objective import evaluate_plan
+from repro.core.optimizer import ProfitAwareOptimizer
+from repro.experiments.section6 import section6_experiment
+from repro.experiments.section7 import section7_experiment
+
+
+def _measure(topology, arrivals, prices, formulation):
+    optimizer = ProfitAwareOptimizer(topology, formulation=formulation)
+    start = time.perf_counter()
+    plan = optimizer.plan_slot(arrivals, prices, slot_duration=1.0)
+    elapsed = time.perf_counter() - start
+    profit = evaluate_plan(plan, arrivals, prices).net_profit
+    return profit, elapsed, optimizer.last_stats.num_variables
+
+
+def _run():
+    out = {}
+    exp6 = section6_experiment()
+    a6, p6 = exp6.trace.arrivals_at(14), exp6.market.prices_at(14)
+    out["onelevel/aggregated"] = _measure(exp6.topology, a6, p6, "aggregated")
+    out["onelevel/per_server"] = _measure(exp6.topology, a6, p6, "per_server")
+    exp7 = section7_experiment()
+    a7, p7 = exp7.trace.arrivals_at(2), exp7.market.prices_at(2)
+    out["twolevel/aggregated"] = _measure(exp7.topology, a7, p7, "aggregated")
+    out["twolevel/per_server"] = _measure(exp7.topology, a7, p7, "per_server")
+    return out
+
+
+def test_ablation_aggregation(benchmark, report):
+    results = benchmark.pedantic(_run, rounds=1, iterations=1)
+    report(
+        "Ablation: aggregated vs per-server formulation",
+        [f"{name:>22s}: profit ${profit:>12,.0f}  "
+         f"vars {nvars:>5d}  wall {elapsed * 1e3:8.2f} ms"
+         for name, (profit, elapsed, nvars) in results.items()],
+    )
+    # One-level: formulations provably equivalent.
+    assert results["onelevel/aggregated"][0] == pytest.approx(
+        results["onelevel/per_server"][0], rel=1e-6
+    )
+    # Two-level: per-server may only improve (mixing levels per server).
+    assert (results["twolevel/per_server"][0]
+            >= results["twolevel/aggregated"][0] - 1e-6)
+    # Aggregation shrinks the problem by the servers-per-DC factor.
+    assert (results["onelevel/aggregated"][2]
+            < results["onelevel/per_server"][2])

@@ -1,0 +1,54 @@
+"""Ablation — right-sizing consolidation (DESIGN.md §5).
+
+Runs the §VI day with and without the consolidation pass.  Expected
+shape: identical net profit (the per-request energy model makes
+consolidation profit-neutral) with substantially fewer powered-on
+servers, especially in the light overnight hours.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.optimizer import ProfitAwareOptimizer
+from repro.experiments.section6 import section6_experiment
+from repro.sim.metrics import powered_on_series
+from repro.sim.slotted import run_simulation
+
+
+def _run():
+    exp = section6_experiment()
+    out = {}
+    for label, consolidate in (("spread", False), ("consolidated", True)):
+        result = run_simulation(
+            ProfitAwareOptimizer(exp.topology, consolidate=consolidate),
+            exp.trace, exp.market,
+        )
+        out[label] = result
+    return out
+
+
+def test_ablation_consolidation(benchmark, report):
+    results = benchmark.pedantic(_run, rounds=1, iterations=1)
+    spread, packed = results["spread"], results["consolidated"]
+    on_spread = powered_on_series(spread.records).sum(axis=1)
+    on_packed = powered_on_series(packed.records).sum(axis=1)
+    report(
+        "Ablation: consolidation (section VI day)",
+        [
+            f"net profit: spread ${spread.total_net_profit:,.0f}  "
+            f"consolidated ${packed.total_net_profit:,.0f}",
+            f"powered-on servers (hourly mean): spread {on_spread.mean():.1f}"
+            f"  consolidated {on_packed.mean():.1f} of 18",
+            "hourly powered-on, spread      : "
+            + " ".join(f"{v:2d}" for v in on_spread),
+            "hourly powered-on, consolidated: "
+            + " ".join(f"{v:2d}" for v in on_packed),
+        ],
+    )
+    # Profit-neutral...
+    assert packed.total_net_profit == pytest.approx(
+        spread.total_net_profit, rel=1e-6
+    )
+    # ...with a materially smaller fleet on average.
+    assert on_packed.mean() < on_spread.mean()
+    assert np.all(on_packed <= on_spread)

@@ -1,0 +1,56 @@
+"""Ablation — the deadline-margin robustness knob (DESIGN.md §5).
+
+Sweeps ``deadline_margin`` on a busy §VI hour and executes each plan in
+the whole-cluster DES.  Expected shape: the analytic (planned) profit
+decreases slowly as the margin tightens admission, while the *realized*
+mean-delay profit first rises sharply (VMs move off the TUF cliff) and
+then follows the analytic curve down — an interior margin wins.
+"""
+
+import numpy as np
+
+from repro.core.objective import evaluate_plan
+from repro.core.optimizer import ProfitAwareOptimizer
+from repro.des.cluster import simulate_plan
+from repro.experiments.section6 import section6_experiment
+
+HOUR = 15
+MARGINS = (1.0, 0.95, 0.9, 0.85, 0.75)
+
+
+def _run():
+    exp = section6_experiment()
+    arrivals = exp.trace.arrivals_at(HOUR)
+    prices = exp.market.prices_at(HOUR)
+    out = {}
+    for margin in MARGINS:
+        plan = ProfitAwareOptimizer(
+            exp.topology, deadline_margin=margin
+        ).plan_slot(arrivals, prices, slot_duration=1.0)
+        analytic = evaluate_plan(plan, arrivals, prices, 1.0).net_profit
+        realized = simulate_plan(
+            plan, prices, slot_duration=1.0, seed=21, warmup_fraction=0.05
+        ).net_profit_mean_delay
+        out[margin] = (analytic, realized)
+    return out
+
+
+def test_ablation_deadline_margin(benchmark, report):
+    results = benchmark.pedantic(_run, rounds=1, iterations=1)
+    report(
+        "Ablation: deadline margin (planned vs DES-realized profit, "
+        f"section VI hour {HOUR})",
+        [f"margin {m:4.2f}: planned ${planned:>12,.0f}  "
+         f"realized ${realized:>12,.0f}  "
+         f"({realized / planned * 100:5.1f}% captured)"
+         for m, (planned, realized) in results.items()],
+    )
+    planned = np.array([results[m][0] for m in MARGINS])
+    realized = np.array([results[m][1] for m in MARGINS])
+    # Planned profit is monotone non-increasing as the margin tightens.
+    assert np.all(np.diff(planned) <= 1e-6)
+    # The paper-exact margin (1.0) captures the smallest fraction of its
+    # plan; some tighter margin realizes strictly more in absolute terms.
+    capture = realized / planned
+    assert capture[0] == capture.min()
+    assert realized.max() > realized[0]

@@ -1,0 +1,52 @@
+"""Ablation — arrival forecasting (paper §III's prediction hook).
+
+The paper plans on known average rates and defers forecasting to
+"existing prediction methods (e.g. the Kalman Filter)".  This bench runs
+the §VI day with oracle rates, a Kalman filter, and an EWMA forecaster.
+Expected shape: forecast-driven profit is below the oracle (prediction
+error costs money) but remains well above zero, and the smarter filter
+does no worse than naive EWMA on this diurnal workload.
+"""
+
+from repro.core.optimizer import ProfitAwareOptimizer
+from repro.experiments.section6 import section6_experiment
+from repro.sim.slotted import run_simulation
+from repro.workload.prediction import EWMAPredictor, KalmanFilterPredictor
+
+
+def _run():
+    exp = section6_experiment()
+    mean_rate = float(exp.trace.rates.mean())
+    factories = {
+        "oracle": None,
+        "kalman": lambda: KalmanFilterPredictor(
+            process_var=mean_rate**2 * 0.25,
+            observation_var=mean_rate**2 * 0.25,
+            initial_estimate=mean_rate,
+            initial_var=mean_rate**2,
+        ),
+        "ewma": lambda: EWMAPredictor(alpha=0.7, initial=mean_rate),
+    }
+    out = {}
+    for label, factory in factories.items():
+        result = run_simulation(
+            ProfitAwareOptimizer(exp.topology), exp.trace, exp.market,
+            predictor_factory=factory,
+        )
+        out[label] = result.total_net_profit
+    return out
+
+
+def test_ablation_prediction(benchmark, report):
+    results = benchmark.pedantic(_run, rounds=1, iterations=1)
+    oracle = results["oracle"]
+    report(
+        "Ablation: arrival forecasting (section VI day)",
+        [f"{name:>7s}: ${profit:>13,.0f}  ({profit / oracle * 100:5.1f}% "
+         f"of oracle)" for name, profit in results.items()],
+    )
+    assert results["kalman"] <= oracle + 1e-6
+    assert results["ewma"] <= oracle + 1e-6
+    # Forecasting is imperfect but far from catastrophic on a diurnal day.
+    assert results["kalman"] > 0.5 * oracle
+    assert results["ewma"] > 0.5 * oracle

@@ -1,0 +1,69 @@
+"""Ablation — PUE-aware energy accounting (paper §II-A extension hook).
+
+The paper proposes extending its energy model with a power-usage-
+effectiveness multiplier to cover cooling/peripheral energy.  This bench makes
+the §VII *near/cheap* site (datacenter2) the PUE-inefficient one (1.8 vs
+1.15), so a PUE-blind optimizer keeps over-using it, and compares against
+PUE-aware optimization over the whole 7-hour window.  Expected shape:
+accounting for PUE shifts load toward the efficient site and recovers
+profit in every hour where the sites compete.
+"""
+
+import dataclasses
+
+import numpy as np
+
+from repro.core.objective import evaluate_plan
+from repro.core.optimizer import ProfitAwareOptimizer
+from repro.experiments.section7 import section7_experiment
+
+PUES = (1.15, 1.8)  # datacenter1 efficient, datacenter2 legacy
+
+
+def _run():
+    exp = section7_experiment()
+    topo = exp.topology.with_datacenters([
+        dataclasses.replace(dc, pue=pue)
+        for dc, pue in zip(exp.topology.datacenters, PUES)
+    ])
+    hours = range(exp.trace.num_slots)
+    out = {"pue-blind": [], "pue-aware": []}
+    for label, aware in (("pue-blind", False), ("pue-aware", True)):
+        for t in hours:
+            arrivals = exp.trace.arrivals_at(t)
+            prices = exp.market.prices_at(t)
+            plan = ProfitAwareOptimizer(topo, apply_pue=aware).plan_slot(
+                arrivals, prices, slot_duration=1.0
+            )
+            # True costs always include PUE (the cooling power is real).
+            outcome = evaluate_plan(plan, arrivals, prices,
+                                    slot_duration=1.0, apply_pue=True)
+            out[label].append((outcome, plan.dc_loads().sum(axis=0)))
+    return out
+
+
+def test_ablation_pue(benchmark, report):
+    results = benchmark.pedantic(_run, rounds=1, iterations=1)
+    lines = []
+    totals = {}
+    for label, slots in results.items():
+        profit = sum(o.net_profit for o, _ in slots)
+        energy = sum(o.energy_cost for o, _ in slots)
+        dc2_share = (sum(loads[1] for _, loads in slots)
+                     / sum(loads.sum() for _, loads in slots))
+        totals[label] = (profit, energy, dc2_share)
+        lines.append(
+            f"{label:>9s}: net ${profit:>12,.0f}  energy ${energy:>9,.0f}  "
+            f"legacy-site share {dc2_share * 100:5.1f}%"
+        )
+    report(
+        f"Ablation: PUE-aware optimization (PUEs {PUES}, section VII window)",
+        lines,
+    )
+    blind, aware = totals["pue-blind"], totals["pue-aware"]
+    # Knowing the true (PUE-inflated) prices can only help.
+    assert aware[0] > blind[0]
+    # The aware plan spends less on energy overall...
+    assert aware[1] < blind[1]
+    # ...by steering load away from the legacy-PUE site.
+    assert aware[2] < blind[2]

@@ -1,0 +1,61 @@
+"""Ablation — shadow prices of capacity and demand (DESIGN.md §5).
+
+Dual values of the slot LP answer provisioning questions in dollars: how
+much net profit would one more server add at each data center, and what
+is one more offered request worth?  This bench prints the §VI values at
+a peak hour and a quiet hour.  Expected shape: at peak, servers at the
+capacity-bound data centers carry positive value; overnight, capacity is
+worthless while every offered request still has (utility-sized) value.
+"""
+
+import numpy as np
+
+from repro.core.formulation import SlotInputs
+from repro.core.sensitivity import slot_sensitivity
+from repro.experiments.section6 import section6_experiment
+
+PEAK_HOUR = 17
+QUIET_HOUR = 4
+
+
+def _run():
+    exp = section6_experiment()
+    out = {}
+    for label, hour in (("peak", PEAK_HOUR), ("quiet", QUIET_HOUR)):
+        inputs = SlotInputs(
+            exp.topology, exp.trace.arrivals_at(hour),
+            exp.market.prices_at(hour), 1.0,
+        )
+        out[label] = slot_sensitivity(inputs)
+    return exp, out
+
+
+def test_ablation_shadow_prices(benchmark, report):
+    exp, results = benchmark.pedantic(_run, rounds=1, iterations=1)
+    dc_names = [dc.name for dc in exp.topology.datacenters]
+    lines = []
+    for label, sens in results.items():
+        server_vals = ", ".join(
+            f"{name}=${v:,.0f}" for name, v in zip(dc_names, sens.server_value)
+        )
+        demand = sens.demand_value.mean(axis=1)
+        demand_vals = ", ".join(
+            f"{rc.name}=${v:,.2f}"
+            for rc, v in zip(exp.topology.request_classes, demand)
+        )
+        lines += [
+            f"{label:>5s} hour: net profit ${sens.net_profit:,.0f}",
+            f"      marginal server value/hour: {server_vals}",
+            f"      marginal demand value/request: {demand_vals}",
+        ]
+    report("Ablation: shadow prices (section VI, peak vs quiet hour)", lines)
+
+    peak, quiet = results["peak"], results["quiet"]
+    # Peak: at least one data center's capacity is worth real money.
+    assert peak.server_value.max() > 0
+    # Quiet: capacity is free, demand still valuable.
+    assert np.allclose(quiet.server_value, 0.0, atol=1e-6)
+    assert np.all(quiet.demand_value > 0)
+    # Demand value never exceeds the class's top utility.
+    for k, rc in enumerate(exp.topology.request_classes):
+        assert np.all(quiet.demand_value[k] <= rc.tuf.max_value + 1e-6)

@@ -1,0 +1,32 @@
+"""Fig. 5 — World-Cup-like request traces at four front-end servers.
+
+Regenerates the §VI input workload: one day of hourly request rates per
+front-end, with the diurnal swing and match-time bursts of the 1998
+World Cup logs, plus the paper's time-shift fabrication of three
+request types.
+"""
+
+import numpy as np
+
+from conftest import series_line
+from repro.experiments.figures import fig5_trace_series
+from repro.experiments.section6 import section6_experiment
+
+
+def test_fig05_request_traces(benchmark, report):
+    series = benchmark(fig5_trace_series)
+    report(
+        "Fig. 5: request traces per front-end (class request1, #/hour)",
+        [series_line(name, values, fmt="{:>8.0f}")
+         for name, values in series.items()],
+    )
+    assert len(series) == 4
+    for values in series.values():
+        day, night = values[12:22].mean(), values[0:5].mean()
+        assert day > 1.5 * night  # diurnal swing
+
+    # Time-shift fabrication: class 1 is class 0 rolled by the shift.
+    exp = section6_experiment()
+    base = exp.trace.class_series(0, 0)
+    shifted = exp.trace.class_series(1, 0)
+    assert np.allclose(np.roll(base, 2), shifted)

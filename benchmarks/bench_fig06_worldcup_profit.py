@@ -1,0 +1,36 @@
+"""Fig. 6 — §VI hourly net profit over the World-Cup day.
+
+Paper shapes: Optimized significantly outperforms Balanced across the
+day; the two converge near the end of the trace where load is light
+("Optimized and Balanced had similar net profits at the end of the
+traces").
+"""
+
+import numpy as np
+
+from conftest import series_line
+from repro.experiments.figures import fig6_profit_series
+
+
+def test_fig06_hourly_net_profit(benchmark, report):
+    series = benchmark.pedantic(fig6_profit_series, rounds=1, iterations=1)
+    opt, bal = series["optimized"], series["balanced"]
+    gap = opt - bal
+    report(
+        "Fig. 6: hourly net profit ($) over the World-Cup day",
+        [
+            series_line("optimized", opt, fmt="{:>10.0f}"),
+            series_line("balanced", bal, fmt="{:>10.0f}"),
+            series_line("gap", gap, fmt="{:>10.0f}"),
+            f"day totals: optimized ${opt.sum():,.0f}  "
+            f"balanced ${bal.sum():,.0f}  "
+            f"(+{(opt.sum() / bal.sum() - 1) * 100:.1f}%)",
+        ],
+    )
+    # Optimized wins (or ties) every hour and clearly wins the day.
+    assert np.all(opt >= bal - 1e-6)
+    assert opt.sum() > 1.02 * bal.sum()
+    # Convergence at the light-load end of the trace: the relative gap in
+    # the final hour is far below the peak relative gap.
+    rel_gap = gap / np.maximum(bal, 1.0)
+    assert rel_gap[-1] < 0.5 * rel_gap.max()

@@ -1,0 +1,36 @@
+"""Fig. 7 — §VI Request1 dispatching to each data center.
+
+Paper shapes: considering transfer costs and capacities, Datacenter1 and
+Datacenter3 are better choices for Request1 than Datacenter2 (farthest,
+equal capacity to DC1); DC2 still processes *some* requests but far
+fewer than DC1/DC3 under Optimized.
+"""
+
+import numpy as np
+
+from conftest import series_line
+from repro.experiments.figures import fig7_request1_allocation
+
+
+def test_fig07_request1_allocation(benchmark, report):
+    data = benchmark.pedantic(
+        fig7_request1_allocation, rounds=1, iterations=1
+    )
+    lines = []
+    totals = {}
+    for approach, per_dc in data.items():
+        for dc_name, series in per_dc.items():
+            lines.append(
+                series_line(f"{approach}/{dc_name}", series, fmt="{:>9.0f}")
+            )
+            totals[(approach, dc_name)] = float(np.sum(series))
+    lines.append(f"day totals: {totals}")
+    report("Fig. 7: hourly Request1 load per data center (#/hour)", lines)
+
+    opt = data["optimized"]
+    opt_totals = {name: float(np.sum(s)) for name, s in opt.items()}
+    # DC2 receives the least Request1 traffic under Optimized...
+    assert opt_totals["datacenter2"] == min(opt_totals.values())
+    # ...much smaller than both DC1 and DC3 (paper: "much smaller").
+    assert opt_totals["datacenter2"] < 0.8 * opt_totals["datacenter1"]
+    assert opt_totals["datacenter2"] < 0.8 * opt_totals["datacenter3"]

@@ -1,0 +1,43 @@
+"""Fig. 9 + §VII-B2 — request allocations, completions, and cost.
+
+Paper numbers (shape targets): Optimized completes 100% of both request
+types; Balanced completes ~99.45% of request1 and ~90.19% of request2;
+Optimized spends ~7.74% more total cost yet achieves the higher net
+profit.
+"""
+
+import numpy as np
+
+from conftest import series_line
+from repro.experiments.figures import fig9_allocations
+
+
+def test_fig09_allocations_and_completion(benchmark, report):
+    study = benchmark.pedantic(fig9_allocations, rounds=1, iterations=1)
+    lines = []
+    for approach, matrix in study.allocations.items():  # (T, K, L)
+        for k in range(matrix.shape[1]):
+            for l in range(matrix.shape[2]):
+                lines.append(series_line(
+                    f"{approach}/request{k+1}/dc{l+1}",
+                    matrix[:, k, l], fmt="{:>9.0f}",
+                ))
+    lines += [
+        f"completion optimized: {np.round(study.completion['optimized'], 4)}",
+        f"completion balanced : {np.round(study.completion['balanced'], 4)}",
+        f"total cost optimized ${study.total_cost['optimized']:,.0f} vs "
+        f"balanced ${study.total_cost['balanced']:,.0f} "
+        f"(ratio {study.cost_ratio:.3f}; paper: 1.0774)",
+        f"net profit optimized ${study.net_profit['optimized']:,.0f} vs "
+        f"balanced ${study.net_profit['balanced']:,.0f}",
+    ]
+    report("Fig. 9: §VII allocations and completions", lines)
+
+    # Optimized completes everything; Balanced drops some of each type.
+    assert np.allclose(study.completion["optimized"], 1.0, atol=1e-6)
+    assert np.all(study.completion["balanced"] < 1.0)
+    assert np.all(study.completion["balanced"] > 0.80)
+    # Optimized pays at least comparable cost (its extra volume) but nets
+    # more profit — the paper's trade-off observation.
+    assert study.cost_ratio > 0.95
+    assert study.net_profit["optimized"] > study.net_profit["balanced"]

@@ -1,0 +1,45 @@
+"""Fig. 10 — §VII workload effect (relatively low / high workload).
+
+Paper shapes: with capacity raised so both approaches complete all
+requests (low), Optimized still nets at least as much; with the load
+doubled so neither completes everything (high), Optimized's advantage
+persists — "our optimization is superior regardless of workloads".
+"""
+
+import numpy as np
+import pytest
+
+from conftest import series_line
+from repro.experiments.figures import fig10_workload_effect
+from repro.experiments.section7 import section7_experiment
+
+
+@pytest.mark.parametrize("regime", ["low", "high"])
+def test_fig10_workload_effect(benchmark, report, regime):
+    series = benchmark.pedantic(
+        fig10_workload_effect, args=(regime,), rounds=1, iterations=1
+    )
+    opt, bal = series["optimized"], series["balanced"]
+    report(
+        f"Fig. 10 ({regime} workload): hourly net profit ($)",
+        [
+            series_line("optimized", opt, fmt="{:>11.0f}"),
+            series_line("balanced", bal, fmt="{:>11.0f}"),
+            f"totals: optimized ${opt.sum():,.0f} vs balanced "
+            f"${bal.sum():,.0f}",
+        ],
+    )
+    assert np.all(opt >= bal - 1e-6)
+    assert opt.sum() >= bal.sum()
+    if regime == "low":
+        # Both approaches complete everything at doubled capacity.
+        exp = section7_experiment(capacity_scale=2.0)
+        results = exp.run_comparison()
+        for result in results.values():
+            assert np.allclose(result.completion_fractions, 1.0, atol=1e-3)
+    else:
+        # Neither approach completes everything at doubled load.
+        exp = section7_experiment(load_scale=2.0)
+        results = exp.run_comparison()
+        for result in results.values():
+            assert result.completion_fractions.min() < 1.0

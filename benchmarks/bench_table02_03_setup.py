@@ -1,0 +1,54 @@
+"""Tables II-III — §V experiment setup.
+
+Regenerates (and prints) the basic-characteristics study's parameter
+tables: the two arrival-rate sets, per-data-center service rates,
+per-request energies, and slot prices, and validates the structural
+facts the study relies on.
+"""
+
+import numpy as np
+
+from repro.experiments.section5 import (
+    HIGH_ARRIVALS,
+    LOW_ARRIVALS,
+    PRICES,
+    section5_topology,
+)
+from repro.utils.tables import render_table
+
+
+def _build_tables():
+    topo = section5_topology()
+    t2a = render_table(
+        ["front-end", "request1 (#/s)", "request2 (#/s)", "request3 (#/s)"],
+        [[f"server{i+1}", *row] for i, row in enumerate(LOW_ARRIVALS)],
+        title="Table II(a): low arrival rates",
+    )
+    t2b = render_table(
+        ["front-end", "request1 (#/s)", "request2 (#/s)", "request3 (#/s)"],
+        [[f"server{i+1}", *row] for i, row in enumerate(HIGH_ARRIVALS)],
+        title="Table II(b): high arrival rates",
+    )
+    rows = []
+    for l, dc in enumerate(topo.datacenters):
+        rows.append([
+            dc.name,
+            "/".join(f"{r:g}" for r in dc.service_rates),
+            "/".join(f"{e:g}" for e in dc.energy_per_request),
+            f"{PRICES[l]:g}",
+        ])
+    t3 = render_table(
+        ["data center", "mu1/mu2/mu3 (#/s)", "P1/P2/P3 (kWh)", "p ($/kWh)"],
+        rows, title="Table III: data center parameters",
+    )
+    return topo, "\n\n".join([t2a, t2b, t3])
+
+
+def test_table02_03_setup(benchmark, report):
+    topo, text = benchmark(_build_tables)
+    report("Tables II-III (section V setup)", text.splitlines())
+    assert topo.num_servers == 18
+    assert HIGH_ARRIVALS.sum() > 3 * LOW_ARRIVALS.sum()
+    # Feasibility: every server can reserve all classes' minimum shares.
+    from repro.core.formulation import feasibility_margin
+    assert np.all(feasibility_margin(topo) > 0)

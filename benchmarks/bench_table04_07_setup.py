@@ -1,0 +1,57 @@
+"""Tables IV-VII — §VI experiment setup.
+
+Regenerates the World-Cup study's parameter tables (capacities,
+distances, processing energies, TUFs/transfer costs) and validates the
+structural claims the paper's Fig. 7 discussion relies on.
+"""
+
+import numpy as np
+
+from repro.experiments.section6 import (
+    TRANSFER_COSTS,
+    TUF_DEADLINES_HOURS,
+    TUF_VALUES,
+    section6_topology,
+)
+from repro.utils.tables import render_table
+
+
+def _build_tables():
+    topo = section6_topology()
+    t4 = render_table(
+        ["capacity (#/hour)", *[dc.name for dc in topo.datacenters]],
+        [[f"request{k+1}", *topo.service_rates[k].tolist()] for k in range(3)],
+        title="Table IV: processing capacities",
+    )
+    t5 = render_table(
+        ["distance (miles)", *[dc.name for dc in topo.datacenters]],
+        [[fe.name, *topo.distances[s].tolist()]
+         for s, fe in enumerate(topo.frontends)],
+        title="Table V: front-end to data-center distances",
+    )
+    t6 = render_table(
+        ["processing cost (kWh)", *[dc.name for dc in topo.datacenters]],
+        [[f"request{k+1}", *topo.energy_per_request[k].tolist()]
+         for k in range(3)],
+        title="Table VI: per-request processing energy",
+    )
+    t7 = render_table(
+        ["TUF", "max value ($)", "deadline (hour)", "transfer ($/mile)"],
+        [[f"request{k+1}", TUF_VALUES[k], TUF_DEADLINES_HOURS[k],
+          TRANSFER_COSTS[k]] for k in range(3)],
+        title="Table VII: TUFs and transfer costs",
+    )
+    return topo, "\n\n".join([t4, t5, t6, t7])
+
+
+def test_table04_07_setup(benchmark, report):
+    topo, text = benchmark(_build_tables)
+    report("Tables IV-VII (section VI setup)", text.splitlines())
+    mu = topo.service_rates
+    # Paper §VI-B2: DC1 == DC2 for request1; DC3 highest.
+    assert mu[0, 0] == mu[0, 1]
+    assert mu[0, 2] == mu[0].max()
+    # Paper §VI-B2: DC2 farthest from all four front-ends.
+    assert np.all(topo.distances[:, 1] == topo.distances.max(axis=1))
+    # Transfer costs follow the paper's 0.003/0.005/0.007 $/mile.
+    assert TRANSFER_COSTS.tolist() == [0.003, 0.005, 0.007]

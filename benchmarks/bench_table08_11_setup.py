@@ -1,0 +1,69 @@
+"""Tables VIII-XI — §VII experiment setup.
+
+Regenerates the Google-trace study's parameter tables (capacities,
+sub-deadlines, two-level TUF values, per-request energies) and the
+distance/transfer configuration.
+"""
+
+import numpy as np
+
+from repro.experiments.section7 import (
+    DISTANCES,
+    PRICE_WINDOW,
+    TRANSFER_COSTS,
+    TUF_DEADLINES_HOURS,
+    TUF_VALUES,
+    section7_experiment,
+    section7_topology,
+)
+from repro.utils.tables import render_table
+
+
+def _build_tables():
+    topo = section7_topology()
+    t8 = render_table(
+        ["capacity (#/hour)", *[dc.name for dc in topo.datacenters]],
+        [[rc.name, *topo.service_rates[k].tolist()]
+         for k, rc in enumerate(topo.request_classes)],
+        title="Table VIII: processing capacities",
+    )
+    t9 = render_table(
+        ["sub-deadline (hour)", "level 1", "level 2"],
+        [[name, *TUF_DEADLINES_HOURS[name].tolist()]
+         for name in ("request1", "request2")],
+        title="Table IX: sub-deadlines",
+    )
+    t10 = render_table(
+        ["TUF value ($)", "level 1", "level 2"],
+        [[name, *TUF_VALUES[name].tolist()]
+         for name in ("request1", "request2")],
+        title="Table X: TUF values",
+    )
+    t11 = render_table(
+        ["power (kWh)", *[dc.name for dc in topo.datacenters]],
+        [[rc.name, *topo.energy_per_request[k].tolist()]
+         for k, rc in enumerate(topo.request_classes)],
+        title="Table XI: per-request energy",
+    )
+    return topo, "\n\n".join([t8, t9, t10, t11])
+
+
+def test_table08_11_setup(benchmark, report):
+    topo, text = benchmark(_build_tables)
+    report(
+        "Tables VIII-XI (section VII setup)",
+        text.splitlines()
+        + [f"distances: {DISTANCES.tolist()} miles",
+           f"transfer costs: {TRANSFER_COSTS.tolist()} $/mile",
+           f"price window: slots {PRICE_WINDOW} (14:00-19:00 region)"],
+    )
+    # Two-level TUFs on both classes; level values strictly decreasing.
+    assert all(rc.num_levels == 2 for rc in topo.request_classes)
+    for name in ("request1", "request2"):
+        assert TUF_VALUES[name][0] > TUF_VALUES[name][1]
+        assert TUF_DEADLINES_HOURS[name][0] < TUF_DEADLINES_HOURS[name][1]
+    # 1000/2000-mile legs, 7 price slots matching the 7-hour trace.
+    assert sorted(DISTANCES.ravel().tolist()) == [1000.0, 2000.0]
+    exp = section7_experiment()
+    assert exp.market.num_slots == exp.trace.num_slots == 7
+    assert np.all(exp.trace.rates > 0)

@@ -1,0 +1,31 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates one of the paper's tables or figures: the
+``benchmark`` fixture measures the computation, and the bench prints the
+same rows/series the paper reports (run with ``-s`` to see them; the
+printed blocks are also what EXPERIMENTS.md records).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def report():
+    """Print a titled block of series/rows, flush-visible under -s."""
+
+    def _report(title: str, lines) -> None:
+        print()
+        print(f"=== {title} ===")
+        for line in lines:
+            print(line)
+
+    return _report
+
+
+def series_line(name: str, values, fmt: str = "{:>12.1f}") -> str:
+    """Format one labelled numeric series on a single line."""
+    body = " ".join(fmt.format(float(v)) for v in np.asarray(values).ravel())
+    return f"{name:>28s}: {body}"

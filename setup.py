@@ -1,0 +1,23 @@
+"""Setuptools entry point.
+
+The offline environment ships setuptools without the ``wheel`` package,
+so PEP 660 editable installs (which build a wheel) are unavailable;
+keeping a ``setup.py`` lets ``pip install -e .`` take the legacy
+``setup.py develop`` path.  Metadata mirrors ``pyproject.toml``.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Profit-aware load balancing for distributed cloud data centers "
+        "(IPDPS-W 2013 reproduction)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24", "scipy>=1.10"],
+    extras_require={"test": ["pytest", "pytest-benchmark", "hypothesis"]},
+)

@@ -1,0 +1,263 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``prices`` — print the Fig.-1 electricity price curves;
+* ``section5 [--regime low|high]`` — the §V basic-characteristics study;
+* ``section6`` — the §VI World-Cup day (Optimized vs Balanced);
+* ``section7`` — the §VII Google-trace study with two-level TUFs;
+* ``validate`` — M/M/1 model (Eq. 1) vs discrete-event simulation;
+* ``sweep [--servers 2,4,6,...]`` — capacity sweep on the §VII workload.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from repro.utils.ascii_plot import line_chart, sparkline
+from repro.utils.tables import render_table
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Profit-aware load balancing for distributed cloud data "
+            "centers (IPDPS-W 2013 reproduction)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("prices", help="Fig. 1 electricity price curves")
+
+    p5 = sub.add_parser("section5", help="§V basic characteristics study")
+    p5.add_argument("--regime", choices=["low", "high"], default="low")
+
+    p6 = sub.add_parser("section6", help="§VI World-Cup day study")
+    p6.add_argument("--seed", type=int, default=1998)
+
+    p7 = sub.add_parser("section7", help="§VII Google-trace study")
+    p7.add_argument("--seed", type=int, default=2010)
+    p7.add_argument("--load-scale", type=float, default=1.0)
+    p7.add_argument("--capacity-scale", type=float, default=1.0)
+
+    pv = sub.add_parser("validate", help="Eq. 1 vs discrete-event simulation")
+    pv.add_argument("--utilization", type=float, default=0.7)
+    pv.add_argument("--horizon", type=float, default=2000.0)
+
+    ps = sub.add_parser("sweep", help="capacity sweep on the §VII workload")
+    ps.add_argument("--servers", type=str, default="2,4,6,8")
+
+    pr = sub.add_parser(
+        "reproduce",
+        help="regenerate every paper figure's data series into a directory",
+    )
+    pr.add_argument("--out", type=str, default="results")
+    pr.add_argument("--skip-slow", action="store_true",
+                    help="skip the computation-time sweep (Fig. 11)")
+    return parser
+
+
+def _cmd_prices() -> int:
+    from repro.market.prices import paper_locations
+    rows = []
+    for name, trace in paper_locations().items():
+        rows.append([name, trace.mean(), trace.prices.min(),
+                     trace.prices.max(), sparkline(trace.prices)])
+    print(render_table(
+        ["location", "mean $/kWh", "min", "max", "day shape"],
+        rows, title="Fig. 1: electricity prices over one day",
+    ))
+    return 0
+
+
+def _cmd_section5(regime: str) -> int:
+    from repro.experiments.section5 import section5_experiment
+    results = section5_experiment(regime).run_comparison()
+    rows = [
+        [name, r.total_net_profit, r.requests_processed,
+         float(r.completion_fractions.min()) * 100.0]
+        for name, r in results.items()
+    ]
+    print(render_table(
+        ["approach", "net profit ($)", "requests served", "min completion %"],
+        rows, title=f"Section V ({regime} arrival rates)", float_fmt=",.0f",
+    ))
+    return 0
+
+
+def _run_comparison_command(exp) -> int:
+    results = exp.run_comparison()
+    opt, bal = results["optimized"], results["balanced"]
+    print(exp.description, "\n")
+    print(line_chart(
+        {"optimized": opt.net_profit_series, "balanced": bal.net_profit_series},
+        title="hourly net profit ($)", height=10,
+        width=max(24, exp.trace.num_slots * 3),
+    ))
+    print()
+    rows = [
+        [name, r.total_net_profit, r.total_cost,
+         float(r.completion_fractions.min()) * 100.0]
+        for name, r in results.items()
+    ]
+    print(render_table(
+        ["approach", "net profit ($)", "total cost ($)", "min completion %"],
+        rows, float_fmt=",.0f",
+    ))
+    return 0
+
+
+def _cmd_section6(seed: int) -> int:
+    from repro.experiments.section6 import section6_experiment
+    return _run_comparison_command(section6_experiment(seed=seed))
+
+
+def _cmd_section7(seed: int, load_scale: float, capacity_scale: float) -> int:
+    from repro.experiments.section7 import section7_experiment
+    return _run_comparison_command(section7_experiment(
+        seed=seed, load_scale=load_scale, capacity_scale=capacity_scale,
+    ))
+
+
+def _cmd_validate(utilization: float, horizon: float) -> int:
+    from repro.queueing.validation import compare_with_des
+    if not 0.0 < utilization < 1.0:
+        print("error: --utilization must be in (0, 1)", file=sys.stderr)
+        return 2
+    rows = []
+    for mu in (5.0, 20.0, 80.0):
+        for discipline in ("ps", "fcfs"):
+            cmp = compare_with_des(
+                service_rate=mu, arrival_rate=utilization * mu,
+                horizon=horizon, discipline=discipline,
+            )
+            rows.append([
+                f"mu={mu:g} {discipline}", cmp.analytic_mean,
+                cmp.simulated_mean, cmp.samples,
+                cmp.relative_error * 100.0,
+            ])
+    print(render_table(
+        ["queue", "Eq.1 delay", "simulated", "jobs", "error %"],
+        rows, title=f"M/M/1 validation at utilization {utilization:g}",
+    ))
+    return 0
+
+
+def _cmd_sweep(servers: str) -> int:
+    from repro.core.optimizer import ProfitAwareOptimizer
+    from repro.experiments.section7 import section7_experiment
+    from repro.sim.slotted import run_simulation
+    try:
+        counts = [int(tok) for tok in servers.split(",") if tok.strip()]
+    except ValueError:
+        print(f"error: bad --servers list {servers!r}", file=sys.stderr)
+        return 2
+    if not counts or any(c < 1 for c in counts):
+        print("error: --servers needs positive integers", file=sys.stderr)
+        return 2
+    rows = []
+    for m in counts:
+        exp = section7_experiment()
+        topo = exp.topology.with_servers_per_datacenter(m)
+        result = run_simulation(
+            ProfitAwareOptimizer(topo, consolidate=True),
+            exp.trace, exp.market,
+        )
+        rows.append([
+            m * exp.topology.num_datacenters,
+            result.total_net_profit,
+            float(result.completion_fractions.min()) * 100.0,
+        ])
+    print(render_table(
+        ["fleet size", "7h net profit ($)", "min completion %"],
+        rows, title="Capacity sweep (section VII workload)", float_fmt=",.0f",
+    ))
+    return 0
+
+
+def _cmd_reproduce(out_dir: str, skip_slow: bool) -> int:
+    from pathlib import Path
+
+    import numpy as np
+
+    from repro.experiments import figures
+
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+
+    def write(name: str, lines) -> None:
+        path = out / f"{name}.txt"
+        path.write_text("\n".join(str(line) for line in lines) + "\n")
+        print(f"wrote {path}")
+
+    def fmt_series(mapping) -> list:
+        return [
+            f"{key}: " + " ".join(f"{float(v):.6g}" for v in np.ravel(val))
+            for key, val in mapping.items()
+        ]
+
+    write("fig01_prices", fmt_series(figures.fig1_price_series()))
+    for regime in ("low", "high"):
+        data = figures.fig4_basic_profit(regime)
+        write(f"fig04_{regime}", [
+            f"{name}: net={vals['net_profit']:.2f} "
+            f"served={vals['requests_processed']:.0f} "
+            f"cost={vals['total_cost']:.2f}"
+            for name, vals in data.items()
+        ])
+    write("fig05_traces", fmt_series(figures.fig5_trace_series()))
+    write("fig06_worldcup_profit", fmt_series(figures.fig6_profit_series()))
+    fig7 = figures.fig7_request1_allocation()
+    write("fig07_dispatch", [
+        f"{approach}/{dc}: " + " ".join(f"{v:.6g}" for v in series)
+        for approach, per_dc in fig7.items()
+        for dc, series in per_dc.items()
+    ])
+    write("fig08_google_profit", fmt_series(figures.fig8_profit_series()))
+    study = figures.fig9_allocations()
+    write("fig09_allocations", [
+        f"completion {name}: {np.round(frac, 4).tolist()}"
+        for name, frac in study.completion.items()
+    ] + [
+        f"cost_ratio: {study.cost_ratio:.4f}",
+        f"net_profit: {study.net_profit}",
+    ])
+    for regime in ("low", "high"):
+        write(f"fig10_{regime}",
+              fmt_series(figures.fig10_workload_effect(regime)))
+    if not skip_slow:
+        times = figures.fig11_computation_time(
+            server_counts=(1, 2, 3, 4), repeats=1, milp_method="bb"
+        )
+        write("fig11_computation_time",
+              [f"servers={m}: {seconds:.4f}s" for m, seconds in times.items()])
+    print(f"done: series written to {out}/")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "prices":
+        return _cmd_prices()
+    if args.command == "section5":
+        return _cmd_section5(args.regime)
+    if args.command == "section6":
+        return _cmd_section6(args.seed)
+    if args.command == "section7":
+        return _cmd_section7(args.seed, args.load_scale, args.capacity_scale)
+    if args.command == "validate":
+        return _cmd_validate(args.utilization, args.horizon)
+    if args.command == "sweep":
+        return _cmd_sweep(args.servers)
+    if args.command == "reproduce":
+        return _cmd_reproduce(args.out, args.skip_slow)
+    raise AssertionError(f"unhandled command {args.command!r}")

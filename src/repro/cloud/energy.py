@@ -1,0 +1,112 @@
+"""Processing-energy cost model.
+
+The paper follows Google's per-request energy accounting (Eq. 2) rather
+than a server-level power model: processing ``lambda * T`` type-``k``
+requests at data center ``l`` during a slot costs
+
+    PCost_k = P_{k,l} * lambda * T * p_l
+
+with ``P_{k,l}`` the per-request energy attribution in kWh (Google's
+figure: about 0.0003 kWh per web search) and ``p_l`` the local
+electricity price in $/kWh for the slot.
+
+The model optionally multiplies by the data center's PUE — the paper's
+own suggested extension for cooling/peripheral energy (§II-A).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.cloud.datacenter import DataCenter
+
+__all__ = ["EnergyModel", "GOOGLE_WEB_SEARCH_KWH"]
+
+#: Google's published per-web-search energy (paper ref. [25]).
+GOOGLE_WEB_SEARCH_KWH = 0.0003
+
+
+class EnergyModel:
+    """Per-request ("Google model") energy dollar-cost computations.
+
+    Parameters
+    ----------
+    datacenters:
+        Data centers in index order ``l``; supplies ``P_{k,l}`` and PUE.
+    apply_pue:
+        When True, processing energy is multiplied by each data center's
+        PUE to account for cooling and peripheral equipment.
+    """
+
+    def __init__(self, datacenters: Sequence[DataCenter], apply_pue: bool = False):
+        if not datacenters:
+            raise ValueError("need at least one data center")
+        classes = {dc.num_request_classes for dc in datacenters}
+        if len(classes) != 1:
+            raise ValueError(
+                f"data centers disagree on the number of request classes: {classes}"
+            )
+        self._datacenters = list(datacenters)
+        self._apply_pue = bool(apply_pue)
+        # (K, L) energy per request, PUE-adjusted if requested.
+        energy = np.stack([dc.energy_per_request for dc in datacenters], axis=1)
+        if apply_pue:
+            energy = energy * np.array([dc.pue for dc in datacenters])[None, :]
+        self._energy_kwh = energy
+
+    @property
+    def num_classes(self) -> int:
+        """Number of request classes ``K``."""
+        return int(self._energy_kwh.shape[0])
+
+    @property
+    def num_datacenters(self) -> int:
+        """Number of data centers ``L``."""
+        return int(self._energy_kwh.shape[1])
+
+    @property
+    def energy_kwh(self) -> np.ndarray:
+        """``(K, L)`` per-request energy in kWh (PUE-adjusted if enabled)."""
+        return self._energy_kwh.copy()
+
+    def per_request_cost(self, prices: np.ndarray) -> np.ndarray:
+        """``(K, L)`` $ per request given per-location prices ($/kWh)."""
+        prices = np.asarray(prices, dtype=float)
+        if prices.shape != (self.num_datacenters,):
+            raise ValueError(
+                f"prices must have shape ({self.num_datacenters},), got {prices.shape}"
+            )
+        return self._energy_kwh * prices[None, :]
+
+    def slot_cost(
+        self, rates: np.ndarray, prices: np.ndarray, slot_duration: float
+    ) -> float:
+        """Total processing dollars for one slot.
+
+        Parameters
+        ----------
+        rates:
+            Shape ``(K, L)`` aggregate processed rates per class and data
+            center (requests per time unit).
+        prices:
+            Shape ``(L,)`` electricity prices in $/kWh for the slot.
+        slot_duration:
+            Slot length ``T`` in the same time unit as the rates.
+        """
+        rates = np.asarray(rates, dtype=float)
+        if rates.shape != self._energy_kwh.shape:
+            raise ValueError(
+                f"rates must have shape {self._energy_kwh.shape}, got {rates.shape}"
+            )
+        return float(np.sum(self.per_request_cost(prices) * rates) * slot_duration)
+
+    def slot_energy_kwh(self, rates: np.ndarray, slot_duration: float) -> float:
+        """Total energy (kWh) consumed in one slot for ``rates``."""
+        rates = np.asarray(rates, dtype=float)
+        if rates.shape != self._energy_kwh.shape:
+            raise ValueError(
+                f"rates must have shape {self._energy_kwh.shape}, got {rates.shape}"
+            )
+        return float(np.sum(self._energy_kwh * rates) * slot_duration)

@@ -1,0 +1,25 @@
+"""Front-end servers.
+
+Front-end servers (index ``s``) are the ingress points that collect
+nearby client requests and dispatch them to data-center servers
+(paper §III-A, Fig. 2).  They perform no processing themselves; their
+role in the model is to anchor per-source arrival rates and
+source-to-data-center distances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["FrontEnd"]
+
+
+@dataclass(frozen=True)
+class FrontEnd:
+    """One front-end server (request ingress point)."""
+
+    name: str
+
+    def __post_init__(self):
+        if not self.name:
+            raise ValueError("name must be non-empty")

@@ -1,0 +1,124 @@
+"""Heterogeneous servers within one location (paper §III-A extension).
+
+The paper assumes homogeneous servers per data center but notes the
+model "can be easily extended to heterogeneous data centers with
+heterogeneous servers".  The extension is structural: a location with
+several homogeneous *server groups* is modelled as several co-located
+data centers — same electricity price, same distances — one per group.
+This module builds that expansion so the optimizer, baselines, and
+simulator run unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.cloud.datacenter import DataCenter
+from repro.cloud.frontend import FrontEnd
+from repro.cloud.topology import CloudTopology
+from repro.core.request import RequestClass
+from repro.market.market import MultiElectricityMarket
+from repro.market.prices import PriceTrace
+from repro.utils.validation import check_nonnegative, check_positive
+
+__all__ = ["ServerGroup", "LocationSpec", "build_heterogeneous_topology"]
+
+
+@dataclass(frozen=True)
+class ServerGroup:
+    """One homogeneous group of servers inside a location.
+
+    ``capacity`` scales the group's hardware relative to the baseline
+    (paper's ``C_{i,l}``); ``service_rates``/``energy_per_request`` are
+    per request class at capacity 1.
+    """
+
+    name: str
+    count: int
+    service_rates: np.ndarray = field(repr=False)
+    energy_per_request: np.ndarray = field(repr=False)
+    capacity: float = 1.0
+    pue: float = 1.0
+
+    def __post_init__(self):
+        if not self.name:
+            raise ValueError("group name must be non-empty")
+        if self.count < 1:
+            raise ValueError("count must be >= 1")
+        object.__setattr__(
+            self, "service_rates",
+            check_positive(self.service_rates, "service_rates"),
+        )
+        object.__setattr__(
+            self, "energy_per_request",
+            check_nonnegative(self.energy_per_request, "energy_per_request"),
+        )
+        check_positive(self.capacity, "capacity")
+
+
+@dataclass(frozen=True)
+class LocationSpec:
+    """A physical location: price trace, distances, and server groups."""
+
+    name: str
+    price_trace: PriceTrace
+    distances: np.ndarray = field(repr=False)  # (S,) miles per front-end
+    groups: Tuple[ServerGroup, ...] = ()
+
+    def __post_init__(self):
+        if not self.groups:
+            raise ValueError(f"location {self.name!r} needs at least one group")
+        object.__setattr__(
+            self, "distances", check_nonnegative(self.distances, "distances")
+        )
+        object.__setattr__(self, "groups", tuple(self.groups))
+
+
+def build_heterogeneous_topology(
+    request_classes: Sequence[RequestClass],
+    frontends: Sequence[FrontEnd],
+    locations: Sequence[LocationSpec],
+) -> Tuple[CloudTopology, MultiElectricityMarket]:
+    """Expand locations-with-groups into a topology + matching market.
+
+    Each server group becomes one (homogeneous) data center named
+    ``"<location>/<group>"``; its distance column and price trace are the
+    location's.  The returned market has exactly one trace per expanded
+    data center, in matching order.
+    """
+    if not locations:
+        raise ValueError("need at least one location")
+    datacenters: List[DataCenter] = []
+    traces: List[PriceTrace] = []
+    distance_cols: List[np.ndarray] = []
+    num_frontends = len(frontends)
+    for loc in locations:
+        if loc.distances.shape != (num_frontends,):
+            raise ValueError(
+                f"location {loc.name!r} needs {num_frontends} distances, "
+                f"got {loc.distances.shape}"
+            )
+        for group in loc.groups:
+            datacenters.append(DataCenter(
+                name=f"{loc.name}/{group.name}",
+                num_servers=group.count,
+                service_rates=group.service_rates,
+                energy_per_request=group.energy_per_request,
+                server_capacity=group.capacity,
+                pue=group.pue,
+            ))
+            traces.append(PriceTrace(
+                f"{loc.price_trace.location} ({group.name})",
+                loc.price_trace.prices,
+            ))
+            distance_cols.append(loc.distances)
+    topology = CloudTopology(
+        request_classes=tuple(request_classes),
+        frontends=tuple(frontends),
+        datacenters=tuple(datacenters),
+        distances=np.stack(distance_cols, axis=1),
+    )
+    return topology, MultiElectricityMarket(traces)

@@ -1,0 +1,87 @@
+"""Service level agreements.
+
+An SLA bundles the per-class TUFs into the provider-level revenue view:
+it answers "what do we earn for serving class ``k`` at expected delay
+``R``" and classifies delays into SLA levels (the paper's multi-level
+SLAs, §I/§III-B1).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.core.request import RequestClass
+
+__all__ = ["ServiceLevelAgreement"]
+
+
+class ServiceLevelAgreement:
+    """Multi-class, multi-level SLA built from request classes.
+
+    Parameters
+    ----------
+    request_classes:
+        The ``K`` request classes in index order; each carries its
+        step-downward TUF (one TUF level == one SLA level).
+    """
+
+    def __init__(self, request_classes: Sequence[RequestClass]):
+        if not request_classes:
+            raise ValueError("need at least one request class")
+        self._classes = list(request_classes)
+
+    @property
+    def num_classes(self) -> int:
+        """Number of request classes ``K``."""
+        return len(self._classes)
+
+    @property
+    def request_classes(self) -> Sequence[RequestClass]:
+        """The request classes, in index order."""
+        return list(self._classes)
+
+    def revenue_per_request(self, k: int, delay: float) -> float:
+        """$ earned for one class-``k`` request at expected delay."""
+        return float(self._classes[k].tuf.utility(delay))
+
+    def revenue_rate(self, delays: np.ndarray, rates: np.ndarray) -> float:
+        """Aggregate revenue per time unit.
+
+        Parameters
+        ----------
+        delays:
+            Shape ``(K,)`` expected delays per class.
+        rates:
+            Shape ``(K,)`` served rates per class.
+        """
+        delays = np.asarray(delays, dtype=float)
+        rates = np.asarray(rates, dtype=float)
+        if delays.shape != (self.num_classes,) or rates.shape != (self.num_classes,):
+            raise ValueError(
+                f"delays and rates must have shape ({self.num_classes},)"
+            )
+        total = 0.0
+        for k, rc in enumerate(self._classes):
+            total += float(rc.tuf.utility(delays[k])) * rates[k]
+        return total
+
+    def level_achieved(self, k: int, delay: float) -> int:
+        """0-based SLA level met by class ``k`` at ``delay``; -1 if missed."""
+        return self._classes[k].tuf.level_for_delay(delay)
+
+    def meets_deadline(self, k: int, delay: float) -> bool:
+        """True iff the class-``k`` final deadline is met."""
+        return delay <= self._classes[k].deadline
+
+    def summary(self) -> Dict[str, Dict[str, float]]:
+        """Human-readable per-class SLA summary (for reports/examples)."""
+        out: Dict[str, Dict[str, float]] = {}
+        for rc in self._classes:
+            out[rc.name] = {
+                "max_value": rc.tuf.max_value,
+                "final_deadline": rc.deadline,
+                "levels": rc.num_levels,
+            }
+        return out

@@ -1,0 +1,58 @@
+"""Core algorithm package: the paper's primary contribution.
+
+Contents:
+
+* :mod:`repro.core.tuf` — time utility functions (constant, multi-level
+  step-downward, monotonic) representing SLA profit (paper §III-B1);
+* :mod:`repro.core.request` — the unified task model abstracting
+  SaaS/PaaS/IaaS request types;
+* :mod:`repro.core.plan` — dispatch/allocation decision containers
+  (``lambda_{k,s,i,l}`` and ``phi_{k,i,l}``);
+* :mod:`repro.core.objective` — net-profit evaluation of a plan;
+* :mod:`repro.core.formulation` — the slot optimization problem builder
+  (LP for one-level TUFs, MILP for multi-level);
+* :mod:`repro.core.bigm` — the paper's big-M constraint transformation
+  of step-downward TUFs (Eqs. 11-13, 17, 25-26);
+* :mod:`repro.core.optimizer` — ``ProfitAwareOptimizer`` ("Optimized");
+* :mod:`repro.core.baselines` — ``BalancedDispatcher`` ("Balanced") and
+  friends;
+* :mod:`repro.core.rightsizing` — powered-on server derivation and load
+  consolidation;
+* :mod:`repro.core.controller` — the time-slotted control loop.
+"""
+
+from repro.core.tuf import (
+    ConstantTUF,
+    MonotonicTUF,
+    StepDownwardTUF,
+    TimeUtilityFunction,
+    UtilityLevel,
+)
+from repro.core.request import RequestClass
+from repro.core.plan import DispatchPlan
+from repro.core.objective import NetProfitBreakdown, evaluate_plan
+from repro.core.optimizer import ProfitAwareOptimizer
+from repro.core.baselines import BalancedDispatcher, EvenSplitDispatcher
+from repro.core.controller import SlottedController
+from repro.core.rightsizing import consolidate_plan, powered_on_servers
+from repro.core.sensitivity import SlotSensitivity, slot_sensitivity
+
+__all__ = [
+    "SlotSensitivity",
+    "slot_sensitivity",
+    "TimeUtilityFunction",
+    "UtilityLevel",
+    "ConstantTUF",
+    "StepDownwardTUF",
+    "MonotonicTUF",
+    "RequestClass",
+    "DispatchPlan",
+    "NetProfitBreakdown",
+    "evaluate_plan",
+    "ProfitAwareOptimizer",
+    "BalancedDispatcher",
+    "EvenSplitDispatcher",
+    "SlottedController",
+    "powered_on_servers",
+    "consolidate_plan",
+]

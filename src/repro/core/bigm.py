@@ -1,0 +1,318 @@
+"""The paper's big-M transformation of step-downward TUFs (Eqs. 11-26).
+
+A step-downward TUF is an ``if/else`` over the delay, which the paper
+notes is "unfortunately not well supported by some popular nonlinear
+mathematic programming solvers".  Its key analytical contribution is an
+equivalent *constraint series*: with ``U`` restricted to the discrete
+level set ``{U_1 > U_2 > ... > U_n}``, the constraints
+
+    (R - D_1)          + BIG*(U - U_1)                  <= 0
+    (D_q + delta - R)  + BIG*(U_{q+1} - U)(U - U_{q+2}) <= 0   (q = 1..n-2)
+    (R - D_q)          + BIG*(U_q - U)(U - U_{q-1})     <= 0   (q = 2..n-1)
+    (D_{n-1} + delta - R) + BIG*(U_n - U)               <= 0
+
+hold *iff* ``U`` equals the TUF level achieved at delay ``R`` (for
+``R <= D_n``).  The discrete restriction itself is encoded with one
+integer ``x in [1, n]`` through the Lagrange interpolation of Eq. 26.
+
+This module implements the series generically for any number of levels,
+the Eq. 26 interpolation, and a slot solver that optimizes the paper's
+literal nonlinear program with :class:`repro.solvers.penalty.PenaltySolver`
+and then repairs the fractional level choices through the fixed-level LP
+(the "bigm" path of :class:`repro.core.optimizer.ProfitAwareOptimizer`).
+The exact MILP path is the reference it is compared against in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import comb
+from typing import Callable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.formulation import SlotInputs, fixed_level_lp
+from repro.core.plan import DispatchPlan
+from repro.core.tuf import StepDownwardTUF
+from repro.solvers.base import SolverError
+from repro.solvers.linprog import solve_lp
+from repro.solvers.penalty import NonlinearProgram, PenaltySolver
+
+__all__ = [
+    "bigm_constraint_series",
+    "check_series_selects_level",
+    "lagrange_utility",
+    "solve_slot_bigm",
+]
+
+Constraint = Callable[[float, float], float]
+
+
+def bigm_constraint_series(
+    values: Sequence[float],
+    deadlines: Sequence[float],
+    big: float = 1e6,
+    delta: float = 1e-9,
+) -> List[Constraint]:
+    """Build the Eq. 11-13 / 17 constraint callables for one TUF.
+
+    Each returned callable maps ``(R, U)`` to a residual that must be
+    ``<= 0``.  ``big`` is the paper's large constant (Delta) and
+    ``delta`` its "small enough" time increment.
+    """
+    values_arr = np.asarray(values, dtype=float)
+    deadlines_arr = np.asarray(deadlines, dtype=float)
+    n = values_arr.size
+    if n < 1 or deadlines_arr.size != n:
+        raise ValueError("values and deadlines must be equal-length, non-empty")
+    if n == 1:
+        # One level: the plain deadline constraint, no selection needed.
+        return [lambda r, u, d=float(deadlines_arr[0]): r - d]
+
+    cons: List[Constraint] = []
+    u_vals = values_arr
+    d_vals = deadlines_arr
+
+    # (R - D_1) + BIG*(U - U_1) <= 0  — forces U < U_1 once R > D_1.
+    cons.append(lambda r, u: (r - d_vals[0]) + big * (u - u_vals[0]))
+
+    # Interior pairs for each boundary q (1-based boundaries 1..n-1).
+    for q in range(1, n - 1):  # 0-based: boundary between level q and q+1
+        # (D_q + delta - R) + BIG*(U_{q+1} - U)(U - U_{q+2}) <= 0
+        cons.append(
+            lambda r, u, dq=float(d_vals[q - 1]), uq1=float(u_vals[q]),
+            uq2=float(u_vals[q + 1]): (dq + delta - r) + big * (uq1 - u) * (u - uq2)
+        )
+        # (R - D_{q+1}) + BIG*(U_{q+1} - U)(U - U_q) <= 0
+        cons.append(
+            lambda r, u, dq1=float(d_vals[q]), uq1=float(u_vals[q]),
+            uq0=float(u_vals[q - 1]): (r - dq1) + big * (uq1 - u) * (u - uq0)
+        )
+
+    # (D_{n-1} + delta - R) + BIG*(U_n - U) <= 0 — forces U > U_n while
+    # R is within the (n-1)-th sub-deadline.
+    cons.append(
+        lambda r, u: (d_vals[n - 2] + delta - r) + big * (u_vals[n - 1] - u)
+    )
+    return cons
+
+
+def check_series_selects_level(
+    tuf: StepDownwardTUF,
+    delay: float,
+    big: float = 1e6,
+    delta: float = 1e-9,
+) -> Tuple[int, List[int]]:
+    """Verify the paper's equivalence claim at one delay.
+
+    Evaluates the constraint series at every discrete utility level and
+    returns ``(tuf_level, feasible_levels)``: the level the TUF itself
+    assigns at ``delay`` and the levels that satisfy every constraint.
+    The paper's claim is that exactly the TUF level is feasible (for
+    delays within the final deadline).
+    """
+    series = bigm_constraint_series(tuf.values, tuf.deadlines, big=big, delta=delta)
+    # Satisfied constraints evaluate to <= delta; violations are at least
+    # the width of a time band or big*(level gap)^2 — far above this.
+    tol = 10.0 * delta + 1e-9
+    feasible = []
+    for q, u in enumerate(tuf.values):
+        if all(con(delay, float(u)) <= tol for con in series):
+            feasible.append(q)
+    return tuf.level_for_delay(delay), feasible
+
+
+def lagrange_utility(x: float, values: Sequence[float]) -> float:
+    """Paper Eq. 26: utility as a polynomial in the level selector ``x``.
+
+    For integer ``x in {1..n}`` this evaluates exactly to ``values[x-1]``
+    (the Lagrange interpolation through the points ``(i, U_i)``); the
+    relaxed NLP path evaluates it at fractional ``x`` too.
+    """
+    values_arr = np.asarray(values, dtype=float)
+    n = values_arr.size
+    if n == 1:
+        return float(values_arr[0])
+    total = 0.0
+    for i in range(1, n + 1):
+        # prod_{j=0, j!=i}^{n} (j - x) / normalization: Eq. 26's closed form
+        # with denominator (-1)^x x!(n-x)! generalized via gamma would lose
+        # exactness off-integers; build the classic Lagrange basis instead,
+        # which coincides with Eq. 26 at integer x.
+        numerator = 1.0
+        denominator = 1.0
+        for j in range(1, n + 1):
+            if j == i:
+                continue
+            numerator *= (x - j)
+            denominator *= (i - j)
+        total += values_arr[i - 1] * numerator / denominator
+    return float(total)
+
+
+# ---------------------------------------------------------------------------
+# Slot solver on the literal nonlinear program
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class _Layout:
+    """Variable layout of the big-M NLP (aggregated formulation)."""
+
+    K: int
+    S: int
+    L: int
+
+    @property
+    def n_lam(self) -> int:
+        return self.K * self.S * self.L
+
+    @property
+    def n_phi(self) -> int:
+        return self.K * self.L
+
+    @property
+    def n_u(self) -> int:
+        return self.K * self.L
+
+    @property
+    def n_vars(self) -> int:
+        return self.n_lam + self.n_phi + self.n_u
+
+    def lam(self, x: np.ndarray) -> np.ndarray:
+        return x[: self.n_lam].reshape(self.K, self.S, self.L)
+
+    def phi(self, x: np.ndarray) -> np.ndarray:
+        return x[self.n_lam: self.n_lam + self.n_phi].reshape(self.K, self.L)
+
+    def u(self, x: np.ndarray) -> np.ndarray:
+        return x[self.n_lam + self.n_phi:].reshape(self.K, self.L)
+
+
+def solve_slot_bigm(
+    inputs: SlotInputs,
+    big: float = 1e4,
+    delta: float = 1e-9,
+    lp_method: str = "highs",
+    seed: int = 0,
+) -> DispatchPlan:
+    """Solve one slot through the paper's literal big-M nonlinear program.
+
+    Pipeline: (1) optimize the nonlinear program over
+    ``(lambda, Phi, U)`` with the big-M constraint series and the
+    smooth delay expression ``R = M_l / (Phi C mu - Lambda)``;
+    (2) snap each ``U_{k,l}`` to the nearest discrete level;
+    (3) refine the snapped level vector by a short coordinate-descent
+    pass with the fixed-level LP as oracle (the non-convex NLP can land
+    in poor basins, especially with three or more levels);
+    (4) re-solve the fixed-level LP at the refined levels for a clean,
+    feasible plan.
+    """
+    topo = inputs.topology
+    K, S, L = topo.num_classes, topo.num_frontends, topo.num_datacenters
+    layout = _Layout(K, S, L)
+    M = topo.servers_per_datacenter.astype(float)
+    mu = topo.service_rates
+    cap = topo.server_capacities
+    cost = inputs.cost_per_request()
+    T = inputs.slot_duration
+
+    series = [
+        bigm_constraint_series(rc.tuf.values, rc.tuf.deadlines, big=big, delta=delta)
+        for rc in topo.request_classes
+    ]
+    u_min = np.array([rc.tuf.values.min() for rc in topo.request_classes])
+    u_max = np.array([rc.tuf.values.max() for rc in topo.request_classes])
+    final_deadlines = np.array([rc.deadline for rc in topo.request_classes])
+
+    def delays(x: np.ndarray) -> np.ndarray:
+        lam = layout.lam(x).sum(axis=1)  # (K, L)
+        phi = layout.phi(x)
+        headroom = phi * cap[None, :] * mu - lam  # (K, L)
+        return np.where(headroom > 1e-12, M[None, :] / np.maximum(headroom, 1e-12),
+                        1e6)
+
+    def objective(x: np.ndarray) -> float:
+        lam = layout.lam(x)
+        u = layout.u(x)
+        revenue = float(np.sum(u * lam.sum(axis=1)))
+        costs = float(np.sum(cost * lam))
+        return -T * (revenue - costs)
+
+    def ineq(x: np.ndarray) -> np.ndarray:
+        lam = layout.lam(x)
+        phi = layout.phi(x)
+        u = layout.u(x)
+        r = delays(x)
+        out: List[float] = []
+        # Stability / final deadline: R <= D_k (keeps headroom positive).
+        out.extend((r - final_deadlines[:, None]).ravel())
+        # Share budget per DC.
+        out.extend(phi.sum(axis=0) - M)
+        # Arrival caps.
+        out.extend((lam.sum(axis=2) - inputs.arrivals).ravel())
+        # Big-M series per (k, l).
+        for k in range(K):
+            for l in range(L):
+                for con in series[k]:
+                    out.append(con(float(r[k, l]), float(u[k, l])))
+        return np.asarray(out)
+
+    lower = np.zeros(layout.n_vars)
+    upper = np.full(layout.n_vars, np.inf)
+    for k in range(K):
+        for l in range(L):
+            upper[layout.n_lam + k * L + l] = M[l]
+    lower[layout.n_lam + layout.n_phi:] = np.repeat(u_min, L)
+    upper[layout.n_lam + layout.n_phi:] = np.repeat(u_max, L)
+
+    nlp = NonlinearProgram(objective=objective, lower=lower, upper=upper, ineq=ineq)
+
+    # Warm start: feasible zero-load point with minimum shares and top
+    # utilities (consistent when R is at its minimum-share value).
+    x0 = np.zeros(layout.n_vars)
+    for k in range(K):
+        for l in range(L):
+            x0[layout.n_lam + k * L + l] = min(
+                M[l], M[l] / (final_deadlines[k] * cap[l] * mu[k, l]) * 1.5
+            )
+    x0[layout.n_lam + layout.n_phi:] = np.repeat(u_min, L)
+
+    solution = PenaltySolver(seed=seed, feasibility_tol=1e-4).solve(nlp, x0=x0)
+    if solution.ok:
+        u_star = layout.u(solution.x)
+        levels = np.zeros((K, L), dtype=int)
+        for k, rc in enumerate(topo.request_classes):
+            values = rc.tuf.values
+            for l in range(L):
+                levels[k, l] = int(np.argmin(np.abs(values - u_star[k, l])))
+    else:
+        # NLP found nothing usable: fall back to the top level everywhere.
+        levels = np.zeros((K, L), dtype=int)
+
+    # Local refinement of the snapped levels (one short sweep).
+    from repro.solvers.levels import coordinate_descent_levels
+
+    sizes = []
+    for k in range(K):
+        sizes.extend([topo.request_classes[k].tuf.num_levels] * L)
+
+    def lp_objective(levels_flat) -> float:
+        lp_trial, _ = fixed_level_lp(
+            inputs, levels=np.asarray(levels_flat, dtype=int).reshape(K, L)
+        )
+        trial = solve_lp(lp_trial, method=lp_method)
+        return -trial.objective if trial.ok else -np.inf
+
+    refined, _, _ = coordinate_descent_levels(
+        sizes, lp_objective, initial=levels.ravel().tolist(), max_sweeps=2
+    )
+    levels = np.asarray(refined, dtype=int).reshape(K, L)
+
+    lp, decoder = fixed_level_lp(inputs, levels=levels)
+    lp_solution = solve_lp(lp, method=lp_method)
+    if not lp_solution.ok:
+        raise SolverError(
+            f"big-M repair LP failed: {lp_solution.status.value} "
+            f"{lp_solution.message}"
+        )
+    return decoder(lp_solution.x)

@@ -1,0 +1,599 @@
+"""Slot-problem builders: the paper's constrained optimization (Eq. 5-8).
+
+Two interchangeable formulations are provided:
+
+* **per-server** (paper-faithful): decision variables are
+  ``lambda_{k,s,i,l}`` and ``phi_{k,i,l}`` for every physical server,
+  exactly as in the paper's Table I;
+* **aggregated** (fast path): because servers within a data center are
+  homogeneous and all constraints are linear, any feasible solution can
+  be symmetrized across a data center's servers without changing the
+  objective, so it suffices to decide per-data-center totals
+  ``lambda_{k,s,l}`` and total share mass ``Phi_{k,l} in [0, M_l]`` with
+  the delay constraint ``Phi*C*mu - Lambda >= M_l / D_k``.  Tests verify
+  both formulations reach the same optimum for fixed-level problems.
+  For *multi-level* TUFs the equivalence is level-wise only: the
+  aggregated MILP targets one level per (class, data center) while the
+  per-server layout may mix levels across a data center's servers, so
+  the per-server optimum can be marginally higher.
+
+For one-level TUFs (or any *fixed* level assignment) the problem is the
+LP of paper §IV-1.  For multi-level TUFs the level choice is encoded
+with binary selectors ``z_{k,l,q}`` (paper Eqs. 14/25) and the bilinear
+revenue term ``U(R) * Lambda`` is linearized exactly with McCormick
+variables ``y_{k,l,q} = z_{k,l,q} * Lambda_{k,l}`` — valid because
+``sum_q z = 1`` and ``Lambda`` is bounded.  The result is a MILP
+equivalent to the paper's constrained program (solved there by CPLEX).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.cloud.topology import CloudTopology
+from repro.core.plan import DispatchPlan
+from repro.solvers.base import LinearProgram, MixedIntegerProgram
+from repro.utils.validation import check_nonnegative, check_positive
+
+__all__ = [
+    "SlotInputs",
+    "feasibility_margin",
+    "fixed_level_lp",
+    "multilevel_milp",
+    "DEADLINE_SAFETY",
+]
+
+Decoder = Callable[[np.ndarray], DispatchPlan]
+
+#: Relative shrink applied to every deadline inside the solvers.  The LP
+#: optimum often sits exactly on a delay constraint; without a margin,
+#: re-computing ``R = 1/(phi*C*mu - lambda)`` from the solution in floating
+#: point can land infinitesimally *past* the step-downward TUF's cliff and
+#: forfeit the whole level's revenue.  1e-6 is far above solver feasibility
+#: tolerances and far below any experiment's parameter resolution.
+DEADLINE_SAFETY = 1e-6
+
+
+@dataclass(frozen=True)
+class SlotInputs:
+    """Everything that varies slot to slot, plus the static topology.
+
+    Attributes
+    ----------
+    topology:
+        The static system description.
+    arrivals:
+        ``(K, S)`` average arrival rates ``lambda_{k,s}`` for the slot.
+    prices:
+        ``(L,)`` electricity prices in $/kWh for the slot.
+    slot_duration:
+        Slot length ``T`` in the rate time unit.
+    apply_pue:
+        Multiply processing energy by each data center's PUE.
+    deadline_scale:
+        Plan against deadlines scaled by this factor (in (0, 1]).  1.0
+        reproduces the paper; smaller values buy robustness headroom so
+        *stochastic* realized delays stay clear of the TUF cliffs (the
+        mean-delay constraint alone leaves saturated VMs sitting exactly
+        on the boundary).
+    delay_factor:
+        Multiplier on the required headroom ``1/D`` (>= 1).  1.0 is the
+        paper's mean-delay SLA (``E[R] <= D``).  Because the M/M/1
+        sojourn is exponential with rate ``mu_eff - lambda``, the tail
+        SLA ``P(sojourn > D) <= eps`` is *exactly* the same linear
+        constraint with ``delay_factor = ln(1/eps)`` — percentile
+        guarantees come for free in this model.
+    """
+
+    topology: CloudTopology
+    arrivals: np.ndarray = field(repr=False)
+    prices: np.ndarray = field(repr=False)
+    slot_duration: float = 1.0
+    apply_pue: bool = False
+    deadline_scale: float = 1.0
+    delay_factor: float = 1.0
+
+    def __post_init__(self):
+        topo = self.topology
+        arrivals = check_nonnegative(self.arrivals, "arrivals")
+        prices = check_nonnegative(self.prices, "prices")
+        if arrivals.shape != (topo.num_classes, topo.num_frontends):
+            raise ValueError(
+                f"arrivals must have shape "
+                f"{(topo.num_classes, topo.num_frontends)}, got {arrivals.shape}"
+            )
+        if prices.shape != (topo.num_datacenters,):
+            raise ValueError(
+                f"prices must have shape {(topo.num_datacenters,)}, "
+                f"got {prices.shape}"
+            )
+        check_positive(self.slot_duration, "slot_duration")
+        if not 0.0 < self.deadline_scale <= 1.0:
+            raise ValueError(
+                f"deadline_scale must be in (0, 1], got {self.deadline_scale}"
+            )
+        if self.delay_factor < 1.0:
+            raise ValueError(
+                f"delay_factor must be >= 1, got {self.delay_factor}"
+            )
+        object.__setattr__(self, "arrivals", arrivals)
+        object.__setattr__(self, "prices", prices)
+
+    # ------------------------------------------------------------- helpers
+
+    def cost_per_request(self) -> np.ndarray:
+        """``(K, S, L)`` dollars per dispatched request (energy + transfer).
+
+        ``P_{k,l} * p_l + TranCost_k * d_{s,l}`` (paper Eqs. 2-3).
+        """
+        topo = self.topology
+        energy = topo.energy_per_request  # (K, L)
+        if self.apply_pue:
+            energy = energy * np.array([dc.pue for dc in topo.datacenters])[None, :]
+        processing = energy * self.prices[None, :]  # (K, L)
+        transfer = topo.transfer_model().per_request_cost()  # (K, S, L)
+        return processing[:, None, :] + transfer
+
+    def lambda_max(self) -> np.ndarray:
+        """``(K, L)`` valid upper bounds on per-DC class loads.
+
+        Used by the MILP's McCormick linearization; the bound is the
+        smaller of total offered load and the data center's raw capacity.
+        """
+        topo = self.topology
+        offered = self.arrivals.sum(axis=1)  # (K,)
+        dc_cap = topo.service_rates * (
+            topo.server_capacities * topo.servers_per_datacenter
+        )[None, :]
+        return np.minimum(offered[:, None], dc_cap)
+
+
+def feasibility_margin(
+    topology: CloudTopology, deadline_scale: float = 1.0
+) -> np.ndarray:
+    """Per-data-center slack of the unconditional delay constraints.
+
+    The paper enforces ``1/(phi*C*mu) <= D`` even on unloaded VMs
+    (constraint 6 holds unconditionally), which requires every server to
+    reserve share ``1/(D_k * C_l * mu_{k,l})`` per class.  Feasibility of
+    the slot problem therefore needs
+
+        sum_k 1 / (D_k * C_l * mu_{k,l}) <= 1     for every l.
+
+    Returns the ``(L,)`` array of ``1 - sum_k ...`` margins; a negative
+    entry means the topology cannot host all classes on one server.
+    """
+    deadlines = deadline_scale * np.array(
+        [rc.deadline for rc in topology.request_classes]
+    )
+    mu = topology.service_rates  # (K, L)
+    cap = topology.server_capacities  # (L,)
+    required = 1.0 / (deadlines[:, None] * mu * cap[None, :])  # (K, L)
+    return 1.0 - required.sum(axis=0)
+
+
+def _require_feasible(
+    topology: CloudTopology, deadline_scale: float = 1.0
+) -> None:
+    margin = feasibility_margin(topology, deadline_scale)
+    if np.any(margin < 0):
+        bad = int(np.argmin(margin))
+        raise ValueError(
+            f"infeasible topology: data center "
+            f"{topology.datacenters[bad].name!r} cannot reserve the minimum "
+            f"CPU shares for all request classes "
+            f"(sum_k 1/(D_k C mu_k) = {1 - margin[bad]:.4f} > 1); "
+            f"loosen deadlines or raise service rates"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Fixed-level LP (one-level TUFs, or any chosen level assignment)
+# ---------------------------------------------------------------------------
+
+def _level_tables(
+    topology: CloudTopology,
+    levels: np.ndarray,
+    deadline_scale: float = 1.0,
+    delay_factor: float = 1.0,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-(k,l) utility and *effective* sub-deadline for an assignment.
+
+    The effective deadline folds in the safety shrink, the robustness
+    margin, and the percentile factor: a headroom requirement of
+    ``delay_factor / D`` is the same constraint as a mean-delay deadline
+    of ``D / delay_factor``.
+    """
+    k_count, l_count = topology.num_classes, topology.num_datacenters
+    utilities = np.empty((k_count, l_count))
+    deadlines = np.empty((k_count, l_count))
+    scale = deadline_scale * (1.0 - DEADLINE_SAFETY) / delay_factor
+    for k, rc in enumerate(topology.request_classes):
+        values = rc.tuf.values
+        subdeadlines = rc.tuf.deadlines
+        for l in range(l_count):
+            q = int(levels[k, l])
+            if not 0 <= q < values.size:
+                raise ValueError(
+                    f"level {q} out of range for class {rc.name!r} "
+                    f"({values.size} levels)"
+                )
+            utilities[k, l] = values[q]
+            deadlines[k, l] = subdeadlines[q] * scale
+    return utilities, deadlines
+
+
+def fixed_level_lp(
+    inputs: SlotInputs,
+    levels: Optional[np.ndarray] = None,
+    per_server: bool = False,
+) -> Tuple[LinearProgram, Decoder]:
+    """Build the slot LP for a fixed TUF-level assignment.
+
+    Parameters
+    ----------
+    inputs:
+        Slot data.
+    levels:
+        ``(K, L)`` integer level targeted per class per data center;
+        ``None`` targets level 0 everywhere (the only choice for
+        one-level TUFs — paper §IV-1's plain LP).
+    per_server:
+        Use the paper-faithful per-server variable layout instead of the
+        aggregated one.
+
+    Returns
+    -------
+    (lp, decoder):
+        ``lp`` minimizes *negative* net profit; ``decoder`` maps an LP
+        solution vector to a :class:`DispatchPlan`.
+    """
+    topo = inputs.topology
+    _require_feasible(topo, inputs.deadline_scale / inputs.delay_factor)
+    K, S, L = topo.num_classes, topo.num_frontends, topo.num_datacenters
+    if levels is None:
+        levels = np.zeros((K, L), dtype=int)
+    levels = np.asarray(levels, dtype=int)
+    if levels.shape != (K, L):
+        raise ValueError(f"levels must have shape {(K, L)}, got {levels.shape}")
+    utilities, deadlines = _level_tables(
+        topo, levels, inputs.deadline_scale, inputs.delay_factor
+    )
+    cost = inputs.cost_per_request()  # (K, S, L)
+    # Net profit per dispatched request if the targeted level is met.
+    net = utilities[:, None, :] - cost  # (K, S, L)
+    T = inputs.slot_duration
+
+    if per_server:
+        return _fixed_level_lp_per_server(inputs, net, deadlines, T)
+    return _fixed_level_lp_aggregated(inputs, net, deadlines, T)
+
+
+def _fixed_level_lp_aggregated(
+    inputs: SlotInputs, net: np.ndarray, deadlines: np.ndarray, T: float
+) -> Tuple[LinearProgram, Decoder]:
+    topo = inputs.topology
+    K, S, L = topo.num_classes, topo.num_frontends, topo.num_datacenters
+    M = topo.servers_per_datacenter.astype(float)  # (L,)
+    mu = topo.service_rates  # (K, L)
+    cap = topo.server_capacities  # (L,)
+
+    n_lam = K * S * L
+    n_phi = K * L
+    n_vars = n_lam + n_phi
+
+    def lam_idx(k: int, s: int, l: int) -> int:
+        return (k * S + s) * L + l
+
+    def phi_idx(k: int, l: int) -> int:
+        return n_lam + k * L + l
+
+    c = np.zeros(n_vars)
+    c[:n_lam] = (-T * net).ravel()  # minimize -profit
+
+    rows_a: List[np.ndarray] = []
+    rows_b: List[float] = []
+
+    # (1) Delay: sum_s lam - Phi*C*mu <= -M_l / D_{k,l-level}
+    for k in range(K):
+        for l in range(L):
+            row = np.zeros(n_vars)
+            for s in range(S):
+                row[lam_idx(k, s, l)] = 1.0
+            row[phi_idx(k, l)] = -cap[l] * mu[k, l]
+            rows_a.append(row)
+            rows_b.append(-M[l] / deadlines[k, l])
+
+    # (2) Shares: sum_k Phi_{k,l} <= M_l
+    for l in range(L):
+        row = np.zeros(n_vars)
+        for k in range(K):
+            row[phi_idx(k, l)] = 1.0
+        rows_a.append(row)
+        rows_b.append(M[l])
+
+    # (3) Arrivals: sum_l lam <= lambda_{k,s}
+    for k in range(K):
+        for s in range(S):
+            row = np.zeros(n_vars)
+            for l in range(L):
+                row[lam_idx(k, s, l)] = 1.0
+            rows_a.append(row)
+            rows_b.append(float(inputs.arrivals[k, s]))
+
+    upper = np.full(n_vars, np.inf)
+    for k in range(K):
+        for l in range(L):
+            upper[phi_idx(k, l)] = M[l]
+
+    lp = LinearProgram(
+        c=c, a_ub=np.array(rows_a), b_ub=np.array(rows_b), upper=upper
+    )
+
+    def decoder(x: np.ndarray) -> DispatchPlan:
+        lam = x[:n_lam].reshape(K, S, L)
+        phi_total = x[n_lam:].reshape(K, L)
+        return _expand_symmetric(topo, lam, phi_total)
+
+    return lp, decoder
+
+
+def _fixed_level_lp_per_server(
+    inputs: SlotInputs, net: np.ndarray, deadlines: np.ndarray, T: float
+) -> Tuple[LinearProgram, Decoder]:
+    topo = inputs.topology
+    K, S = topo.num_classes, topo.num_frontends
+    N = topo.num_servers
+    dc_of = np.empty(N, dtype=int)
+    offsets = topo.server_offsets()
+    for l, dc in enumerate(topo.datacenters):
+        dc_of[offsets[l]:offsets[l + 1]] = l
+    mu = topo.service_rates  # (K, L)
+    cap = topo.server_capacities  # (L,)
+
+    n_lam = K * S * N
+    n_phi = K * N
+    n_vars = n_lam + n_phi
+
+    def lam_idx(k: int, s: int, n: int) -> int:
+        return (k * S + s) * N + n
+
+    def phi_idx(k: int, n: int) -> int:
+        return n_lam + k * N + n
+
+    c = np.zeros(n_vars)
+    # Objective coefficient of lam_{k,s,n} is the per-DC net coefficient.
+    for k in range(K):
+        for s in range(S):
+            for n in range(N):
+                c[lam_idx(k, s, n)] = -T * net[k, s, dc_of[n]]
+
+    rows_a: List[np.ndarray] = []
+    rows_b: List[float] = []
+
+    # (1) Delay per (k, n): sum_s lam - phi*C*mu <= -1/D
+    for k in range(K):
+        for n in range(N):
+            l = dc_of[n]
+            row = np.zeros(n_vars)
+            for s in range(S):
+                row[lam_idx(k, s, n)] = 1.0
+            row[phi_idx(k, n)] = -cap[l] * mu[k, l]
+            rows_a.append(row)
+            rows_b.append(-1.0 / deadlines[k, l])
+
+    # (2) Shares per server: sum_k phi <= 1
+    for n in range(N):
+        row = np.zeros(n_vars)
+        for k in range(K):
+            row[phi_idx(k, n)] = 1.0
+        rows_a.append(row)
+        rows_b.append(1.0)
+
+    # (3) Arrivals: sum_n lam <= lambda_{k,s}
+    for k in range(K):
+        for s in range(S):
+            row = np.zeros(n_vars)
+            for n in range(N):
+                row[lam_idx(k, s, n)] = 1.0
+            rows_a.append(row)
+            rows_b.append(float(inputs.arrivals[k, s]))
+
+    upper = np.full(n_vars, np.inf)
+    upper[n_lam:] = 1.0
+
+    lp = LinearProgram(
+        c=c, a_ub=np.array(rows_a), b_ub=np.array(rows_b), upper=upper
+    )
+
+    def decoder(x: np.ndarray) -> DispatchPlan:
+        lam = x[:n_lam].reshape(K, S, N)
+        phi = x[n_lam:].reshape(K, N)
+        phi = _normalize_shares(phi)
+        return DispatchPlan(topology=topo, rates=lam, shares=phi)
+
+    return lp, decoder
+
+
+# ---------------------------------------------------------------------------
+# Multi-level MILP
+# ---------------------------------------------------------------------------
+
+def multilevel_milp(inputs: SlotInputs) -> Tuple[MixedIntegerProgram, Decoder]:
+    """Build the multi-level-TUF slot MILP (aggregated formulation).
+
+    Variables per data center ``l`` and class ``k`` with ``Q_k`` levels:
+
+    * ``lam_{k,s,l} >= 0`` — dispatched rates;
+    * ``Phi_{k,l} in [0, M_l]`` — total CPU share mass;
+    * ``z_{k,l,q} in {0,1}`` — targeted TUF level (``sum_q z = 1``);
+    * ``y_{k,l,q} >= 0`` — McCormick product ``z * Lambda``.
+
+    Constraints: delay with the targeted sub-deadline, share budget,
+    arrival caps, level selection, and the exact linearization
+    ``sum_q y = Lambda``, ``y_q <= Lambda_max * z_q``.
+    """
+    topo = inputs.topology
+    _require_feasible(topo, inputs.deadline_scale / inputs.delay_factor)
+    K, S, L = topo.num_classes, topo.num_frontends, topo.num_datacenters
+    M = topo.servers_per_datacenter.astype(float)
+    mu = topo.service_rates
+    cap = topo.server_capacities
+    cost = inputs.cost_per_request()
+    T = inputs.slot_duration
+    lam_max = inputs.lambda_max()  # (K, L)
+
+    level_counts = [rc.tuf.num_levels for rc in topo.request_classes]
+    n_lam = K * S * L
+    n_phi = K * L
+    # z and y blocks, laid out class-major then dc-major then level.
+    zy_offsets = np.concatenate([[0], np.cumsum([q * L for q in level_counts])])
+    n_z = int(zy_offsets[-1])
+    n_vars = n_lam + n_phi + 2 * n_z
+
+    def lam_idx(k: int, s: int, l: int) -> int:
+        return (k * S + s) * L + l
+
+    def phi_idx(k: int, l: int) -> int:
+        return n_lam + k * L + l
+
+    def z_idx(k: int, l: int, q: int) -> int:
+        return n_lam + n_phi + int(zy_offsets[k]) + l * level_counts[k] + q
+
+    def y_idx(k: int, l: int, q: int) -> int:
+        return n_lam + n_phi + n_z + int(zy_offsets[k]) + l * level_counts[k] + q
+
+    c = np.zeros(n_vars)
+    c[:n_lam] = (T * cost).ravel()  # costs enter through lam
+    for k, rc in enumerate(topo.request_classes):
+        values = rc.tuf.values
+        for l in range(L):
+            for q in range(level_counts[k]):
+                c[y_idx(k, l, q)] = -T * float(values[q])  # revenue via y
+
+    rows_ub: List[np.ndarray] = []
+    b_ub: List[float] = []
+    rows_eq: List[np.ndarray] = []
+    b_eq: List[float] = []
+
+    for k, rc in enumerate(topo.request_classes):
+        subdeadlines = rc.tuf.deadlines
+        for l in range(L):
+            # (1) Delay with level-dependent sub-deadline:
+            # Lambda - Phi*C*mu + sum_q (M_l / D_q) z_q <= 0
+            row = np.zeros(n_vars)
+            for s in range(S):
+                row[lam_idx(k, s, l)] = 1.0
+            row[phi_idx(k, l)] = -cap[l] * mu[k, l]
+            for q in range(level_counts[k]):
+                row[z_idx(k, l, q)] = M[l] / float(
+                    subdeadlines[q] * inputs.deadline_scale
+                    * (1.0 - DEADLINE_SAFETY) / inputs.delay_factor
+                )
+            rows_ub.append(row)
+            b_ub.append(0.0)
+
+            # (4) Level selection: sum_q z = 1
+            row = np.zeros(n_vars)
+            for q in range(level_counts[k]):
+                row[z_idx(k, l, q)] = 1.0
+            rows_eq.append(row)
+            b_eq.append(1.0)
+
+            # (5) McCormick sum: sum_q y - Lambda = 0
+            row = np.zeros(n_vars)
+            for q in range(level_counts[k]):
+                row[y_idx(k, l, q)] = 1.0
+            for s in range(S):
+                row[lam_idx(k, s, l)] = -1.0
+            rows_eq.append(row)
+            b_eq.append(0.0)
+
+            # (6) McCormick caps: y_q - Lambda_max z_q <= 0
+            for q in range(level_counts[k]):
+                row = np.zeros(n_vars)
+                row[y_idx(k, l, q)] = 1.0
+                row[z_idx(k, l, q)] = -float(max(lam_max[k, l], 1e-12))
+                rows_ub.append(row)
+                b_ub.append(0.0)
+
+    # (2) Shares: sum_k Phi_{k,l} <= M_l
+    for l in range(L):
+        row = np.zeros(n_vars)
+        for k in range(K):
+            row[phi_idx(k, l)] = 1.0
+        rows_ub.append(row)
+        b_ub.append(M[l])
+
+    # (3) Arrivals: sum_l lam <= lambda_{k,s}
+    for k in range(K):
+        for s in range(S):
+            row = np.zeros(n_vars)
+            for l in range(L):
+                row[lam_idx(k, s, l)] = 1.0
+            rows_ub.append(row)
+            b_ub.append(float(inputs.arrivals[k, s]))
+
+    lower = np.zeros(n_vars)
+    upper = np.full(n_vars, np.inf)
+    for k in range(K):
+        for l in range(L):
+            upper[phi_idx(k, l)] = M[l]
+            for q in range(level_counts[k]):
+                upper[z_idx(k, l, q)] = 1.0
+                upper[y_idx(k, l, q)] = float(max(lam_max[k, l], 0.0))
+
+    integer_mask = np.zeros(n_vars, dtype=bool)
+    for k in range(K):
+        for l in range(L):
+            for q in range(level_counts[k]):
+                integer_mask[z_idx(k, l, q)] = True
+
+    lp = LinearProgram(
+        c=c,
+        a_ub=np.array(rows_ub), b_ub=np.array(b_ub),
+        a_eq=np.array(rows_eq), b_eq=np.array(b_eq),
+        lower=lower, upper=upper,
+    )
+    mip = MixedIntegerProgram(lp=lp, integer_mask=integer_mask)
+
+    def decoder(x: np.ndarray) -> DispatchPlan:
+        lam = x[:n_lam].reshape(K, S, L)
+        phi_total = x[n_lam:n_lam + n_phi].reshape(K, L)
+        return _expand_symmetric(topo, lam, phi_total)
+
+    return mip, decoder
+
+
+# ---------------------------------------------------------------------------
+# Shared decoding helpers
+# ---------------------------------------------------------------------------
+
+def _normalize_shares(phi: np.ndarray) -> np.ndarray:
+    """Scale down columns whose share sum drifted above 1 numerically."""
+    totals = phi.sum(axis=0)
+    over = totals > 1.0
+    if np.any(over):
+        phi = phi.copy()
+        phi[:, over] /= totals[over][None, :]
+    return phi
+
+
+def _expand_symmetric(
+    topo: CloudTopology, lam: np.ndarray, phi_total: np.ndarray
+) -> DispatchPlan:
+    """Expand an aggregated solution symmetrically over each DC's servers."""
+    K, S = topo.num_classes, topo.num_frontends
+    N = topo.num_servers
+    rates = np.zeros((K, S, N))
+    shares = np.zeros((K, N))
+    offsets = topo.server_offsets()
+    for l, dc in enumerate(topo.datacenters):
+        m = dc.num_servers
+        sl = slice(offsets[l], offsets[l + 1])
+        rates[:, :, sl] = lam[:, :, l][:, :, None] / m
+        shares[:, sl] = phi_total[:, l][:, None] / m
+    return DispatchPlan(topology=topo, rates=rates, shares=shares)

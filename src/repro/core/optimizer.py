@@ -1,0 +1,319 @@
+"""The paper's "Optimized" approach: profit-aware dispatching/allocation.
+
+:class:`ProfitAwareOptimizer` solves the per-slot constrained
+optimization of §IV and returns a :class:`~repro.core.plan.DispatchPlan`.
+Solve paths:
+
+* ``"lp"`` — one-level TUFs (paper §IV-1): a plain LP;
+* ``"milp"`` — multi-level TUFs via the exact MILP with binary level
+  selectors (the role CPLEX plays in the paper);
+* ``"bigm"`` — the paper's literal big-M nonlinear constraint series
+  solved with a penalty/SLSQP method, repaired through the LP;
+* ``"greedy"`` — coordinate-descent local search over level vectors
+  with the LP as oracle (cheap heuristic ablation);
+* ``"auto"`` (default) — ``"lp"`` when every class has a one-level TUF,
+  ``"milp"`` otherwise.
+
+Formulations: ``"aggregated"`` (fast, provably equivalent given
+homogeneous servers per data center) or ``"per_server"``
+(paper-faithful variable layout; also used by the Fig. 11 computation-
+time study since its size grows with the server count).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.cloud.datacenter import DataCenter
+from repro.cloud.topology import CloudTopology
+from repro.core.bigm import solve_slot_bigm
+from repro.core.formulation import SlotInputs, fixed_level_lp, multilevel_milp
+from repro.core.plan import DispatchPlan
+from repro.core.rightsizing import consolidate_plan
+from repro.solvers.base import SolverError
+from repro.solvers.branch_bound import solve_milp
+from repro.solvers.levels import coordinate_descent_levels
+from repro.solvers.linprog import solve_lp
+
+__all__ = ["ProfitAwareOptimizer", "SolveStats"]
+
+
+@dataclass(frozen=True)
+class SolveStats:
+    """Diagnostics from the most recent ``plan_slot`` call."""
+
+    method: str
+    formulation: str
+    wall_time: float
+    num_variables: int
+    num_constraints: int
+    iterations: int = 0
+    nodes: int = 0
+    objective: float = 0.0
+    lp_evaluations: int = 0
+
+
+def _explode_topology(topology: CloudTopology) -> CloudTopology:
+    """Rewrite the topology so each physical server is its own 1-server DC.
+
+    The aggregated formulation on the exploded topology *is* the
+    per-server formulation on the original one, so every solve path
+    (including the MILP) gains a per-server variant for free.  Flat
+    server ordering is preserved, so plans fold back unchanged.
+    """
+    datacenters = []
+    distances_cols = []
+    for l, dc in enumerate(topology.datacenters):
+        for i in range(dc.num_servers):
+            datacenters.append(DataCenter(
+                name=f"{dc.name}#srv{i}",
+                num_servers=1,
+                service_rates=dc.service_rates,
+                energy_per_request=dc.energy_per_request,
+                server_capacity=dc.server_capacity,
+                pue=dc.pue,
+            ))
+            distances_cols.append(topology.distances[:, l])
+    return CloudTopology(
+        request_classes=topology.request_classes,
+        frontends=topology.frontends,
+        datacenters=tuple(datacenters),
+        distances=np.stack(distances_cols, axis=1),
+    )
+
+
+class ProfitAwareOptimizer:
+    """Profit- and cost-aware slot optimizer (the paper's "Optimized").
+
+    Parameters
+    ----------
+    topology:
+        The static system description.
+    level_method:
+        ``"auto"``, ``"lp"``, ``"milp"``, ``"bigm"``, or ``"greedy"``.
+    formulation:
+        ``"aggregated"`` or ``"per_server"``.
+    lp_method:
+        LP backend (``"highs"`` or the library's own ``"simplex"``).
+    milp_method:
+        MILP backend (``"highs"`` or the library's own ``"bb"``).
+    consolidate:
+        Run the right-sizing consolidation pass on every plan.
+    apply_pue:
+        Include PUE in the processing-energy cost.
+    use_spare_capacity:
+        Distribute each server's unused CPU to its loaded VMs after
+        solving (free under the per-request energy model; strictly
+        improves delays, keeping stochastic realizations away from the
+        TUF cliffs).  On by default.
+    deadline_margin:
+        Plan against deadlines scaled by this factor in (0, 1].  1.0 is
+        the paper's formulation; at saturation it leaves mean delays
+        exactly on the TUF boundary, where stochastic realizations earn
+        the level only about half the time.  A margin like 0.85 trades a
+        little admission capacity for robust realized revenue (see
+        ``benchmarks/bench_validation_des.py``).
+    percentile_sla:
+        When set to ``eps`` in (0, 1), plan for the *tail* SLA
+        ``P(sojourn > D) <= eps`` instead of the paper's mean-delay SLA.
+        Exact for the M/M/1 model (exponential sojourns): the constraint
+        is the same LP row with the headroom requirement multiplied by
+        ``ln(1/eps)``.
+    """
+
+    name = "optimized"
+
+    def __init__(
+        self,
+        topology: CloudTopology,
+        level_method: str = "auto",
+        formulation: str = "aggregated",
+        lp_method: str = "highs",
+        milp_method: str = "highs",
+        consolidate: bool = False,
+        apply_pue: bool = False,
+        use_spare_capacity: bool = True,
+        deadline_margin: float = 1.0,
+        percentile_sla: Optional[float] = None,
+    ):
+        if level_method not in ("auto", "lp", "milp", "bigm", "greedy"):
+            raise ValueError(f"unknown level_method {level_method!r}")
+        if formulation not in ("aggregated", "per_server"):
+            raise ValueError(f"unknown formulation {formulation!r}")
+        self.topology = topology
+        self.level_method = level_method
+        self.formulation = formulation
+        self.lp_method = lp_method
+        self.milp_method = milp_method
+        self.consolidate = consolidate
+        self.apply_pue = apply_pue
+        self.use_spare_capacity = use_spare_capacity
+        if not 0.0 < deadline_margin <= 1.0:
+            raise ValueError(
+                f"deadline_margin must be in (0, 1], got {deadline_margin}"
+            )
+        self.deadline_margin = float(deadline_margin)
+        if percentile_sla is not None and not 0.0 < percentile_sla < 1.0:
+            raise ValueError(
+                f"percentile_sla must be in (0, 1), got {percentile_sla}"
+            )
+        self.percentile_sla = percentile_sla
+        self._delay_factor = (
+            1.0 if percentile_sla is None else float(np.log(1.0 / percentile_sla))
+        )
+        if self._delay_factor < 1.0:
+            # eps > 1/e would *weaken* the mean constraint; floor at the
+            # paper's mean-delay requirement.
+            self._delay_factor = 1.0
+        self.last_stats: Optional[SolveStats] = None
+        self._multilevel = any(
+            rc.tuf.num_levels > 1 for rc in topology.request_classes
+        )
+
+    # --------------------------------------------------------------- public
+
+    def plan_slot(
+        self,
+        arrivals: np.ndarray,
+        prices: np.ndarray,
+        slot_duration: float = 1.0,
+    ) -> DispatchPlan:
+        """Solve one slot and return the dispatch plan."""
+        method = self.level_method
+        if method == "auto":
+            method = "milp" if self._multilevel else "lp"
+        if method == "lp" and self._multilevel:
+            raise ValueError(
+                "level_method='lp' requires one-level TUFs; use 'milp', "
+                "'bigm', or 'greedy' for multi-level TUFs"
+            )
+        inputs = SlotInputs(
+            topology=self.topology,
+            arrivals=arrivals,
+            prices=prices,
+            slot_duration=slot_duration,
+            apply_pue=self.apply_pue,
+            deadline_scale=self.deadline_margin,
+            delay_factor=self._delay_factor,
+        )
+        start = time.perf_counter()
+        if method == "lp":
+            plan, stats = self._solve_lp(inputs)
+        elif method == "milp":
+            plan, stats = self._solve_milp(inputs)
+        elif method == "greedy":
+            plan, stats = self._solve_greedy(inputs)
+        else:  # bigm
+            plan = solve_slot_bigm(inputs, lp_method=self.lp_method)
+            stats = {"num_variables": 0, "num_constraints": 0}
+        elapsed = time.perf_counter() - start
+        if self.consolidate:
+            plan = consolidate_plan(plan)
+        if self.use_spare_capacity:
+            plan = plan.with_spare_capacity_distributed()
+        self.last_stats = SolveStats(
+            method=method,
+            formulation=self.formulation,
+            wall_time=elapsed,
+            num_variables=int(stats.get("num_variables", 0)),
+            num_constraints=int(stats.get("num_constraints", 0)),
+            iterations=int(stats.get("iterations", 0)),
+            nodes=int(stats.get("nodes", 0)),
+            objective=float(stats.get("objective", 0.0)),
+            lp_evaluations=int(stats.get("lp_evaluations", 0)),
+        )
+        return plan
+
+    # -------------------------------------------------------------- private
+
+    def _solve_lp(self, inputs: SlotInputs) -> Tuple[DispatchPlan, Dict]:
+        lp, decoder = fixed_level_lp(
+            inputs, per_server=(self.formulation == "per_server")
+        )
+        solution = solve_lp(lp, method=self.lp_method)
+        if not solution.ok:
+            raise SolverError(
+                f"slot LP failed: {solution.status.value} {solution.message}"
+            )
+        return decoder(solution.x), {
+            "num_variables": lp.num_variables,
+            "num_constraints": lp.num_constraints,
+            "iterations": solution.iterations,
+            "objective": -solution.objective,
+        }
+
+    def _solve_milp(self, inputs: SlotInputs) -> Tuple[DispatchPlan, Dict]:
+        if self.formulation == "per_server":
+            exploded = _explode_topology(self.topology)
+            sub_inputs = SlotInputs(
+                topology=exploded,
+                arrivals=inputs.arrivals,
+                prices=np.repeat(
+                    inputs.prices, self.topology.servers_per_datacenter
+                ),
+                slot_duration=inputs.slot_duration,
+                apply_pue=inputs.apply_pue,
+                deadline_scale=inputs.deadline_scale,
+                delay_factor=inputs.delay_factor,
+            )
+            mip, decoder = multilevel_milp(sub_inputs)
+            solution = solve_milp(mip, method=self.milp_method)
+            if not solution.ok:
+                raise SolverError(
+                    f"slot MILP failed: {solution.status.value} {solution.message}"
+                )
+            exploded_plan = decoder(solution.x)
+            plan = DispatchPlan(
+                topology=self.topology,
+                rates=exploded_plan.rates,
+                shares=exploded_plan.shares,
+            )
+        else:
+            mip, decoder = multilevel_milp(inputs)
+            solution = solve_milp(mip, method=self.milp_method)
+            if not solution.ok:
+                raise SolverError(
+                    f"slot MILP failed: {solution.status.value} {solution.message}"
+                )
+            plan = decoder(solution.x)
+        return plan, {
+            "num_variables": mip.lp.num_variables,
+            "num_constraints": mip.lp.num_constraints,
+            "iterations": solution.iterations,
+            "nodes": solution.nodes,
+            "objective": -solution.objective,
+        }
+
+    def _solve_greedy(self, inputs: SlotInputs) -> Tuple[DispatchPlan, Dict]:
+        topo = self.topology
+        K, L = topo.num_classes, topo.num_datacenters
+        sizes = []
+        for k in range(K):
+            q = topo.request_classes[k].tuf.num_levels
+            sizes.extend([q] * L)
+
+        best_plan: Dict[Tuple[int, ...], DispatchPlan] = {}
+
+        def evaluate(levels_flat: Tuple[int, ...]) -> float:
+            levels = np.asarray(levels_flat, dtype=int).reshape(K, L)
+            lp, decoder = fixed_level_lp(
+                inputs, levels=levels,
+                per_server=(self.formulation == "per_server"),
+            )
+            solution = solve_lp(lp, method=self.lp_method)
+            if not solution.ok:
+                return -np.inf
+            best_plan[levels_flat] = decoder(solution.x)
+            return -solution.objective
+
+        vector, value, evaluations = coordinate_descent_levels(sizes, evaluate)
+        if vector not in best_plan:
+            raise SolverError("greedy level search found no feasible assignment")
+        return best_plan[vector], {
+            "lp_evaluations": evaluations,
+            "objective": value,
+        }

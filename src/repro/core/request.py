@@ -1,0 +1,60 @@
+"""The unified task model.
+
+The paper abstracts requests from every cloud layer (SaaS/PaaS/IaaS)
+into *request classes* (type ``k``): all requests of the same class share
+one TUF, one transfer unit cost, and per-data-center service rates and
+energy attributions (stored on :class:`repro.cloud.datacenter.DataCenter`
+because the paper's Tables III/IV/VI make them location-dependent).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.tuf import StepDownwardTUF
+from repro.utils.validation import check_nonnegative
+
+__all__ = ["RequestClass"]
+
+
+@dataclass(frozen=True)
+class RequestClass:
+    """One type of service request (index ``k``).
+
+    Attributes
+    ----------
+    name:
+        Human-readable identifier, e.g. ``"request1"``.
+    tuf:
+        The step-downward TUF giving per-request profit as a function of
+        the expected delay.  Multi-level TUFs make the slot problem a
+        MILP; one-level TUFs keep it an LP (paper §IV).
+    transfer_unit_cost:
+        ``TranCost_k`` in $/(mile · request) (paper Eq. 3); reflects the
+        request's size/characteristics.
+    """
+
+    name: str
+    tuf: StepDownwardTUF
+    transfer_unit_cost: float = 0.0
+    description: str = field(default="", compare=False)
+
+    def __post_init__(self):
+        if not self.name:
+            raise ValueError("name must be non-empty")
+        if not isinstance(self.tuf, StepDownwardTUF):
+            raise TypeError(
+                "tuf must be a StepDownwardTUF (use MonotonicTUF.discretize() "
+                "for continuous utility functions)"
+            )
+        check_nonnegative(self.transfer_unit_cost, "transfer_unit_cost")
+
+    @property
+    def deadline(self) -> float:
+        """Final deadline ``D_k`` of the request class."""
+        return self.tuf.deadline
+
+    @property
+    def num_levels(self) -> int:
+        """Number of TUF steps (1 for constant-value TUFs)."""
+        return self.tuf.num_levels

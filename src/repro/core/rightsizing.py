@@ -1,0 +1,133 @@
+"""Server right-sizing: powering off idle servers and consolidating load.
+
+The paper derives the powered-on server count from the dispatch solution
+("when there is no workload on a server, the server should be powered
+off", §IV) and assumes switching costs are negligible within a slot.
+
+Because the aggregated solver returns *symmetric* solutions (every
+server in a data center lightly loaded), a consolidation pass is useful:
+it packs each data center's load onto the fewest servers that can still
+meet every class's achieved TUF level.  Under the paper's per-request
+energy model consolidation is profit-neutral — it only reduces the
+powered-on count — which is why it is a separate, optional pass.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.plan import DispatchPlan
+
+__all__ = ["powered_on_servers", "minimum_servers_for_load", "consolidate_plan"]
+
+
+def powered_on_servers(plan: DispatchPlan) -> np.ndarray:
+    """``(L,)`` powered-on server counts implied by ``plan``."""
+    return plan.powered_on_per_dc()
+
+
+def minimum_servers_for_load(
+    loads: np.ndarray,
+    service_rates: np.ndarray,
+    capacity: float,
+    deadlines: np.ndarray,
+    max_servers: int,
+) -> Optional[int]:
+    """Fewest homogeneous servers that can host ``loads`` within deadlines.
+
+    Solves for the smallest ``m`` such that shares
+    ``phi_k = (loads_k/m + 1/D_k) / (C mu_k)`` exist with
+    ``sum_k phi_k <= 1`` (classes with zero load need no share).
+
+    Returns ``None`` when even ``max_servers`` servers are insufficient.
+    """
+    loads = np.asarray(loads, dtype=float)
+    mu = np.asarray(service_rates, dtype=float)
+    deadlines = np.asarray(deadlines, dtype=float)
+    active = loads > 1e-12
+    if not np.any(active):
+        return 0
+    # Fixed per-server overhead of active classes: sum_k 1/(D_k C mu_k).
+    fixed = float(np.sum(1.0 / (deadlines[active] * capacity * mu[active])))
+    # Load-dependent part shrinks as 1/m: sum_k loads_k / (C mu_k) / m.
+    variable = float(np.sum(loads[active] / (capacity * mu[active])))
+    if fixed >= 1.0:
+        return None
+    m = int(np.ceil(variable / (1.0 - fixed) - 1e-12))
+    m = max(m, 1)
+    if m > max_servers:
+        return None
+    return m
+
+
+def consolidate_plan(plan: DispatchPlan, safety: float = 0.999) -> DispatchPlan:
+    """Pack each data center's load onto the fewest feasible servers.
+
+    The consolidated plan preserves each class's *achieved TUF level* in
+    every data center: the consolidation deadline per class is the
+    sub-deadline of the level its realized delay currently meets, shrunk
+    by ``safety`` to keep strict feasibility under float arithmetic.
+    Profit is unchanged (per-request energy model); only the powered-on
+    server count drops.
+    """
+    topo = plan.topology
+    K, S = topo.num_classes, topo.num_frontends
+    N = topo.num_servers
+    offsets = topo.server_offsets()
+    new_rates = np.zeros((K, S, N))
+    new_shares = np.zeros((K, N))
+    dc_rates = plan.dc_rates()  # (K, S, L)
+    delays = plan.delays()  # (K, N)
+
+    for l, dc in enumerate(topo.datacenters):
+        sl = slice(offsets[l], offsets[l + 1])
+        loads = dc_rates[:, :, l].sum(axis=1)  # (K,)
+        # Deadline each class must keep: the sub-deadline of the level its
+        # current worst realized delay achieves in this data center.
+        deadlines = np.empty(K)
+        for k, rc in enumerate(topo.request_classes):
+            dc_delays = delays[k, sl]
+            loaded = ~np.isnan(dc_delays)
+            if loads[k] <= 1e-12 or not np.any(loaded):
+                deadlines[k] = rc.deadline
+                continue
+            worst = float(np.max(dc_delays[loaded]))
+            level = rc.tuf.level_for_delay(worst)
+            if level < 0:
+                # Plan already misses the final deadline here; keep it.
+                deadlines[k] = rc.deadline
+            else:
+                deadlines[k] = float(rc.tuf.deadlines[level])
+        m = minimum_servers_for_load(
+            loads=loads,
+            service_rates=dc.service_rates,
+            capacity=dc.server_capacity,
+            deadlines=deadlines * safety,
+            max_servers=dc.num_servers,
+        )
+        if m is None:
+            # Cannot consolidate without degrading a level: keep as is.
+            new_rates[:, :, sl] = plan.rates[:, :, sl]
+            new_shares[:, sl] = plan.shares[:, sl]
+            continue
+        if m == 0:
+            continue
+        active = slice(offsets[l], offsets[l] + m)
+        new_rates[:, :, active] = dc_rates[:, :, l][:, :, None] / m
+        for k in range(K):
+            if loads[k] <= 1e-12:
+                continue
+            required = (loads[k] / m + 1.0 / (deadlines[k] * safety)) / (
+                dc.server_capacity * dc.service_rates[k]
+            )
+            new_shares[k, active] = required
+        # Hand any spare CPU to active classes proportionally (delays only
+        # improve, so achieved levels are preserved).
+        for n in range(offsets[l], offsets[l] + m):
+            total = new_shares[:, n].sum()
+            if 0 < total < 1.0:
+                active_k = new_shares[:, n] > 0
+                new_shares[active_k, n] *= 1.0 / total
+    return DispatchPlan(topology=topo, rates=new_rates, shares=new_shares)

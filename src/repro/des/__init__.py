@@ -1,0 +1,31 @@
+"""Discrete-event simulation substrate.
+
+The paper's optimizer *assumes* the M/M/1 mean-delay model (Eq. 1) for
+each per-type VM.  This package provides an event-driven simulator with
+Poisson arrivals, exponential service, FCFS and processor-sharing (PS)
+disciplines, and CPU-share-limited VMs — enough to check that a plan's
+predicted delays match "measured" delays, and to exercise the system
+beyond the analytic model (failure injection, burstiness).
+"""
+
+from repro.des.engine import Engine
+from repro.des.events import Event
+from repro.des.server import FCFSQueueServer, ProcessorSharingServer, VirtualMachine
+from repro.des.processes import PoissonArrivals, exponential_sampler
+from repro.des.measurements import SojournStats, WelfordAccumulator
+from repro.des.cluster import ClusterSimulation, SimulatedSlotOutcome, simulate_plan
+
+__all__ = [
+    "Engine",
+    "Event",
+    "FCFSQueueServer",
+    "ProcessorSharingServer",
+    "VirtualMachine",
+    "PoissonArrivals",
+    "exponential_sampler",
+    "SojournStats",
+    "WelfordAccumulator",
+    "ClusterSimulation",
+    "SimulatedSlotOutcome",
+    "simulate_plan",
+]

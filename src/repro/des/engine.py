@@ -1,0 +1,97 @@
+"""The discrete-event simulation engine.
+
+A minimal, deterministic event loop: a binary heap of
+:class:`~repro.des.events.Event` ordered by ``(time, seq)``.  Components
+(arrival processes, servers) schedule callbacks against the engine and
+the engine advances simulated time monotonically.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional
+
+from repro.des.events import Event
+
+__all__ = ["Engine"]
+
+
+class Engine:
+    """Deterministic event-driven simulator core."""
+
+    def __init__(self):
+        self._heap: List[Event] = []
+        self._now = 0.0
+        self._seq = 0
+        self._processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of events executed so far."""
+        return self._processed
+
+    @property
+    def pending(self) -> int:
+        """Number of events still scheduled (including cancelled)."""
+        return len(self._heap)
+
+    def schedule(self, delay: float, action: Callable[[], Any]) -> Event:
+        """Schedule ``action`` to run ``delay`` time units from now."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay})")
+        event = Event(time=self._now + delay, seq=self._seq, action=action)
+        self._seq += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    def schedule_at(self, time: float, action: Callable[[], Any]) -> Event:
+        """Schedule ``action`` at absolute simulated time ``time``."""
+        return self.schedule(time - self._now, action)
+
+    def step(self) -> bool:
+        """Execute the next non-cancelled event.  Returns False if empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            event.action()
+            self._processed += 1
+            return True
+        return False
+
+    def run_until(self, end_time: float, max_events: Optional[int] = None) -> None:
+        """Run events with time <= ``end_time``.
+
+        The clock is left at ``end_time`` (or at the last event if
+        ``max_events`` stops the run early).
+        """
+        executed = 0
+        while self._heap:
+            event = self._heap[0]
+            if event.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            if event.time > end_time:
+                break
+            if max_events is not None and executed >= max_events:
+                return
+            heapq.heappop(self._heap)
+            self._now = event.time
+            event.action()
+            self._processed += 1
+            executed += 1
+        self._now = max(self._now, end_time)
+
+    def run(self, max_events: Optional[int] = None) -> None:
+        """Run until the event heap drains (or ``max_events``)."""
+        executed = 0
+        while self.step():
+            executed += 1
+            if max_events is not None and executed >= max_events:
+                return

@@ -1,0 +1,27 @@
+"""Event primitives for the discrete-event engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+__all__ = ["Event"]
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Events are ordered by ``(time, seq)`` — the sequence number breaks
+    ties deterministically in schedule order, which keeps simulations
+    reproducible when many events share a timestamp.
+    """
+
+    time: float
+    seq: int
+    action: Callable[[], Any] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event as cancelled; the engine will skip it."""
+        self.cancelled = True

@@ -1,0 +1,112 @@
+"""Online statistics collection for simulations."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List
+
+__all__ = ["WelfordAccumulator", "SojournStats"]
+
+
+class WelfordAccumulator:
+    """Numerically stable online mean/variance (Welford's algorithm)."""
+
+    def __init__(self):
+        self._count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+
+    def add(self, value: float) -> None:
+        """Fold one observation into the accumulator."""
+        self._count += 1
+        delta = value - self._mean
+        self._mean += delta / self._count
+        self._m2 += delta * (value - self._mean)
+
+    @property
+    def count(self) -> int:
+        """Number of observations."""
+        return self._count
+
+    @property
+    def mean(self) -> float:
+        """Sample mean (0.0 when empty)."""
+        return self._mean
+
+    @property
+    def variance(self) -> float:
+        """Unbiased sample variance (0.0 with < 2 observations)."""
+        if self._count < 2:
+            return 0.0
+        return self._m2 / (self._count - 1)
+
+    @property
+    def std(self) -> float:
+        """Sample standard deviation."""
+        return math.sqrt(self.variance)
+
+    @property
+    def stderr(self) -> float:
+        """Standard error of the mean."""
+        if self._count == 0:
+            return 0.0
+        return self.std / math.sqrt(self._count)
+
+
+@dataclass
+class SojournStats:
+    """Recorder for per-job sojourn (response) times.
+
+    ``warmup`` observations collected before ``warmup_time`` are
+    discarded so steady-state comparisons against M/M/1 analytics are
+    not biased by the empty-system start.
+    """
+
+    warmup_time: float = 0.0
+    _acc: WelfordAccumulator = field(default_factory=WelfordAccumulator)
+    _discarded: int = 0
+    _raw: List[float] = field(default_factory=list)
+    keep_raw: bool = False
+
+    def record(self, arrival_time: float, departure_time: float) -> None:
+        """Record one completed job's sojourn time."""
+        if departure_time < arrival_time:
+            raise ValueError("departure before arrival")
+        if arrival_time < self.warmup_time:
+            self._discarded += 1
+            return
+        sojourn = departure_time - arrival_time
+        self._acc.add(sojourn)
+        if self.keep_raw:
+            self._raw.append(sojourn)
+
+    @property
+    def count(self) -> int:
+        """Jobs recorded after warmup."""
+        return self._acc.count
+
+    @property
+    def discarded(self) -> int:
+        """Jobs discarded during warmup."""
+        return self._discarded
+
+    @property
+    def mean(self) -> float:
+        """Mean sojourn time after warmup."""
+        return self._acc.mean
+
+    @property
+    def std(self) -> float:
+        """Sojourn standard deviation after warmup."""
+        return self._acc.std
+
+    @property
+    def stderr(self) -> float:
+        """Standard error of the mean sojourn time."""
+        return self._acc.stderr
+
+    @property
+    def raw(self) -> List[float]:
+        """Raw sojourn samples (only if ``keep_raw``)."""
+        return list(self._raw)

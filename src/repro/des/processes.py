@@ -1,0 +1,83 @@
+"""Stochastic arrival/service processes for the DES."""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.des.engine import Engine
+from repro.utils.rng import as_generator
+from repro.utils.validation import check_positive
+
+__all__ = ["PoissonArrivals", "exponential_sampler"]
+
+
+def exponential_sampler(
+    rng: np.random.Generator, mean: float = 1.0
+) -> Callable[[], float]:
+    """Return a thunk sampling Exp(mean) work requirements."""
+    check_positive(mean, "mean")
+
+    def sample() -> float:
+        return float(rng.exponential(mean))
+
+    return sample
+
+
+class PoissonArrivals:
+    """Poisson arrival process feeding a sink callable.
+
+    Each arrival invokes ``sink(work)`` where ``work`` is an exponential
+    work requirement with mean 1 — the assumption behind the paper's
+    M/M/1 delay model (Eq. 1).
+
+    Parameters
+    ----------
+    engine:
+        The event engine.
+    rate:
+        Arrival rate ``lambda`` (jobs per time unit).
+    sink:
+        Callable receiving each job's work requirement.
+    seed:
+        Seed or generator for interarrival and work sampling.
+    stop_time:
+        No arrivals are generated at or beyond this simulated time
+        (None = run as long as the engine does).
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        rate: float,
+        sink: Callable[[float], object],
+        seed=None,
+        stop_time: Optional[float] = None,
+    ):
+        check_positive(rate, "rate")
+        self._engine = engine
+        self._rate = float(rate)
+        self._sink = sink
+        self._rng = as_generator(seed)
+        self._stop_time = stop_time
+        self._generated = 0
+        self._schedule_next()
+
+    @property
+    def generated(self) -> int:
+        """Number of arrivals generated so far."""
+        return self._generated
+
+    def _schedule_next(self) -> None:
+        gap = float(self._rng.exponential(1.0 / self._rate))
+        next_time = self._engine.now + gap
+        if self._stop_time is not None and next_time >= self._stop_time:
+            return
+        self._engine.schedule(gap, self._fire)
+
+    def _fire(self) -> None:
+        self._generated += 1
+        work = float(self._rng.exponential(1.0))
+        self._sink(work)
+        self._schedule_next()

@@ -1,0 +1,196 @@
+"""Simulated servers: FCFS queues and processor-sharing VMs.
+
+The paper's architecture runs one VM per request type on a server, with
+the CPU shared according to ``phi_{k,i,l}``.  A VM with share ``phi`` on
+a server of capacity ``C`` serving type-``k`` requests behaves as an
+M/M/1 queue with rate ``phi * C * mu_k`` (Eq. 1); mean sojourn time is
+the same under FCFS and egalitarian processor sharing, so both
+disciplines are provided and cross-checked in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.des.engine import Engine
+from repro.des.events import Event
+from repro.des.measurements import SojournStats
+from repro.utils.validation import check_positive
+
+__all__ = ["FCFSQueueServer", "ProcessorSharingServer", "VirtualMachine"]
+
+
+@dataclass
+class _Job:
+    job_id: int
+    arrival_time: float
+    remaining_work: float
+
+
+class FCFSQueueServer:
+    """Single-server FCFS queue with a fixed work-processing rate.
+
+    Jobs carry exponential work requirements (mean 1 work unit) and the
+    server drains work at ``rate`` units per time unit, so the queue is
+    M/M/1 with service rate ``rate`` under Poisson arrivals.
+    """
+
+    def __init__(self, engine: Engine, rate: float, stats: Optional[SojournStats] = None):
+        check_positive(rate, "rate")
+        self._engine = engine
+        self._rate = float(rate)
+        self._queue: List[_Job] = []
+        self._busy = False
+        self._stats = stats if stats is not None else SojournStats()
+        self._next_id = 0
+
+    @property
+    def stats(self) -> SojournStats:
+        """Sojourn-time statistics recorder."""
+        return self._stats
+
+    @property
+    def queue_length(self) -> int:
+        """Jobs in system (queued + in service)."""
+        return len(self._queue) + (1 if self._busy else 0)
+
+    def arrive(self, work: float) -> None:
+        """Admit a job with ``work`` exponential work units."""
+        job = _Job(self._next_id, self._engine.now, float(work))
+        self._next_id += 1
+        self._queue.append(job)
+        if not self._busy:
+            self._start_next()
+
+    def _start_next(self) -> None:
+        if not self._queue:
+            self._busy = False
+            return
+        self._busy = True
+        job = self._queue.pop(0)
+        service_time = job.remaining_work / self._rate
+
+        def complete() -> None:
+            self._stats.record(job.arrival_time, self._engine.now)
+            self._start_next()
+
+        self._engine.schedule(service_time, complete)
+
+
+class VirtualMachine:
+    """Egalitarian processor-sharing queue with a CPU-share-limited rate.
+
+    Models one per-type VM: ``rate = phi * C * mu_k`` work units per time
+    unit split equally among resident jobs.  Event complexity is O(n) per
+    arrival/departure, which is ample for validation-scale runs.
+    """
+
+    def __init__(self, engine: Engine, rate: float, stats: Optional[SojournStats] = None):
+        check_positive(rate, "rate")
+        self._engine = engine
+        self._rate = float(rate)
+        self._jobs: List[_Job] = []
+        self._stats = stats if stats is not None else SojournStats()
+        self._last_update = engine.now
+        self._completion_event: Optional[Event] = None
+        self._next_id = 0
+
+    @property
+    def stats(self) -> SojournStats:
+        """Sojourn-time statistics recorder."""
+        return self._stats
+
+    @property
+    def queue_length(self) -> int:
+        """Jobs currently sharing the VM."""
+        return len(self._jobs)
+
+    def _advance_work(self) -> None:
+        """Drain work accrued since the last state change."""
+        now = self._engine.now
+        if self._jobs:
+            per_job = (now - self._last_update) * self._rate / len(self._jobs)
+            for job in self._jobs:
+                job.remaining_work = max(0.0, job.remaining_work - per_job)
+        self._last_update = now
+
+    def _reschedule_completion(self) -> None:
+        if self._completion_event is not None:
+            self._completion_event.cancel()
+            self._completion_event = None
+        if not self._jobs:
+            return
+        min_job = min(self._jobs, key=lambda j: j.remaining_work)
+        time_to_finish = min_job.remaining_work * len(self._jobs) / self._rate
+        self._completion_event = self._engine.schedule(
+            time_to_finish, lambda: self._complete(min_job.job_id)
+        )
+
+    def _complete(self, job_id: int) -> None:
+        self._advance_work()
+        for idx, job in enumerate(self._jobs):
+            if job.job_id == job_id:
+                self._stats.record(job.arrival_time, self._engine.now)
+                del self._jobs[idx]
+                break
+        self._completion_event = None
+        self._reschedule_completion()
+
+    def arrive(self, work: float) -> None:
+        """Admit a job with ``work`` exponential work units."""
+        self._advance_work()
+        self._jobs.append(_Job(self._next_id, self._engine.now, float(work)))
+        self._next_id += 1
+        self._reschedule_completion()
+
+
+class ProcessorSharingServer:
+    """A physical server hosting per-request-type VMs.
+
+    Parameters
+    ----------
+    engine:
+        The event engine.
+    capacity:
+        Normalized capacity ``C`` of the server.
+    service_rates:
+        ``(K,)`` array of full-capacity per-type rates ``mu_k``.
+    shares:
+        ``(K,)`` array of CPU shares ``phi_k`` with ``sum(phi) <= 1``;
+        classes with zero share host no VM and reject arrivals.
+    """
+
+    def __init__(self, engine: Engine, capacity: float, service_rates, shares):
+        check_positive(capacity, "capacity")
+        rates = np.asarray(service_rates, dtype=float)
+        shares_arr = np.asarray(shares, dtype=float)
+        if rates.shape != shares_arr.shape:
+            raise ValueError("service_rates and shares must have the same shape")
+        if np.any(shares_arr < 0):
+            raise ValueError("shares must be non-negative")
+        if shares_arr.sum() > 1.0 + 1e-9:
+            raise ValueError(f"shares sum to {shares_arr.sum():.6f} > 1")
+        self._vms: Dict[int, VirtualMachine] = {}
+        for k, (mu, phi) in enumerate(zip(rates, shares_arr)):
+            if phi > 0:
+                self._vms[k] = VirtualMachine(engine, rate=float(phi * capacity * mu))
+
+    @property
+    def active_classes(self) -> List[int]:
+        """Class indices with a live VM."""
+        return sorted(self._vms)
+
+    def vm(self, k: int) -> VirtualMachine:
+        """The VM for class ``k`` (KeyError if no share was allocated)."""
+        return self._vms[k]
+
+    def arrive(self, k: int, work: float) -> bool:
+        """Offer one class-``k`` job; False if there is no VM for ``k``."""
+        vm = self._vms.get(k)
+        if vm is None:
+            return False
+        vm.arrive(work)
+        return True

@@ -1,0 +1,28 @@
+"""Paper experiment configurations and figure-series builders.
+
+One module per evaluation section:
+
+* :mod:`repro.experiments.section5` — §V basic characteristics
+  (Tables II-III, Fig. 4): synthetic fixed arrival rates, constant TUFs;
+* :mod:`repro.experiments.section6` — §VI World-Cup day (Tables IV-VII,
+  Figs. 5-7): one-level TUFs, four front-ends, three data centers;
+* :mod:`repro.experiments.section7` — §VII Google trace (Tables VIII-XI,
+  Figs. 8-11): two-level TUFs, one front-end, two data centers;
+* :mod:`repro.experiments.figures` — per-figure data-series builders
+  shared by the benchmark harness and EXPERIMENTS.md.
+
+Numeric table entries that are unreadable in the available paper scan
+are synthesized at the magnitudes the text implies; every such choice is
+kept here (never hard-coded in benches) and called out in DESIGN.md.
+"""
+
+from repro.experiments.section5 import section5_experiment, section5_arrivals
+from repro.experiments.section6 import section6_experiment
+from repro.experiments.section7 import section7_experiment
+
+__all__ = [
+    "section5_experiment",
+    "section5_arrivals",
+    "section6_experiment",
+    "section7_experiment",
+]

@@ -1,0 +1,181 @@
+"""Per-figure data-series builders.
+
+Each ``figN_*`` function regenerates the data behind one of the paper's
+figures; the benchmark harness prints these series and EXPERIMENTS.md
+records them against the paper's reported shapes.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.core.baselines import BalancedDispatcher
+from repro.core.optimizer import ProfitAwareOptimizer
+from repro.experiments.section5 import section5_experiment
+from repro.experiments.section6 import section6_experiment
+from repro.experiments.section7 import section7_experiment
+from repro.market.prices import paper_locations
+from repro.sim.metrics import dc_dispatch_series, net_profit_series
+from repro.sim.slotted import SimulationResult, compare_dispatchers, run_simulation
+
+__all__ = [
+    "fig1_price_series",
+    "fig4_basic_profit",
+    "fig5_trace_series",
+    "fig6_profit_series",
+    "fig7_request1_allocation",
+    "fig8_profit_series",
+    "fig9_allocations",
+    "fig10_workload_effect",
+    "fig11_computation_time",
+]
+
+
+def fig1_price_series() -> Dict[str, np.ndarray]:
+    """Fig. 1: one day of hourly electricity prices at three locations."""
+    return {name: trace.prices for name, trace in paper_locations().items()}
+
+
+def fig4_basic_profit(regime: str) -> Dict[str, Dict[str, float]]:
+    """Fig. 4(a)/(b): §V one-slot net profit, Optimized vs Balanced."""
+    exp = section5_experiment(regime)
+    results = exp.run_comparison()
+    out: Dict[str, Dict[str, float]] = {}
+    for name, result in results.items():
+        out[name] = {
+            "net_profit": result.total_net_profit,
+            "requests_processed": result.requests_processed,
+            "total_cost": result.total_cost,
+        }
+    return out
+
+
+def fig5_trace_series(seed: int = 1998) -> Dict[str, np.ndarray]:
+    """Fig. 5: per-front-end daily request curves (class 0 shown)."""
+    exp = section6_experiment(seed=seed)
+    out: Dict[str, np.ndarray] = {}
+    for s, fe in enumerate(exp.topology.frontends):
+        out[fe.name] = exp.trace.class_series(0, s)
+    return out
+
+
+def _section6_results(seed: int = 1998) -> Dict[str, SimulationResult]:
+    exp = section6_experiment(seed=seed)
+    return exp.run_comparison()
+
+
+def fig6_profit_series(seed: int = 1998) -> Dict[str, np.ndarray]:
+    """Fig. 6: §VI hourly net profit, Optimized vs Balanced."""
+    results = _section6_results(seed)
+    return {
+        name: net_profit_series(result.records)
+        for name, result in results.items()
+    }
+
+
+def fig7_request1_allocation(seed: int = 1998) -> Dict[str, Dict[str, np.ndarray]]:
+    """Fig. 7: §VI hourly Request1 load per data center, per approach."""
+    results = _section6_results(seed)
+    exp = section6_experiment(seed=seed)
+    out: Dict[str, Dict[str, np.ndarray]] = {}
+    for name, result in results.items():
+        per_dc: Dict[str, np.ndarray] = {}
+        for l, dc in enumerate(exp.topology.datacenters):
+            per_dc[dc.name] = dc_dispatch_series(result.records, k=0, l=l)
+        out[name] = per_dc
+    return out
+
+
+def fig8_profit_series(seed: int = 2010) -> Dict[str, np.ndarray]:
+    """Fig. 8: §VII hourly net profit with two-level TUFs."""
+    exp = section7_experiment(seed=seed)
+    results = exp.run_comparison()
+    return {
+        name: net_profit_series(result.records)
+        for name, result in results.items()
+    }
+
+
+@dataclass(frozen=True)
+class AllocationStudy:
+    """Fig. 9 bundle: allocations, completions, and cost comparison."""
+
+    allocations: Dict[str, np.ndarray] = field(repr=False)  # name -> (T,K,L)
+    completion: Dict[str, np.ndarray] = field(repr=False)   # name -> (K,)
+    total_cost: Dict[str, float] = field(default_factory=dict)
+    net_profit: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def cost_ratio(self) -> float:
+        """Optimized total cost / Balanced total cost (paper: ~1.077)."""
+        return self.total_cost["optimized"] / self.total_cost["balanced"]
+
+
+def fig9_allocations(seed: int = 2010) -> AllocationStudy:
+    """Fig. 9 + §VII-B2 numbers: per-slot allocations and completions."""
+    exp = section7_experiment(seed=seed)
+    results = exp.run_comparison()
+    allocations = {
+        name: np.stack([r.outcome.dc_loads for r in result.records], axis=0)
+        for name, result in results.items()
+    }
+    return AllocationStudy(
+        allocations=allocations,
+        completion={n: r.completion_fractions for n, r in results.items()},
+        total_cost={n: r.total_cost for n, r in results.items()},
+        net_profit={n: r.total_net_profit for n, r in results.items()},
+    )
+
+
+def fig10_workload_effect(regime: str, seed: int = 2010) -> Dict[str, np.ndarray]:
+    """Fig. 10: §VII profit series under relatively low / high workload.
+
+    ``"low"`` doubles data-center capacity (both approaches complete all
+    requests); ``"high"`` doubles the workload (neither completes all).
+    """
+    if regime == "low":
+        exp = section7_experiment(seed=seed, capacity_scale=2.0)
+    elif regime == "high":
+        exp = section7_experiment(seed=seed, load_scale=2.0)
+    else:
+        raise ValueError(f"regime must be 'low' or 'high', got {regime!r}")
+    results = exp.run_comparison()
+    return {
+        name: net_profit_series(result.records)
+        for name, result in results.items()
+    }
+
+
+def fig11_computation_time(
+    server_counts: Sequence[int] = (1, 2, 3, 4, 5, 6),
+    repeats: int = 3,
+    milp_method: str = "highs",
+    seed: int = 2010,
+) -> Dict[int, float]:
+    """Fig. 11: slot-solve wall time vs servers per data center.
+
+    Uses the §VII two-level setup with the *per-server* formulation (the
+    paper's variable layout), whose MILP size grows with the server
+    count.  Returns mean wall seconds per server count (the paper
+    averages five runs; ``repeats`` defaults to three for bench speed).
+    """
+    out: Dict[int, float] = {}
+    for m in server_counts:
+        exp = section7_experiment(seed=seed)
+        topo = exp.topology.with_servers_per_datacenter(int(m))
+        optimizer = ProfitAwareOptimizer(
+            topo, formulation="per_server", milp_method=milp_method
+        )
+        arrivals = exp.trace.arrivals_at(0)
+        prices = exp.market.prices_at(0)
+        times: List[float] = []
+        for _ in range(repeats):
+            start = time.perf_counter()
+            optimizer.plan_slot(arrivals, prices, slot_duration=1.0)
+            times.append(time.perf_counter() - start)
+        out[int(m)] = float(np.mean(times))
+    return out

@@ -1,0 +1,118 @@
+"""§VI World-Cup study with one-level TUFs (Tables IV-VII, Figs. 5-7).
+
+Setup per the paper: a 1998-World-Cup-like day of requests at four
+front-end servers (three request types fabricated by time-shifting each
+front-end's series), three data centers of six servers each at Houston /
+Mountain View / Atlanta electricity prices, one-level (constant) TUFs
+with values 10/20/30 $ (Table VII), per-request energies around Google's
+0.0003 kWh figure (Table VI), and per-type transfer costs of
+0.003/0.005/0.007 $/mile (paper text).
+
+Structural facts the paper states about Tables IV-V (and which Fig. 7
+depends on) are honoured: Datacenter1 and Datacenter2 have the same
+Request1 capacity while Datacenter3's is highest, and Datacenter2 is the
+farthest from all four front-ends — which is why Optimized starves it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cloud.datacenter import DataCenter
+from repro.cloud.frontend import FrontEnd
+from repro.cloud.topology import CloudTopology
+from repro.core.request import RequestClass
+from repro.core.tuf import ConstantTUF
+from repro.market.market import MultiElectricityMarket
+from repro.market.prices import (
+    atlanta_profile,
+    houston_profile,
+    mountain_view_profile,
+)
+from repro.sim.experiment import ExperimentConfig
+from repro.workload.worldcup import worldcup_like_trace
+
+__all__ = ["section6_topology", "section6_experiment"]
+
+#: Table IV — processing capacities (requests/hour at full capacity).
+#: Request1: DC1 == DC2, DC3 highest (paper §VI-B2).
+SERVICE_RATES = {
+    "datacenter1": np.array([40_000.0, 34_000.0, 30_000.0]),
+    "datacenter2": np.array([40_000.0, 30_000.0, 36_000.0]),
+    "datacenter3": np.array([52_000.0, 38_000.0, 44_000.0]),
+}
+
+#: Table V — front-end-to-data-center distances (miles).
+#: Datacenter2 is farthest from every front-end (paper §VI-B2).
+DISTANCES = np.array([
+    [400.0, 2400.0, 800.0],
+    [600.0, 2600.0, 1000.0],
+    [300.0, 2800.0, 700.0],
+    [500.0, 2200.0, 900.0],
+])
+
+#: Table VI — per-request processing energy (kWh), around Google's 3e-4.
+ENERGY_PER_REQUEST = {
+    "datacenter1": np.array([2.0e-4, 3.0e-4, 4.5e-4]),
+    "datacenter2": np.array([2.5e-4, 3.5e-4, 4.0e-4]),
+    "datacenter3": np.array([2.2e-4, 3.5e-4, 4.2e-4]),
+}
+
+#: Table VII — one-level TUF values ($) and deadlines (hours).
+TUF_VALUES = np.array([10.0, 20.0, 30.0])
+TUF_DEADLINES_HOURS = np.array([2.0e-4, 2.5e-4, 3.0e-4])
+
+#: Paper text — transfer costs ($ per mile per request).
+TRANSFER_COSTS = np.array([0.003, 0.005, 0.007])
+
+SERVERS_PER_DC = 6
+SLOT_DURATION = 1.0  # rates are per hour; a slot is one hour
+
+
+def section6_topology() -> CloudTopology:
+    """Build the §VI topology."""
+    classes = tuple(
+        RequestClass(
+            name=f"request{k + 1}",
+            tuf=ConstantTUF(value=float(TUF_VALUES[k]),
+                            deadline=float(TUF_DEADLINES_HOURS[k])),
+            transfer_unit_cost=float(TRANSFER_COSTS[k]),
+        )
+        for k in range(3)
+    )
+    datacenters = tuple(
+        DataCenter(
+            name=name,
+            num_servers=SERVERS_PER_DC,
+            service_rates=SERVICE_RATES[name],
+            energy_per_request=ENERGY_PER_REQUEST[name],
+        )
+        for name in ("datacenter1", "datacenter2", "datacenter3")
+    )
+    frontends = tuple(FrontEnd(f"frontend{s + 1}") for s in range(4))
+    return CloudTopology(classes, frontends, datacenters, DISTANCES)
+
+
+def section6_experiment(
+    seed: int = 1998, load_scale: float = 1.0
+) -> ExperimentConfig:
+    """Full-day §VI experiment: World-Cup-like trace, real-price shapes."""
+    topo = section6_topology()
+    trace = worldcup_like_trace(num_classes=3, seed=seed,
+                                slot_duration=SLOT_DURATION)
+    if load_scale != 1.0:
+        trace = trace.scaled(load_scale)
+    market = MultiElectricityMarket([
+        houston_profile(), mountain_view_profile(), atlanta_profile()
+    ])
+    return ExperimentConfig(
+        name="section6-worldcup",
+        topology=topo,
+        trace=trace,
+        market=market,
+        description=(
+            "World-Cup day with one-level TUFs (paper §VI): 4 front-ends, "
+            "3 request types, 3 data centers at Houston/Mountain View/"
+            "Atlanta electricity prices."
+        ),
+    )

@@ -1,0 +1,49 @@
+"""Multi-electricity-market substrate.
+
+The paper (Fig. 1) drives its evaluation with real hourly electricity
+prices collected at three data-center locations (Houston TX, Mountain
+View CA, Atlanta GA).  This package provides:
+
+* :class:`~repro.market.prices.PriceTrace` — an hourly price series for
+  one location, constant within each time slot (paper §III);
+* location profile builders reproducing the qualitative shape of the
+  paper's Fig. 1, including the large 14:00-19:00 price vibration the
+  paper exploits in §VII;
+* :class:`~repro.market.market.MultiElectricityMarket` — the slotted
+  multi-location view consumed by the optimizer.
+"""
+
+from repro.market.prices import (
+    PriceTrace,
+    atlanta_profile,
+    houston_profile,
+    mountain_view_profile,
+    synthetic_profile,
+    paper_locations,
+)
+from repro.market.market import MultiElectricityMarket
+from repro.market.green import (
+    GreenEnergyProfile,
+    apply_green_energy,
+    brown_energy_fraction,
+    solar_profile,
+    wind_profile,
+)
+from repro.market.spot import spike_overlay, spot_market
+
+__all__ = [
+    "PriceTrace",
+    "MultiElectricityMarket",
+    "houston_profile",
+    "mountain_view_profile",
+    "atlanta_profile",
+    "synthetic_profile",
+    "paper_locations",
+    "GreenEnergyProfile",
+    "solar_profile",
+    "wind_profile",
+    "apply_green_energy",
+    "brown_energy_fraction",
+    "spike_overlay",
+    "spot_market",
+]

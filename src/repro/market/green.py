@@ -1,0 +1,163 @@
+"""Green-energy extension (paper §II-B related work, refs. [10][11]).
+
+The paper positions itself against Le et al.'s green-energy work and
+notes its model extends naturally: on-site renewables displace a
+fraction of each slot's brown (grid) energy, which is equivalent to an
+*effective* electricity price per location and slot.  This module builds
+that effective-price market so the optimizer runs unchanged:
+
+    p_eff = green_frac * green_price + (1 - green_frac) * brown_price
+
+with ``green_frac`` the fraction of the slot's processing energy covered
+by renewables (solar/wind availability profiles) and ``green_price`` the
+marginal cost of the renewable supply (0 for owned panels).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.market.market import MultiElectricityMarket
+from repro.market.prices import PriceTrace
+from repro.utils.rng import as_generator
+from repro.utils.validation import check_nonnegative, check_probability
+
+__all__ = [
+    "GreenEnergyProfile",
+    "solar_profile",
+    "wind_profile",
+    "apply_green_energy",
+    "brown_energy_fraction",
+]
+
+
+@dataclass(frozen=True)
+class GreenEnergyProfile:
+    """Per-slot fraction of processing energy covered by renewables."""
+
+    name: str
+    availability: np.ndarray = field(repr=False)
+
+    def __post_init__(self):
+        arr = check_probability(self.availability, "availability")
+        if arr.ndim != 1 or arr.size == 0:
+            raise ValueError("availability must be a non-empty 1-D array")
+        object.__setattr__(self, "availability", arr)
+
+    def __len__(self) -> int:
+        return int(self.availability.size)
+
+    def at(self, slot: int) -> float:
+        """Green coverage fraction during ``slot`` (wrapping)."""
+        return float(self.availability[slot % len(self)])
+
+
+def solar_profile(
+    peak_coverage: float = 0.6,
+    peak_hour: float = 13.0,
+    num_slots: int = 24,
+    name: str = "solar",
+) -> GreenEnergyProfile:
+    """Bell-shaped daylight coverage peaking at ``peak_hour``.
+
+    Coverage is zero at night and rises to ``peak_coverage`` of the
+    processing energy at solar noon.
+    """
+    check_probability(peak_coverage, "peak_coverage")
+    hours = np.arange(num_slots, dtype=float)
+    shape = np.clip(np.cos((hours - peak_hour) / 12.0 * np.pi), 0.0, None) ** 2
+    return GreenEnergyProfile(name, peak_coverage * shape)
+
+
+def wind_profile(
+    mean_coverage: float = 0.3,
+    variability: float = 0.5,
+    num_slots: int = 24,
+    seed: Optional[int] = 7,
+    name: str = "wind",
+) -> GreenEnergyProfile:
+    """Autocorrelated wind coverage around ``mean_coverage``."""
+    check_probability(mean_coverage, "mean_coverage")
+    check_nonnegative(variability, "variability")
+    rng = as_generator(seed)
+    rho = 0.7
+    noise = np.empty(num_slots)
+    noise[0] = rng.standard_normal()
+    for t in range(1, num_slots):
+        noise[t] = rho * noise[t - 1] + np.sqrt(1 - rho**2) * rng.standard_normal()
+    coverage = mean_coverage * (1.0 + variability * noise)
+    return GreenEnergyProfile(name, np.clip(coverage, 0.0, 1.0))
+
+
+def apply_green_energy(
+    market: MultiElectricityMarket,
+    profiles: Sequence[Optional[GreenEnergyProfile]],
+    green_price: float = 0.0,
+) -> MultiElectricityMarket:
+    """Build the effective-price market with renewables folded in.
+
+    Parameters
+    ----------
+    market:
+        The brown-energy (grid) market.
+    profiles:
+        One profile per location (``None`` = no renewables there).
+        Profile lengths must match the market's slot count.
+    green_price:
+        Marginal $/kWh of the renewable supply.
+    """
+    check_nonnegative(green_price, "green_price")
+    if len(profiles) != market.num_locations:
+        raise ValueError(
+            f"need {market.num_locations} profiles, got {len(profiles)}"
+        )
+    traces = []
+    for trace, profile in zip(market.traces, profiles):
+        if profile is None:
+            traces.append(trace)
+            continue
+        if len(profile) != len(trace):
+            raise ValueError(
+                f"profile {profile.name!r} has {len(profile)} slots, "
+                f"market has {len(trace)}"
+            )
+        coverage = profile.availability
+        effective = coverage * green_price + (1.0 - coverage) * trace.prices
+        traces.append(PriceTrace(f"{trace.location} (+{profile.name})",
+                                 effective))
+    return MultiElectricityMarket(traces)
+
+
+def brown_energy_fraction(
+    profiles: Sequence[Optional[GreenEnergyProfile]],
+    dc_energy_kwh: np.ndarray,
+) -> float:
+    """Fraction of total energy drawn from the grid.
+
+    Parameters
+    ----------
+    profiles:
+        Per-location green profiles (``None`` = all brown).
+    dc_energy_kwh:
+        ``(L, T)`` energy consumed per location per slot.
+    """
+    dc_energy_kwh = check_nonnegative(dc_energy_kwh, "dc_energy_kwh")
+    if dc_energy_kwh.ndim != 2:
+        raise ValueError("dc_energy_kwh must have shape (L, T)")
+    if len(profiles) != dc_energy_kwh.shape[0]:
+        raise ValueError("one profile per location required")
+    total = float(dc_energy_kwh.sum())
+    if total == 0.0:
+        return 0.0
+    brown = 0.0
+    for l, profile in enumerate(profiles):
+        energy = dc_energy_kwh[l]
+        if profile is None:
+            brown += float(energy.sum())
+        else:
+            slots = np.arange(energy.size) % len(profile)
+            brown += float(((1.0 - profile.availability[slots]) * energy).sum())
+    return brown / total

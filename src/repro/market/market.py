@@ -1,0 +1,86 @@
+"""Slotted multi-location electricity market view.
+
+The optimizer runs once per time slot (paper §III) and consumes the
+vector of current electricity prices across all data-center locations.
+:class:`MultiElectricityMarket` bundles the per-location traces and
+answers per-slot price queries.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Sequence
+
+import numpy as np
+
+from repro.market.prices import PriceTrace, price_matrix
+
+__all__ = ["MultiElectricityMarket"]
+
+
+class MultiElectricityMarket:
+    """Per-slot electricity prices for ``L`` data-center locations.
+
+    Parameters
+    ----------
+    traces:
+        One :class:`PriceTrace` per data center, in data-center order
+        (index ``l`` in the paper's notation).
+    """
+
+    def __init__(self, traces: Sequence[PriceTrace]):
+        if not traces:
+            raise ValueError("need at least one price trace")
+        self._traces: List[PriceTrace] = list(traces)
+        self._matrix = price_matrix(self._traces)
+
+    @property
+    def num_locations(self) -> int:
+        """Number of locations ``L``."""
+        return self._matrix.shape[0]
+
+    @property
+    def num_slots(self) -> int:
+        """Number of slots in the underlying traces."""
+        return self._matrix.shape[1]
+
+    @property
+    def traces(self) -> List[PriceTrace]:
+        """The per-location price traces."""
+        return list(self._traces)
+
+    def prices_at(self, slot: int) -> np.ndarray:
+        """Length-``L`` array of prices ($/kWh) during ``slot``."""
+        return self._matrix[:, slot % self.num_slots].copy()
+
+    def cheapest_location(self, slot: int) -> int:
+        """Index of the location with the lowest price in ``slot``."""
+        return int(np.argmin(self._matrix[:, slot % self.num_slots]))
+
+    def price_order(self, slot: int) -> np.ndarray:
+        """Location indices sorted by ascending price in ``slot``.
+
+        This is the fill order of the paper's "Balanced" baseline: each
+        front-end fills the cheapest data center first.
+        """
+        return np.argsort(self._matrix[:, slot % self.num_slots], kind="stable")
+
+    def spread_at(self, slot: int) -> float:
+        """Max-minus-min price across locations in ``slot``.
+
+        The paper observes that the optimizer's advantage is "boosted" in
+        slots with a large spread (§VII, Fig. 8).
+        """
+        col = self._matrix[:, slot % self.num_slots]
+        return float(col.max() - col.min())
+
+    def window(self, start: int, stop: int) -> "MultiElectricityMarket":
+        """Market restricted to slots ``start..stop-1`` (wrapping)."""
+        return MultiElectricityMarket([t.window(start, stop) for t in self._traces])
+
+    def iter_slots(self) -> Iterator[int]:
+        """Iterate over slot indices of the underlying traces."""
+        return iter(range(self.num_slots))
+
+    def as_matrix(self) -> np.ndarray:
+        """Copy of the full ``(L, T)`` price matrix."""
+        return self._matrix.copy()

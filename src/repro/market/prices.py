@@ -1,0 +1,172 @@
+"""Hourly electricity price traces for data-center locations.
+
+The paper's Fig. 1 plots one day of real locational marginal prices at
+Houston, Mountain View, and Atlanta.  The exact historical series is not
+available offline, so we synthesize profiles that preserve the features
+the algorithm exploits:
+
+* prices are constant within a one-hour slot and vary hour to hour
+  ("multi-electricity-market" deregulation, paper §III);
+* each location peaks in the afternoon with a different amplitude and
+  offset, so the *cheapest location changes during the day*;
+* the 14:00-19:00 window exhibits the largest inter-location spread —
+  the paper selects exactly this window for the §VII study because "the
+  prices in that period are representative in terms of large price
+  vibration".
+
+Prices are expressed in dollars per kWh to match the paper's per-request
+energy accounting (Eq. 2: ``P_k [kWh] * lambda * T * p [$/kWh]``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.utils.validation import check_nonnegative, check_positive
+
+__all__ = [
+    "PriceTrace",
+    "houston_profile",
+    "mountain_view_profile",
+    "atlanta_profile",
+    "synthetic_profile",
+    "paper_locations",
+]
+
+HOURS_PER_DAY = 24
+
+
+@dataclass(frozen=True)
+class PriceTrace:
+    """One location's hourly electricity price series.
+
+    Attributes
+    ----------
+    location:
+        Human-readable location name.
+    prices:
+        Array of per-slot prices in $/kWh.  ``prices[t]`` holds for the
+        whole slot ``t`` (paper: prices constant within a slot).
+    """
+
+    location: str
+    prices: np.ndarray = field(repr=False)
+
+    def __post_init__(self):
+        arr = check_nonnegative(self.prices, "prices")
+        if arr.ndim != 1 or arr.size == 0:
+            raise ValueError("prices must be a non-empty 1-D array")
+        object.__setattr__(self, "prices", arr)
+
+    def __len__(self) -> int:
+        return int(self.prices.size)
+
+    def at(self, slot: int) -> float:
+        """Price in $/kWh during slot ``slot`` (wraps around the day)."""
+        return float(self.prices[slot % len(self)])
+
+    def window(self, start: int, stop: int) -> "PriceTrace":
+        """Return the sub-trace for slots ``start..stop-1`` (wrapping)."""
+        idx = np.arange(start, stop) % len(self)
+        return PriceTrace(self.location, self.prices[idx])
+
+    def mean(self) -> float:
+        """Average price over the trace."""
+        return float(self.prices.mean())
+
+    def scaled(self, factor: float) -> "PriceTrace":
+        """Return a copy with every price multiplied by ``factor``."""
+        check_positive(factor, "factor")
+        return PriceTrace(self.location, self.prices * float(factor))
+
+
+def _diurnal(
+    base: float,
+    amplitude: float,
+    peak_hour: float,
+    sharpness: float,
+    vibration: float,
+    seed: int,
+) -> np.ndarray:
+    """Build a 24-hour diurnal price curve.
+
+    The curve is a raised cosine peaking at ``peak_hour`` (afternoon for
+    all three paper locations), sharpened by ``sharpness`` and overlaid
+    with deterministic hour-to-hour vibration so that slot boundaries
+    show visible jumps as in Fig. 1.
+    """
+    hours = np.arange(HOURS_PER_DAY, dtype=float)
+    phase = np.cos((hours - peak_hour) / HOURS_PER_DAY * 2.0 * np.pi)
+    # Shift/normalize the cosine into [0, 1] and sharpen the peak.
+    shape = ((phase + 1.0) / 2.0) ** sharpness
+    rng = np.random.default_rng(seed)
+    jitter = vibration * rng.standard_normal(HOURS_PER_DAY)
+    curve = base + amplitude * shape + jitter
+    return np.clip(curve, 0.2 * base, None)
+
+
+def houston_profile() -> PriceTrace:
+    """Houston, TX: volatile ERCOT-style prices with a steep 16:00 peak."""
+    return PriceTrace(
+        "Houston, TX",
+        _diurnal(base=0.050, amplitude=0.085, peak_hour=16.0, sharpness=3.0,
+                 vibration=0.006, seed=1001),
+    )
+
+
+def mountain_view_profile() -> PriceTrace:
+    """Mountain View, CA: higher base price, flatter 15:00 peak."""
+    return PriceTrace(
+        "Mountain View, CA",
+        _diurnal(base=0.080, amplitude=0.045, peak_hour=15.0, sharpness=1.6,
+                 vibration=0.004, seed=1002),
+    )
+
+
+def atlanta_profile() -> PriceTrace:
+    """Atlanta, GA: cheap overnight, moderate 17:00 peak."""
+    return PriceTrace(
+        "Atlanta, GA",
+        _diurnal(base=0.042, amplitude=0.060, peak_hour=17.0, sharpness=2.2,
+                 vibration=0.005, seed=1003),
+    )
+
+
+def synthetic_profile(
+    name: str,
+    base: float,
+    amplitude: float,
+    peak_hour: float = 16.0,
+    sharpness: float = 2.0,
+    vibration: float = 0.005,
+    seed: int = 0,
+) -> PriceTrace:
+    """Build a custom diurnal :class:`PriceTrace` (for experiments)."""
+    check_positive(base, "base")
+    check_nonnegative(amplitude, "amplitude")
+    check_nonnegative(vibration, "vibration")
+    return PriceTrace(
+        name,
+        _diurnal(base=base, amplitude=amplitude, peak_hour=peak_hour,
+                 sharpness=sharpness, vibration=vibration, seed=seed),
+    )
+
+
+def paper_locations() -> Dict[str, PriceTrace]:
+    """The three Fig.-1 locations keyed by short name."""
+    return {
+        "houston": houston_profile(),
+        "mountain_view": mountain_view_profile(),
+        "atlanta": atlanta_profile(),
+    }
+
+
+def price_matrix(traces: Sequence[PriceTrace]) -> np.ndarray:
+    """Stack traces into an ``(L, T)`` matrix of $/kWh prices."""
+    lengths = {len(t) for t in traces}
+    if len(lengths) != 1:
+        raise ValueError(f"traces have inconsistent lengths: {sorted(lengths)}")
+    return np.stack([t.prices for t in traces], axis=0)

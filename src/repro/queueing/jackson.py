@@ -1,0 +1,142 @@
+"""Open Jackson networks (multi-tier service extension).
+
+The single-queue delay model (Eq. 1) covers one-shot requests.  The
+multi-tier web-cluster literature the paper builds on ([5][6][4]) models
+a request as a *chain* of service stations (web -> app -> database).  An
+open Jackson network captures that: ``n`` M/M/1 stations, external
+Poisson arrivals ``alpha_i``, and a substochastic routing matrix ``P``
+(``P[i, j]`` = probability a job leaving ``i`` proceeds to ``j``; the
+remainder departs).  The product-form result gives exact per-station and
+end-to-end delays, which plug into TUFs exactly like Eq. 1 does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.queueing.mm1 import MM1Queue
+from repro.utils.validation import check_nonnegative, check_positive
+
+__all__ = ["JacksonNetwork"]
+
+
+@dataclass(frozen=True)
+class JacksonNetwork:
+    """An open Jackson network of M/M/1 stations.
+
+    Attributes
+    ----------
+    service_rates:
+        ``(n,)`` per-station service rates ``mu_i``.
+    external_arrivals:
+        ``(n,)`` external Poisson rates ``alpha_i`` (>= 0, some > 0).
+    routing:
+        ``(n, n)`` substochastic matrix; row sums <= 1 and the spectral
+        radius must be < 1 so every job eventually leaves.
+    """
+
+    service_rates: np.ndarray = field(repr=False)
+    external_arrivals: np.ndarray = field(repr=False)
+    routing: np.ndarray = field(repr=False)
+
+    def __post_init__(self):
+        mu = check_positive(self.service_rates, "service_rates")
+        alpha = check_nonnegative(self.external_arrivals, "external_arrivals")
+        p = check_nonnegative(self.routing, "routing")
+        n = mu.size
+        if mu.ndim != 1:
+            raise ValueError("service_rates must be 1-D")
+        if alpha.shape != (n,):
+            raise ValueError(f"external_arrivals must have shape ({n},)")
+        if p.shape != (n, n):
+            raise ValueError(f"routing must have shape ({n}, {n})")
+        if np.any(p.sum(axis=1) > 1.0 + 1e-9):
+            raise ValueError("routing rows must sum to at most 1")
+        if alpha.sum() <= 0:
+            raise ValueError("at least one station needs external arrivals")
+        spectral = np.max(np.abs(np.linalg.eigvals(p)))
+        if spectral >= 1.0 - 1e-9:
+            raise ValueError(
+                f"routing spectral radius {spectral:.4f} >= 1: jobs never leave"
+            )
+        object.__setattr__(self, "service_rates", mu)
+        object.__setattr__(self, "external_arrivals", alpha)
+        object.__setattr__(self, "routing", p)
+
+    # ------------------------------------------------------------- traffic
+
+    @property
+    def num_stations(self) -> int:
+        """Number of stations ``n``."""
+        return int(self.service_rates.size)
+
+    def effective_arrivals(self) -> np.ndarray:
+        """Solve the traffic equations ``lambda = alpha + P^T lambda``."""
+        n = self.num_stations
+        return np.linalg.solve(np.eye(n) - self.routing.T,
+                               self.external_arrivals)
+
+    def utilizations(self) -> np.ndarray:
+        """Per-station ``rho_i = lambda_i / mu_i``."""
+        return self.effective_arrivals() / self.service_rates
+
+    @property
+    def is_stable(self) -> bool:
+        """True iff every station is subcritical."""
+        return bool(np.all(self.utilizations() < 1.0))
+
+    # ------------------------------------------------------------- metrics
+
+    def station(self, i: int) -> MM1Queue:
+        """The ``i``-th station as an :class:`MM1Queue` (product form)."""
+        lam = self.effective_arrivals()
+        return MM1Queue(service_rate=float(self.service_rates[i]),
+                        arrival_rate=float(lam[i]))
+
+    def mean_queue_lengths(self) -> np.ndarray:
+        """``(n,)`` mean number in system per station."""
+        rho = self.utilizations()
+        with np.errstate(divide="ignore"):
+            out = np.where(rho < 1.0, rho / np.maximum(1.0 - rho, 1e-300),
+                           np.inf)
+        return out
+
+    def mean_network_time(self) -> float:
+        """Mean end-to-end time of a random job (Little's law)."""
+        if not self.is_stable:
+            return float("inf")
+        total_jobs = float(self.mean_queue_lengths().sum())
+        throughput = float(self.external_arrivals.sum())
+        return total_jobs / throughput
+
+    def visit_counts(self, entry: Optional[int] = None) -> np.ndarray:
+        """Expected visits per station for a job entering at ``entry``.
+
+        With ``entry=None`` the entry point is drawn from the external
+        arrival mix.
+        """
+        n = self.num_stations
+        if entry is None:
+            start = self.external_arrivals / self.external_arrivals.sum()
+        else:
+            if not 0 <= entry < n:
+                raise IndexError(f"entry {entry} out of range")
+            start = np.zeros(n)
+            start[entry] = 1.0
+        # v = start + P^T v  (expected visits before leaving)
+        return np.linalg.solve(np.eye(n) - self.routing.T, start)
+
+    def mean_path_time(self, entry: Optional[int] = None) -> float:
+        """Expected sojourn of a job entering at ``entry``.
+
+        Sums per-station mean sojourns weighted by expected visits —
+        exact for product-form networks.
+        """
+        if not self.is_stable:
+            return float("inf")
+        lam = self.effective_arrivals()
+        per_visit = 1.0 / (self.service_rates - lam)
+        return float(self.visit_counts(entry) @ per_visit)

@@ -1,0 +1,132 @@
+"""M/M/1 queueing formulas (paper Eq. 1).
+
+All of the paper's delay constraints reduce to algebra on the M/M/1 mean
+sojourn time; these helpers are the single implementation used by the
+formulation, the baselines, and the tests.  Mean sojourn time of M/M/1
+processor sharing equals that of M/M/1 FCFS, which is why the paper can
+use Eq. 1 for CPU-sharing VMs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+import numpy as np
+
+from repro.utils.validation import check_nonnegative, check_positive
+
+__all__ = ["mm1_mean_delay", "mm1_required_capacity", "mm1_max_rate", "MM1Queue"]
+
+ArrayLike = Union[float, np.ndarray]
+
+
+def mm1_mean_delay(service_rate: ArrayLike, arrival_rate: ArrayLike) -> ArrayLike:
+    """Mean sojourn time ``R = 1 / (mu_eff - lambda)``.
+
+    ``service_rate`` is the *effective* rate ``phi * C * mu``.  Returns
+    ``inf`` where the queue is unstable (``lambda >= mu_eff``).
+    """
+    mu = np.asarray(service_rate, dtype=float)
+    lam = np.asarray(arrival_rate, dtype=float)
+    headroom = mu - lam
+    with np.errstate(divide="ignore"):
+        delay = np.where(headroom > 0.0, 1.0 / np.where(headroom > 0, headroom, 1.0), np.inf)
+    if np.isscalar(service_rate) and np.isscalar(arrival_rate):
+        return float(delay)
+    return delay
+
+
+def mm1_required_capacity(arrival_rate: ArrayLike, deadline: ArrayLike) -> ArrayLike:
+    """Effective service rate needed to meet a mean-delay deadline.
+
+    Inverts Eq. 1: ``R <= D`` iff ``mu_eff >= lambda + 1/D``.
+    """
+    lam = check_nonnegative(arrival_rate, "arrival_rate")
+    d = check_positive(deadline, "deadline")
+    out = lam + 1.0 / d
+    if np.isscalar(arrival_rate) and np.isscalar(deadline):
+        return float(out)
+    return out
+
+
+def mm1_max_rate(service_rate: ArrayLike, deadline: ArrayLike) -> ArrayLike:
+    """Largest arrival rate a server can take while meeting the deadline.
+
+    ``lambda_max = mu_eff - 1/D``, clipped at zero (a server whose
+    effective rate cannot even serve an empty queue within ``D`` admits
+    nothing).
+    """
+    mu = check_nonnegative(service_rate, "service_rate")
+    d = check_positive(deadline, "deadline")
+    out = np.clip(mu - 1.0 / d, 0.0, None)
+    if np.isscalar(service_rate) and np.isscalar(deadline):
+        return float(out)
+    return out
+
+
+@dataclass(frozen=True)
+class MM1Queue:
+    """An M/M/1 queue with fixed service and arrival rates.
+
+    Examples
+    --------
+    >>> q = MM1Queue(service_rate=10.0, arrival_rate=8.0)
+    >>> q.utilization
+    0.8
+    >>> q.mean_sojourn_time
+    0.5
+    """
+
+    service_rate: float
+    arrival_rate: float
+
+    def __post_init__(self):
+        check_positive(self.service_rate, "service_rate")
+        check_nonnegative(self.arrival_rate, "arrival_rate")
+
+    @property
+    def utilization(self) -> float:
+        """Traffic intensity ``rho = lambda / mu``."""
+        return self.arrival_rate / self.service_rate
+
+    @property
+    def is_stable(self) -> bool:
+        """True iff ``lambda < mu``."""
+        return self.arrival_rate < self.service_rate
+
+    @property
+    def mean_sojourn_time(self) -> float:
+        """Mean time in system (Eq. 1); ``inf`` if unstable."""
+        return mm1_mean_delay(self.service_rate, self.arrival_rate)
+
+    @property
+    def mean_queue_length(self) -> float:
+        """Mean number in system ``L = rho / (1 - rho)`` (Little's law)."""
+        if not self.is_stable:
+            return float("inf")
+        rho = self.utilization
+        return rho / (1.0 - rho)
+
+    @property
+    def mean_waiting_time(self) -> float:
+        """Mean time in queue (excluding service)."""
+        if not self.is_stable:
+            return float("inf")
+        return self.mean_sojourn_time - 1.0 / self.service_rate
+
+    def sojourn_time_quantile(self, q: float) -> float:
+        """Quantile of the (exponential) M/M/1-FCFS sojourn distribution."""
+        if not 0.0 < q < 1.0:
+            raise ValueError("q must be in (0, 1)")
+        if not self.is_stable:
+            return float("inf")
+        # Sojourn time is exponential with rate (mu - lambda).
+        return -np.log(1.0 - q) / (self.service_rate - self.arrival_rate)
+
+    def delay_violation_probability(self, deadline: float) -> float:
+        """P(sojourn > deadline) for the M/M/1-FCFS sojourn distribution."""
+        check_positive(deadline, "deadline")
+        if not self.is_stable:
+            return 1.0
+        return float(np.exp(-(self.service_rate - self.arrival_rate) * deadline))

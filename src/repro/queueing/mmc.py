@@ -1,0 +1,94 @@
+"""M/M/c queueing formulas (heterogeneous-server extension).
+
+The paper treats each server independently (M/M/1 per VM).  An
+alternative — pooling a data center's ``m`` homogeneous servers into one
+M/M/c station — is the classic extension; we provide it for the
+aggregation ablation and for sanity bounds (M/M/c delay lower-bounds the
+split M/M/1 configuration at equal total capacity).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.special import gammaln
+
+from repro.utils.validation import check_nonnegative, check_positive
+
+__all__ = ["erlang_c", "MMcQueue"]
+
+
+def erlang_c(c: int, offered_load: float) -> float:
+    """Erlang-C probability of waiting, P(W > 0).
+
+    Parameters
+    ----------
+    c:
+        Number of servers.
+    offered_load:
+        ``a = lambda / mu`` in Erlangs; must satisfy ``a < c`` for a
+        stable queue (returns 1.0 otherwise).
+    """
+    if c < 1:
+        raise ValueError("c must be >= 1")
+    a = float(check_nonnegative(offered_load, "offered_load"))
+    if a == 0.0:
+        return 0.0
+    if a >= c:
+        return 1.0
+    # Work in log space for numerical stability at large c.
+    log_terms = np.array([n * np.log(a) - gammaln(n + 1) for n in range(c)])
+    log_tail = c * np.log(a) - gammaln(c + 1) + np.log(c / (c - a))
+    log_denominator = np.logaddexp(np.logaddexp.reduce(log_terms), log_tail)
+    return float(np.exp(log_tail - log_denominator))
+
+
+@dataclass(frozen=True)
+class MMcQueue:
+    """An M/M/c queue: ``c`` servers each of rate ``service_rate``."""
+
+    num_servers: int
+    service_rate: float
+    arrival_rate: float
+
+    def __post_init__(self):
+        if self.num_servers < 1:
+            raise ValueError("num_servers must be >= 1")
+        check_positive(self.service_rate, "service_rate")
+        check_nonnegative(self.arrival_rate, "arrival_rate")
+
+    @property
+    def offered_load(self) -> float:
+        """``a = lambda / mu`` in Erlangs."""
+        return self.arrival_rate / self.service_rate
+
+    @property
+    def utilization(self) -> float:
+        """Per-server utilization ``rho = a / c``."""
+        return self.offered_load / self.num_servers
+
+    @property
+    def is_stable(self) -> bool:
+        """True iff ``a < c``."""
+        return self.offered_load < self.num_servers
+
+    @property
+    def waiting_probability(self) -> float:
+        """Erlang-C P(W > 0)."""
+        return erlang_c(self.num_servers, self.offered_load)
+
+    @property
+    def mean_waiting_time(self) -> float:
+        """Mean time in queue before service starts."""
+        if not self.is_stable:
+            return float("inf")
+        pw = self.waiting_probability
+        return pw / (self.num_servers * self.service_rate - self.arrival_rate)
+
+    @property
+    def mean_sojourn_time(self) -> float:
+        """Mean time in system (wait + service)."""
+        if not self.is_stable:
+            return float("inf")
+        return self.mean_waiting_time + 1.0 / self.service_rate

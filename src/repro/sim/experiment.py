@@ -1,0 +1,71 @@
+"""Experiment configuration bundles.
+
+An :class:`ExperimentConfig` packages everything one of the paper's
+studies needs — topology, workload trace, electricity market — so the
+benchmark harness and the examples can share setups with the test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.cloud.topology import CloudTopology
+from repro.core.baselines import BalancedDispatcher
+from repro.core.optimizer import ProfitAwareOptimizer
+from repro.market.market import MultiElectricityMarket
+from repro.sim.slotted import SimulationResult, compare_dispatchers
+from repro.workload.traces import WorkloadTrace
+
+__all__ = ["ExperimentConfig"]
+
+
+@dataclass
+class ExperimentConfig:
+    """One reproducible experiment: topology + workload + market."""
+
+    name: str
+    topology: CloudTopology
+    trace: WorkloadTrace = field(repr=False)
+    market: MultiElectricityMarket = field(repr=False)
+    description: str = ""
+
+    def __post_init__(self):
+        if self.trace.num_classes != self.topology.num_classes:
+            raise ValueError(
+                f"trace has {self.trace.num_classes} classes, topology has "
+                f"{self.topology.num_classes}"
+            )
+        if self.trace.num_frontends != self.topology.num_frontends:
+            raise ValueError(
+                f"trace has {self.trace.num_frontends} front-ends, topology "
+                f"has {self.topology.num_frontends}"
+            )
+        if self.market.num_locations != self.topology.num_datacenters:
+            raise ValueError(
+                f"market has {self.market.num_locations} locations, topology "
+                f"has {self.topology.num_datacenters}"
+            )
+
+    def optimizer(self, **kwargs) -> ProfitAwareOptimizer:
+        """Build the paper's "Optimized" dispatcher for this topology."""
+        return ProfitAwareOptimizer(self.topology, **kwargs)
+
+    def balanced(self, **kwargs) -> BalancedDispatcher:
+        """Build the paper's "Balanced" baseline for this topology."""
+        return BalancedDispatcher(self.topology, **kwargs)
+
+    def run_comparison(
+        self,
+        num_slots: Optional[int] = None,
+        optimizer_kwargs: Optional[dict] = None,
+        balanced_kwargs: Optional[dict] = None,
+    ) -> Dict[str, SimulationResult]:
+        """Run Optimized vs Balanced on this experiment's inputs."""
+        dispatchers = [
+            self.optimizer(**(optimizer_kwargs or {})),
+            self.balanced(**(balanced_kwargs or {})),
+        ]
+        return compare_dispatchers(
+            dispatchers, self.trace, self.market, num_slots=num_slots
+        )

@@ -1,0 +1,173 @@
+"""Failure injection: server outages and fault-tolerant re-planning.
+
+The paper assumes a fixed fleet; real fleets lose servers.  Because the
+controller re-solves every slot from the *current* system state, outages
+slot naturally into the model: each slot, an availability process
+reports how many servers are up per data center, the dispatcher plans
+against the degraded topology, and the plan is expanded back onto the
+full server index space (failed servers carry zero load).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.cloud.topology import CloudTopology
+from repro.core.controller import Dispatcher, SlotRecord
+from repro.core.objective import evaluate_plan
+from repro.core.plan import DispatchPlan
+from repro.market.market import MultiElectricityMarket
+from repro.sim.accounting import ProfitLedger
+from repro.sim.slotted import SimulationResult
+from repro.utils.rng import as_generator
+from repro.utils.validation import check_probability
+from repro.workload.traces import WorkloadTrace
+
+__all__ = [
+    "MarkovServerAvailability",
+    "degraded_topology",
+    "expand_degraded_plan",
+    "run_with_failures",
+]
+
+
+class MarkovServerAvailability:
+    """Independent two-state (up/down) Markov chains per server.
+
+    Parameters
+    ----------
+    topology:
+        Supplies the per-data-center server counts.
+    fail_prob:
+        Per-slot probability an up server fails.
+    repair_prob:
+        Per-slot probability a down server is repaired.
+    seed:
+        RNG seed.
+    min_up:
+        Floor on the number of up servers per data center (>= 1 keeps
+        every location usable; the LP needs at least one server to host
+        the mandatory minimum shares).
+    """
+
+    def __init__(
+        self,
+        topology: CloudTopology,
+        fail_prob: float = 0.05,
+        repair_prob: float = 0.5,
+        seed: Optional[int] = 0,
+        min_up: int = 1,
+    ):
+        check_probability(fail_prob, "fail_prob")
+        check_probability(repair_prob, "repair_prob")
+        if min_up < 1:
+            raise ValueError("min_up must be >= 1 (the slot LP needs a server)")
+        self._fail = float(fail_prob)
+        self._repair = float(repair_prob)
+        self._min_up = int(min_up)
+        self._rng = as_generator(seed)
+        self._up = [np.ones(dc.num_servers, dtype=bool)
+                    for dc in topology.datacenters]
+
+    def step(self) -> np.ndarray:
+        """Advance one slot; returns ``(L,)`` up-server counts."""
+        counts = np.empty(len(self._up), dtype=int)
+        for l, state in enumerate(self._up):
+            fail = self._rng.random(state.size) < self._fail
+            repair = self._rng.random(state.size) < self._repair
+            was_up = state.copy()
+            state[:] = np.where(was_up, ~fail, repair)
+            # Enforce the floor by repairing the first down servers.
+            deficit = self._min_up - int(state.sum())
+            if deficit > 0:
+                down_idx = np.nonzero(~state)[0][:deficit]
+                state[down_idx] = True
+            counts[l] = int(state.sum())
+        return counts
+
+
+def degraded_topology(
+    topology: CloudTopology, available: Sequence[int]
+) -> CloudTopology:
+    """Topology with each data center shrunk to its available servers."""
+    available = [int(a) for a in available]
+    if len(available) != topology.num_datacenters:
+        raise ValueError("one availability count per data center required")
+    datacenters = []
+    for dc, count in zip(topology.datacenters, available):
+        if not 1 <= count <= dc.num_servers:
+            raise ValueError(
+                f"available count {count} out of range [1, {dc.num_servers}] "
+                f"for {dc.name!r}"
+            )
+        datacenters.append(dc.with_servers(count))
+    return topology.with_datacenters(datacenters)
+
+
+def expand_degraded_plan(
+    plan: DispatchPlan,
+    full_topology: CloudTopology,
+    available: Sequence[int],
+) -> DispatchPlan:
+    """Map a degraded-topology plan back onto the full server index space.
+
+    The first ``available[l]`` servers of each data center carry the
+    degraded plan's columns; the remaining (failed) servers get zero
+    rates and shares.
+    """
+    K, S = full_topology.num_classes, full_topology.num_frontends
+    N = full_topology.num_servers
+    rates = np.zeros((K, S, N))
+    shares = np.zeros((K, N))
+    full_offsets = full_topology.server_offsets()
+    degraded_offsets = plan.topology.server_offsets()
+    for l in range(full_topology.num_datacenters):
+        count = int(available[l])
+        src = slice(degraded_offsets[l], degraded_offsets[l] + count)
+        dst = slice(full_offsets[l], full_offsets[l] + count)
+        rates[:, :, dst] = plan.rates[:, :, src]
+        shares[:, dst] = plan.shares[:, src]
+    return DispatchPlan(topology=full_topology, rates=rates, shares=shares)
+
+
+def run_with_failures(
+    topology: CloudTopology,
+    dispatcher_factory: Callable[[CloudTopology], Dispatcher],
+    trace: WorkloadTrace,
+    market: MultiElectricityMarket,
+    availability: MarkovServerAvailability,
+    num_slots: Optional[int] = None,
+) -> SimulationResult:
+    """Slotted run with per-slot server availability.
+
+    Each slot: sample availability, re-plan on the degraded topology via
+    ``dispatcher_factory``, expand the plan to the full fleet, and score
+    it with the standard evaluator.
+    """
+    total = num_slots if num_slots is not None else trace.num_slots
+    ledger = ProfitLedger()
+    records: List[SlotRecord] = []
+    name = "unknown"
+    for t in range(total):
+        counts = availability.step()
+        degraded = degraded_topology(topology, counts)
+        dispatcher = dispatcher_factory(degraded)
+        name = getattr(dispatcher, "name", dispatcher.__class__.__name__)
+        arrivals = trace.arrivals_at(t)
+        prices = market.prices_at(t)
+        plan = dispatcher.plan_slot(arrivals, prices,
+                                    slot_duration=trace.slot_duration)
+        full_plan = expand_degraded_plan(plan, topology, counts)
+        outcome = evaluate_plan(full_plan, arrivals, prices,
+                                slot_duration=trace.slot_duration)
+        ledger.record(outcome)
+        records.append(SlotRecord(
+            slot=t, plan=full_plan, outcome=outcome,
+            prices=prices, arrivals=arrivals,
+        ))
+    return SimulationResult(
+        dispatcher_name=f"{name}+failures", records=records, ledger=ledger
+    )

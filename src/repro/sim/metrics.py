@@ -1,0 +1,66 @@
+"""Series and summary metrics over simulation records.
+
+These helpers compute exactly the quantities the paper plots: per-slot
+net profit (Figs. 4/6/8/10), per-data-center request allocation
+(Figs. 7/9), completion percentages (§VII-B2), and powered-on server
+counts.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.core.controller import SlotRecord
+
+__all__ = [
+    "net_profit_series",
+    "dc_dispatch_series",
+    "dispatch_matrix",
+    "completion_fractions",
+    "powered_on_series",
+    "total_requests_processed",
+    "relative_improvement",
+]
+
+
+def net_profit_series(records: Sequence[SlotRecord]) -> np.ndarray:
+    """``(T,)`` net profit per slot."""
+    return np.array([r.outcome.net_profit for r in records])
+
+
+def dc_dispatch_series(records: Sequence[SlotRecord], k: int, l: int) -> np.ndarray:
+    """``(T,)`` rate of class ``k`` dispatched to data center ``l``."""
+    return np.array([float(r.outcome.dc_loads[k, l]) for r in records])
+
+
+def dispatch_matrix(records: Sequence[SlotRecord]) -> np.ndarray:
+    """``(T, K, L)`` per-slot class-to-data-center load matrix."""
+    return np.stack([r.outcome.dc_loads for r in records], axis=0)
+
+
+def completion_fractions(records: Sequence[SlotRecord]) -> np.ndarray:
+    """``(K,)`` overall fraction of offered requests dispatched."""
+    served = np.sum([r.outcome.served_rates for r in records], axis=0)
+    offered = np.sum([r.outcome.offered_rates for r in records], axis=0)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        frac = np.where(offered > 0, served / offered, 1.0)
+    return np.clip(frac, 0.0, 1.0)
+
+
+def powered_on_series(records: Sequence[SlotRecord]) -> np.ndarray:
+    """``(T, L)`` powered-on server counts per slot per data center."""
+    return np.stack([r.plan.powered_on_per_dc() for r in records], axis=0)
+
+
+def total_requests_processed(records: Sequence[SlotRecord]) -> float:
+    """Total requests served across the whole run."""
+    return float(sum(r.outcome.served_requests for r in records))
+
+
+def relative_improvement(optimized: float, baseline: float) -> float:
+    """``(optimized - baseline) / |baseline|`` (inf when baseline is 0)."""
+    if baseline == 0:
+        return float("inf") if optimized > 0 else 0.0
+    return (optimized - baseline) / abs(baseline)

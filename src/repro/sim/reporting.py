@@ -1,0 +1,106 @@
+"""Markdown report generation for simulation runs.
+
+Turns one or more :class:`~repro.sim.slotted.SimulationResult` objects
+into a self-contained markdown report: headline comparison, per-slot
+profit series (with sparklines), completion fractions, per-data-center
+dispatch totals, and powered-on server statistics.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.cloud.topology import CloudTopology
+from repro.sim.metrics import dispatch_matrix, powered_on_series
+from repro.sim.slotted import SimulationResult
+from repro.utils.ascii_plot import sparkline
+
+__all__ = ["comparison_report"]
+
+
+def _fmt_money(value: float) -> str:
+    return f"${value:,.0f}"
+
+
+def comparison_report(
+    results: Dict[str, SimulationResult],
+    topology: CloudTopology,
+    title: str = "Simulation comparison",
+    baseline: Optional[str] = "balanced",
+) -> str:
+    """Render a markdown comparison of dispatcher runs.
+
+    Parameters
+    ----------
+    results:
+        Mapping of dispatcher name to its run result (same inputs).
+    topology:
+        The system the runs used (for labels).
+    baseline:
+        Name of the result relative improvements are reported against
+        (skipped when absent).
+    """
+    if not results:
+        raise ValueError("need at least one result")
+    lines: List[str] = [f"# {title}", ""]
+    base = results.get(baseline) if baseline else None
+
+    # Headline table.
+    lines += [
+        "| approach | net profit | revenue | cost | requests served | "
+        "min completion |" ,
+        "|---|---|---|---|---|---|",
+    ]
+    for name, result in results.items():
+        rel = ""
+        if base is not None and name != baseline and base.total_net_profit:
+            pct = (result.total_net_profit / base.total_net_profit - 1) * 100
+            rel = f" ({pct:+.1f}% vs {baseline})"
+        lines.append(
+            f"| {name} | {_fmt_money(result.total_net_profit)}{rel} "
+            f"| {_fmt_money(result.ledger.total_revenue)} "
+            f"| {_fmt_money(result.total_cost)} "
+            f"| {result.requests_processed:,.0f} "
+            f"| {result.completion_fractions.min() * 100:.2f}% |"
+        )
+    lines.append("")
+
+    # Per-slot profit shapes.
+    lines.append("## Per-slot net profit")
+    lines.append("")
+    for name, result in results.items():
+        series = result.net_profit_series
+        lines.append(
+            f"- **{name}**: `{sparkline(series)}` "
+            f"(min {_fmt_money(series.min())}, max {_fmt_money(series.max())})"
+        )
+    lines.append("")
+
+    # Dispatch totals per class and data center.
+    lines.append("## Dispatch totals (requests, whole run)")
+    lines.append("")
+    dc_names = [dc.name for dc in topology.datacenters]
+    header = "| approach | class | " + " | ".join(dc_names) + " |"
+    lines += [header, "|---" * (2 + len(dc_names)) + "|"]
+    for name, result in results.items():
+        totals = dispatch_matrix(result.records).sum(axis=0)  # (K, L)
+        slot = result.records[0].outcome.slot_duration if result.records else 1.0
+        for k, rc in enumerate(topology.request_classes):
+            cells = " | ".join(f"{totals[k, l] * slot:,.0f}"
+                               for l in range(len(dc_names)))
+            lines.append(f"| {name} | {rc.name} | {cells} |")
+    lines.append("")
+
+    # Powered-on servers.
+    lines.append("## Powered-on servers")
+    lines.append("")
+    for name, result in results.items():
+        series = powered_on_series(result.records).sum(axis=1)
+        lines.append(
+            f"- **{name}**: mean {series.mean():.1f} of "
+            f"{topology.num_servers} (`{sparkline(series)}`)"
+        )
+    lines.append("")
+    return "\n".join(lines)

@@ -1,0 +1,98 @@
+"""Whole-trace simulation runs and dispatcher comparisons."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.controller import Dispatcher, SlotRecord, SlottedController
+from repro.market.market import MultiElectricityMarket
+from repro.sim.accounting import ProfitLedger
+from repro.sim.metrics import (
+    completion_fractions,
+    net_profit_series,
+    total_requests_processed,
+)
+from repro.workload.traces import WorkloadTrace
+
+__all__ = ["SimulationResult", "run_simulation", "compare_dispatchers"]
+
+
+@dataclass
+class SimulationResult:
+    """All records + ledger for one dispatcher over one trace."""
+
+    dispatcher_name: str
+    records: List[SlotRecord] = field(repr=False)
+    ledger: ProfitLedger = field(repr=False)
+
+    @property
+    def num_slots(self) -> int:
+        """Number of simulated slots."""
+        return len(self.records)
+
+    @property
+    def total_net_profit(self) -> float:
+        """Total net profit over the run."""
+        return self.ledger.total_net_profit
+
+    @property
+    def net_profit_series(self) -> np.ndarray:
+        """``(T,)`` per-slot net profit."""
+        return net_profit_series(self.records)
+
+    @property
+    def total_cost(self) -> float:
+        """Total dollars spent (energy + transfer)."""
+        return self.ledger.total_cost
+
+    @property
+    def requests_processed(self) -> float:
+        """Total requests served."""
+        return total_requests_processed(self.records)
+
+    @property
+    def completion_fractions(self) -> np.ndarray:
+        """``(K,)`` completion fraction per request class."""
+        return completion_fractions(self.records)
+
+
+def run_simulation(
+    dispatcher: Dispatcher,
+    trace: WorkloadTrace,
+    market: MultiElectricityMarket,
+    num_slots: Optional[int] = None,
+    predictor_factory=None,
+    apply_pue: bool = False,
+) -> SimulationResult:
+    """Run ``dispatcher`` over the trace/market and collect results."""
+    controller = SlottedController(
+        dispatcher, trace, market,
+        predictor_factory=predictor_factory, apply_pue=apply_pue,
+    )
+    ledger = ProfitLedger()
+    records: List[SlotRecord] = []
+    for record in controller.iter_slots(num_slots):
+        ledger.record(record.outcome)
+        records.append(record)
+    name = getattr(dispatcher, "name", dispatcher.__class__.__name__)
+    return SimulationResult(dispatcher_name=name, records=records, ledger=ledger)
+
+
+def compare_dispatchers(
+    dispatchers: Sequence[Dispatcher],
+    trace: WorkloadTrace,
+    market: MultiElectricityMarket,
+    num_slots: Optional[int] = None,
+    apply_pue: bool = False,
+) -> Dict[str, SimulationResult]:
+    """Run several dispatchers on identical inputs (the paper's setup)."""
+    results: Dict[str, SimulationResult] = {}
+    for dispatcher in dispatchers:
+        result = run_simulation(
+            dispatcher, trace, market, num_slots=num_slots, apply_pue=apply_pue
+        )
+        results[result.dispatcher_name] = result
+    return results

@@ -1,0 +1,194 @@
+"""A primal-dual interior-point LP solver (Mehrotra-style, dense).
+
+Third independent LP path beside the own simplex and HiGHS — useful as
+a cross-check and as the classic alternative for larger dense slot
+problems where simplex pivoting degrades.
+
+The implementation solves the standard-form problem
+
+    min c'x   s.t.  A x = b,  x >= 0
+
+via the predictor-corrector primal-dual method with a shared normal-
+equations factorization per iteration.  General problems (inequalities,
+bounds) are converted through the same standard-form rewriter the
+simplex uses.  Accuracy targets 1e-8 relative complementarity; the
+solver reports ``NUMERICAL_ERROR`` rather than returning a bad point
+when the Newton systems become too ill-conditioned.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.solvers.base import LinearProgram, Solution, SolveStatus
+from repro.solvers.simplex import _to_standard_form
+
+__all__ = ["InteriorPointSolver"]
+
+
+class InteriorPointSolver:
+    """Mehrotra predictor-corrector for dense LPs.
+
+    Parameters
+    ----------
+    max_iterations:
+        Newton iteration budget.
+    tol:
+        Convergence tolerance on scaled residuals and duality gap.
+    """
+
+    def __init__(self, max_iterations: int = 100, tol: float = 1e-8):
+        if max_iterations < 1:
+            raise ValueError("max_iterations must be >= 1")
+        self.max_iterations = int(max_iterations)
+        self.tol = float(tol)
+
+    # ----------------------------------------------------------- internals
+
+    @staticmethod
+    def _starting_point(a: np.ndarray, b: np.ndarray, c: np.ndarray
+                        ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Heuristic well-centred starting point (Mehrotra's)."""
+        m, n = a.shape
+        aat = a @ a.T + 1e-10 * np.eye(m)
+        x = a.T @ np.linalg.solve(aat, b)
+        lam = np.linalg.solve(aat, a @ c)
+        s = c - a.T @ lam
+        dx = max(-1.5 * x.min(initial=0.0), 0.0)
+        ds = max(-1.5 * s.min(initial=0.0), 0.0)
+        x = x + dx
+        s = s + ds
+        xs = float(x @ s)
+        if xs <= 0:
+            x = np.maximum(x, 1.0)
+            s = np.maximum(s, 1.0)
+            xs = float(x @ s)
+        dx_hat = 0.5 * xs / max(s.sum(), 1e-12)
+        ds_hat = 0.5 * xs / max(x.sum(), 1e-12)
+        return x + dx_hat, lam, s + ds_hat
+
+    def _solve_standard(self, a: np.ndarray, b: np.ndarray, c: np.ndarray
+                        ) -> Tuple[str, np.ndarray, int]:
+        m, n = a.shape
+        x, lam, s = self._starting_point(a, b, c)
+        norm_b = 1.0 + np.linalg.norm(b)
+        norm_c = 1.0 + np.linalg.norm(c)
+
+        for it in range(self.max_iterations):
+            r_primal = a @ x - b
+            r_dual = a.T @ lam + s - c
+            mu = float(x @ s) / n
+            if (np.linalg.norm(r_primal) / norm_b < self.tol
+                    and np.linalg.norm(r_dual) / norm_c < self.tol
+                    and mu < self.tol):
+                return "optimal", x, it
+            # Normal equations: (A D A') dlam = rhs, D = X S^{-1}.
+            d = x / s
+            adat = (a * d) @ a.T
+            adat[np.diag_indices_from(adat)] += 1e-12
+            try:
+                chol = np.linalg.cholesky(adat)
+            except np.linalg.LinAlgError:
+                return "numerical", x, it
+
+            def solve_newton(rc: np.ndarray, rb: np.ndarray,
+                             rxs: np.ndarray):
+                # Standard reduction of the KKT system:
+                #   (A D A') dlam = -r_p - A(D r_d) + A(r_xs / s).
+                tmp = -rb - a @ (d * rc) + a @ (rxs / s)
+                dlam = np.linalg.solve(
+                    chol.T, np.linalg.solve(chol, tmp)
+                )
+                ds_ = -rc - a.T @ dlam
+                dx_ = -(rxs + x * ds_) / s
+                return dx_, dlam, ds_
+
+            # Predictor (affine) step.
+            dx_aff, dlam_aff, ds_aff = solve_newton(
+                r_dual, r_primal, x * s
+            )
+            alpha_p = _step_length(x, dx_aff)
+            alpha_d = _step_length(s, ds_aff)
+            mu_aff = float((x + alpha_p * dx_aff)
+                           @ (s + alpha_d * ds_aff)) / n
+            sigma = (mu_aff / mu) ** 3 if mu > 0 else 0.0
+
+            # Corrector step.
+            rxs = x * s + dx_aff * ds_aff - sigma * mu
+            dx, dlam, ds = solve_newton(r_dual, r_primal, rxs)
+            alpha_p = 0.99 * _step_length(x, dx)
+            alpha_d = 0.99 * _step_length(s, ds)
+            x = x + alpha_p * dx
+            lam = lam + alpha_d * dlam
+            s = s + alpha_d * ds
+            if not (np.all(np.isfinite(x)) and np.all(np.isfinite(s))):
+                return "numerical", x, it
+            # Divergence heuristics (infeasible/unbounded problems blow
+            # the iterates up rather than converging).
+            if np.linalg.norm(x) > 1e14 or np.linalg.norm(lam) > 1e14:
+                return "diverged", x, it
+        return "iteration_limit", x, self.max_iterations
+
+    # --------------------------------------------------------------- solve
+
+    def solve(self, lp: LinearProgram) -> Solution:
+        """Solve ``lp``; see :class:`repro.solvers.base.Solution`."""
+        sf = _to_standard_form(lp)
+        a, b, c = sf.a, sf.b, sf.c
+        m, n = a.shape
+        if m == 0:
+            if np.any(c < -self.tol):
+                return Solution(status=SolveStatus.UNBOUNDED)
+            x = sf.shift + sf.mapping @ np.zeros(n)
+            return Solution(status=SolveStatus.OPTIMAL, x=x,
+                            objective=float(lp.c @ x))
+        # Drop numerically dependent rows (standard-form conversion can
+        # produce them); the normal equations need full row rank.  Rank
+        # detection needs *column-pivoted* QR of A' (plain QR's diagonal
+        # can vanish at full rank when early columns are parallel).
+        _, r_piv, piv = _qr_column_pivot(a.T)
+        diag = np.abs(np.diag(r_piv))
+        scale = diag.max(initial=0.0)
+        rank = int(np.sum(diag > 1e-10 * max(scale, 1.0)))
+        if rank < m:
+            rows = np.sort(piv[:rank])
+            a_red, b_red = a[rows], b[rows]
+            # Verify the dropped rows are consistent.
+            coeffs, *_ = np.linalg.lstsq(a_red.T, a.T, rcond=None)
+            recon_b = coeffs.T @ b_red
+            if not np.allclose(recon_b, b, atol=1e-7 * (1 + np.abs(b).max())):
+                return Solution(status=SolveStatus.INFEASIBLE,
+                                message="inconsistent dependent rows")
+            a, b = a_red, b_red
+
+        verdict, x_std, iters = self._solve_standard(a, b, c)
+        if verdict == "optimal":
+            x = sf.shift + sf.mapping @ x_std
+            x = np.clip(x, lp.lower, lp.upper)
+            return Solution(status=SolveStatus.OPTIMAL, x=x,
+                            objective=float(lp.c @ x), iterations=iters)
+        if verdict == "diverged":
+            return Solution(status=SolveStatus.INFEASIBLE, iterations=iters,
+                            message="iterates diverged "
+                                    "(infeasible or unbounded)")
+        if verdict == "iteration_limit":
+            return Solution(status=SolveStatus.ITERATION_LIMIT,
+                            iterations=iters)
+        return Solution(status=SolveStatus.NUMERICAL_ERROR, iterations=iters)
+
+
+def _step_length(v: np.ndarray, dv: np.ndarray) -> float:
+    """Largest alpha in (0, 1] keeping ``v + alpha dv > 0``."""
+    negative = dv < 0
+    if not np.any(negative):
+        return 1.0
+    return float(min(1.0, np.min(-v[negative] / dv[negative])))
+
+
+def _qr_column_pivot(mat: np.ndarray):
+    """QR with column pivoting via scipy (wrapped for testability)."""
+    from scipy.linalg import qr
+
+    return qr(mat, mode="economic", pivoting=True)

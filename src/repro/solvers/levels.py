@@ -1,0 +1,83 @@
+"""Greedy / local-search level assignment for multi-level TUFs.
+
+The multi-level slot problem fixes, for each (request class, data
+center) pair, which TUF level the optimizer *targets* (i.e. which
+sub-deadline the delay constraint enforces and which utility value the
+objective earns).  Once the level vector is fixed, the remaining problem
+is the one-level LP.  The exact approach enumerates levels inside a MILP
+(:mod:`repro.core.formulation`); this module provides the cheap
+alternative — coordinate-descent local search over level vectors with
+the LP as evaluation oracle — used as a heuristic ablation and as a warm
+start.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["coordinate_descent_levels"]
+
+Evaluator = Callable[[Tuple[int, ...]], float]
+
+
+def coordinate_descent_levels(
+    num_choices: Sequence[int],
+    evaluate: Evaluator,
+    initial: Optional[Sequence[int]] = None,
+    max_sweeps: int = 10,
+) -> Tuple[Tuple[int, ...], float, int]:
+    """Maximize ``evaluate(levels)`` by single-coordinate moves.
+
+    Parameters
+    ----------
+    num_choices:
+        ``num_choices[p]`` is the number of admissible levels at
+        position ``p``; candidate vectors satisfy
+        ``0 <= levels[p] < num_choices[p]``.
+    evaluate:
+        Objective oracle (an LP solve in the optimizer); larger is
+        better.  May return ``-inf`` for infeasible vectors.
+    initial:
+        Starting vector; defaults to all zeros (every pair targeting its
+        highest-value level).
+    max_sweeps:
+        Full coordinate sweeps before giving up on convergence.
+
+    Returns
+    -------
+    (best_vector, best_value, evaluations)
+    """
+    sizes = [int(n) for n in num_choices]
+    if any(n < 1 for n in sizes):
+        raise ValueError("every position needs at least one choice")
+    current: List[int] = list(initial) if initial is not None else [0] * len(sizes)
+    if len(current) != len(sizes):
+        raise ValueError("initial vector length mismatch")
+    for p, (v, n) in enumerate(zip(current, sizes)):
+        if not 0 <= v < n:
+            raise ValueError(f"initial[{p}]={v} out of range [0, {n})")
+
+    evaluations = 0
+    best_value = evaluate(tuple(current))
+    evaluations += 1
+
+    for _ in range(max_sweeps):
+        improved = False
+        for p in range(len(sizes)):
+            original = current[p]
+            for candidate in range(sizes[p]):
+                if candidate == original:
+                    continue
+                current[p] = candidate
+                value = evaluate(tuple(current))
+                evaluations += 1
+                if value > best_value + 1e-12:
+                    best_value = value
+                    original = candidate
+                    improved = True
+            current[p] = original
+        if not improved:
+            break
+    return tuple(current), best_value, evaluations

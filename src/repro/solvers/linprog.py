@@ -1,0 +1,78 @@
+"""Unified LP front-end.
+
+``solve_lp`` routes a :class:`~repro.solvers.base.LinearProgram` to
+scipy's HiGHS (fast, default), the library's own simplex, or the
+library's own primal-dual interior-point method — three independent
+implementations cross-checked in tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import optimize
+
+from repro.solvers.base import LinearProgram, Solution, SolveStatus
+from repro.solvers.interior_point import InteriorPointSolver
+from repro.solvers.simplex import SimplexSolver
+
+__all__ = ["solve_lp"]
+
+_SCIPY_STATUS = {
+    0: SolveStatus.OPTIMAL,
+    1: SolveStatus.ITERATION_LIMIT,
+    2: SolveStatus.INFEASIBLE,
+    3: SolveStatus.UNBOUNDED,
+    4: SolveStatus.NUMERICAL_ERROR,
+}
+
+
+def solve_lp(lp: LinearProgram, method: str = "highs") -> Solution:
+    """Solve a linear program.
+
+    Parameters
+    ----------
+    lp:
+        The minimization problem.
+    method:
+        ``"highs"`` for scipy's HiGHS solvers, ``"simplex"`` for the
+        library's own two-phase simplex, ``"ipm"`` for the library's own
+        primal-dual interior-point method.
+    """
+    if method == "simplex":
+        return SimplexSolver().solve(lp)
+    if method == "ipm":
+        return InteriorPointSolver().solve(lp)
+    if method != "highs":
+        raise ValueError(f"unknown LP method {method!r}")
+
+    bounds = np.column_stack([lp.lower, lp.upper])
+    result = optimize.linprog(
+        c=lp.c,
+        A_ub=lp.a_ub,
+        b_ub=lp.b_ub,
+        A_eq=lp.a_eq,
+        b_eq=lp.b_eq,
+        bounds=bounds,
+        method="highs",
+    )
+    status = _SCIPY_STATUS.get(result.status, SolveStatus.NUMERICAL_ERROR)
+    x = None
+    objective = None
+    ineq_marginals = None
+    eq_marginals = None
+    if result.x is not None and status is SolveStatus.OPTIMAL:
+        x = np.clip(np.asarray(result.x, dtype=float), lp.lower, lp.upper)
+        objective = float(lp.c @ x)
+        if getattr(result, "ineqlin", None) is not None:
+            ineq_marginals = np.asarray(result.ineqlin.marginals, dtype=float)
+        if getattr(result, "eqlin", None) is not None:
+            eq_marginals = np.asarray(result.eqlin.marginals, dtype=float)
+    return Solution(
+        status=status,
+        x=x,
+        objective=objective,
+        iterations=int(getattr(result, "nit", 0) or 0),
+        message=str(result.message or ""),
+        ineq_marginals=ineq_marginals,
+        eq_marginals=eq_marginals,
+    )

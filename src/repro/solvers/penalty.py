@@ -1,0 +1,182 @@
+"""Nonlinear solver: SLSQP with a quadratic-penalty fallback.
+
+The paper's literal formulation of multi-level TUFs is a *nonlinear*
+constraint series (Eqs. 11-13 and 17 contain products of the utility
+selector with delay expressions), which the authors hand to AIMMS/CPLEX
+CP.  :class:`PenaltySolver` fills that role: it first tries scipy's
+SLSQP on the constrained problem and, if that fails to converge, falls
+back to a classic quadratic-penalty homotopy solved with L-BFGS-B.
+
+Solutions are *near-optimal* (the problems are non-convex); the exact
+MILP path in :mod:`repro.solvers.branch_bound` is the reference the
+tests compare against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+from scipy import optimize
+
+from repro.solvers.base import Solution, SolveStatus
+
+__all__ = ["NonlinearProgram", "PenaltySolver"]
+
+Fn = Callable[[np.ndarray], float]
+VecFn = Callable[[np.ndarray], np.ndarray]
+
+
+@dataclass
+class NonlinearProgram:
+    """``min f(x)`` s.t. ``ineq(x) <= 0``, ``eq(x) = 0``, ``l <= x <= u``.
+
+    ``ineq`` and ``eq`` each map x to a vector of constraint residuals.
+    """
+
+    objective: Fn
+    lower: np.ndarray
+    upper: np.ndarray
+    ineq: Optional[VecFn] = None
+    eq: Optional[VecFn] = None
+
+    def __post_init__(self):
+        self.lower = np.asarray(self.lower, dtype=float).ravel()
+        self.upper = np.asarray(self.upper, dtype=float).ravel()
+        if self.lower.shape != self.upper.shape:
+            raise ValueError("lower and upper must have the same shape")
+        if np.any(self.lower > self.upper):
+            raise ValueError("lower bound exceeds upper bound")
+
+    @property
+    def num_variables(self) -> int:
+        """Number of decision variables."""
+        return int(self.lower.size)
+
+    def violation(self, x: np.ndarray) -> float:
+        """Maximum constraint violation at ``x``."""
+        worst = 0.0
+        if self.ineq is not None:
+            g = np.asarray(self.ineq(x), dtype=float)
+            if g.size:
+                worst = max(worst, float(np.max(np.clip(g, 0.0, None))))
+        if self.eq is not None:
+            h = np.asarray(self.eq(x), dtype=float)
+            if h.size:
+                worst = max(worst, float(np.max(np.abs(h))))
+        worst = max(worst, float(np.max(np.clip(self.lower - x, 0, None), initial=0.0)))
+        worst = max(worst, float(np.max(np.clip(x - self.upper, 0, None), initial=0.0)))
+        return worst
+
+
+class PenaltySolver:
+    """SLSQP-first nonlinear solver with quadratic-penalty fallback.
+
+    Parameters
+    ----------
+    feasibility_tol:
+        Accept a point when its worst constraint violation is below this.
+    penalty_rounds:
+        Number of penalty-weight escalations in the fallback.
+    multi_start:
+        Extra random restarts (best feasible point wins).
+    """
+
+    def __init__(
+        self,
+        feasibility_tol: float = 1e-6,
+        penalty_rounds: int = 8,
+        multi_start: int = 3,
+        seed: int = 0,
+    ):
+        self.feasibility_tol = float(feasibility_tol)
+        self.penalty_rounds = int(penalty_rounds)
+        self.multi_start = int(multi_start)
+        self.seed = int(seed)
+
+    # ------------------------------------------------------------ attempts
+
+    def _slsqp(self, nlp: NonlinearProgram, x0: np.ndarray) -> Optional[np.ndarray]:
+        constraints = []
+        if nlp.ineq is not None:
+            constraints.append(
+                {"type": "ineq", "fun": lambda x: -np.asarray(nlp.ineq(x))}
+            )
+        if nlp.eq is not None:
+            constraints.append({"type": "eq", "fun": lambda x: np.asarray(nlp.eq(x))})
+        bounds = optimize.Bounds(nlp.lower, nlp.upper)
+        try:
+            result = optimize.minimize(
+                nlp.objective, x0, method="SLSQP",
+                bounds=bounds, constraints=constraints,
+                options={"maxiter": 500, "ftol": 1e-10},
+            )
+        except (ValueError, FloatingPointError):
+            return None
+        if result.x is None:
+            return None
+        x = np.clip(result.x, nlp.lower, nlp.upper)
+        return x
+
+    def _penalty(self, nlp: NonlinearProgram, x0: np.ndarray) -> Optional[np.ndarray]:
+        weight = 10.0
+        x = x0.copy()
+        bounds = optimize.Bounds(nlp.lower, nlp.upper)
+        for _ in range(self.penalty_rounds):
+            def penalized(z: np.ndarray, w=weight) -> float:
+                value = nlp.objective(z)
+                if nlp.ineq is not None:
+                    g = np.clip(np.asarray(nlp.ineq(z), dtype=float), 0.0, None)
+                    value += w * float(g @ g)
+                if nlp.eq is not None:
+                    h = np.asarray(nlp.eq(z), dtype=float)
+                    value += w * float(h @ h)
+                return value
+
+            try:
+                result = optimize.minimize(
+                    penalized, x, method="L-BFGS-B", bounds=bounds,
+                    options={"maxiter": 500},
+                )
+            except (ValueError, FloatingPointError):
+                return None
+            if result.x is None:
+                return None
+            x = np.clip(result.x, nlp.lower, nlp.upper)
+            if nlp.violation(x) <= self.feasibility_tol:
+                return x
+            weight *= 10.0
+        return x if nlp.violation(x) <= 10 * self.feasibility_tol else None
+
+    # --------------------------------------------------------------- solve
+
+    def solve(
+        self, nlp: NonlinearProgram, x0: Optional[np.ndarray] = None
+    ) -> Solution:
+        """Find a near-optimal feasible point of ``nlp``."""
+        rng = np.random.default_rng(self.seed)
+        finite_low = np.where(np.isfinite(nlp.lower), nlp.lower, -1.0)
+        finite_high = np.where(np.isfinite(nlp.upper), nlp.upper, finite_low + 2.0)
+        starts: List[np.ndarray] = []
+        if x0 is not None:
+            starts.append(np.clip(np.asarray(x0, dtype=float), nlp.lower, nlp.upper))
+        starts.append((finite_low + finite_high) / 2.0)
+        for _ in range(self.multi_start):
+            starts.append(rng.uniform(finite_low, finite_high))
+
+        best_x: Optional[np.ndarray] = None
+        best_obj = np.inf
+        for start in starts:
+            for attempt in (self._slsqp, self._penalty):
+                x = attempt(nlp, start)
+                if x is None or nlp.violation(x) > 10 * self.feasibility_tol:
+                    continue
+                obj = float(nlp.objective(x))
+                if obj < best_obj:
+                    best_obj = obj
+                    best_x = x
+        if best_x is None:
+            return Solution(status=SolveStatus.INFEASIBLE,
+                            message="no feasible point found from any start")
+        return Solution(status=SolveStatus.OPTIMAL, x=best_x, objective=best_obj)

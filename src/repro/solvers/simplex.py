@@ -1,0 +1,272 @@
+"""A dense two-phase primal simplex LP solver.
+
+Self-contained replacement for the LP capability the paper gets from
+commercial solvers.  The implementation is the classic tableau method:
+
+1. convert the bounded-variable LP to standard form
+   (``min c'x, Ax = b, x >= 0, b >= 0``) by shifting/splitting variables,
+   adding slack rows for finite upper bounds and inequalities;
+2. phase 1 minimizes the sum of artificial variables to find a basic
+   feasible solution (positive optimum => infeasible);
+3. phase 2 minimizes the true objective from that basis.
+
+Bland's rule is used throughout, which guarantees termination (no
+cycling) at the cost of speed — acceptable at this library's problem
+sizes (a few hundred variables per slot), and scipy's HiGHS is available
+through :func:`repro.solvers.linprog.solve_lp` for larger instances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.solvers.base import LinearProgram, Solution, SolveStatus
+
+__all__ = ["SimplexSolver"]
+
+_TOL = 1e-9
+
+
+@dataclass
+class _StandardForm:
+    """Standard-form data plus the recipe to map solutions back."""
+
+    a: np.ndarray
+    b: np.ndarray
+    c: np.ndarray
+    # Mapping back to original variables: x_orig = shift + M @ y
+    shift: np.ndarray
+    mapping: np.ndarray
+    objective_offset: float
+
+
+def _to_standard_form(lp: LinearProgram) -> _StandardForm:
+    """Rewrite ``lp`` as ``min c'y : Ay = b, y >= 0`` with ``b >= 0``."""
+    n = lp.num_variables
+    lower, upper = lp.lower, lp.upper
+
+    # Column construction: each original variable becomes one or two
+    # standard-form columns.  mapping[j] row selects the combination.
+    columns: List[np.ndarray] = []  # coefficient of each y column per orig var
+    shift = np.zeros(n)
+    col_of_var: List[Tuple[int, Optional[int]]] = []
+    ncols = 0
+    for j in range(n):
+        if np.isfinite(lower[j]):
+            shift[j] = lower[j]
+            col_of_var.append((ncols, None))
+            ncols += 1
+        elif np.isfinite(upper[j]):
+            # (-inf, u]: substitute x = u - y, y >= 0.
+            shift[j] = upper[j]
+            col_of_var.append((ncols, None))
+            ncols += 1
+        else:
+            # Free variable: x = y+ - y-.
+            col_of_var.append((ncols, ncols + 1))
+            ncols += 2
+
+    mapping = np.zeros((n, ncols))
+    for j, (cpos, cneg) in enumerate(col_of_var):
+        if cneg is None:
+            if np.isfinite(lower[j]):
+                mapping[j, cpos] = 1.0
+            else:
+                mapping[j, cpos] = -1.0  # x = u - y
+        else:
+            mapping[j, cpos] = 1.0
+            mapping[j, cneg] = -1.0
+
+    # Collect rows: equalities, inequalities (+slack), finite-range bounds.
+    rows_a: List[np.ndarray] = []
+    rows_b: List[float] = []
+    row_kinds: List[str] = []  # "eq" or "ub"
+    if lp.a_eq is not None:
+        for r in range(lp.a_eq.shape[0]):
+            rows_a.append(lp.a_eq[r])
+            rows_b.append(float(lp.b_eq[r]))
+            row_kinds.append("eq")
+    if lp.a_ub is not None:
+        for r in range(lp.a_ub.shape[0]):
+            rows_a.append(lp.a_ub[r])
+            rows_b.append(float(lp.b_ub[r]))
+            row_kinds.append("ub")
+    # Range rows for variables with BOTH bounds finite: y <= u - l.
+    for j in range(n):
+        if np.isfinite(lower[j]) and np.isfinite(upper[j]):
+            e = np.zeros(n)
+            e[j] = 1.0
+            rows_a.append(e)
+            rows_b.append(float(upper[j]))
+            row_kinds.append("ub")
+
+    num_ub = sum(1 for kind in row_kinds if kind == "ub")
+    m = len(rows_a)
+    a_std = np.zeros((m, ncols + num_ub))
+    b_std = np.zeros(m)
+    slack_idx = 0
+    for r in range(m):
+        row_orig = rows_a[r]
+        # Row in terms of y columns: row_y = row_orig @ mapping; rhs shifts.
+        a_std[r, :ncols] = row_orig @ mapping
+        b_std[r] = rows_b[r] - float(row_orig @ shift)
+        if row_kinds[r] == "ub":
+            a_std[r, ncols + slack_idx] = 1.0
+            slack_idx += 1
+
+    # Objective in y space.
+    c_std = np.zeros(ncols + num_ub)
+    c_std[:ncols] = lp.c @ mapping
+    objective_offset = float(lp.c @ shift)
+
+    # Make rhs non-negative for phase 1.
+    neg = b_std < 0
+    a_std[neg] *= -1.0
+    b_std[neg] *= -1.0
+
+    mapping_full = np.zeros((n, ncols + num_ub))
+    mapping_full[:, :ncols] = mapping
+    return _StandardForm(
+        a=a_std, b=b_std, c=c_std, shift=shift, mapping=mapping_full,
+        objective_offset=objective_offset,
+    )
+
+
+class SimplexSolver:
+    """Two-phase dense primal simplex with Bland's rule.
+
+    Parameters
+    ----------
+    max_iterations:
+        Pivot budget shared across both phases.
+    tol:
+        Numerical tolerance for reduced costs / feasibility.
+    """
+
+    def __init__(self, max_iterations: int = 20_000, tol: float = 1e-8):
+        if max_iterations < 1:
+            raise ValueError("max_iterations must be >= 1")
+        self.max_iterations = int(max_iterations)
+        self.tol = float(tol)
+
+    # -------------------------------------------------------------- pivots
+
+    def _pivot(self, tableau: np.ndarray, basis: np.ndarray, row: int, col: int) -> None:
+        pivot_value = tableau[row, col]
+        tableau[row] /= pivot_value
+        for r in range(tableau.shape[0]):
+            if r != row and abs(tableau[r, col]) > _TOL:
+                tableau[r] -= tableau[r, col] * tableau[row]
+        basis[row] = col
+
+    def _iterate(
+        self, tableau: np.ndarray, basis: np.ndarray, budget: int
+    ) -> Tuple[str, int]:
+        """Run pivots until optimal/unbounded/budget; returns (status, used)."""
+        m = tableau.shape[0] - 1
+        used = 0
+        while used < budget:
+            cost_row = tableau[-1, :-1]
+            # Bland: smallest index with a negative reduced cost.
+            entering_candidates = np.nonzero(cost_row < -self.tol)[0]
+            if entering_candidates.size == 0:
+                return "optimal", used
+            col = int(entering_candidates[0])
+            column = tableau[:m, col]
+            rhs = tableau[:m, -1]
+            positive = column > self.tol
+            if not np.any(positive):
+                return "unbounded", used
+            ratios = np.full(m, np.inf)
+            ratios[positive] = rhs[positive] / column[positive]
+            min_ratio = ratios.min()
+            # Bland tie-break: smallest basis variable index among ties.
+            tie_rows = np.nonzero(ratios <= min_ratio + _TOL)[0]
+            row = int(tie_rows[np.argmin(basis[tie_rows])])
+            self._pivot(tableau, basis, row, col)
+            used += 1
+        return "iteration_limit", used
+
+    # --------------------------------------------------------------- solve
+
+    def solve(self, lp: LinearProgram) -> Solution:
+        """Solve ``lp``; see :class:`repro.solvers.base.Solution`."""
+        sf = _to_standard_form(lp)
+        a, b, c = sf.a, sf.b, sf.c
+        m, ncols = a.shape
+
+        if m == 0:
+            # Unconstrained besides y >= 0: minimize each term at 0 or unbounded.
+            if np.any(c < -self.tol):
+                return Solution(status=SolveStatus.UNBOUNDED, message="no constraints")
+            y = np.zeros(ncols)
+            x = sf.shift + sf.mapping @ y
+            return Solution(
+                status=SolveStatus.OPTIMAL, x=x,
+                objective=float(lp.c @ x), iterations=0,
+            )
+
+        # Phase 1 tableau with artificials on every row.
+        tableau = np.zeros((m + 1, ncols + m + 1))
+        tableau[:m, :ncols] = a
+        tableau[:m, ncols:ncols + m] = np.eye(m)
+        tableau[:m, -1] = b
+        basis = np.arange(ncols, ncols + m)
+        # Phase-1 cost: sum of artificials; make reduced costs basis-consistent.
+        tableau[-1, ncols:ncols + m] = 1.0
+        tableau[-1] -= tableau[:m].sum(axis=0)
+
+        status, used = self._iterate(tableau, basis, self.max_iterations)
+        total_iters = used
+        if status == "iteration_limit":
+            return Solution(status=SolveStatus.ITERATION_LIMIT, iterations=total_iters,
+                            message="phase 1 budget exhausted")
+        phase1_obj = -tableau[-1, -1]
+        if phase1_obj > 1e-6:
+            return Solution(status=SolveStatus.INFEASIBLE, iterations=total_iters,
+                            message=f"phase-1 optimum {phase1_obj:.3e} > 0")
+
+        # Drive artificials out of the basis where possible.
+        for r in range(m):
+            if basis[r] >= ncols:
+                pivot_cols = np.nonzero(np.abs(tableau[r, :ncols]) > 1e-7)[0]
+                if pivot_cols.size:
+                    self._pivot(tableau, basis, r, int(pivot_cols[0]))
+                    total_iters += 1
+                # else: redundant row; artificial stays basic at zero.
+
+        # Phase 2: swap in the true objective, zero artificial columns.
+        tableau[:m, ncols:ncols + m] = 0.0
+        tableau[-1, :] = 0.0
+        tableau[-1, :ncols] = c
+        for r in range(m):
+            j = basis[r]
+            if j < ncols and abs(c[j]) > _TOL:
+                tableau[-1] -= c[j] * tableau[r]
+        # Rows whose basic variable is an artificial stuck at zero must not
+        # admit pivots through artificial columns; they are inert.
+
+        status, used = self._iterate(tableau, basis, self.max_iterations - total_iters)
+        total_iters += used
+        if status == "iteration_limit":
+            return Solution(status=SolveStatus.ITERATION_LIMIT, iterations=total_iters,
+                            message="phase 2 budget exhausted")
+        if status == "unbounded":
+            return Solution(status=SolveStatus.UNBOUNDED, iterations=total_iters)
+
+        y = np.zeros(ncols)
+        for r in range(m):
+            if basis[r] < ncols:
+                y[basis[r]] = tableau[r, -1]
+        x = sf.shift + sf.mapping @ y
+        # Clean tiny negative noise inside bounds.
+        x = np.clip(x, lp.lower, lp.upper)
+        return Solution(
+            status=SolveStatus.OPTIMAL,
+            x=x,
+            objective=float(lp.c @ x),
+            iterations=total_iters,
+        )

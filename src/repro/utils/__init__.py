@@ -1,0 +1,31 @@
+"""Shared utilities: validation, RNG management, and table rendering."""
+
+from repro.utils.validation import (
+    check_finite,
+    check_nonnegative,
+    check_positive,
+    check_probability,
+    check_shape,
+    check_strictly_increasing,
+)
+from repro.utils.rng import RandomStreams, as_generator
+from repro.utils.tables import render_table
+from repro.utils.ascii_plot import line_chart, sparkline
+
+# NOTE: repro.utils.serialization is intentionally NOT imported here —
+# it depends on repro.core/market/workload, which themselves import
+# repro.utils; import it directly or via the top-level repro package.
+
+__all__ = [
+    "sparkline",
+    "line_chart",
+    "check_finite",
+    "check_nonnegative",
+    "check_positive",
+    "check_probability",
+    "check_shape",
+    "check_strictly_increasing",
+    "RandomStreams",
+    "as_generator",
+    "render_table",
+]

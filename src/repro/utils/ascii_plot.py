@@ -1,0 +1,112 @@
+"""Terminal plotting: sparklines and block line charts.
+
+The benchmark harness and examples regenerate the paper's *figures*;
+these helpers render the series directly in the terminal so the shapes
+(who wins, where the crossovers fall) are visible without matplotlib.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.utils.validation import check_finite
+
+__all__ = ["sparkline", "line_chart"]
+
+_BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """One-line unicode sparkline of ``values``.
+
+    Examples
+    --------
+    >>> sparkline([0, 1, 2, 3])
+    '▁▃▆█'
+    """
+    arr = check_finite(list(values), "values")
+    if arr.size == 0:
+        return ""
+    lo, hi = float(arr.min()), float(arr.max())
+    if hi - lo < 1e-300:
+        return _BLOCKS[0] * arr.size
+    scaled = (arr - lo) / (hi - lo) * (len(_BLOCKS) - 1)
+    return "".join(_BLOCKS[int(round(v))] for v in scaled)
+
+
+def line_chart(
+    series: Dict[str, Sequence[float]],
+    height: int = 12,
+    width: Optional[int] = None,
+    title: Optional[str] = None,
+) -> str:
+    """Multi-series block line chart.
+
+    Each series gets its own marker character; points are plotted on a
+    character grid with a y-axis of min/max labels.  Series must share
+    the same length.
+
+    Parameters
+    ----------
+    series:
+        Mapping of label to numeric sequence.
+    height:
+        Number of chart rows.
+    width:
+        Number of columns (defaults to the series length).
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    lengths = {len(v) for v in series.values()}
+    if len(lengths) != 1:
+        raise ValueError(f"series have inconsistent lengths: {sorted(lengths)}")
+    n = lengths.pop()
+    if n == 0:
+        raise ValueError("series are empty")
+    if height < 2:
+        raise ValueError("height must be >= 2")
+    width = n if width is None else int(width)
+
+    markers = "ox+*#@%&"
+    all_values = np.concatenate([
+        check_finite(list(v), name) for name, v in series.items()
+    ])
+    lo, hi = float(all_values.min()), float(all_values.max())
+    span = hi - lo if hi > lo else 1.0
+
+    grid: List[List[str]] = [[" "] * width for _ in range(height)]
+    for idx, (name, values) in enumerate(series.items()):
+        marker = markers[idx % len(markers)]
+        arr = np.asarray(values, dtype=float)
+        # Resample onto the chart width.
+        xs = np.linspace(0, n - 1, width)
+        ys = np.interp(xs, np.arange(n), arr)
+        for col, y in enumerate(ys):
+            row = int(round((y - lo) / span * (height - 1)))
+            row = height - 1 - min(max(row, 0), height - 1)
+            if grid[row][col] == " ":
+                grid[row][col] = marker
+            elif grid[row][col] != marker:
+                grid[row][col] = "∎"  # overlap
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    label_hi, label_lo = f"{hi:,.4g}", f"{lo:,.4g}"
+    pad = max(len(label_hi), len(label_lo))
+    for r, row in enumerate(grid):
+        if r == 0:
+            prefix = label_hi.rjust(pad)
+        elif r == height - 1:
+            prefix = label_lo.rjust(pad)
+        else:
+            prefix = " " * pad
+        lines.append(f"{prefix} |{''.join(row)}")
+    legend = "  ".join(
+        f"{markers[i % len(markers)]}={name}" for i, name in enumerate(series)
+    )
+    lines.append(" " * pad + f" +{'-' * width}")
+    lines.append(" " * pad + f"  {legend}")
+    return "\n".join(lines)

@@ -1,0 +1,172 @@
+"""JSON (de)serialization of system configurations.
+
+Lets topologies, traces, and markets round-trip through plain dicts /
+JSON files, so experiments can be driven by config files and results
+reproduced outside Python sessions.  Only configuration is serialized —
+plans and results are derived artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Union
+
+import numpy as np
+
+from repro.cloud.datacenter import DataCenter
+from repro.cloud.frontend import FrontEnd
+from repro.cloud.topology import CloudTopology
+from repro.core.request import RequestClass
+from repro.core.tuf import StepDownwardTUF
+from repro.market.market import MultiElectricityMarket
+from repro.market.prices import PriceTrace
+from repro.workload.traces import WorkloadTrace
+
+__all__ = [
+    "topology_to_dict",
+    "topology_from_dict",
+    "market_to_dict",
+    "market_from_dict",
+    "trace_to_dict",
+    "trace_from_dict",
+    "save_json",
+    "load_json",
+]
+
+PathLike = Union[str, Path]
+
+
+# ----------------------------------------------------------------- topology
+
+def topology_to_dict(topology: CloudTopology) -> Dict[str, Any]:
+    """Serialize a topology to a JSON-safe dict."""
+    return {
+        "request_classes": [
+            {
+                "name": rc.name,
+                "tuf": {
+                    "values": rc.tuf.values.tolist(),
+                    "deadlines": rc.tuf.deadlines.tolist(),
+                },
+                "transfer_unit_cost": rc.transfer_unit_cost,
+                "description": rc.description,
+            }
+            for rc in topology.request_classes
+        ],
+        "frontends": [fe.name for fe in topology.frontends],
+        "datacenters": [
+            {
+                "name": dc.name,
+                "num_servers": dc.num_servers,
+                "service_rates": dc.service_rates.tolist(),
+                "energy_per_request": dc.energy_per_request.tolist(),
+                "server_capacity": dc.server_capacity,
+                "pue": dc.pue,
+                "idle_power_kw": dc.idle_power_kw,
+            }
+            for dc in topology.datacenters
+        ],
+        "distances": topology.distances.tolist(),
+    }
+
+
+def topology_from_dict(data: Dict[str, Any]) -> CloudTopology:
+    """Rebuild a topology from :func:`topology_to_dict` output."""
+    classes = tuple(
+        RequestClass(
+            name=rc["name"],
+            tuf=StepDownwardTUF(values=rc["tuf"]["values"],
+                                deadlines=rc["tuf"]["deadlines"]),
+            transfer_unit_cost=float(rc.get("transfer_unit_cost", 0.0)),
+            description=rc.get("description", ""),
+        )
+        for rc in data["request_classes"]
+    )
+    frontends = tuple(FrontEnd(name) for name in data["frontends"])
+    datacenters = tuple(
+        DataCenter(
+            name=dc["name"],
+            num_servers=int(dc["num_servers"]),
+            service_rates=np.asarray(dc["service_rates"], dtype=float),
+            energy_per_request=np.asarray(dc["energy_per_request"],
+                                          dtype=float),
+            server_capacity=float(dc.get("server_capacity", 1.0)),
+            pue=float(dc.get("pue", 1.0)),
+            idle_power_kw=float(dc.get("idle_power_kw", 0.0)),
+        )
+        for dc in data["datacenters"]
+    )
+    return CloudTopology(
+        request_classes=classes,
+        frontends=frontends,
+        datacenters=datacenters,
+        distances=np.asarray(data["distances"], dtype=float),
+    )
+
+
+# ------------------------------------------------------------------- market
+
+def market_to_dict(market: MultiElectricityMarket) -> Dict[str, Any]:
+    """Serialize a market to a JSON-safe dict."""
+    return {
+        "traces": [
+            {"location": t.location, "prices": t.prices.tolist()}
+            for t in market.traces
+        ]
+    }
+
+
+def market_from_dict(data: Dict[str, Any]) -> MultiElectricityMarket:
+    """Rebuild a market from :func:`market_to_dict` output."""
+    return MultiElectricityMarket([
+        PriceTrace(t["location"], np.asarray(t["prices"], dtype=float))
+        for t in data["traces"]
+    ])
+
+
+# -------------------------------------------------------------------- trace
+
+def trace_to_dict(trace: WorkloadTrace) -> Dict[str, Any]:
+    """Serialize a workload trace to a JSON-safe dict."""
+    return {
+        "rates": trace.rates.tolist(),
+        "slot_duration": trace.slot_duration,
+    }
+
+
+def trace_from_dict(data: Dict[str, Any]) -> WorkloadTrace:
+    """Rebuild a workload trace from :func:`trace_to_dict` output."""
+    return WorkloadTrace(
+        rates=np.asarray(data["rates"], dtype=float),
+        slot_duration=float(data.get("slot_duration", 1.0)),
+    )
+
+
+# --------------------------------------------------------------------- I/O
+
+_KIND_CODECS = {
+    "topology": (topology_to_dict, topology_from_dict, CloudTopology),
+    "market": (market_to_dict, market_from_dict, MultiElectricityMarket),
+    "trace": (trace_to_dict, trace_from_dict, WorkloadTrace),
+}
+
+
+def save_json(obj, path: PathLike) -> None:
+    """Write a topology/market/trace to a JSON file with a kind tag."""
+    for kind, (encode, _, cls) in _KIND_CODECS.items():
+        if isinstance(obj, cls):
+            payload = {"kind": kind, "data": encode(obj)}
+            Path(path).write_text(json.dumps(payload, indent=2))
+            return
+    raise TypeError(f"cannot serialize object of type {type(obj).__name__}")
+
+
+def load_json(path: PathLike):
+    """Load a topology/market/trace written by :func:`save_json`."""
+    payload = json.loads(Path(path).read_text())
+    kind = payload.get("kind")
+    if kind not in _KIND_CODECS:
+        raise ValueError(f"unknown or missing kind tag {kind!r}")
+    _, decode, _ = _KIND_CODECS[kind]
+    return decode(payload["data"])

@@ -1,0 +1,63 @@
+"""Plain-text table rendering for benchmark and example output.
+
+The benchmark harness regenerates the paper's tables as aligned ASCII
+tables; this module is the single place that formats them.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+__all__ = ["render_table"]
+
+
+def _format_cell(value, float_fmt: str) -> str:
+    if isinstance(value, float):
+        return format(value, float_fmt)
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    title: Optional[str] = None,
+    float_fmt: str = ".4g",
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned ASCII table.
+
+    Parameters
+    ----------
+    headers:
+        Column names.
+    rows:
+        Iterable of row sequences; each row must have ``len(headers)``
+        entries.  Floats are formatted with ``float_fmt``.
+    title:
+        Optional title line printed above the table.
+    float_fmt:
+        ``format()`` spec applied to float cells.
+    """
+    str_rows = []
+    for row in rows:
+        cells = [_format_cell(v, float_fmt) for v in row]
+        if len(cells) != len(headers):
+            raise ValueError(
+                f"row {row!r} has {len(cells)} cells, expected {len(headers)}"
+            )
+        str_rows.append(cells)
+
+    widths = [len(h) for h in headers]
+    for cells in str_rows:
+        for j, cell in enumerate(cells):
+            widths[j] = max(widths[j], len(cell))
+
+    def fmt_line(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(widths[j]) for j, cell in enumerate(cells))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_line(list(headers)))
+    lines.append("-+-".join("-" * w for w in widths))
+    lines.extend(fmt_line(cells) for cells in str_rows)
+    return "\n".join(lines)

@@ -1,0 +1,120 @@
+"""Arrival-rate predictors.
+
+The paper does not study forecasting but notes (§III) that "existing
+prediction methods (e.g. the Kalman Filter) ... can be employed if
+necessary" to supply the next slot's average arrival rates.  We provide
+the two standard baselines so the controller can be run predictively:
+
+* :class:`EWMAPredictor` — exponentially weighted moving average;
+* :class:`KalmanFilterPredictor` — scalar local-level Kalman filter
+  (paper ref. [18], Welch & Bishop).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.utils.validation import check_nonnegative, check_positive
+
+__all__ = ["EWMAPredictor", "KalmanFilterPredictor"]
+
+
+class EWMAPredictor:
+    """Exponentially weighted moving average, one scalar rate stream.
+
+    ``predict()`` before any observation returns ``initial``.
+    """
+
+    def __init__(self, alpha: float = 0.5, initial: float = 0.0):
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+        check_nonnegative(initial, "initial")
+        self._alpha = float(alpha)
+        self._level: float = float(initial)
+        self._observed = False
+
+    def observe(self, value: float) -> None:
+        """Fold one observed slot rate into the average."""
+        value = float(check_nonnegative(value, "value"))
+        if not self._observed:
+            self._level = value
+            self._observed = True
+        else:
+            self._level = self._alpha * value + (1.0 - self._alpha) * self._level
+
+    def predict(self) -> float:
+        """Forecast for the next slot."""
+        return self._level
+
+
+class KalmanFilterPredictor:
+    """Scalar local-level Kalman filter for slot arrival rates.
+
+    State model: ``x_{t+1} = x_t + w`` with ``w ~ N(0, process_var)``;
+    observation ``z_t = x_t + v`` with ``v ~ N(0, observation_var)``.
+    ``predict()`` returns the current state estimate (the local-level
+    model's one-step-ahead forecast), floored at zero since rates are
+    non-negative.
+    """
+
+    def __init__(
+        self,
+        process_var: float = 1.0,
+        observation_var: float = 4.0,
+        initial_estimate: float = 0.0,
+        initial_var: float = 1e6,
+    ):
+        check_positive(process_var, "process_var")
+        check_positive(observation_var, "observation_var")
+        check_nonnegative(initial_var, "initial_var")
+        self._q = float(process_var)
+        self._r = float(observation_var)
+        self._x = float(initial_estimate)
+        self._p = float(initial_var)
+        self._innovations: List[float] = []
+
+    @property
+    def estimate(self) -> float:
+        """Current filtered state estimate."""
+        return self._x
+
+    @property
+    def variance(self) -> float:
+        """Current state estimate variance."""
+        return self._p
+
+    @property
+    def innovations(self) -> List[float]:
+        """History of measurement innovations (for diagnostics)."""
+        return list(self._innovations)
+
+    def observe(self, value: float) -> None:
+        """Run one predict+update cycle with measurement ``value``."""
+        value = float(check_nonnegative(value, "value"))
+        # Time update (state is a random walk).
+        p_prior = self._p + self._q
+        # Measurement update.
+        gain = p_prior / (p_prior + self._r)
+        innovation = value - self._x
+        self._x = self._x + gain * innovation
+        self._p = (1.0 - gain) * p_prior
+        self._innovations.append(innovation)
+
+    def predict(self) -> float:
+        """One-step-ahead forecast (non-negative)."""
+        return max(0.0, self._x)
+
+    def predict_series(self, observations: np.ndarray) -> np.ndarray:
+        """Filter a whole series, returning one-step-ahead forecasts.
+
+        ``out[t]`` is the forecast for slot ``t`` made *before* observing
+        slot ``t``'s value.
+        """
+        observations = check_nonnegative(observations, "observations")
+        out = np.empty_like(observations, dtype=float)
+        for t, z in enumerate(observations):
+            out[t] = self.predict()
+            self.observe(float(z))
+        return out

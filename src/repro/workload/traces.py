@@ -1,0 +1,135 @@
+"""Workload trace container and the paper's trace manipulations.
+
+A :class:`WorkloadTrace` holds per-slot average arrival rates
+``lambda_{k,s}(t)`` for every request class ``k`` and front-end ``s``.
+The paper builds multi-type traces from single-type logs by *shifting* a
+trace along the time axis ("We simply shifted the request traces at a
+front-end server by some time units to simulate the requests of three
+different service types", §VI-A) and by *duplicating* a trace (§VII-A);
+both operations are provided here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.utils.validation import check_nonnegative, check_positive
+
+__all__ = ["WorkloadTrace"]
+
+
+@dataclass(frozen=True)
+class WorkloadTrace:
+    """Per-slot arrival rates for ``K`` classes at ``S`` front-ends.
+
+    Attributes
+    ----------
+    rates:
+        Array of shape ``(K, S, T)``; ``rates[k, s, t]`` is the average
+        arrival rate of class-``k`` requests at front-end ``s`` during
+        slot ``t`` (requests per time unit).
+    slot_duration:
+        Slot length ``T`` in the same time unit as the rates (seconds if
+        rates are per second, hours if per hour).
+    """
+
+    rates: np.ndarray = field(repr=False)
+    slot_duration: float = 1.0
+
+    def __post_init__(self):
+        arr = check_nonnegative(self.rates, "rates")
+        if arr.ndim != 3:
+            raise ValueError(f"rates must have shape (K, S, T), got {arr.shape}")
+        check_positive(self.slot_duration, "slot_duration")
+        object.__setattr__(self, "rates", arr)
+
+    # ----------------------------------------------------------- accessors
+
+    @property
+    def num_classes(self) -> int:
+        """``K``: number of request classes."""
+        return int(self.rates.shape[0])
+
+    @property
+    def num_frontends(self) -> int:
+        """``S``: number of front-ends."""
+        return int(self.rates.shape[1])
+
+    @property
+    def num_slots(self) -> int:
+        """``T``: number of time slots."""
+        return int(self.rates.shape[2])
+
+    def arrivals_at(self, slot: int) -> np.ndarray:
+        """``(K, S)`` arrival-rate matrix for slot ``slot`` (wrapping)."""
+        return self.rates[:, :, slot % self.num_slots].copy()
+
+    def total_requests(self) -> float:
+        """Total request count over the whole trace."""
+        return float(self.rates.sum() * self.slot_duration)
+
+    def class_series(self, k: int, s: int) -> np.ndarray:
+        """Per-slot rate series for class ``k`` at front-end ``s``."""
+        return self.rates[k, s, :].copy()
+
+    # -------------------------------------------------------- manipulations
+
+    @staticmethod
+    def from_single_type(
+        series: np.ndarray,
+        num_classes: int,
+        shift_slots: int = 1,
+        slot_duration: float = 1.0,
+    ) -> "WorkloadTrace":
+        """Fabricate a multi-class trace from one single-class log.
+
+        Implements the paper's §VI trick: class ``k`` is the original
+        per-front-end series circularly shifted by ``k * shift_slots``
+        slots.
+
+        Parameters
+        ----------
+        series:
+            ``(S, T)`` per-front-end single-class rate series.
+        num_classes:
+            Number of classes to fabricate.
+        shift_slots:
+            Shift between consecutive fabricated classes.
+        """
+        arr = check_nonnegative(series, "series")
+        if arr.ndim != 2:
+            raise ValueError(f"series must have shape (S, T), got {arr.shape}")
+        layers = [np.roll(arr, k * shift_slots, axis=1) for k in range(num_classes)]
+        return WorkloadTrace(np.stack(layers, axis=0), slot_duration)
+
+    def shifted(self, slots: int) -> "WorkloadTrace":
+        """Circularly shift every series by ``slots`` along time."""
+        return WorkloadTrace(np.roll(self.rates, slots, axis=2), self.slot_duration)
+
+    def duplicated_as_class(self, shift_slots: int = 0) -> "WorkloadTrace":
+        """Append a duplicate of every class, optionally time-shifted.
+
+        Implements §VII-A: "We duplicated the trace and moved along time
+        scale to simulate two different types of requests."
+        """
+        dup = np.roll(self.rates, shift_slots, axis=2)
+        return WorkloadTrace(
+            np.concatenate([self.rates, dup], axis=0), self.slot_duration
+        )
+
+    def scaled(self, factor: float) -> "WorkloadTrace":
+        """Multiply every rate by ``factor`` (workload-effect sweeps)."""
+        check_positive(factor, "factor")
+        return WorkloadTrace(self.rates * float(factor), self.slot_duration)
+
+    def window(self, start: int, stop: int) -> "WorkloadTrace":
+        """Restrict to slots ``start..stop-1`` (wrapping)."""
+        idx = np.arange(start, stop) % self.num_slots
+        return WorkloadTrace(self.rates[:, :, idx], self.slot_duration)
+
+    def select_classes(self, classes: Sequence[int]) -> "WorkloadTrace":
+        """Keep only the listed class indices."""
+        return WorkloadTrace(self.rates[list(classes), :, :], self.slot_duration)

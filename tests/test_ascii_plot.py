@@ -1,0 +1,67 @@
+"""Tests for terminal plotting helpers."""
+
+import numpy as np
+import pytest
+
+from repro.utils.ascii_plot import line_chart, sparkline
+
+
+class TestSparkline:
+    def test_monotone_ramp(self):
+        assert sparkline([0, 1, 2, 3]) == "▁▃▆█"
+
+    def test_constant_series(self):
+        assert sparkline([5.0, 5.0, 5.0]) == "▁▁▁"
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_extremes_hit_first_and_last_block(self):
+        s = sparkline([0.0, 10.0])
+        assert s[0] == "▁" and s[-1] == "█"
+
+    def test_length_preserved(self):
+        values = np.random.default_rng(0).random(37)
+        assert len(sparkline(values)) == 37
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            sparkline([1.0, float("nan")])
+
+
+class TestLineChart:
+    def test_basic_structure(self):
+        chart = line_chart({"a": [0, 1, 2, 3]}, height=5, title="T")
+        lines = chart.splitlines()
+        assert lines[0] == "T"
+        assert len(lines) == 1 + 5 + 2  # title + rows + axis + legend
+        assert "o=a" in lines[-1]
+
+    def test_min_max_labels(self):
+        chart = line_chart({"a": [2.0, 8.0]}, height=4)
+        assert "8" in chart.splitlines()[0]
+        assert "2" in chart.splitlines()[3]
+
+    def test_two_series_use_distinct_markers(self):
+        chart = line_chart({"up": [0, 1, 2], "down": [2, 1, 0]}, height=5)
+        assert "o=up" in chart and "x=down" in chart
+        assert "o" in chart and "x" in chart
+
+    def test_overlap_marker(self):
+        chart = line_chart({"a": [1, 1], "b": [1, 1]}, height=3)
+        assert "∎" in chart
+
+    def test_resampling_to_width(self):
+        chart = line_chart({"a": list(range(100))}, height=4, width=20)
+        data_rows = [ln for ln in chart.splitlines() if "|" in ln]
+        assert all(len(ln.split("|")[1]) == 20 for ln in data_rows)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="at least one"):
+            line_chart({})
+        with pytest.raises(ValueError, match="lengths"):
+            line_chart({"a": [1, 2], "b": [1, 2, 3]})
+        with pytest.raises(ValueError, match="empty"):
+            line_chart({"a": []})
+        with pytest.raises(ValueError, match="height"):
+            line_chart({"a": [1, 2]}, height=1)

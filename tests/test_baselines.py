@@ -1,0 +1,122 @@
+"""Tests for the Balanced and EvenSplit baselines."""
+
+import numpy as np
+import pytest
+
+from repro.core.baselines import BalancedDispatcher, EvenSplitDispatcher
+from repro.core.objective import evaluate_plan
+
+
+class TestBalancedDispatcher:
+    def test_shares_are_even_split(self, small_topology):
+        balanced = BalancedDispatcher(small_topology)
+        plan = balanced.plan_slot(np.full((2, 2), 10.0), np.array([0.1, 0.2]))
+        assert np.allclose(plan.shares, 0.5)
+
+    def test_fills_cheapest_datacenter_first(self, small_topology):
+        balanced = BalancedDispatcher(small_topology)
+        arrivals = np.full((2, 2), 10.0)  # light: fits in one DC
+        # dc2 cheaper: everything should land there.
+        plan = balanced.plan_slot(arrivals, np.array([0.2, 0.1]))
+        loads = plan.dc_loads()
+        assert loads[:, 0].sum() == pytest.approx(0.0, abs=1e-9)
+        assert loads[:, 1].sum() == pytest.approx(40.0)
+
+    def test_overflow_to_next_cheapest(self, small_topology):
+        balanced = BalancedDispatcher(small_topology)
+        arrivals = np.full((2, 2), 60.0)
+        plan = balanced.plan_slot(arrivals, np.array([0.2, 0.1]))
+        loads = plan.dc_loads()
+        # dc2 (2 servers) saturates; overflow reaches dc1.
+        assert loads[:, 0].sum() > 0
+
+    def test_drops_when_everything_full(self, small_topology):
+        balanced = BalancedDispatcher(small_topology)
+        arrivals = np.full((2, 2), 1e6)
+        plan = balanced.plan_slot(arrivals, np.array([0.1, 0.2]))
+        assert np.all(plan.served_rates() < 2e6)
+        assert plan.meets_deadlines()
+
+    def test_load_spread_evenly_within_dc(self, small_topology):
+        balanced = BalancedDispatcher(small_topology)
+        plan = balanced.plan_slot(np.full((2, 2), 30.0), np.array([0.1, 0.2]))
+        loads = plan.server_loads()  # (K, N); dc1 = servers 0..2
+        assert np.allclose(loads[:, 0], loads[:, 1])
+        assert np.allclose(loads[:, 1], loads[:, 2])
+
+    def test_deadlines_respected_at_capacity(self, small_topology):
+        balanced = BalancedDispatcher(small_topology)
+        plan = balanced.plan_slot(np.full((2, 2), 1e5), np.array([0.1, 0.2]))
+        assert plan.meets_deadlines()
+
+    def test_admission_level_restricts_capacity(self, multilevel_topology):
+        generous = BalancedDispatcher(multilevel_topology, admission_level=None)
+        strict = BalancedDispatcher(multilevel_topology, admission_level=0)
+        arrivals = np.array([[1e6], [1e6]])
+        prices = np.array([0.1, 0.1])
+        served_g = generous.plan_slot(arrivals, prices).served_rates().sum()
+        served_s = strict.plan_slot(arrivals, prices).served_rates().sum()
+        assert served_s < served_g
+
+    def test_shape_validation(self, small_topology):
+        balanced = BalancedDispatcher(small_topology)
+        with pytest.raises(ValueError):
+            balanced.plan_slot(np.zeros((3, 2)), np.array([0.1, 0.2]))
+        with pytest.raises(ValueError):
+            balanced.plan_slot(np.zeros((2, 2)), np.array([0.1]))
+
+    def test_name(self, small_topology):
+        assert BalancedDispatcher(small_topology).name == "balanced"
+
+
+class TestEvenSplitDispatcher:
+    def test_spreads_over_all_servers(self, small_topology):
+        disp = EvenSplitDispatcher(small_topology)
+        plan = disp.plan_slot(np.full((2, 2), 20.0), np.array([0.1, 0.2]))
+        loads = plan.server_loads()
+        # 40 req/u split over 5 servers = 8 each.
+        assert np.allclose(loads[0], 8.0)
+
+    def test_ignores_prices(self, small_topology):
+        disp = EvenSplitDispatcher(small_topology)
+        a = disp.plan_slot(np.full((2, 2), 20.0), np.array([0.1, 0.2]))
+        b = disp.plan_slot(np.full((2, 2), 20.0), np.array([0.2, 0.1]))
+        assert np.allclose(a.rates, b.rates)
+
+    def test_caps_at_capacity(self, small_topology):
+        disp = EvenSplitDispatcher(small_topology)
+        plan = disp.plan_slot(np.full((2, 2), 1e6), np.array([0.1, 0.2]))
+        assert plan.meets_deadlines()
+
+    def test_attribution_proportional_to_frontends(self, small_topology):
+        disp = EvenSplitDispatcher(small_topology)
+        arrivals = np.array([[30.0, 10.0], [0.0, 0.0]])
+        plan = disp.plan_slot(arrivals, np.array([0.1, 0.2]))
+        dispatched = plan.rates.sum(axis=2)  # (K, S)
+        assert dispatched[0, 0] == pytest.approx(3 * dispatched[0, 1])
+
+    def test_zero_arrivals(self, small_topology):
+        disp = EvenSplitDispatcher(small_topology)
+        plan = disp.plan_slot(np.zeros((2, 2)), np.array([0.1, 0.2]))
+        assert plan.served_rates().sum() == 0.0
+
+
+class TestBaselineVsOptimizer:
+    def test_optimizer_dominates_both_baselines(self, small_topology):
+        from repro.core.optimizer import ProfitAwareOptimizer
+        arrivals = np.array([[80.0, 50.0], [60.0, 90.0]])
+        prices = np.array([0.15, 0.04])
+        plans = {
+            "opt": ProfitAwareOptimizer(small_topology).plan_slot(
+                arrivals, prices),
+            "bal": BalancedDispatcher(small_topology).plan_slot(
+                arrivals, prices),
+            "even": EvenSplitDispatcher(small_topology).plan_slot(
+                arrivals, prices),
+        }
+        nets = {
+            name: evaluate_plan(plan, arrivals, prices).net_profit
+            for name, plan in plans.items()
+        }
+        assert nets["opt"] >= nets["bal"] - 1e-9
+        assert nets["opt"] >= nets["even"] - 1e-9

@@ -1,0 +1,117 @@
+"""Tests for the paper's big-M constraint transformation (Eqs. 11-26)."""
+
+import numpy as np
+import pytest
+
+from repro.core.bigm import (
+    bigm_constraint_series,
+    check_series_selects_level,
+    lagrange_utility,
+    solve_slot_bigm,
+)
+from repro.core.formulation import SlotInputs
+from repro.core.objective import evaluate_plan
+from repro.core.tuf import StepDownwardTUF
+
+
+class TestBigMSeries:
+    """Verify the paper's equivalence claim: with U restricted to the
+    discrete level set, the constraint series is satisfied by exactly the
+    TUF level achieved at the given delay."""
+
+    @pytest.mark.parametrize("num_levels", [2, 3, 4, 5])
+    def test_exactly_one_feasible_level_interior(self, num_levels):
+        values = list(np.linspace(10.0, 2.0, num_levels))
+        deadlines = list(np.linspace(0.1, 0.1 * num_levels, num_levels))
+        tuf = StepDownwardTUF(values, deadlines)
+        # Sample strictly inside each band.
+        probes = [0.05] + [
+            (deadlines[q] + deadlines[q + 1]) / 2.0
+            for q in range(num_levels - 1)
+        ]
+        for delay in probes:
+            expected, feasible = check_series_selects_level(tuf, delay)
+            assert feasible == [expected], (delay, expected, feasible)
+
+    def test_two_level_paper_case(self):
+        # Matches the paper's Eqs. 11-13 walkthrough.
+        tuf = StepDownwardTUF([10.0, 4.0], [0.5, 1.0])
+        assert check_series_selects_level(tuf, 0.3) == (0, [0])
+        assert check_series_selects_level(tuf, 0.7) == (1, [1])
+
+    def test_three_level_paper_case(self):
+        # Matches the paper's Eqs. 18-24 walkthrough (n = 3).
+        tuf = StepDownwardTUF([9.0, 6.0, 3.0], [1.0, 2.0, 3.0])
+        assert check_series_selects_level(tuf, 0.5) == (0, [0])
+        assert check_series_selects_level(tuf, 1.5) == (1, [1])
+        assert check_series_selects_level(tuf, 2.5) == (2, [2])
+
+    def test_one_level_reduces_to_deadline(self):
+        series = bigm_constraint_series([10.0], [0.5])
+        assert len(series) == 1
+        assert series[0](0.4, 10.0) <= 0
+        assert series[0](0.6, 10.0) > 0
+
+    def test_series_count(self):
+        # n levels -> 2*(n-1) constraints (one pair per boundary).
+        for n in (2, 3, 4, 6):
+            values = list(np.linspace(10.0, 1.0, n))
+            deadlines = list(np.linspace(1.0, float(n), n))
+            series = bigm_constraint_series(values, deadlines)
+            assert len(series) == 2 * (n - 1)
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValueError):
+            bigm_constraint_series([1.0, 2.0], [0.5])
+
+
+class TestLagrangeUtility:
+    def test_exact_at_integer_selectors(self):
+        values = [10.0, 6.0, 2.0]
+        for x, expected in zip((1, 2, 3), values):
+            assert lagrange_utility(float(x), values) == pytest.approx(expected)
+
+    def test_single_level(self):
+        assert lagrange_utility(1.0, [7.0]) == 7.0
+
+    def test_interpolates_between_levels(self):
+        values = [10.0, 6.0]
+        assert lagrange_utility(1.5, values) == pytest.approx(8.0)
+
+    def test_five_levels_exact(self):
+        values = [50.0, 40.0, 25.0, 10.0, 1.0]
+        for x in range(1, 6):
+            assert lagrange_utility(float(x), values) == \
+                pytest.approx(values[x - 1])
+
+
+class TestSolveSlotBigM:
+    def test_plan_is_feasible(self, multilevel_topology):
+        inputs = SlotInputs(
+            multilevel_topology,
+            arrivals=np.array([[9000.0], [8000.0]]),
+            prices=np.array([0.05, 0.09]),
+        )
+        plan = solve_slot_bigm(inputs, seed=1)
+        assert plan.meets_deadlines()
+        assert np.all(plan.rates.sum(axis=2) <= inputs.arrivals + 1e-6)
+
+    def test_near_optimal_vs_milp(self, multilevel_topology):
+        from repro.core.formulation import multilevel_milp
+        from repro.solvers.branch_bound import solve_milp
+        inputs = SlotInputs(
+            multilevel_topology,
+            arrivals=np.array([[9000.0], [8000.0]]),
+            prices=np.array([0.05, 0.09]),
+        )
+        bigm_plan = solve_slot_bigm(inputs, seed=1)
+        bigm_profit = evaluate_plan(
+            bigm_plan, inputs.arrivals, inputs.prices
+        ).net_profit
+        mip, decoder = multilevel_milp(inputs)
+        milp_plan = decoder(solve_milp(mip, "highs").require_ok().x)
+        milp_profit = evaluate_plan(
+            milp_plan, inputs.arrivals, inputs.prices
+        ).net_profit
+        # The big-M path is a heuristic: allow a modest optimality gap.
+        assert bigm_profit >= 0.8 * milp_profit

@@ -1,0 +1,81 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_section5_regime_choices(self):
+        args = build_parser().parse_args(["section5", "--regime", "high"])
+        assert args.regime == "high"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["section5", "--regime", "medium"])
+
+    def test_section7_scales(self):
+        args = build_parser().parse_args(
+            ["section7", "--load-scale", "2.0", "--capacity-scale", "1.5"]
+        )
+        assert args.load_scale == 2.0
+        assert args.capacity_scale == 1.5
+
+
+class TestCommands:
+    def test_prices(self, capsys):
+        assert main(["prices"]) == 0
+        out = capsys.readouterr().out
+        assert "houston" in out
+        assert "$/kWh" in out
+
+    def test_section5(self, capsys):
+        assert main(["section5", "--regime", "low"]) == 0
+        out = capsys.readouterr().out
+        assert "optimized" in out and "balanced" in out
+
+    def test_section7(self, capsys):
+        assert main(["section7"]) == 0
+        out = capsys.readouterr().out
+        assert "net profit" in out
+        assert "o=optimized" in out
+
+    def test_validate(self, capsys):
+        assert main(["validate", "--utilization", "0.5",
+                     "--horizon", "300"]) == 0
+        out = capsys.readouterr().out
+        assert "Eq.1" in out
+
+    def test_validate_bad_utilization(self, capsys):
+        assert main(["validate", "--utilization", "1.5"]) == 2
+        assert "utilization" in capsys.readouterr().err
+
+    def test_sweep(self, capsys):
+        assert main(["sweep", "--servers", "2,4"]) == 0
+        out = capsys.readouterr().out
+        assert "fleet size" in out
+
+    def test_sweep_bad_list(self, capsys):
+        assert main(["sweep", "--servers", "two,four"]) == 2
+        assert "servers" in capsys.readouterr().err
+
+    def test_sweep_rejects_nonpositive(self, capsys):
+        assert main(["sweep", "--servers", "0,2"]) == 2
+
+    def test_reproduce_writes_series(self, capsys, tmp_path):
+        out = tmp_path / "results"
+        assert main(["reproduce", "--out", str(out), "--skip-slow"]) == 0
+        written = {p.name for p in out.iterdir()}
+        expected = {
+            "fig01_prices.txt", "fig04_low.txt", "fig04_high.txt",
+            "fig05_traces.txt", "fig06_worldcup_profit.txt",
+            "fig07_dispatch.txt", "fig08_google_profit.txt",
+            "fig09_allocations.txt", "fig10_low.txt", "fig10_high.txt",
+        }
+        assert expected <= written
+        # Fig. 11 skipped under --skip-slow.
+        assert "fig11_computation_time.txt" not in written
+        content = (out / "fig06_worldcup_profit.txt").read_text()
+        assert "optimized" in content and "balanced" in content

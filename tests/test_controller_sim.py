@@ -1,0 +1,181 @@
+"""Tests for the slotted controller and simulation harness."""
+
+import numpy as np
+import pytest
+
+from repro.core.baselines import BalancedDispatcher
+from repro.core.controller import SlottedController, _cap_to_arrivals
+from repro.core.optimizer import ProfitAwareOptimizer
+from repro.market.market import MultiElectricityMarket
+from repro.market.prices import PriceTrace
+from repro.sim.accounting import ProfitLedger
+from repro.sim.experiment import ExperimentConfig
+from repro.sim.metrics import (
+    completion_fractions,
+    dc_dispatch_series,
+    dispatch_matrix,
+    net_profit_series,
+    powered_on_series,
+    relative_improvement,
+    total_requests_processed,
+)
+from repro.sim.slotted import compare_dispatchers, run_simulation
+from repro.workload.prediction import KalmanFilterPredictor
+from repro.workload.traces import WorkloadTrace
+
+
+@pytest.fixture
+def small_setup(small_topology):
+    rng = np.random.default_rng(0)
+    rates = rng.uniform(10.0, 60.0, size=(2, 2, 6))
+    trace = WorkloadTrace(rates, slot_duration=1.0)
+    market = MultiElectricityMarket([
+        PriceTrace("a", rng.uniform(0.04, 0.12, size=6)),
+        PriceTrace("b", rng.uniform(0.04, 0.12, size=6)),
+    ])
+    return small_topology, trace, market
+
+
+class TestSlottedController:
+    def test_runs_all_slots(self, small_setup):
+        topo, trace, market = small_setup
+        controller = SlottedController(
+            ProfitAwareOptimizer(topo), trace, market
+        )
+        records = controller.run()
+        assert len(records) == 6
+        assert records[3].slot == 3
+
+    def test_num_slots_limit(self, small_setup):
+        topo, trace, market = small_setup
+        controller = SlottedController(BalancedDispatcher(topo), trace, market)
+        assert len(controller.run(num_slots=2)) == 2
+
+    def test_outcomes_use_slot_prices(self, small_setup):
+        topo, trace, market = small_setup
+        controller = SlottedController(BalancedDispatcher(topo), trace, market)
+        for record in controller.run(num_slots=3):
+            assert np.array_equal(record.prices, market.prices_at(record.slot))
+
+    def test_predictive_mode_never_overdispatches(self, small_setup):
+        topo, trace, market = small_setup
+        controller = SlottedController(
+            ProfitAwareOptimizer(topo), trace, market,
+            predictor_factory=lambda: KalmanFilterPredictor(
+                process_var=10.0, observation_var=10.0
+            ),
+        )
+        for record in controller.run():
+            dispatched = record.plan.rates.sum(axis=2)
+            assert np.all(dispatched <= record.arrivals + 1e-6)
+
+    def test_predictive_profit_close_to_oracle(self, small_setup):
+        topo, trace, market = small_setup
+        oracle = run_simulation(ProfitAwareOptimizer(topo), trace, market)
+        predictive = run_simulation(
+            ProfitAwareOptimizer(topo), trace, market,
+            predictor_factory=lambda: KalmanFilterPredictor(
+                process_var=100.0, observation_var=100.0
+            ),
+        )
+        assert predictive.total_net_profit <= oracle.total_net_profit + 1e-6
+        assert predictive.total_net_profit > 0
+
+    def test_cap_to_arrivals(self, small_topology):
+        plan = BalancedDispatcher(small_topology).plan_slot(
+            np.full((2, 2), 30.0), np.array([0.1, 0.2])
+        )
+        capped = _cap_to_arrivals(plan, np.full((2, 2), 10.0))
+        assert np.all(capped.rates.sum(axis=2) <= 10.0 + 1e-9)
+
+
+class TestProfitLedger:
+    def test_accumulates(self, small_setup):
+        topo, trace, market = small_setup
+        result = run_simulation(BalancedDispatcher(topo), trace, market)
+        ledger = result.ledger
+        assert ledger.num_slots == 6
+        assert ledger.total_net_profit == pytest.approx(
+            ledger.total_revenue - ledger.total_cost
+        )
+        assert ledger.net_profits.shape == (6,)
+        cumulative = ledger.cumulative_net_profit()
+        assert cumulative[-1] == pytest.approx(ledger.total_net_profit)
+        assert ledger.total_energy_kwh > 0
+
+    def test_record_matches_outcomes(self, small_setup):
+        topo, trace, market = small_setup
+        result = run_simulation(BalancedDispatcher(topo), trace, market)
+        manual = ProfitLedger()
+        for record in result.records:
+            manual.record(record.outcome)
+        assert np.allclose(manual.net_profits, result.ledger.net_profits)
+
+
+class TestMetrics:
+    @pytest.fixture
+    def records(self, small_setup):
+        topo, trace, market = small_setup
+        return run_simulation(ProfitAwareOptimizer(topo), trace, market).records
+
+    def test_net_profit_series(self, records):
+        series = net_profit_series(records)
+        assert series.shape == (6,)
+        assert np.all(np.isfinite(series))
+
+    def test_dispatch_matrix_consistency(self, records):
+        matrix = dispatch_matrix(records)
+        assert matrix.shape == (6, 2, 2)
+        series = dc_dispatch_series(records, k=0, l=1)
+        assert np.allclose(series, matrix[:, 0, 1])
+
+    def test_completion_fractions_bounds(self, records):
+        frac = completion_fractions(records)
+        assert np.all(frac >= 0.0) and np.all(frac <= 1.0)
+
+    def test_powered_on_series(self, records):
+        series = powered_on_series(records)
+        assert series.shape == (6, 2)
+        assert np.all(series >= 0) and np.all(series <= 3)
+
+    def test_total_requests(self, records):
+        total = total_requests_processed(records)
+        assert total > 0
+
+    def test_relative_improvement(self):
+        assert relative_improvement(110.0, 100.0) == pytest.approx(0.1)
+        assert relative_improvement(1.0, 0.0) == float("inf")
+        assert relative_improvement(0.0, 0.0) == 0.0
+
+
+class TestCompareDispatchers:
+    def test_same_inputs_for_all(self, small_setup):
+        topo, trace, market = small_setup
+        results = compare_dispatchers(
+            [ProfitAwareOptimizer(topo), BalancedDispatcher(topo)],
+            trace, market,
+        )
+        assert set(results) == {"optimized", "balanced"}
+        assert (results["optimized"].total_net_profit
+                >= results["balanced"].total_net_profit - 1e-6)
+
+
+class TestExperimentConfig:
+    def test_validation(self, small_setup):
+        topo, trace, market = small_setup
+        config = ExperimentConfig("t", topo, trace, market)
+        assert config.name == "t"
+        with pytest.raises(ValueError, match="classes"):
+            ExperimentConfig("t", topo, trace.select_classes([0]), market)
+
+    def test_market_location_mismatch(self, small_setup):
+        topo, trace, market = small_setup
+        bad_market = MultiElectricityMarket([PriceTrace("x", np.ones(6))])
+        with pytest.raises(ValueError, match="locations"):
+            ExperimentConfig("t", topo, trace, bad_market)
+
+    def test_run_comparison(self, small_setup):
+        topo, trace, market = small_setup
+        config = ExperimentConfig("t", topo, trace, market)
+        results = config.run_comparison(num_slots=2)
+        assert results["optimized"].num_slots == 2

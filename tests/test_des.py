@@ -1,0 +1,210 @@
+"""Tests for the discrete-event simulation substrate."""
+
+import numpy as np
+import pytest
+
+from repro.des.engine import Engine
+from repro.des.measurements import SojournStats, WelfordAccumulator
+from repro.des.processes import PoissonArrivals, exponential_sampler
+from repro.des.server import FCFSQueueServer, ProcessorSharingServer, VirtualMachine
+from repro.queueing.validation import compare_with_des, simulate_mm1
+
+
+class TestEngine:
+    def test_schedule_and_run(self):
+        engine = Engine()
+        seen = []
+        engine.schedule(2.0, lambda: seen.append("b"))
+        engine.schedule(1.0, lambda: seen.append("a"))
+        engine.run()
+        assert seen == ["a", "b"]
+        assert engine.now == 2.0
+
+    def test_tie_break_is_schedule_order(self):
+        engine = Engine()
+        seen = []
+        engine.schedule(1.0, lambda: seen.append(1))
+        engine.schedule(1.0, lambda: seen.append(2))
+        engine.run()
+        assert seen == [1, 2]
+
+    def test_cancelled_events_skipped(self):
+        engine = Engine()
+        seen = []
+        event = engine.schedule(1.0, lambda: seen.append("x"))
+        event.cancel()
+        engine.run()
+        assert seen == []
+        assert engine.events_processed == 0
+
+    def test_run_until_advances_clock(self):
+        engine = Engine()
+        engine.schedule(1.0, lambda: None)
+        engine.run_until(5.0)
+        assert engine.now == 5.0
+        assert engine.pending == 0
+
+    def test_run_until_leaves_future_events(self):
+        engine = Engine()
+        engine.schedule(10.0, lambda: None)
+        engine.run_until(5.0)
+        assert engine.pending == 1
+
+    def test_rejects_past_scheduling(self):
+        engine = Engine()
+        with pytest.raises(ValueError):
+            engine.schedule(-1.0, lambda: None)
+
+    def test_schedule_at(self):
+        engine = Engine()
+        ticks = []
+        engine.schedule_at(3.0, lambda: ticks.append(engine.now))
+        engine.run()
+        assert ticks == [3.0]
+
+    def test_events_scheduled_during_run(self):
+        engine = Engine()
+        seen = []
+
+        def first():
+            seen.append("first")
+            engine.schedule(1.0, lambda: seen.append("second"))
+
+        engine.schedule(1.0, first)
+        engine.run()
+        assert seen == ["first", "second"]
+        assert engine.now == 2.0
+
+
+class TestWelford:
+    def test_mean_and_variance(self):
+        acc = WelfordAccumulator()
+        data = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+        for x in data:
+            acc.add(x)
+        assert acc.mean == pytest.approx(np.mean(data))
+        assert acc.variance == pytest.approx(np.var(data, ddof=1))
+        assert acc.count == len(data)
+
+    def test_empty(self):
+        acc = WelfordAccumulator()
+        assert acc.mean == 0.0
+        assert acc.variance == 0.0
+        assert acc.stderr == 0.0
+
+
+class TestSojournStats:
+    def test_warmup_discard(self):
+        stats = SojournStats(warmup_time=10.0)
+        stats.record(5.0, 6.0)    # arrival during warmup: discarded
+        stats.record(11.0, 13.0)  # counted
+        assert stats.count == 1
+        assert stats.discarded == 1
+        assert stats.mean == pytest.approx(2.0)
+
+    def test_rejects_negative_sojourn(self):
+        stats = SojournStats()
+        with pytest.raises(ValueError):
+            stats.record(2.0, 1.0)
+
+    def test_keep_raw(self):
+        stats = SojournStats(keep_raw=True)
+        stats.record(0.0, 1.5)
+        assert stats.raw == [1.5]
+
+
+class TestServers:
+    def test_fcfs_processes_in_order(self):
+        engine = Engine()
+        server = FCFSQueueServer(engine, rate=1.0)
+        server.arrive(1.0)
+        server.arrive(1.0)
+        assert server.queue_length == 2
+        engine.run()
+        assert server.stats.count == 2
+        # Second job waits for the first: sojourns 1.0 and 2.0.
+        assert server.stats.mean == pytest.approx(1.5)
+
+    def test_ps_shares_capacity(self):
+        engine = Engine()
+        vm = VirtualMachine(engine, rate=1.0, stats=SojournStats(keep_raw=True))
+        vm.arrive(1.0)
+        vm.arrive(1.0)
+        engine.run()
+        # Two equal jobs sharing a unit-rate PS server both finish at t=2.
+        assert sorted(vm.stats.raw) == pytest.approx([2.0, 2.0])
+
+    def test_ps_small_job_preempts_share(self):
+        engine = Engine()
+        vm = VirtualMachine(engine, rate=1.0, stats=SojournStats(keep_raw=True))
+        vm.arrive(2.0)
+        vm.arrive(0.5)
+        engine.run()
+        # Short job: shares until done at t=1.0 (0.5*2); long job ends at 2.5.
+        assert sorted(vm.stats.raw) == pytest.approx([1.0, 2.5])
+
+    def test_processor_sharing_server_shares(self):
+        engine = Engine()
+        server = ProcessorSharingServer(
+            engine, capacity=1.0,
+            service_rates=np.array([10.0, 5.0]),
+            shares=np.array([0.5, 0.0]),
+        )
+        assert server.active_classes == [0]
+        assert server.arrive(0, 1.0)
+        assert not server.arrive(1, 1.0)  # class 1 has no VM
+
+    def test_shares_sum_validated(self):
+        engine = Engine()
+        with pytest.raises(ValueError, match="shares"):
+            ProcessorSharingServer(
+                engine, 1.0, np.array([1.0, 1.0]), np.array([0.7, 0.6])
+            )
+
+
+class TestPoissonArrivals:
+    def test_generates_until_stop(self):
+        engine = Engine()
+        count = [0]
+        PoissonArrivals(
+            engine, rate=5.0, sink=lambda w: count.__setitem__(0, count[0] + 1),
+            seed=1, stop_time=100.0,
+        )
+        engine.run()
+        # ~500 expected; allow wide tolerance.
+        assert 380 < count[0] < 620
+
+    def test_exponential_sampler(self):
+        rng = np.random.default_rng(0)
+        sample = exponential_sampler(rng, mean=2.0)
+        draws = [sample() for _ in range(2000)]
+        assert np.mean(draws) == pytest.approx(2.0, rel=0.1)
+
+
+class TestDESValidation:
+    """The paper's Eq. 1 must match simulated delays (its core premise)."""
+
+    @pytest.mark.parametrize("discipline", ["fcfs", "ps"])
+    def test_mm1_mean_delay_matches(self, discipline):
+        cmp = compare_with_des(
+            service_rate=10.0, arrival_rate=7.0,
+            horizon=3000.0, seed=42, discipline=discipline,
+        )
+        assert cmp.relative_error < 0.08, cmp
+
+    def test_ps_and_fcfs_agree_on_mean(self):
+        # M/M/1-PS and M/M/1-FCFS share the same mean sojourn time — the
+        # fact that lets the paper use Eq. 1 for CPU-sharing VMs.
+        ps = compare_with_des(10.0, 8.0, horizon=4000.0, seed=7, discipline="ps")
+        fcfs = compare_with_des(10.0, 8.0, horizon=4000.0, seed=7,
+                                discipline="fcfs")
+        assert ps.simulated_mean == pytest.approx(fcfs.simulated_mean, rel=0.15)
+
+    def test_unstable_rejected(self):
+        with pytest.raises(ValueError, match="unstable"):
+            simulate_mm1(5.0, 5.0, horizon=10.0)
+
+    def test_delay_grows_with_load(self):
+        low = simulate_mm1(10.0, 3.0, horizon=2000.0, seed=0).mean
+        high = simulate_mm1(10.0, 9.0, horizon=2000.0, seed=0).mean
+        assert high > low

@@ -1,0 +1,60 @@
+"""Smoke tests: every example script must run cleanly end to end."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "multitier_service.py",
+]
+
+FULL_EXAMPLES = [
+    "worldcup_day.py",
+    "google_twolevel.py",
+    "model_validation.py",
+    "green_energy.py",
+    "fault_tolerance.py",
+    "capacity_planning.py",
+]
+
+
+def _run(script: str, timeout: float) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        capture_output=True, text=True, timeout=timeout,
+    )
+
+
+class TestExamplesExist:
+    def test_all_examples_listed(self):
+        on_disk = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+        assert on_disk == set(FAST_EXAMPLES) | set(FULL_EXAMPLES)
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+class TestFastExamples:
+    def test_runs_clean(self, script):
+        result = _run(script, timeout=120)
+        assert result.returncode == 0, result.stderr[-2000:]
+        assert result.stdout.strip()
+
+
+@pytest.mark.parametrize("script", FULL_EXAMPLES)
+class TestFullExamples:
+    def test_runs_clean(self, script):
+        result = _run(script, timeout=600)
+        assert result.returncode == 0, result.stderr[-2000:]
+        assert result.stdout.strip()
+
+
+class TestExampleOutputs:
+    def test_quickstart_reports_both_approaches(self):
+        result = _run("quickstart.py", timeout=120)
+        assert "optimized" in result.stdout
+        assert "balanced" in result.stdout
+        assert "net profit" in result.stdout

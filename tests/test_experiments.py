@@ -1,0 +1,147 @@
+"""Tests for the paper experiment configurations (§V, §VI, §VII)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.section5 import (
+    HIGH_ARRIVALS,
+    LOW_ARRIVALS,
+    section5_arrivals,
+    section5_experiment,
+    section5_topology,
+)
+from repro.experiments.section6 import section6_experiment, section6_topology
+from repro.experiments.section7 import PRICE_WINDOW, section7_experiment, section7_topology
+
+
+class TestSection5:
+    def test_topology_shape(self):
+        topo = section5_topology()
+        assert topo.num_classes == 3
+        assert topo.num_frontends == 4
+        assert topo.num_datacenters == 3
+        assert topo.num_servers == 18
+
+    def test_transfer_cost_zero(self):
+        # "Transferring cost is not considered in this basic study."
+        topo = section5_topology()
+        assert np.all(topo.transfer_unit_costs == 0.0)
+
+    def test_arrival_regimes(self):
+        low = section5_arrivals("low")
+        high = section5_arrivals("high")
+        assert low.shape == (3, 4)
+        assert high.sum() > 3 * low.sum()
+        assert np.array_equal(low, LOW_ARRIVALS.T)
+        assert np.array_equal(high, HIGH_ARRIVALS.T)
+        with pytest.raises(ValueError):
+            section5_arrivals("medium")
+
+    def test_experiment_single_slot(self):
+        exp = section5_experiment("low")
+        assert exp.trace.num_slots == 1
+        assert exp.market.num_slots == 1
+
+    def test_low_load_fits_capacity(self):
+        # Both approaches should complete everything at low rates.
+        res = section5_experiment("low").run_comparison()
+        for result in res.values():
+            assert np.allclose(result.completion_fractions, 1.0)
+
+    def test_high_load_overloads(self):
+        res = section5_experiment("high").run_comparison()
+        for result in res.values():
+            assert result.completion_fractions.min() < 1.0
+
+    def test_optimized_processes_more_under_overload(self):
+        # The paper's headline §V number: ~16% more requests processed.
+        res = section5_experiment("high").run_comparison()
+        extra = (res["optimized"].requests_processed
+                 / res["balanced"].requests_processed - 1.0)
+        assert 0.05 < extra < 0.40
+
+    def test_optimized_nets_more_in_both_regimes(self):
+        for regime in ("low", "high"):
+            res = section5_experiment(regime).run_comparison()
+            assert (res["optimized"].total_net_profit
+                    >= res["balanced"].total_net_profit - 1e-6)
+
+
+class TestSection6:
+    def test_topology_structure(self):
+        topo = section6_topology()
+        assert topo.num_classes == 3
+        assert topo.num_frontends == 4
+        assert topo.num_servers == 18
+        # DC1 == DC2 capacity for request1; DC3 highest (paper §VI-B2).
+        mu = topo.service_rates
+        assert mu[0, 0] == mu[0, 1]
+        assert mu[0, 2] > mu[0, 0]
+        # DC2 farthest from every front-end.
+        d = topo.distances
+        assert np.all(d[:, 1] > d[:, 0])
+        assert np.all(d[:, 1] > d[:, 2])
+
+    def test_one_level_tufs(self):
+        topo = section6_topology()
+        assert all(rc.num_levels == 1 for rc in topo.request_classes)
+
+    def test_experiment_day_long(self):
+        exp = section6_experiment()
+        assert exp.trace.num_slots == 24
+        assert exp.market.num_slots == 24
+
+    def test_trace_deterministic(self):
+        a = section6_experiment(seed=7).trace.rates
+        b = section6_experiment(seed=7).trace.rates
+        assert np.array_equal(a, b)
+
+    def test_load_scale(self):
+        base = section6_experiment().trace.total_requests()
+        scaled = section6_experiment(load_scale=2.0).trace.total_requests()
+        assert scaled == pytest.approx(2 * base)
+
+
+class TestSection7:
+    def test_topology_structure(self):
+        topo = section7_topology()
+        assert topo.num_classes == 2
+        assert topo.num_frontends == 1
+        assert topo.num_datacenters == 2
+        assert {rc.num_levels for rc in topo.request_classes} == {2}
+
+    def test_price_window(self):
+        exp = section7_experiment()
+        assert exp.market.num_slots == PRICE_WINDOW[1] - PRICE_WINDOW[0]
+        assert exp.trace.num_slots == 7
+
+    def test_capacity_scale(self):
+        base = section7_topology().service_rates
+        scaled = section7_experiment(capacity_scale=2.0).topology.service_rates
+        assert np.allclose(scaled, 2 * base)
+
+    def test_default_regime_matches_paper(self):
+        # Optimized completes everything; Balanced drops a few percent.
+        res = section7_experiment().run_comparison()
+        opt, bal = res["optimized"], res["balanced"]
+        assert np.allclose(opt.completion_fractions, 1.0, atol=1e-6)
+        assert np.all(bal.completion_fractions < 1.0)
+        assert np.all(bal.completion_fractions > 0.85)
+        # Optimized pays at least as much total cost (extra volume) yet
+        # nets more profit — the §VII-B2 observation.
+        assert opt.total_cost >= 0.95 * bal.total_cost
+        assert opt.total_net_profit > bal.total_net_profit
+
+    def test_low_workload_regime(self):
+        res = section7_experiment(capacity_scale=2.0).run_comparison()
+        for result in res.values():
+            assert np.allclose(result.completion_fractions, 1.0, atol=1e-3)
+        assert (res["optimized"].total_net_profit
+                >= res["balanced"].total_net_profit - 1e-6)
+
+    def test_high_workload_regime(self):
+        res = section7_experiment(load_scale=2.0).run_comparison()
+        for result in res.values():
+            assert result.completion_fractions.min() < 1.0
+        assert (res["optimized"].total_net_profit
+                > res["balanced"].total_net_profit)

@@ -1,0 +1,139 @@
+"""Tests for failure injection and fault-tolerant re-planning."""
+
+import numpy as np
+import pytest
+
+from repro.core.optimizer import ProfitAwareOptimizer
+from repro.market.market import MultiElectricityMarket
+from repro.market.prices import PriceTrace
+from repro.sim.failures import (
+    MarkovServerAvailability,
+    degraded_topology,
+    expand_degraded_plan,
+    run_with_failures,
+)
+from repro.workload.traces import WorkloadTrace
+
+
+@pytest.fixture
+def setup(small_topology):
+    rng = np.random.default_rng(1)
+    trace = WorkloadTrace(rng.uniform(10.0, 50.0, size=(2, 2, 5)))
+    market = MultiElectricityMarket([
+        PriceTrace("a", rng.uniform(0.05, 0.12, size=5)),
+        PriceTrace("b", rng.uniform(0.05, 0.12, size=5)),
+    ])
+    return small_topology, trace, market
+
+
+class TestMarkovAvailability:
+    def test_no_failures_when_prob_zero(self, small_topology):
+        model = MarkovServerAvailability(small_topology, fail_prob=0.0)
+        for _ in range(10):
+            assert model.step().tolist() == [3, 2]
+
+    def test_always_fails_respects_floor(self, small_topology):
+        model = MarkovServerAvailability(
+            small_topology, fail_prob=1.0, repair_prob=0.0, min_up=1
+        )
+        counts = model.step()
+        assert counts.tolist() == [1, 1]
+        # And stays at the floor.
+        assert model.step().tolist() == [1, 1]
+
+    def test_repairs_bring_servers_back(self, small_topology):
+        model = MarkovServerAvailability(
+            small_topology, fail_prob=1.0, repair_prob=0.0, min_up=1
+        )
+        assert model.step().tolist() == [1, 1]  # mass failure to the floor
+        # Stop failing, always repair: fleet recovers fully.
+        model._fail, model._repair = 0.0, 1.0
+        assert model.step().tolist() == [3, 2]
+
+    def test_counts_within_bounds(self, small_topology):
+        model = MarkovServerAvailability(
+            small_topology, fail_prob=0.3, repair_prob=0.3, seed=5
+        )
+        for _ in range(50):
+            counts = model.step()
+            assert np.all(counts >= 1)
+            assert counts[0] <= 3 and counts[1] <= 2
+
+    def test_min_up_validated(self, small_topology):
+        with pytest.raises(ValueError):
+            MarkovServerAvailability(small_topology, min_up=0)
+
+
+class TestDegradedTopology:
+    def test_shrinks_counts(self, small_topology):
+        degraded = degraded_topology(small_topology, [2, 1])
+        assert degraded.servers_per_datacenter.tolist() == [2, 1]
+        # Everything else preserved.
+        assert degraded.num_classes == small_topology.num_classes
+        assert np.array_equal(degraded.distances, small_topology.distances)
+
+    def test_validates_range(self, small_topology):
+        with pytest.raises(ValueError):
+            degraded_topology(small_topology, [0, 2])
+        with pytest.raises(ValueError):
+            degraded_topology(small_topology, [4, 2])
+        with pytest.raises(ValueError):
+            degraded_topology(small_topology, [2])
+
+
+class TestExpandDegradedPlan:
+    def test_failed_servers_carry_nothing(self, small_topology):
+        degraded = degraded_topology(small_topology, [2, 1])
+        arrivals = np.full((2, 2), 20.0)
+        prices = np.array([0.08, 0.08])
+        plan = ProfitAwareOptimizer(degraded).plan_slot(arrivals, prices)
+        full = expand_degraded_plan(plan, small_topology, [2, 1])
+        # Server index 2 (third of dc1) and 4 (second of dc2) are down.
+        assert full.server_loads()[:, 2].sum() == 0.0
+        assert full.server_loads()[:, 4].sum() == 0.0
+        # Totals preserved.
+        assert np.allclose(full.served_rates(), plan.served_rates())
+
+
+class TestRunWithFailures:
+    def test_runs_and_accounts(self, setup):
+        topo, trace, market = setup
+        availability = MarkovServerAvailability(
+            topo, fail_prob=0.3, repair_prob=0.5, seed=2
+        )
+        result = run_with_failures(
+            topo, lambda t: ProfitAwareOptimizer(t), trace, market,
+            availability,
+        )
+        assert result.num_slots == 5
+        assert result.dispatcher_name == "optimized+failures"
+        assert np.all(np.isfinite(result.net_profit_series))
+
+    def test_failures_cost_profit_under_load(self, setup):
+        topo, trace, market = setup
+        heavy = trace.scaled(6.0)  # saturate so lost servers matter
+        baseline = run_with_failures(
+            topo, lambda t: ProfitAwareOptimizer(t), heavy, market,
+            MarkovServerAvailability(topo, fail_prob=0.0),
+        )
+        degraded = run_with_failures(
+            topo, lambda t: ProfitAwareOptimizer(t), heavy, market,
+            MarkovServerAvailability(topo, fail_prob=0.9, repair_prob=0.1,
+                                     seed=3),
+        )
+        assert degraded.total_net_profit < baseline.total_net_profit
+
+    def test_plans_always_feasible(self, setup):
+        topo, trace, market = setup
+        availability = MarkovServerAvailability(
+            topo, fail_prob=0.5, repair_prob=0.5, seed=9
+        )
+        result = run_with_failures(
+            topo, lambda t: ProfitAwareOptimizer(t), trace, market,
+            availability,
+        )
+        for record in result.records:
+            assert record.plan.meets_deadlines()
+            assert np.all(
+                record.plan.rates.sum(axis=2) <= record.arrivals + 1e-6
+            )

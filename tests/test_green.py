@@ -1,0 +1,117 @@
+"""Tests for the green-energy market extension."""
+
+import numpy as np
+import pytest
+
+from repro.market.green import (
+    GreenEnergyProfile,
+    apply_green_energy,
+    brown_energy_fraction,
+    solar_profile,
+    wind_profile,
+)
+from repro.market.market import MultiElectricityMarket
+from repro.market.prices import PriceTrace
+
+
+class TestProfiles:
+    def test_solar_zero_at_night(self):
+        profile = solar_profile(peak_coverage=0.6)
+        assert profile.at(2) == pytest.approx(0.0, abs=0.05)
+        assert profile.at(13) == pytest.approx(0.6, abs=0.01)
+
+    def test_solar_bounds(self):
+        profile = solar_profile(peak_coverage=1.0)
+        assert np.all(profile.availability >= 0.0)
+        assert np.all(profile.availability <= 1.0)
+
+    def test_wind_mean_and_bounds(self):
+        profile = wind_profile(mean_coverage=0.3, num_slots=500, seed=1)
+        assert np.all(profile.availability >= 0.0)
+        assert np.all(profile.availability <= 1.0)
+        assert profile.availability.mean() == pytest.approx(0.3, abs=0.1)
+
+    def test_wind_deterministic(self):
+        a = wind_profile(seed=3).availability
+        b = wind_profile(seed=3).availability
+        assert np.array_equal(a, b)
+
+    def test_profile_validation(self):
+        with pytest.raises(ValueError):
+            GreenEnergyProfile("x", np.array([0.5, 1.2]))
+        with pytest.raises(ValueError):
+            GreenEnergyProfile("x", np.array([]))
+
+    def test_at_wraps(self):
+        profile = GreenEnergyProfile("x", np.array([0.1, 0.9]))
+        assert profile.at(3) == 0.9
+
+
+class TestApplyGreenEnergy:
+    @pytest.fixture
+    def market(self):
+        return MultiElectricityMarket([
+            PriceTrace("a", np.array([0.10, 0.10])),
+            PriceTrace("b", np.array([0.20, 0.20])),
+        ])
+
+    def test_free_green_discounts_price(self, market):
+        profile = GreenEnergyProfile("solar", np.array([0.5, 0.0]))
+        green = apply_green_energy(market, [profile, None])
+        assert green.prices_at(0)[0] == pytest.approx(0.05)
+        assert green.prices_at(1)[0] == pytest.approx(0.10)
+        # Location b untouched.
+        assert green.prices_at(0)[1] == pytest.approx(0.20)
+
+    def test_priced_green(self, market):
+        profile = GreenEnergyProfile("ppa", np.array([1.0, 1.0]))
+        green = apply_green_energy(market, [profile, None], green_price=0.03)
+        assert green.prices_at(0)[0] == pytest.approx(0.03)
+
+    def test_validation(self, market):
+        with pytest.raises(ValueError, match="profiles"):
+            apply_green_energy(market, [None])
+        bad = GreenEnergyProfile("x", np.array([0.5, 0.5, 0.5]))
+        with pytest.raises(ValueError, match="slots"):
+            apply_green_energy(market, [bad, None])
+
+    def test_green_market_lowers_optimizer_cost(self, small_topology):
+        from repro.core.optimizer import ProfitAwareOptimizer
+        from repro.core.objective import evaluate_plan
+        arrivals = np.full((2, 2), 40.0)
+        brown_prices = np.array([0.10, 0.10])
+        market = MultiElectricityMarket([
+            PriceTrace("a", np.array([0.10])),
+            PriceTrace("b", np.array([0.10])),
+        ])
+        profile = GreenEnergyProfile("solar", np.array([0.8]))
+        green = apply_green_energy(market, [profile, profile])
+        opt = ProfitAwareOptimizer(small_topology)
+        plan_brown = opt.plan_slot(arrivals, market.prices_at(0))
+        plan_green = opt.plan_slot(arrivals, green.prices_at(0))
+        brown_cost = evaluate_plan(
+            plan_brown, arrivals, market.prices_at(0)).energy_cost
+        green_cost = evaluate_plan(
+            plan_green, arrivals, green.prices_at(0)).energy_cost
+        assert green_cost < brown_cost
+
+
+class TestBrownFraction:
+    def test_all_brown_without_profiles(self):
+        frac = brown_energy_fraction([None], np.array([[10.0, 10.0]]))
+        assert frac == 1.0
+
+    def test_mixed(self):
+        profile = GreenEnergyProfile("g", np.array([0.5, 1.0]))
+        frac = brown_energy_fraction([profile], np.array([[10.0, 10.0]]))
+        # slot 0: 5 brown; slot 1: 0 brown; total 20.
+        assert frac == pytest.approx(0.25)
+
+    def test_zero_energy(self):
+        assert brown_energy_fraction([None], np.zeros((1, 3))) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            brown_energy_fraction([None, None], np.zeros((1, 2)))
+        with pytest.raises(ValueError):
+            brown_energy_fraction([None], np.zeros(3))

@@ -1,0 +1,166 @@
+"""End-to-end integration tests across all subsystems."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    BalancedDispatcher,
+    MultiElectricityMarket,
+    ProfitAwareOptimizer,
+    compare_dispatchers,
+    evaluate_plan,
+    run_simulation,
+)
+from repro.des.engine import Engine
+from repro.des.processes import PoissonArrivals
+from repro.des.server import ProcessorSharingServer
+from repro.market.prices import paper_locations
+from repro.workload.worldcup import worldcup_like_trace
+
+
+class TestFullDayPipeline:
+    """Trace -> market -> optimizer -> evaluation, end to end."""
+
+    @pytest.fixture(scope="class")
+    def day_results(self):
+        from repro.experiments.section6 import section6_experiment
+        exp = section6_experiment()
+        return exp, compare_dispatchers(
+            [exp.optimizer(), exp.balanced()], exp.trace, exp.market
+        )
+
+    def test_optimizer_wins_every_slot(self, day_results):
+        _, results = day_results
+        opt = results["optimized"].net_profit_series
+        bal = results["balanced"].net_profit_series
+        assert np.all(opt >= bal - 1e-6)
+
+    def test_profit_positive_all_day(self, day_results):
+        _, results = day_results
+        assert np.all(results["optimized"].net_profit_series > 0)
+
+    def test_slot_plans_meet_deadlines(self, day_results):
+        _, results = day_results
+        for record in results["optimized"].records:
+            assert record.plan.meets_deadlines()
+
+    def test_farthest_dc_starved_for_request1(self, day_results):
+        # Fig. 7's qualitative claim: DC2 (farthest, not cheapest for
+        # request1) receives the least request-1 traffic under Optimized.
+        _, results = day_results
+        totals = np.sum(
+            [r.outcome.dc_loads for r in results["optimized"].records], axis=0
+        )
+        r1 = totals[0]
+        assert r1[1] == min(r1)
+
+    def test_powered_on_follows_load(self, day_results):
+        exp, results = day_results
+        records = results["optimized"].records
+        offered = [float(r.arrivals.sum()) for r in records]
+        powered = [int(r.plan.powered_on_per_dc().sum()) for r in records]
+        # The busiest hour powers on at least as many servers as the
+        # quietest hour.
+        assert powered[int(np.argmax(offered))] >= powered[int(np.argmin(offered))]
+
+
+class TestPlanAgainstDES:
+    """The optimizer's M/M/1 delay predictions must hold in simulation."""
+
+    def test_simulated_delays_match_plan(self, small_topology):
+        arrivals = np.full((2, 2), 40.0)
+        prices = np.array([0.05, 0.12])
+        plan = ProfitAwareOptimizer(small_topology).plan_slot(arrivals, prices)
+        loads = plan.server_loads()
+        predicted = plan.delays()
+        service = plan.server_service_rates()
+
+        # Simulate the most-loaded (class, server) VM.
+        k, n = np.unravel_index(np.nanargmax(loads), loads.shape)
+        engine = Engine()
+        dc_idx = plan._dc_of_server()[n]
+        dc = small_topology.datacenters[dc_idx]
+        server = ProcessorSharingServer(
+            engine, capacity=dc.server_capacity,
+            service_rates=dc.service_rates,
+            shares=plan.shares[:, n],
+        )
+        horizon = 3000.0 / loads[k, n]
+        PoissonArrivals(
+            engine, rate=float(loads[k, n]),
+            sink=lambda w: server.arrive(int(k), w),
+            seed=11, stop_time=horizon,
+        )
+        engine.run()
+        stats = server.vm(int(k)).stats
+        assert stats.count > 1500
+        assert stats.mean == pytest.approx(predicted[k, n], rel=0.15)
+
+    def test_realized_profit_reasonably_close_under_des_noise(
+        self, small_topology
+    ):
+        # Evaluate the plan's predicted profit against a jittered
+        # realization where each slot's true rate differs by +-5%.
+        rng = np.random.default_rng(0)
+        arrivals = np.full((2, 2), 40.0)
+        prices = np.array([0.05, 0.12])
+        plan = ProfitAwareOptimizer(small_topology).plan_slot(arrivals, prices)
+        planned = evaluate_plan(plan, arrivals, prices).net_profit
+        # The plan dispatches specific rates; with slightly lower true
+        # arrivals the controller caps dispatch (simulate via scale).
+        from repro.core.controller import _cap_to_arrivals
+        noisy = arrivals * rng.uniform(0.95, 1.0, size=arrivals.shape)
+        capped = _cap_to_arrivals(plan, noisy)
+        realized = evaluate_plan(capped, noisy, prices).net_profit
+        assert realized == pytest.approx(planned, rel=0.1)
+
+
+class TestLibraryPublicAPI:
+    def test_quickstart_docstring_flow(self):
+        # Mirrors the package docstring example.
+        import repro
+        assert repro.__version__
+        topo = repro.random_topology(seed=1)
+        trace = worldcup_like_trace(
+            num_classes=topo.num_classes, seed=1
+        )
+        market = MultiElectricityMarket(list(paper_locations().values()))
+        result = run_simulation(
+            BalancedDispatcher(topo), trace, market, num_slots=2
+        )
+        assert result.num_slots == 2
+
+    def test_all_exports_resolve(self):
+        import repro
+        for name in repro.__all__:
+            assert getattr(repro, name, None) is not None, name
+
+
+class TestFigureBuilders:
+    def test_fig1(self):
+        from repro.experiments.figures import fig1_price_series
+        series = fig1_price_series()
+        assert len(series) == 3
+        assert all(v.shape == (24,) for v in series.values())
+
+    def test_fig4(self):
+        from repro.experiments.figures import fig4_basic_profit
+        data = fig4_basic_profit("low")
+        assert data["optimized"]["net_profit"] >= data["balanced"]["net_profit"]
+
+    def test_fig5(self):
+        from repro.experiments.figures import fig5_trace_series
+        series = fig5_trace_series()
+        assert len(series) == 4
+        assert all(v.shape == (24,) for v in series.values())
+
+    def test_fig10_regime_validation(self):
+        from repro.experiments.figures import fig10_workload_effect
+        with pytest.raises(ValueError):
+            fig10_workload_effect("medium")
+
+    def test_fig11_returns_positive_times(self):
+        from repro.experiments.figures import fig11_computation_time
+        times = fig11_computation_time(server_counts=(1, 2), repeats=1)
+        assert set(times) == {1, 2}
+        assert all(t > 0 for t in times.values())

@@ -1,0 +1,133 @@
+"""Tests for the primal-dual interior-point LP solver."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.solvers.base import LinearProgram, SolveStatus
+from repro.solvers.interior_point import InteriorPointSolver
+from repro.solvers.linprog import solve_lp
+
+
+class TestBasics:
+    def test_simple_maximization(self):
+        lp = LinearProgram(
+            c=[-1.0, -1.0],
+            a_ub=[[1.0, 2.0], [3.0, 1.0]],
+            b_ub=[4.0, 6.0],
+        )
+        sol = InteriorPointSolver().solve(lp)
+        assert sol.ok
+        assert sol.objective == pytest.approx(-2.8, abs=1e-6)
+        assert sol.x == pytest.approx([1.6, 1.2], abs=1e-5)
+
+    def test_equality_constraints(self):
+        lp = LinearProgram(
+            c=[1.0, 1.0],
+            a_eq=[[1.0, 1.0], [1.0, -1.0]],
+            b_eq=[2.0, 0.0],
+        )
+        sol = InteriorPointSolver().solve(lp)
+        assert sol.ok
+        assert sol.x == pytest.approx([1.0, 1.0], abs=1e-6)
+
+    def test_bounds_respected(self):
+        lp = LinearProgram(c=[-1.0, -2.0], upper=[2.0, 3.0])
+        sol = InteriorPointSolver().solve(lp)
+        assert sol.ok
+        assert sol.x == pytest.approx([2.0, 3.0], abs=1e-6)
+
+    def test_degenerate_duplicate_rows(self):
+        # Standard-form conversion yields dependent rows; the solver must
+        # cope (rank reduction path).
+        lp = LinearProgram(
+            c=[1.0],
+            a_eq=[[1.0], [1.0]],
+            b_eq=[2.0, 2.0],
+            upper=[5.0],
+        )
+        sol = InteriorPointSolver().solve(lp)
+        assert sol.ok
+        assert sol.x == pytest.approx([2.0], abs=1e-6)
+
+    def test_inconsistent_duplicate_rows_infeasible(self):
+        lp = LinearProgram(
+            c=[1.0],
+            a_eq=[[1.0], [1.0]],
+            b_eq=[2.0, 3.0],
+            upper=[5.0],
+        )
+        sol = InteriorPointSolver().solve(lp)
+        assert sol.status in (SolveStatus.INFEASIBLE,
+                              SolveStatus.NUMERICAL_ERROR,
+                              SolveStatus.ITERATION_LIMIT)
+        assert not sol.ok
+
+    def test_no_constraints(self):
+        lp = LinearProgram(c=[1.0], upper=[3.0])
+        sol = InteriorPointSolver().solve(lp)
+        assert sol.ok
+        assert sol.x == pytest.approx([0.0], abs=1e-6)
+
+    def test_unbounded_free_direction(self):
+        lp = LinearProgram(c=[-1.0])
+        assert InteriorPointSolver().solve(lp).status in (
+            SolveStatus.UNBOUNDED, SolveStatus.INFEASIBLE,
+            SolveStatus.ITERATION_LIMIT,
+        )
+
+
+finite = st.floats(-2.0, 2.0, allow_nan=False)
+
+
+@st.composite
+def bounded_lps(draw):
+    n = draw(st.integers(2, 6))
+    m = draw(st.integers(1, 4))
+    c = draw(arrays(float, n, elements=finite))
+    a = draw(arrays(float, (m, n), elements=finite))
+    b = draw(arrays(float, m, elements=st.floats(0.5, 3.0)))
+    return LinearProgram(c=c, a_ub=a, b_ub=b, upper=np.full(n, 3.0))
+
+
+class TestAgainstHighs:
+    @given(lp=bounded_lps())
+    @settings(max_examples=40, deadline=None)
+    def test_random_bounded_lps_agree(self, lp):
+        ipm = InteriorPointSolver().solve(lp)
+        ref = solve_lp(lp, "highs")
+        assert ref.ok  # zero is feasible, region bounded
+        # The IPM may occasionally bail numerically; when it answers, it
+        # must answer correctly.
+        if ipm.ok:
+            assert ipm.objective == pytest.approx(ref.objective, abs=1e-5)
+            assert lp.is_feasible(ipm.x, tol=1e-5)
+
+    @given(lp=bounded_lps())
+    @settings(max_examples=25, deadline=None)
+    def test_convergence_rate_reasonable(self, lp):
+        sol = InteriorPointSolver().solve(lp)
+        if sol.ok:
+            assert sol.iterations <= 60
+
+
+class TestOnSlotProblem:
+    def test_solves_section6_slot(self):
+        from repro.core.formulation import SlotInputs, fixed_level_lp
+        from repro.experiments.section6 import section6_experiment
+        exp = section6_experiment()
+        inputs = SlotInputs(
+            exp.topology, exp.trace.arrivals_at(14),
+            exp.market.prices_at(14), 1.0,
+        )
+        lp, decoder = fixed_level_lp(inputs)
+        ipm = InteriorPointSolver().solve(lp)
+        ref = solve_lp(lp, "highs")
+        assert ipm.ok
+        assert ipm.objective == pytest.approx(
+            ref.objective, rel=1e-6, abs=1e-3
+        )
+        plan = decoder(ipm.x)
+        assert plan.meets_deadlines()

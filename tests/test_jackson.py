@@ -1,0 +1,145 @@
+"""Tests for the open Jackson network (multi-tier extension)."""
+
+import numpy as np
+import pytest
+
+from repro.queueing.jackson import JacksonNetwork
+from repro.queueing.mm1 import MM1Queue
+
+
+def tandem(mu1=10.0, mu2=12.0, alpha=6.0):
+    """Two stations in series: all of 1's output feeds 2."""
+    return JacksonNetwork(
+        service_rates=np.array([mu1, mu2]),
+        external_arrivals=np.array([alpha, 0.0]),
+        routing=np.array([[0.0, 1.0], [0.0, 0.0]]),
+    )
+
+
+class TestTrafficEquations:
+    def test_tandem_arrivals(self):
+        net = tandem()
+        lam = net.effective_arrivals()
+        assert lam == pytest.approx([6.0, 6.0])
+
+    def test_feedback_loop(self):
+        # Station 0 feeds back to itself with prob 0.5: lambda = 2*alpha.
+        net = JacksonNetwork(
+            service_rates=np.array([20.0]),
+            external_arrivals=np.array([4.0]),
+            routing=np.array([[0.5]]),
+        )
+        assert net.effective_arrivals() == pytest.approx([8.0])
+
+    def test_split_routing(self):
+        net = JacksonNetwork(
+            service_rates=np.array([30.0, 10.0, 10.0]),
+            external_arrivals=np.array([12.0, 0.0, 0.0]),
+            routing=np.array([
+                [0.0, 0.5, 0.5],
+                [0.0, 0.0, 0.0],
+                [0.0, 0.0, 0.0],
+            ]),
+        )
+        assert net.effective_arrivals() == pytest.approx([12.0, 6.0, 6.0])
+
+
+class TestMetrics:
+    def test_station_matches_mm1(self):
+        net = tandem()
+        station = net.station(0)
+        reference = MM1Queue(10.0, 6.0)
+        assert station.mean_sojourn_time == reference.mean_sojourn_time
+
+    def test_tandem_network_time_is_sum_of_sojourns(self):
+        net = tandem(mu1=10.0, mu2=12.0, alpha=6.0)
+        expected = 1.0 / (10.0 - 6.0) + 1.0 / (12.0 - 6.0)
+        assert net.mean_network_time() == pytest.approx(expected)
+        assert net.mean_path_time(entry=0) == pytest.approx(expected)
+
+    def test_littles_law_consistency(self):
+        net = tandem()
+        # L_total = alpha_total * W_total.
+        assert net.mean_queue_lengths().sum() == pytest.approx(
+            net.external_arrivals.sum() * net.mean_network_time()
+        )
+
+    def test_visit_counts_with_feedback(self):
+        net = JacksonNetwork(
+            service_rates=np.array([20.0]),
+            external_arrivals=np.array([4.0]),
+            routing=np.array([[0.5]]),
+        )
+        # Geometric number of visits: 1/(1-0.5) = 2.
+        assert net.visit_counts(entry=0) == pytest.approx([2.0])
+
+    def test_unstable_network_reports_inf(self):
+        net = tandem(mu1=5.0, mu2=12.0, alpha=6.0)
+        assert not net.is_stable
+        assert net.mean_network_time() == np.inf
+        assert net.mean_path_time() == np.inf
+
+    def test_entry_out_of_range(self):
+        with pytest.raises(IndexError):
+            tandem().visit_counts(entry=5)
+
+
+class TestValidation:
+    def test_rejects_super_stochastic_rows(self):
+        with pytest.raises(ValueError, match="sum"):
+            JacksonNetwork(
+                service_rates=np.array([1.0, 1.0]),
+                external_arrivals=np.array([0.1, 0.0]),
+                routing=np.array([[0.6, 0.6], [0.0, 0.0]]),
+            )
+
+    def test_rejects_absorbing_routing(self):
+        with pytest.raises(ValueError, match="spectral"):
+            JacksonNetwork(
+                service_rates=np.array([1.0]),
+                external_arrivals=np.array([0.1]),
+                routing=np.array([[1.0]]),
+            )
+
+    def test_rejects_no_external_arrivals(self):
+        with pytest.raises(ValueError, match="external"):
+            JacksonNetwork(
+                service_rates=np.array([1.0]),
+                external_arrivals=np.array([0.0]),
+                routing=np.array([[0.0]]),
+            )
+
+    def test_rejects_shape_mismatches(self):
+        with pytest.raises(ValueError):
+            JacksonNetwork(
+                service_rates=np.array([1.0, 2.0]),
+                external_arrivals=np.array([1.0]),
+                routing=np.zeros((2, 2)),
+            )
+
+
+class TestAgainstDES:
+    def test_tandem_network_time_matches_simulation(self):
+        # Burke's theorem: the departure process of a stable M/M/1 with
+        # Poisson input is Poisson with the same rate, so each tandem
+        # stage can be simulated independently and the mean sojourns
+        # added — exactly the product-form logic Jackson networks rest on.
+        from repro.des.engine import Engine
+        from repro.des.measurements import SojournStats
+        from repro.des.processes import PoissonArrivals
+        from repro.des.server import FCFSQueueServer
+
+        simulated_total = 0.0
+        for rate, seed in ((10.0, 8), (12.0, 9)):
+            engine = Engine()
+            queue = FCFSQueueServer(engine, rate=rate,
+                                    stats=SojournStats(warmup_time=100.0))
+            PoissonArrivals(engine, rate=6.0, sink=queue.arrive, seed=seed,
+                            stop_time=3000.0)
+            engine.run()
+            simulated_total += queue.stats.mean
+
+        net = tandem(mu1=10.0, mu2=12.0, alpha=6.0)
+        assert simulated_total == pytest.approx(
+            net.mean_network_time(), rel=0.1
+        )

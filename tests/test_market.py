@@ -1,0 +1,135 @@
+"""Tests for the electricity-market substrate."""
+
+import numpy as np
+import pytest
+
+from repro.market.market import MultiElectricityMarket
+from repro.market.prices import (
+    PriceTrace,
+    atlanta_profile,
+    houston_profile,
+    mountain_view_profile,
+    paper_locations,
+    price_matrix,
+    synthetic_profile,
+)
+
+
+class TestPriceTrace:
+    def test_length_and_at(self):
+        trace = PriceTrace("x", np.array([0.1, 0.2, 0.3]))
+        assert len(trace) == 3
+        assert trace.at(1) == 0.2
+
+    def test_at_wraps_around(self):
+        trace = PriceTrace("x", np.array([0.1, 0.2]))
+        assert trace.at(2) == 0.1
+        assert trace.at(5) == 0.2
+
+    def test_window(self):
+        trace = PriceTrace("x", np.arange(1.0, 25.0))
+        win = trace.window(22, 26)
+        assert win.prices.tolist() == [23.0, 24.0, 1.0, 2.0]
+
+    def test_rejects_negative_prices(self):
+        with pytest.raises(ValueError):
+            PriceTrace("x", np.array([0.1, -0.2]))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            PriceTrace("x", np.array([]))
+
+    def test_scaled(self):
+        trace = PriceTrace("x", np.array([0.1, 0.2]))
+        assert trace.scaled(2.0).prices.tolist() == [0.2, 0.4]
+
+    def test_mean(self):
+        trace = PriceTrace("x", np.array([0.1, 0.3]))
+        assert trace.mean() == pytest.approx(0.2)
+
+
+class TestProfiles:
+    @pytest.mark.parametrize("builder", [
+        houston_profile, mountain_view_profile, atlanta_profile
+    ])
+    def test_profiles_are_24h_positive(self, builder):
+        trace = builder()
+        assert len(trace) == 24
+        assert np.all(trace.prices > 0)
+
+    def test_profiles_are_deterministic(self):
+        a = houston_profile().prices
+        b = houston_profile().prices
+        assert np.array_equal(a, b)
+
+    def test_profiles_differ_across_locations(self):
+        assert not np.array_equal(houston_profile().prices,
+                                  atlanta_profile().prices)
+
+    def test_cheapest_location_changes_during_day(self):
+        # The multi-electricity-market premise: no location is cheapest
+        # around the clock.
+        matrix = price_matrix(list(paper_locations().values()))
+        cheapest = np.argmin(matrix, axis=0)
+        assert len(set(cheapest.tolist())) >= 2
+
+    def test_afternoon_peak(self):
+        prices = houston_profile().prices
+        assert prices[14:19].mean() > prices[0:6].mean()
+
+    def test_synthetic_profile_parameters(self):
+        trace = synthetic_profile("custom", base=0.05, amplitude=0.0)
+        # With zero amplitude the curve is base + jitter only.
+        assert np.all(np.abs(trace.prices - 0.05) < 0.05)
+
+    def test_price_matrix_rejects_mixed_lengths(self):
+        with pytest.raises(ValueError, match="lengths"):
+            price_matrix([
+                PriceTrace("a", np.array([0.1])),
+                PriceTrace("b", np.array([0.1, 0.2])),
+            ])
+
+
+class TestMultiElectricityMarket:
+    @pytest.fixture
+    def market(self):
+        return MultiElectricityMarket([
+            PriceTrace("a", np.array([0.3, 0.1, 0.2])),
+            PriceTrace("b", np.array([0.1, 0.2, 0.2])),
+        ])
+
+    def test_shape_properties(self, market):
+        assert market.num_locations == 2
+        assert market.num_slots == 3
+
+    def test_prices_at(self, market):
+        assert market.prices_at(0).tolist() == [0.3, 0.1]
+
+    def test_prices_at_wraps(self, market):
+        assert market.prices_at(3).tolist() == [0.3, 0.1]
+
+    def test_cheapest_location(self, market):
+        assert market.cheapest_location(0) == 1
+        assert market.cheapest_location(1) == 0
+
+    def test_price_order_is_balanced_fill_order(self, market):
+        assert market.price_order(0).tolist() == [1, 0]
+        assert market.price_order(1).tolist() == [0, 1]
+
+    def test_spread(self, market):
+        assert market.spread_at(0) == pytest.approx(0.2)
+        assert market.spread_at(2) == pytest.approx(0.0)
+
+    def test_window(self, market):
+        win = market.window(1, 3)
+        assert win.num_slots == 2
+        assert win.prices_at(0).tolist() == [0.1, 0.2]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            MultiElectricityMarket([])
+
+    def test_as_matrix_is_copy(self, market):
+        m = market.as_matrix()
+        m[:] = 0
+        assert market.prices_at(0)[0] == 0.3

@@ -1,0 +1,101 @@
+"""Tests for M/G/1 (Pollaczek-Khinchine) and Eq.-1 robustness."""
+
+import numpy as np
+import pytest
+
+from repro.des.engine import Engine
+from repro.des.measurements import SojournStats
+from repro.des.server import FCFSQueueServer
+from repro.queueing.mg1 import MG1Queue, deadline_inflation_factor, mg1_mean_delay
+from repro.queueing.mm1 import mm1_mean_delay
+from repro.utils.rng import as_generator
+
+
+class TestMG1Formula:
+    def test_scv_one_reduces_to_mm1(self):
+        assert mg1_mean_delay(10.0, 7.0, scv=1.0) == pytest.approx(
+            mm1_mean_delay(10.0, 7.0)
+        )
+
+    def test_deterministic_service_halves_wait(self):
+        mu, lam = 10.0, 8.0
+        exp_wait = mm1_mean_delay(mu, lam) - 1.0 / mu
+        det_wait = mg1_mean_delay(mu, lam, scv=0.0) - 1.0 / mu
+        assert det_wait == pytest.approx(exp_wait / 2.0)
+
+    def test_heavy_tail_increases_delay(self):
+        assert mg1_mean_delay(10.0, 8.0, scv=4.0) > mg1_mean_delay(10.0, 8.0, 1.0)
+
+    def test_unstable_is_inf(self):
+        assert mg1_mean_delay(10.0, 10.0, scv=0.5) == np.inf
+
+    def test_vectorized(self):
+        out = mg1_mean_delay(np.array([10.0, 10.0]), np.array([5.0, 11.0]),
+                             scv=0.5)
+        assert np.isfinite(out[0]) and np.isinf(out[1])
+
+    def test_queue_object(self):
+        q = MG1Queue(service_rate=10.0, arrival_rate=8.0, scv=0.0)
+        assert q.is_stable
+        assert q.mean_sojourn_time == pytest.approx(
+            mg1_mean_delay(10.0, 8.0, 0.0)
+        )
+        # Eq. 1 overestimates delay for low-variance service.
+        assert q.exponential_model_error > 0
+
+    def test_model_error_sign_flips_with_scv(self):
+        low = MG1Queue(10.0, 8.0, scv=0.2).exponential_model_error
+        high = MG1Queue(10.0, 8.0, scv=3.0).exponential_model_error
+        assert low > 0 > high
+
+
+class TestDeadlineInflation:
+    def test_scv_one_is_neutral(self):
+        assert deadline_inflation_factor(0.8, 1.0) == pytest.approx(1.0)
+
+    def test_matches_sojourn_ratio(self):
+        mu, rho, scv = 10.0, 0.85, 2.5
+        lam = rho * mu
+        ratio = mg1_mean_delay(mu, lam, scv) / mm1_mean_delay(mu, lam)
+        assert deadline_inflation_factor(rho, scv) == pytest.approx(ratio)
+
+    def test_rejects_saturated(self):
+        with pytest.raises(ValueError):
+            deadline_inflation_factor(1.0, 1.0)
+
+
+class TestAgainstDES:
+    def _simulate(self, work_sampler, rate=10.0, lam=7.0, horizon=4000.0,
+                  seed=0):
+        engine = Engine()
+        queue = FCFSQueueServer(engine, rate=rate,
+                                stats=SojournStats(warmup_time=200.0))
+        rng = as_generator(seed)
+        # Drive arrivals manually with custom work sizes.
+        def arrival():
+            queue.arrive(work_sampler(rng))
+            gap = float(rng.exponential(1.0 / lam))
+            if engine.now + gap < horizon:
+                engine.schedule(gap, arrival)
+        engine.schedule(float(rng.exponential(1.0 / lam)), arrival)
+        engine.run()
+        return queue.stats.mean
+
+    def test_deterministic_service_matches_pk(self):
+        measured = self._simulate(lambda rng: 1.0, seed=3)
+        predicted = mg1_mean_delay(10.0, 7.0, scv=0.0)
+        assert measured == pytest.approx(predicted, rel=0.1)
+
+    def test_hyperexponential_service_matches_pk(self):
+        # Mixture of two exponentials with mean 1 and scv > 1.
+        p, m1, m2 = 0.9, 0.5556, 5.0  # mean = .9*.5556+.1*5 = 1.0
+
+        def sampler(rng):
+            mean = m1 if rng.random() < p else m2
+            return float(rng.exponential(mean))
+
+        second_moment = 2 * (p * m1**2 + (1 - p) * m2**2)
+        scv = second_moment - 1.0  # var/mean^2 with mean 1
+        measured = self._simulate(sampler, lam=6.0, horizon=8000.0, seed=5)
+        predicted = mg1_mean_delay(10.0, 6.0, scv=scv)
+        assert measured == pytest.approx(predicted, rel=0.15)

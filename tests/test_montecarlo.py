@@ -1,0 +1,82 @@
+"""Tests for Monte-Carlo robustness evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.core.objective import evaluate_plan
+from repro.core.optimizer import ProfitAwareOptimizer
+from repro.sim.montecarlo import ProfitDistribution, monte_carlo_profit
+
+
+@pytest.fixture
+def planned(small_topology):
+    arrivals = np.full((2, 2), 60.0)
+    prices = np.array([0.05, 0.12])
+    plan = ProfitAwareOptimizer(small_topology).plan_slot(arrivals, prices)
+    return small_topology, plan, arrivals, prices
+
+
+class TestMonteCarloProfit:
+    def test_zero_noise_equals_deterministic(self, planned):
+        _, plan, arrivals, prices = planned
+        dist = monte_carlo_profit(plan, arrivals, prices, noise=0.0, draws=5)
+        deterministic = evaluate_plan(plan, arrivals, prices).net_profit
+        assert np.allclose(dist.samples, deterministic)
+        assert dist.std == pytest.approx(0.0, abs=1e-9)
+
+    def test_noise_spreads_distribution(self, planned):
+        _, plan, arrivals, prices = planned
+        dist = monte_carlo_profit(plan, arrivals, prices, noise=0.2,
+                                  draws=100, seed=1)
+        assert dist.std > 0
+        assert dist.quantile(0.05) < dist.quantile(0.95)
+        assert dist.value_at_risk_5 == dist.quantile(0.05)
+
+    def test_mean_below_deterministic(self, planned):
+        # Rate shortfalls cut dispatch while overshoots cannot be served
+        # beyond the plan: profit is concave in the realization, so the
+        # noisy mean sits below the deterministic value.
+        _, plan, arrivals, prices = planned
+        dist = monte_carlo_profit(plan, arrivals, prices, noise=0.3,
+                                  draws=300, seed=2)
+        deterministic = evaluate_plan(plan, arrivals, prices).net_profit
+        assert dist.mean < deterministic
+
+    def test_deterministic_given_seed(self, planned):
+        _, plan, arrivals, prices = planned
+        a = monte_carlo_profit(plan, arrivals, prices, draws=20, seed=3)
+        b = monte_carlo_profit(plan, arrivals, prices, draws=20, seed=3)
+        assert np.array_equal(a.samples, b.samples)
+
+    def test_validation(self, planned):
+        _, plan, arrivals, prices = planned
+        with pytest.raises(ValueError):
+            monte_carlo_profit(plan, arrivals, prices, draws=0)
+        with pytest.raises(ValueError):
+            monte_carlo_profit(plan, arrivals, prices, noise=-0.1)
+
+    def test_rate_noise_is_insensitive_to_deadline_margin(self, small_topology):
+        # In this noise model dispatch is only ever *capped down* (extra
+        # arrivals are dropped, planned rates never exceeded), so delays
+        # cannot degrade and the deadline margin costs profit without a
+        # compensating benefit — margin robustness is a *queueing*-noise
+        # story, quantified by the DES (bench_validation_des.py).
+        arrivals = np.full((2, 2), 120.0)
+        prices = np.array([0.05, 0.12])
+        tight_plan = ProfitAwareOptimizer(small_topology).plan_slot(
+            arrivals, prices)
+        margin_plan = ProfitAwareOptimizer(
+            small_topology, deadline_margin=0.8
+        ).plan_slot(arrivals, prices)
+        tight = monte_carlo_profit(tight_plan, arrivals, prices,
+                                   noise=0.1, draws=200, seed=4)
+        margin = monte_carlo_profit(margin_plan, arrivals, prices,
+                                    noise=0.1, draws=200, seed=4)
+        assert tight.mean >= margin.mean - 1e-9
+
+
+class TestProfitDistribution:
+    def test_single_sample(self):
+        dist = ProfitDistribution(np.array([5.0]))
+        assert dist.mean == 5.0
+        assert dist.std == 0.0

@@ -1,0 +1,173 @@
+"""Tests for ProfitAwareOptimizer (all solve paths and formulations)."""
+
+import numpy as np
+import pytest
+
+from repro.core.objective import evaluate_plan
+from repro.core.optimizer import ProfitAwareOptimizer, _explode_topology
+from repro.solvers.base import SolverError
+
+
+def profits(topology, optimizer, arrivals, prices):
+    plan = optimizer.plan_slot(arrivals, prices)
+    return evaluate_plan(plan, arrivals, prices).net_profit
+
+
+class TestConstruction:
+    def test_rejects_unknown_method(self, small_topology):
+        with pytest.raises(ValueError, match="level_method"):
+            ProfitAwareOptimizer(small_topology, level_method="magic")
+
+    def test_rejects_unknown_formulation(self, small_topology):
+        with pytest.raises(ValueError, match="formulation"):
+            ProfitAwareOptimizer(small_topology, formulation="magic")
+
+    def test_lp_refused_for_multilevel(self, multilevel_topology):
+        opt = ProfitAwareOptimizer(multilevel_topology, level_method="lp")
+        with pytest.raises(ValueError, match="one-level"):
+            opt.plan_slot(np.array([[100.0], [100.0]]), np.array([0.1, 0.1]))
+
+
+class TestOneLevelPaths:
+    def test_auto_selects_lp(self, small_topology):
+        opt = ProfitAwareOptimizer(small_topology)
+        opt.plan_slot(np.full((2, 2), 40.0), np.array([0.1, 0.1]))
+        assert opt.last_stats.method == "lp"
+
+    def test_plan_feasible_and_profitable(self, small_topology):
+        arrivals = np.full((2, 2), 40.0)
+        prices = np.array([0.05, 0.12])
+        opt = ProfitAwareOptimizer(small_topology)
+        plan = opt.plan_slot(arrivals, prices)
+        assert plan.meets_deadlines()
+        out = evaluate_plan(plan, arrivals, prices)
+        assert out.net_profit > 0
+
+    @pytest.mark.parametrize("formulation", ["aggregated", "per_server"])
+    @pytest.mark.parametrize("lp_method", ["highs", "simplex"])
+    def test_all_lp_paths_agree(self, small_topology, formulation, lp_method):
+        arrivals = np.full((2, 2), 60.0)
+        prices = np.array([0.05, 0.12])
+        reference = profits(
+            small_topology,
+            ProfitAwareOptimizer(small_topology),
+            arrivals, prices,
+        )
+        value = profits(
+            small_topology,
+            ProfitAwareOptimizer(small_topology, formulation=formulation,
+                                 lp_method=lp_method),
+            arrivals, prices,
+        )
+        assert value == pytest.approx(reference, rel=1e-6)
+
+    def test_optimizer_at_least_matches_any_feasible_plan(self, small_topology):
+        from repro.core.baselines import BalancedDispatcher
+        arrivals = np.full((2, 2), 80.0)
+        prices = np.array([0.04, 0.15])
+        opt_profit = profits(
+            small_topology, ProfitAwareOptimizer(small_topology),
+            arrivals, prices,
+        )
+        balanced = BalancedDispatcher(small_topology)
+        bal_plan = balanced.plan_slot(arrivals, prices)
+        bal_profit = evaluate_plan(bal_plan, arrivals, prices).net_profit
+        assert opt_profit >= bal_profit - 1e-6
+
+
+class TestMultiLevelPaths:
+    @pytest.fixture
+    def setup(self, multilevel_topology):
+        arrivals = np.array([[9000.0], [8000.0]])
+        prices = np.array([0.05, 0.09])
+        return multilevel_topology, arrivals, prices
+
+    def test_auto_selects_milp(self, setup):
+        topo, arrivals, prices = setup
+        opt = ProfitAwareOptimizer(topo)
+        opt.plan_slot(arrivals, prices)
+        assert opt.last_stats.method == "milp"
+        assert opt.last_stats.num_variables > 0
+
+    def test_milp_bb_matches_highs(self, setup):
+        topo, arrivals, prices = setup
+        a = profits(topo, ProfitAwareOptimizer(topo, milp_method="highs"),
+                    arrivals, prices)
+        b = profits(topo, ProfitAwareOptimizer(topo, milp_method="bb"),
+                    arrivals, prices)
+        assert a == pytest.approx(b, rel=1e-6)
+
+    def test_greedy_close_to_milp(self, setup):
+        topo, arrivals, prices = setup
+        exact = profits(topo, ProfitAwareOptimizer(topo), arrivals, prices)
+        greedy = profits(topo, ProfitAwareOptimizer(topo, level_method="greedy"),
+                         arrivals, prices)
+        assert greedy >= 0.9 * exact
+        assert greedy <= exact + 1e-6
+
+    def test_bigm_close_to_milp(self, setup):
+        topo, arrivals, prices = setup
+        exact = profits(topo, ProfitAwareOptimizer(topo), arrivals, prices)
+        bigm = profits(topo, ProfitAwareOptimizer(topo, level_method="bigm"),
+                       arrivals, prices)
+        assert bigm >= 0.8 * exact
+
+    def test_per_server_milp_at_least_matches_aggregated(self, setup):
+        # The aggregated MILP targets ONE TUF level per (class, DC); the
+        # per-server layout may mix levels across a DC's servers, so it
+        # can only do better (and usually only marginally so).
+        topo, arrivals, prices = setup
+        agg = profits(topo, ProfitAwareOptimizer(topo), arrivals, prices)
+        per = profits(
+            topo, ProfitAwareOptimizer(topo, formulation="per_server"),
+            arrivals, prices,
+        )
+        assert per >= agg - 1e-6
+        assert per == pytest.approx(agg, rel=1e-2)
+
+    def test_greedy_stats_expose_lp_evaluations(self, setup):
+        topo, arrivals, prices = setup
+        opt = ProfitAwareOptimizer(topo, level_method="greedy")
+        opt.plan_slot(arrivals, prices)
+        assert opt.last_stats.lp_evaluations >= 1
+
+
+class TestConsolidation:
+    def test_consolidated_plan_uses_fewer_servers(self, small_topology):
+        arrivals = np.full((2, 2), 10.0)  # light load
+        prices = np.array([0.05, 0.12])
+        spread = ProfitAwareOptimizer(small_topology, consolidate=False)
+        packed = ProfitAwareOptimizer(small_topology, consolidate=True)
+        plan_spread = spread.plan_slot(arrivals, prices)
+        plan_packed = packed.plan_slot(arrivals, prices)
+        assert (plan_packed.powered_on_per_dc().sum()
+                <= plan_spread.powered_on_per_dc().sum())
+        # Consolidation must not change net profit (per-request energy).
+        a = evaluate_plan(plan_spread, arrivals, prices).net_profit
+        b = evaluate_plan(plan_packed, arrivals, prices).net_profit
+        assert b == pytest.approx(a, rel=1e-6)
+
+
+class TestExplodeTopology:
+    def test_structure(self, small_topology):
+        exploded = _explode_topology(small_topology)
+        assert exploded.num_datacenters == small_topology.num_servers
+        assert all(dc.num_servers == 1 for dc in exploded.datacenters)
+        assert exploded.num_classes == small_topology.num_classes
+
+    def test_distances_replicated(self, small_topology):
+        exploded = _explode_topology(small_topology)
+        # First 3 columns replicate dc1's distances, last 2 dc2's.
+        assert np.allclose(exploded.distances[:, 0],
+                           small_topology.distances[:, 0])
+        assert np.allclose(exploded.distances[:, 4],
+                           small_topology.distances[:, 1])
+
+
+class TestSolveStats:
+    def test_wall_time_recorded(self, small_topology):
+        opt = ProfitAwareOptimizer(small_topology)
+        opt.plan_slot(np.full((2, 2), 10.0), np.array([0.1, 0.1]))
+        assert opt.last_stats.wall_time > 0
+        assert opt.last_stats.formulation == "aggregated"
+        assert opt.last_stats.objective > 0

@@ -1,0 +1,87 @@
+"""Tests for the parallel slot-solving runner."""
+
+import numpy as np
+import pytest
+
+from repro.core.optimizer import ProfitAwareOptimizer
+from repro.market.market import MultiElectricityMarket
+from repro.market.prices import PriceTrace
+from repro.sim.parallel import DispatcherSpec, parallel_run_simulation
+from repro.sim.slotted import run_simulation
+from repro.workload.traces import WorkloadTrace
+
+
+@pytest.fixture
+def setup(small_topology):
+    rng = np.random.default_rng(3)
+    trace = WorkloadTrace(rng.uniform(10.0, 60.0, size=(2, 2, 6)))
+    market = MultiElectricityMarket([
+        PriceTrace("a", rng.uniform(0.04, 0.12, size=6)),
+        PriceTrace("b", rng.uniform(0.04, 0.12, size=6)),
+    ])
+    return small_topology, trace, market
+
+
+class TestDispatcherSpec:
+    def test_builds_known_kinds(self, small_topology):
+        for kind in ("optimized", "balanced", "even_split"):
+            dispatcher = DispatcherSpec(kind).build(small_topology)
+            assert hasattr(dispatcher, "plan_slot")
+
+    def test_kwargs_forwarded(self, small_topology):
+        spec = DispatcherSpec("optimized", {"deadline_margin": 0.9})
+        assert spec.build(small_topology).deadline_margin == 0.9
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="kind"):
+            DispatcherSpec("magic")
+
+
+class TestParallelRun:
+    def test_serial_path_matches_reference(self, setup):
+        topo, trace, market = setup
+        reference = run_simulation(ProfitAwareOptimizer(topo), trace, market)
+        parallel = parallel_run_simulation(
+            topo, DispatcherSpec("optimized"), trace, market, workers=1
+        )
+        assert parallel.num_slots == reference.num_slots
+        assert np.allclose(parallel.net_profit_series,
+                           reference.net_profit_series)
+
+    def test_pool_matches_serial(self, setup):
+        topo, trace, market = setup
+        serial = parallel_run_simulation(
+            topo, DispatcherSpec("optimized"), trace, market, workers=1
+        )
+        pooled = parallel_run_simulation(
+            topo, DispatcherSpec("optimized"), trace, market, workers=2
+        )
+        assert np.allclose(pooled.net_profit_series,
+                           serial.net_profit_series)
+        # Records come back in slot order regardless of completion order.
+        assert [r.slot for r in pooled.records] == list(range(6))
+
+    def test_balanced_spec(self, setup):
+        topo, trace, market = setup
+        from repro.core.baselines import BalancedDispatcher
+        reference = run_simulation(BalancedDispatcher(topo), trace, market)
+        pooled = parallel_run_simulation(
+            topo, DispatcherSpec("balanced"), trace, market, workers=2
+        )
+        assert np.allclose(pooled.net_profit_series,
+                           reference.net_profit_series)
+
+    def test_num_slots_limit(self, setup):
+        topo, trace, market = setup
+        result = parallel_run_simulation(
+            topo, DispatcherSpec("balanced"), trace, market,
+            num_slots=3, workers=1,
+        )
+        assert result.num_slots == 3
+
+    def test_workers_validated(self, setup):
+        topo, trace, market = setup
+        with pytest.raises(ValueError):
+            parallel_run_simulation(
+                topo, DispatcherSpec("balanced"), trace, market, workers=0
+            )

@@ -1,0 +1,133 @@
+"""Property-based tests for core invariants: queueing, plans, optimizer."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.baselines import BalancedDispatcher
+from repro.core.objective import evaluate_plan
+from repro.core.optimizer import ProfitAwareOptimizer
+from repro.cloud.datacenter import DataCenter
+from repro.cloud.frontend import FrontEnd
+from repro.cloud.topology import CloudTopology
+from repro.core.request import RequestClass
+from repro.core.tuf import ConstantTUF
+from repro.queueing.mm1 import mm1_max_rate, mm1_mean_delay, mm1_required_capacity
+
+rate_floats = st.floats(1.0, 500.0, allow_nan=False)
+
+
+class TestQueueingProperties:
+    @given(mu=rate_floats, frac=st.floats(0.01, 0.99))
+    def test_delay_positive_and_above_service_time(self, mu, frac):
+        lam = frac * mu
+        delay = mm1_mean_delay(mu, lam)
+        assert delay >= 1.0 / mu - 1e-12
+
+    @given(mu=rate_floats, f1=st.floats(0.01, 0.49), f2=st.floats(0.5, 0.99))
+    def test_delay_monotone_in_load(self, mu, f1, f2):
+        assert mm1_mean_delay(mu, f1 * mu) <= mm1_mean_delay(mu, f2 * mu)
+
+    @given(lam=rate_floats, d=st.floats(0.001, 10.0))
+    def test_capacity_rate_roundtrip(self, lam, d):
+        mu = mm1_required_capacity(lam, d)
+        back = mm1_max_rate(mu, d)
+        assert abs(back - lam) < 1e-6 * (1.0 + lam)
+
+    @given(mu=rate_floats, d=st.floats(0.001, 10.0))
+    def test_max_rate_meets_deadline(self, mu, d):
+        lam = mm1_max_rate(mu, d)
+        if lam > 0:
+            assert mm1_mean_delay(mu, lam * 0.999999) <= d / 0.99
+
+
+@st.composite
+def topologies_and_arrivals(draw):
+    """Random small, feasible one-level topologies with arrivals."""
+    K = draw(st.integers(1, 3))
+    S = draw(st.integers(1, 3))
+    L = draw(st.integers(1, 3))
+    classes = []
+    for k in range(K):
+        value = draw(st.floats(1.0, 50.0))
+        deadline = draw(st.floats(0.05, 0.5))
+        classes.append(RequestClass(
+            f"r{k}", ConstantTUF(value, deadline),
+            transfer_unit_cost=draw(st.floats(0.0, 1e-4)),
+        ))
+    datacenters = []
+    for l in range(L):
+        rates = np.array([draw(st.floats(100.0, 400.0)) for _ in range(K)])
+        energy = np.array([draw(st.floats(1e-5, 1e-3)) for _ in range(K)])
+        datacenters.append(DataCenter(
+            f"d{l}", num_servers=draw(st.integers(1, 4)),
+            service_rates=rates, energy_per_request=energy,
+        ))
+    frontends = [FrontEnd(f"f{s}") for s in range(S)]
+    distances = np.array(
+        [[draw(st.floats(10.0, 3000.0)) for _ in range(L)] for _ in range(S)]
+    )
+    topo = CloudTopology(tuple(classes), tuple(frontends), tuple(datacenters),
+                         distances)
+    arrivals = np.array(
+        [[draw(st.floats(0.0, 300.0)) for _ in range(S)] for _ in range(K)]
+    )
+    prices = np.array([draw(st.floats(0.01, 0.2)) for _ in range(L)])
+    return topo, arrivals, prices
+
+
+class TestOptimizerProperties:
+    @given(setup=topologies_and_arrivals())
+    @settings(max_examples=25, deadline=None)
+    def test_plan_always_feasible(self, setup):
+        topo, arrivals, prices = setup
+        plan = ProfitAwareOptimizer(topo).plan_slot(arrivals, prices)
+        assert plan.meets_deadlines()
+        assert np.all(plan.rates.sum(axis=2) <= arrivals + 1e-6)
+        assert np.all(plan.shares.sum(axis=0) <= 1.0 + 1e-9)
+        assert np.all(plan.rates >= 0)
+
+    @given(setup=topologies_and_arrivals())
+    @settings(max_examples=25, deadline=None)
+    def test_optimizer_profit_nonnegative(self, setup):
+        # Dropping everything is always available, so the optimum earns
+        # at least (close to) zero.
+        topo, arrivals, prices = setup
+        plan = ProfitAwareOptimizer(topo).plan_slot(arrivals, prices)
+        out = evaluate_plan(plan, arrivals, prices)
+        assert out.net_profit >= -1e-6
+
+    @given(setup=topologies_and_arrivals())
+    @settings(max_examples=20, deadline=None)
+    def test_optimizer_dominates_balanced(self, setup):
+        topo, arrivals, prices = setup
+        opt_plan = ProfitAwareOptimizer(topo).plan_slot(arrivals, prices)
+        bal_plan = BalancedDispatcher(topo).plan_slot(arrivals, prices)
+        opt = evaluate_plan(opt_plan, arrivals, prices).net_profit
+        bal = evaluate_plan(bal_plan, arrivals, prices).net_profit
+        assert opt >= bal - max(1e-6, 1e-9 * abs(bal))
+
+    @given(setup=topologies_and_arrivals(), scale=st.floats(1.1, 3.0))
+    @settings(max_examples=15, deadline=None)
+    def test_profit_monotone_in_offered_load(self, setup, scale):
+        # More offered work can never hurt the optimum (serving the
+        # original subset remains feasible).
+        topo, arrivals, prices = setup
+        base = evaluate_plan(
+            ProfitAwareOptimizer(topo).plan_slot(arrivals, prices),
+            arrivals, prices,
+        ).net_profit
+        more_arrivals = arrivals * scale
+        more = evaluate_plan(
+            ProfitAwareOptimizer(topo).plan_slot(more_arrivals, prices),
+            more_arrivals, prices,
+        ).net_profit
+        assert more >= base - max(1e-6, 1e-7 * abs(base))
+
+    @given(setup=topologies_and_arrivals())
+    @settings(max_examples=15, deadline=None)
+    def test_balanced_plan_feasible(self, setup):
+        topo, arrivals, prices = setup
+        plan = BalancedDispatcher(topo).plan_slot(arrivals, prices)
+        assert plan.meets_deadlines()
+        assert np.all(plan.rates.sum(axis=2) <= arrivals + 1e-6)

@@ -1,0 +1,139 @@
+"""Property-based tests on simulation-level invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+# The topology fixtures are immutable dataclasses, so reusing one across
+# hypothesis examples is sound.
+fixture_ok = settings(
+    max_examples=20, deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+
+from repro.core.baselines import BalancedDispatcher
+from repro.core.optimizer import ProfitAwareOptimizer
+from repro.core.rightsizing import consolidate_plan
+from repro.market.green import GreenEnergyProfile, apply_green_energy
+from repro.market.market import MultiElectricityMarket
+from repro.market.prices import PriceTrace
+from repro.workload.traces import WorkloadTrace
+
+rates_03 = st.floats(0.0, 200.0, allow_nan=False)
+prices_pos = st.floats(0.01, 0.3, allow_nan=False)
+
+
+class TestTraceProperties:
+    @given(rates=arrays(float, (2, 2, 5), elements=rates_03),
+           shift=st.integers(-7, 7))
+    def test_shift_preserves_totals(self, rates, shift):
+        trace = WorkloadTrace(rates)
+        assert trace.shifted(shift).total_requests() == pytest.approx(
+            trace.total_requests(), rel=1e-12
+        )
+
+    @given(rates=arrays(float, (2, 2, 5), elements=rates_03),
+           factor=st.floats(0.1, 5.0))
+    def test_scaling_scales_totals(self, rates, factor):
+        trace = WorkloadTrace(rates)
+        assert trace.scaled(factor).total_requests() == pytest.approx(
+            trace.total_requests() * factor, rel=1e-10, abs=1e-9
+        )
+
+    @given(rates=arrays(float, (1, 2, 6), elements=rates_03),
+           shift=st.integers(0, 5))
+    def test_duplicate_doubles_classes_and_totals(self, rates, shift):
+        trace = WorkloadTrace(rates)
+        dup = trace.duplicated_as_class(shift)
+        assert dup.num_classes == 2
+        assert dup.total_requests() == pytest.approx(
+            2 * trace.total_requests(), rel=1e-12
+        )
+
+    @given(rates=arrays(float, (2, 1, 8), elements=rates_03),
+           start=st.integers(0, 7), length=st.integers(1, 8))
+    def test_window_slices_consistently(self, rates, start, length):
+        trace = WorkloadTrace(rates)
+        window = trace.window(start, start + length)
+        assert window.num_slots == length
+        for t in range(length):
+            assert np.array_equal(window.arrivals_at(t),
+                                  trace.arrivals_at(start + t))
+
+
+class TestGreenMarketProperties:
+    @given(
+        prices=arrays(float, 6, elements=prices_pos),
+        coverage=arrays(float, 6,
+                        elements=st.floats(0.0, 1.0, allow_nan=False)),
+        green_price=st.floats(0.0, 0.05),
+    )
+    def test_effective_price_between_green_and_brown(
+        self, prices, coverage, green_price
+    ):
+        market = MultiElectricityMarket([PriceTrace("a", prices)])
+        profile = GreenEnergyProfile("g", coverage)
+        green = apply_green_energy(market, [profile], green_price)
+        for t in range(6):
+            eff = green.prices_at(t)[0]
+            lo = min(prices[t], green_price)
+            hi = max(prices[t], green_price)
+            assert lo - 1e-12 <= eff <= hi + 1e-12
+
+
+class TestConsolidationProperties:
+    @given(
+        arrivals=arrays(float, (2, 2),
+                        elements=st.floats(1.0, 150.0, allow_nan=False)),
+        p1=prices_pos, p2=prices_pos,
+    )
+    @fixture_ok
+    def test_consolidation_never_increases_fleet(
+        self, small_topology, arrivals, p1, p2
+    ):
+        prices = np.array([p1, p2])
+        plan = ProfitAwareOptimizer(
+            small_topology, use_spare_capacity=False
+        ).plan_slot(arrivals, prices)
+        packed = consolidate_plan(plan)
+        assert (packed.powered_on_per_dc().sum()
+                <= plan.powered_on_per_dc().sum())
+        assert np.allclose(packed.served_rates(), plan.served_rates(),
+                           rtol=1e-9)
+        assert packed.meets_deadlines()
+
+
+class TestBalancedProperties:
+    @given(
+        arrivals=arrays(float, (2, 2),
+                        elements=st.floats(0.0, 5000.0, allow_nan=False)),
+        p1=prices_pos, p2=prices_pos,
+    )
+    @fixture_ok
+    def test_balanced_never_overdispatches(self, small_topology, arrivals,
+                                           p1, p2):
+        plan = BalancedDispatcher(small_topology).plan_slot(
+            arrivals, np.array([p1, p2])
+        )
+        assert np.all(plan.rates.sum(axis=2) <= arrivals + 1e-9)
+        assert plan.meets_deadlines()
+
+    @given(
+        arrivals=arrays(float, (2, 2),
+                        elements=st.floats(0.0, 50.0, allow_nan=False)),
+        p1=prices_pos, p2=prices_pos,
+    )
+    @fixture_ok
+    def test_balanced_light_load_goes_to_cheapest(self, small_topology,
+                                                  arrivals, p1, p2):
+        if abs(p1 - p2) < 1e-6:
+            return
+        plan = BalancedDispatcher(small_topology).plan_slot(
+            arrivals, np.array([p1, p2])
+        )
+        cheapest = 0 if p1 < p2 else 1
+        loads = plan.dc_loads().sum(axis=0)
+        # All light load lands in the cheapest DC.
+        assert loads[1 - cheapest] <= 1e-9 or loads[cheapest] > 0

@@ -1,0 +1,91 @@
+"""Property-based tests for the solver substrate."""
+
+import numpy as np
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.solvers.base import LinearProgram, MixedIntegerProgram, SolveStatus
+from repro.solvers.branch_bound import solve_milp
+from repro.solvers.linprog import solve_lp
+
+finite_floats = st.floats(-3.0, 3.0, allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def bounded_lps(draw, max_vars=7, max_rows=5):
+    n = draw(st.integers(2, max_vars))
+    m = draw(st.integers(1, max_rows))
+    c = draw(arrays(float, n, elements=finite_floats))
+    a = draw(arrays(float, (m, n), elements=finite_floats))
+    b = draw(arrays(float, m,
+                    elements=st.floats(0.5, 4.0, allow_nan=False)))
+    upper = draw(st.floats(1.0, 5.0))
+    return LinearProgram(c=c, a_ub=a, b_ub=b, upper=np.full(n, upper))
+
+
+class TestSimplexProperties:
+    @given(lp=bounded_lps())
+    @settings(max_examples=50, deadline=None)
+    def test_simplex_agrees_with_highs(self, lp):
+        ours = solve_lp(lp, "simplex")
+        ref = solve_lp(lp, "highs")
+        # Bounded feasible region (0 is feasible since b >= 0.5 > 0):
+        # both must find an optimum.
+        assert ref.ok and ours.ok
+        assert abs(ours.objective - ref.objective) <= 1e-6 * (
+            1.0 + abs(ref.objective)
+        )
+
+    @given(lp=bounded_lps())
+    @settings(max_examples=50, deadline=None)
+    def test_simplex_solution_feasible(self, lp):
+        sol = solve_lp(lp, "simplex")
+        assert sol.ok
+        assert lp.is_feasible(sol.x, tol=1e-6)
+
+    @given(lp=bounded_lps())
+    @settings(max_examples=30, deadline=None)
+    def test_objective_matches_solution_vector(self, lp):
+        sol = solve_lp(lp, "simplex")
+        assert sol.ok
+        assert abs(float(lp.c @ sol.x) - sol.objective) < 1e-9
+
+
+class TestBranchBoundProperties:
+    @given(lp=bounded_lps(max_vars=5, max_rows=3), data=st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_bb_agrees_with_highs_milp(self, lp, data):
+        mask = data.draw(
+            st.lists(st.booleans(), min_size=lp.num_variables,
+                     max_size=lp.num_variables)
+        )
+        assume(any(mask))
+        mip = MixedIntegerProgram(lp, integer_mask=mask)
+        ours = solve_milp(mip, "bb")
+        ref = solve_milp(mip, "highs")
+        # x = 0 is integral-feasible, so both must succeed.
+        assert ours.ok and ref.ok
+        assert abs(ours.objective - ref.objective) <= 1e-5 * (
+            1.0 + abs(ref.objective)
+        )
+
+    @given(lp=bounded_lps(max_vars=5, max_rows=3))
+    @settings(max_examples=30, deadline=None)
+    def test_bb_integrality_and_feasibility(self, lp):
+        mask = [True] * lp.num_variables
+        mip = MixedIntegerProgram(lp, integer_mask=mask)
+        sol = solve_milp(mip, "bb")
+        assert sol.ok
+        assert np.allclose(sol.x, np.round(sol.x), atol=1e-6)
+        assert lp.is_feasible(sol.x, tol=1e-6)
+
+    @given(lp=bounded_lps(max_vars=5, max_rows=3))
+    @settings(max_examples=20, deadline=None)
+    def test_milp_no_better_than_relaxation(self, lp):
+        mask = [True] * lp.num_variables
+        mip = MixedIntegerProgram(lp, integer_mask=mask)
+        milp_sol = solve_milp(mip, "bb")
+        lp_sol = solve_lp(lp, "highs")
+        assert milp_sol.ok and lp_sol.ok
+        assert milp_sol.objective >= lp_sol.objective - 1e-8

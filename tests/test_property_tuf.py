@@ -1,0 +1,99 @@
+"""Property-based tests for TUFs and the big-M transformation."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bigm import check_series_selects_level, lagrange_utility
+from repro.core.tuf import MonotonicTUF, StepDownwardTUF
+
+
+@st.composite
+def step_tufs(draw, max_levels=6):
+    """Random valid step-downward TUFs with well-separated levels."""
+    n = draw(st.integers(min_value=1, max_value=max_levels))
+    # Strictly decreasing values with gaps >= 0.5.
+    gaps = draw(st.lists(
+        st.floats(0.5, 5.0, allow_nan=False), min_size=n, max_size=n
+    ))
+    values = np.cumsum(gaps[::-1])[::-1].copy()
+    # Strictly increasing deadlines with gaps >= 0.05.
+    dgaps = draw(st.lists(
+        st.floats(0.05, 2.0, allow_nan=False), min_size=n, max_size=n
+    ))
+    deadlines = np.cumsum(dgaps)
+    return StepDownwardTUF(values=values, deadlines=deadlines)
+
+
+class TestTUFProperties:
+    @given(tuf=step_tufs(), delay=st.floats(-1.0, 20.0, allow_nan=False))
+    def test_utility_bounded(self, tuf, delay):
+        value = tuf.utility(delay)
+        assert 0.0 <= value <= tuf.max_value
+
+    @given(tuf=step_tufs(),
+           d1=st.floats(0.0, 20.0, allow_nan=False),
+           d2=st.floats(0.0, 20.0, allow_nan=False))
+    def test_monotone_non_increasing(self, tuf, d1, d2):
+        lo, hi = min(d1, d2), max(d1, d2)
+        assert tuf.utility(lo) >= tuf.utility(hi)
+
+    @given(tuf=step_tufs())
+    def test_zero_past_final_deadline(self, tuf):
+        assert tuf.utility(tuf.deadline * 1.0001 + 1e-9) == 0.0
+
+    @given(tuf=step_tufs())
+    def test_top_value_at_zero(self, tuf):
+        assert tuf.utility(0.0) == tuf.max_value
+
+    @given(tuf=step_tufs(), delay=st.floats(1e-6, 20.0, allow_nan=False))
+    def test_level_for_delay_consistent_with_utility(self, tuf, delay):
+        level = tuf.level_for_delay(delay)
+        if level < 0:
+            assert tuf.utility(delay) == 0.0
+        else:
+            assert tuf.utility(delay) == tuf.values[level]
+
+    @given(tuf=step_tufs(), frac=st.floats(0.01, 0.99))
+    @settings(max_examples=60)
+    def test_bigm_series_matches_tuf_everywhere(self, tuf, frac):
+        # Probe a point strictly inside the TUF's support, away from the
+        # exact boundaries (the series uses an infinitesimal delta there).
+        delay = frac * tuf.deadline
+        boundaries = tuf.deadlines
+        if np.any(np.abs(boundaries - delay) < 1e-6 * tuf.deadline):
+            return
+        expected, feasible = check_series_selects_level(tuf, delay)
+        assert feasible == [expected]
+
+    @given(tuf=step_tufs(max_levels=5))
+    def test_lagrange_exact_at_all_levels(self, tuf):
+        for q in range(tuf.num_levels):
+            got = lagrange_utility(float(q + 1), tuf.values)
+            assert abs(got - tuf.values[q]) < 1e-6 * max(1.0, tuf.max_value)
+
+
+class TestMonotonicDiscretization:
+    @given(
+        scale=st.floats(1.0, 50.0),
+        rate=st.floats(0.1, 3.0),
+        levels=st.integers(4, 64),
+    )
+    @settings(max_examples=40)
+    def test_discretized_upper_bounds_original(self, scale, rate, levels):
+        tuf = MonotonicTUF(lambda t: scale * np.exp(-rate * t), deadline=3.0)
+        step = tuf.discretize(levels)
+        for d in np.linspace(0.01, 2.99, 23):
+            assert float(step.utility(d)) >= float(tuf.utility(d)) - 1e-9
+
+    @given(levels=st.integers(2, 128))
+    @settings(max_examples=30)
+    def test_discretization_error_shrinks(self, levels):
+        tuf = MonotonicTUF(lambda t: 10.0 - 3.0 * t, deadline=3.0)
+        step = tuf.discretize(levels)
+        max_err = max(
+            abs(float(step.utility(d)) - float(tuf.utility(d)))
+            for d in np.linspace(0.01, 2.99, 50)
+        )
+        # One step's drop is 9/levels; allow slack for edge handling.
+        assert max_err <= 9.0 / levels + 1e-6

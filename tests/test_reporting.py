@@ -1,0 +1,73 @@
+"""Tests for markdown report generation."""
+
+import numpy as np
+import pytest
+
+from repro.core.baselines import BalancedDispatcher
+from repro.core.optimizer import ProfitAwareOptimizer
+from repro.market.market import MultiElectricityMarket
+from repro.market.prices import PriceTrace
+from repro.sim.reporting import comparison_report
+from repro.sim.slotted import compare_dispatchers
+from repro.workload.traces import WorkloadTrace
+
+
+@pytest.fixture
+def results(small_topology):
+    rng = np.random.default_rng(4)
+    trace = WorkloadTrace(rng.uniform(10.0, 50.0, size=(2, 2, 4)))
+    market = MultiElectricityMarket([
+        PriceTrace("a", rng.uniform(0.05, 0.12, size=4)),
+        PriceTrace("b", rng.uniform(0.05, 0.12, size=4)),
+    ])
+    return compare_dispatchers(
+        [ProfitAwareOptimizer(small_topology),
+         BalancedDispatcher(small_topology)],
+        trace, market,
+    ), small_topology
+
+
+class TestComparisonReport:
+    def test_contains_all_sections(self, results):
+        runs, topo = results
+        report = comparison_report(runs, topo)
+        assert report.startswith("# Simulation comparison")
+        assert "## Per-slot net profit" in report
+        assert "## Dispatch totals" in report
+        assert "## Powered-on servers" in report
+
+    def test_contains_both_approaches(self, results):
+        runs, topo = results
+        report = comparison_report(runs, topo)
+        assert "optimized" in report
+        assert "balanced" in report
+        assert "% vs balanced" in report
+
+    def test_relative_improvement_against_baseline(self, results):
+        runs, topo = results
+        report = comparison_report(runs, topo)
+        pct = (runs["optimized"].total_net_profit
+               / runs["balanced"].total_net_profit - 1) * 100
+        assert f"{pct:+.1f}%" in report
+
+    def test_no_baseline(self, results):
+        runs, topo = results
+        report = comparison_report(runs, topo, baseline=None)
+        assert "% vs" not in report
+
+    def test_class_and_dc_labels_present(self, results):
+        runs, topo = results
+        report = comparison_report(runs, topo)
+        for rc in topo.request_classes:
+            assert rc.name in report
+        for dc in topo.datacenters:
+            assert dc.name in report
+
+    def test_empty_rejected(self, results):
+        _, topo = results
+        with pytest.raises(ValueError):
+            comparison_report({}, topo)
+
+    def test_custom_title(self, results):
+        runs, topo = results
+        assert comparison_report(runs, topo, title="X").startswith("# X")

@@ -1,0 +1,133 @@
+"""Tests for server right-sizing and load consolidation."""
+
+import numpy as np
+import pytest
+
+from repro.core.objective import evaluate_plan
+from repro.core.optimizer import ProfitAwareOptimizer
+from repro.core.plan import DispatchPlan
+from repro.core.rightsizing import (
+    consolidate_plan,
+    minimum_servers_for_load,
+    powered_on_servers,
+)
+
+
+class TestMinimumServers:
+    def test_zero_load_needs_zero_servers(self):
+        m = minimum_servers_for_load(
+            loads=np.array([0.0, 0.0]),
+            service_rates=np.array([100.0, 100.0]),
+            capacity=1.0,
+            deadlines=np.array([0.1, 0.1]),
+            max_servers=5,
+        )
+        assert m == 0
+
+    def test_single_class_exact(self):
+        # One server with full share admits mu - 1/D = 100 - 10 = 90.
+        m = minimum_servers_for_load(
+            loads=np.array([85.0]),
+            service_rates=np.array([100.0]),
+            capacity=1.0,
+            deadlines=np.array([0.1]),
+            max_servers=10,
+        )
+        assert m == 1
+        m2 = minimum_servers_for_load(
+            loads=np.array([95.0]),
+            service_rates=np.array([100.0]),
+            capacity=1.0,
+            deadlines=np.array([0.1]),
+            max_servers=10,
+        )
+        assert m2 == 2
+
+    def test_insufficient_capacity_returns_none(self):
+        m = minimum_servers_for_load(
+            loads=np.array([1e6]),
+            service_rates=np.array([100.0]),
+            capacity=1.0,
+            deadlines=np.array([0.1]),
+            max_servers=3,
+        )
+        assert m is None
+
+    def test_impossible_fixed_overhead(self):
+        # Deadlines so tight the per-server reservations exceed 1.
+        m = minimum_servers_for_load(
+            loads=np.array([1.0, 1.0]),
+            service_rates=np.array([10.0, 10.0]),
+            capacity=1.0,
+            deadlines=np.array([0.1, 0.1]),
+            max_servers=100,
+        )
+        assert m is None
+
+    def test_result_is_feasible(self):
+        loads = np.array([120.0, 80.0])
+        mu = np.array([100.0, 90.0])
+        deadlines = np.array([0.2, 0.3])
+        m = minimum_servers_for_load(loads, mu, 1.0, deadlines, 50)
+        assert m is not None
+        shares = (loads / m + 1.0 / deadlines) / mu
+        assert shares.sum() <= 1.0 + 1e-9
+        if m > 1:
+            shares_less = (loads / (m - 1) + 1.0 / deadlines) / mu
+            assert shares_less.sum() > 1.0
+
+
+class TestConsolidatePlan:
+    def _light_plan(self, topology):
+        opt = ProfitAwareOptimizer(topology)
+        arrivals = np.full(
+            (topology.num_classes, topology.num_frontends), 10.0
+        )
+        prices = np.full(topology.num_datacenters, 0.1)
+        return opt.plan_slot(arrivals, prices), arrivals, prices
+
+    def test_reduces_powered_on_servers(self, small_topology):
+        plan, arrivals, prices = self._light_plan(small_topology)
+        packed = consolidate_plan(plan)
+        assert (packed.powered_on_per_dc().sum()
+                <= plan.powered_on_per_dc().sum())
+
+    def test_profit_preserved(self, small_topology):
+        plan, arrivals, prices = self._light_plan(small_topology)
+        packed = consolidate_plan(plan)
+        before = evaluate_plan(plan, arrivals, prices).net_profit
+        after = evaluate_plan(packed, arrivals, prices).net_profit
+        assert after == pytest.approx(before, rel=1e-9)
+
+    def test_served_rates_preserved(self, small_topology):
+        plan, _, _ = self._light_plan(small_topology)
+        packed = consolidate_plan(plan)
+        assert np.allclose(packed.served_rates(), plan.served_rates())
+        # Per-(k, s) attribution also preserved.
+        assert np.allclose(packed.rates.sum(axis=2), plan.rates.sum(axis=2))
+
+    def test_deadlines_still_met(self, small_topology):
+        plan, _, _ = self._light_plan(small_topology)
+        packed = consolidate_plan(plan)
+        assert packed.meets_deadlines()
+
+    def test_empty_plan(self, small_topology):
+        plan = DispatchPlan.empty(small_topology)
+        packed = consolidate_plan(plan)
+        assert packed.powered_on_per_dc().sum() == 0
+
+    def test_powered_on_servers_helper(self, small_topology):
+        plan, _, _ = self._light_plan(small_topology)
+        assert np.array_equal(powered_on_servers(plan),
+                              plan.powered_on_per_dc())
+
+    def test_multilevel_levels_preserved(self, multilevel_topology):
+        opt = ProfitAwareOptimizer(multilevel_topology)
+        arrivals = np.array([[3000.0], [2500.0]])
+        prices = np.array([0.05, 0.09])
+        plan = opt.plan_slot(arrivals, prices)
+        packed = consolidate_plan(plan)
+        before = evaluate_plan(plan, arrivals, prices).net_profit
+        after = evaluate_plan(packed, arrivals, prices).net_profit
+        # Consolidation keeps each class's achieved level: profit equal.
+        assert after == pytest.approx(before, rel=1e-9)

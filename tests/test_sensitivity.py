@@ -1,0 +1,99 @@
+"""Tests for shadow-price (dual) analysis of the slot LP."""
+
+import numpy as np
+import pytest
+
+from repro.core.formulation import SlotInputs
+from repro.core.objective import evaluate_plan
+from repro.core.optimizer import ProfitAwareOptimizer
+from repro.core.sensitivity import slot_sensitivity
+
+
+def _profit(topology, arrivals, prices):
+    plan = ProfitAwareOptimizer(topology).plan_slot(arrivals, prices)
+    return evaluate_plan(plan, arrivals, prices).net_profit
+
+
+@pytest.fixture
+def saturated(small_topology):
+    # Heavy load: capacity constraints bind, duals are informative.
+    arrivals = np.full((2, 2), 300.0)
+    prices = np.array([0.05, 0.12])
+    return small_topology, arrivals, prices
+
+
+@pytest.fixture
+def light(small_topology):
+    arrivals = np.full((2, 2), 10.0)
+    prices = np.array([0.05, 0.12])
+    return small_topology, arrivals, prices
+
+
+class TestSlotSensitivity:
+    def test_shapes_and_profit(self, saturated):
+        topo, arrivals, prices = saturated
+        sens = slot_sensitivity(SlotInputs(topo, arrivals, prices))
+        assert sens.share_mass_value.shape == (2,)
+        assert sens.server_value.shape == (2,)
+        assert sens.demand_value.shape == (2, 2)
+        assert sens.delay_duals.shape == (2, 2)
+        assert sens.net_profit == pytest.approx(
+            _profit(topo, arrivals, prices), rel=1e-6
+        )
+
+    def test_saturated_capacity_is_valuable(self, saturated):
+        topo, arrivals, prices = saturated
+        sens = slot_sensitivity(SlotInputs(topo, arrivals, prices))
+        assert sens.server_value.max() > 0
+
+    def test_light_load_capacity_worthless(self, light):
+        topo, arrivals, prices = light
+        sens = slot_sensitivity(SlotInputs(topo, arrivals, prices))
+        # Spare capacity everywhere: extra servers add nothing.
+        assert np.allclose(sens.server_value, 0.0, atol=1e-6)
+        # But every offered request is profitable: demand has value.
+        assert np.all(sens.demand_value > 0)
+
+    def test_demand_value_matches_finite_difference(self, saturated):
+        topo, arrivals, prices = saturated
+        sens = slot_sensitivity(SlotInputs(topo, arrivals, prices))
+        eps = 1e-3
+        base = _profit(topo, arrivals, prices)
+        for (k, s) in [(0, 0), (1, 1)]:
+            bumped = arrivals.copy()
+            bumped[k, s] += eps
+            fd = (_profit(topo, bumped, prices) - base) / eps
+            assert sens.demand_value[k, s] == pytest.approx(fd, abs=1e-2)
+
+    def test_server_value_concavity_sandwich(self, saturated):
+        # Profit is concave piecewise-linear in the server count, so
+        # dual(M) >= profit(M+1)-profit(M) and <= profit(M)-profit(M-1).
+        topo, arrivals, prices = saturated
+        sens = slot_sensitivity(SlotInputs(topo, arrivals, prices))
+        for l in range(topo.num_datacenters):
+            m = topo.datacenters[l].num_servers
+            def with_servers(count):
+                dcs = list(topo.datacenters)
+                dcs[l] = dcs[l].with_servers(count)
+                return topo.with_datacenters(dcs)
+            up_gain = (_profit(with_servers(m + 1), arrivals, prices)
+                       - _profit(topo, arrivals, prices))
+            down_loss = (_profit(topo, arrivals, prices)
+                         - _profit(with_servers(m - 1), arrivals, prices))
+            assert sens.server_value[l] >= up_gain - 1e-3
+            if m > 1:
+                assert sens.server_value[l] <= down_loss + 1e-3
+
+    def test_most_valuable_expansion(self, saturated):
+        topo, arrivals, prices = saturated
+        sens = slot_sensitivity(SlotInputs(topo, arrivals, prices))
+        l_star = sens.most_valuable_expansion()
+        assert sens.server_value[l_star] == sens.server_value.max()
+
+    def test_demand_value_zero_for_unprofitable_class(self, small_topology):
+        # Absurd price: serving always loses money, demand worth nothing.
+        arrivals = np.full((2, 2), 50.0)
+        prices = np.array([1e6, 1e6])
+        sens = slot_sensitivity(SlotInputs(small_topology, arrivals, prices))
+        assert np.allclose(sens.demand_value, 0.0, atol=1e-9)
+        assert sens.net_profit == pytest.approx(0.0, abs=1e-6)

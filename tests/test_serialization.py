@@ -1,0 +1,109 @@
+"""Tests for JSON (de)serialization of system configurations."""
+
+import numpy as np
+import pytest
+
+from repro.market.market import MultiElectricityMarket
+from repro.market.prices import PriceTrace, houston_profile
+from repro.utils.serialization import (
+    load_json,
+    market_from_dict,
+    market_to_dict,
+    save_json,
+    topology_from_dict,
+    topology_to_dict,
+    trace_from_dict,
+    trace_to_dict,
+)
+from repro.workload.traces import WorkloadTrace
+from repro.workload.worldcup import worldcup_like_trace
+
+
+class TestTopologyRoundTrip:
+    def test_round_trip_small(self, small_topology):
+        data = topology_to_dict(small_topology)
+        rebuilt = topology_from_dict(data)
+        assert rebuilt.num_classes == small_topology.num_classes
+        assert rebuilt.num_servers == small_topology.num_servers
+        assert np.array_equal(rebuilt.distances, small_topology.distances)
+        assert np.array_equal(rebuilt.service_rates,
+                              small_topology.service_rates)
+        for a, b in zip(rebuilt.request_classes,
+                        small_topology.request_classes):
+            assert a.name == b.name
+            assert np.array_equal(a.tuf.values, b.tuf.values)
+            assert np.array_equal(a.tuf.deadlines, b.tuf.deadlines)
+            assert a.transfer_unit_cost == b.transfer_unit_cost
+
+    def test_round_trip_multilevel(self, multilevel_topology):
+        rebuilt = topology_from_dict(topology_to_dict(multilevel_topology))
+        assert rebuilt.request_classes[0].num_levels == 2
+        # Same slot optimum from the rebuilt topology.
+        from repro.core.optimizer import ProfitAwareOptimizer
+        from repro.core.objective import evaluate_plan
+        arrivals = np.array([[5000.0], [4000.0]])
+        prices = np.array([0.05, 0.09])
+        a = evaluate_plan(
+            ProfitAwareOptimizer(multilevel_topology).plan_slot(
+                arrivals, prices),
+            arrivals, prices).net_profit
+        b = evaluate_plan(
+            ProfitAwareOptimizer(rebuilt).plan_slot(arrivals, prices),
+            arrivals, prices).net_profit
+        assert a == pytest.approx(b, rel=1e-9)
+
+    def test_json_is_plain(self, small_topology):
+        import json
+        json.dumps(topology_to_dict(small_topology))  # must not raise
+
+
+class TestMarketAndTraceRoundTrip:
+    def test_market(self):
+        market = MultiElectricityMarket([
+            houston_profile(), PriceTrace("x", np.array([0.1] * 24))
+        ])
+        rebuilt = market_from_dict(market_to_dict(market))
+        assert rebuilt.num_locations == 2
+        assert np.array_equal(rebuilt.as_matrix(), market.as_matrix())
+
+    def test_trace(self):
+        trace = worldcup_like_trace(seed=3)
+        rebuilt = trace_from_dict(trace_to_dict(trace))
+        assert np.array_equal(rebuilt.rates, trace.rates)
+        assert rebuilt.slot_duration == trace.slot_duration
+
+
+class TestFileIO:
+    def test_save_load_topology(self, small_topology, tmp_path):
+        path = tmp_path / "topo.json"
+        save_json(small_topology, path)
+        rebuilt = load_json(path)
+        assert np.array_equal(rebuilt.service_rates,
+                              small_topology.service_rates)
+
+    def test_save_load_market(self, tmp_path):
+        market = MultiElectricityMarket([houston_profile()])
+        path = tmp_path / "market.json"
+        save_json(market, path)
+        assert np.array_equal(load_json(path).as_matrix(), market.as_matrix())
+
+    def test_save_load_trace(self, tmp_path):
+        trace = WorkloadTrace(np.ones((1, 1, 3)), slot_duration=2.0)
+        path = tmp_path / "trace.json"
+        save_json(trace, path)
+        assert load_json(path).slot_duration == 2.0
+
+    def test_save_unknown_type(self, tmp_path):
+        with pytest.raises(TypeError):
+            save_json(object(), tmp_path / "x.json")
+
+    def test_load_unknown_kind(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"kind": "mystery", "data": {}}')
+        with pytest.raises(ValueError, match="kind"):
+            load_json(path)
+
+    def test_rebuilt_validation_still_applies(self):
+        # Corrupt data must hit the normal constructors' validation.
+        with pytest.raises(ValueError):
+            trace_from_dict({"rates": [[-1.0]], "slot_duration": 1.0})

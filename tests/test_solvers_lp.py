@@ -1,0 +1,200 @@
+"""Tests for the LP machinery: base datatypes, simplex, and the front-end."""
+
+import numpy as np
+import pytest
+
+from repro.solvers.base import (
+    LinearProgram,
+    MixedIntegerProgram,
+    Solution,
+    SolveStatus,
+    SolverError,
+)
+from repro.solvers.linprog import solve_lp
+from repro.solvers.simplex import SimplexSolver
+
+
+class TestLinearProgram:
+    def test_defaults(self):
+        lp = LinearProgram(c=[1.0, 2.0])
+        assert lp.num_variables == 2
+        assert lp.lower.tolist() == [0.0, 0.0]
+        assert np.all(np.isinf(lp.upper))
+
+    def test_num_constraints(self):
+        lp = LinearProgram(
+            c=[1.0], a_ub=[[1.0]], b_ub=[2.0], a_eq=[[1.0]], b_eq=[1.0]
+        )
+        assert lp.num_constraints == 2
+
+    def test_rejects_mismatched_b(self):
+        with pytest.raises(ValueError):
+            LinearProgram(c=[1.0], a_ub=[[1.0]], b_ub=[1.0, 2.0])
+
+    def test_rejects_a_without_b(self):
+        with pytest.raises(ValueError, match="together"):
+            LinearProgram(c=[1.0], a_ub=[[1.0]])
+
+    def test_rejects_crossed_bounds(self):
+        with pytest.raises(ValueError, match="bound"):
+            LinearProgram(c=[1.0], lower=[2.0], upper=[1.0])
+
+    def test_residuals_and_feasibility(self):
+        lp = LinearProgram(c=[1.0, 1.0], a_ub=[[1.0, 1.0]], b_ub=[1.0])
+        assert lp.is_feasible(np.array([0.5, 0.5]))
+        assert not lp.is_feasible(np.array([1.0, 1.0]))
+        res = lp.residuals(np.array([1.0, 1.0]))
+        assert res["ineq"] == pytest.approx(1.0)
+
+    def test_mip_mask_validation(self):
+        lp = LinearProgram(c=[1.0, 2.0])
+        with pytest.raises(ValueError):
+            MixedIntegerProgram(lp=lp, integer_mask=[True])
+        mip = MixedIntegerProgram(lp=lp, integer_mask=[True, False])
+        assert mip.num_integers == 1
+
+    def test_solution_require_ok(self):
+        sol = Solution(status=SolveStatus.INFEASIBLE)
+        with pytest.raises(SolverError):
+            sol.require_ok()
+
+
+class TestSimplexBasics:
+    def test_simple_maximization(self):
+        # max x+y st x+2y<=4, 3x+y<=6  => min -(x+y)
+        lp = LinearProgram(
+            c=[-1.0, -1.0],
+            a_ub=[[1.0, 2.0], [3.0, 1.0]],
+            b_ub=[4.0, 6.0],
+        )
+        sol = SimplexSolver().solve(lp)
+        assert sol.ok
+        assert sol.objective == pytest.approx(-2.8)
+        assert sol.x == pytest.approx([1.6, 1.2])
+
+    def test_equality_constraints(self):
+        # min x+y st x+y=2, x-y=0 -> x=y=1
+        lp = LinearProgram(
+            c=[1.0, 1.0],
+            a_eq=[[1.0, 1.0], [1.0, -1.0]],
+            b_eq=[2.0, 0.0],
+        )
+        sol = SimplexSolver().solve(lp)
+        assert sol.ok
+        assert sol.x == pytest.approx([1.0, 1.0])
+
+    def test_infeasible_detected(self):
+        lp = LinearProgram(
+            c=[1.0], a_eq=[[1.0]], b_eq=[5.0], upper=[1.0]
+        )
+        sol = SimplexSolver().solve(lp)
+        assert sol.status is SolveStatus.INFEASIBLE
+
+    def test_unbounded_detected(self):
+        lp = LinearProgram(c=[-1.0], a_ub=[[-1.0]], b_ub=[0.0])
+        sol = SimplexSolver().solve(lp)
+        assert sol.status is SolveStatus.UNBOUNDED
+
+    def test_upper_bounds_respected(self):
+        lp = LinearProgram(c=[-1.0, -1.0], upper=[2.0, 3.0])
+        sol = SimplexSolver().solve(lp)
+        assert sol.ok
+        assert sol.x == pytest.approx([2.0, 3.0])
+
+    def test_negative_lower_bounds(self):
+        # min x with x >= -3.
+        lp = LinearProgram(c=[1.0], lower=[-3.0], upper=[5.0])
+        sol = SimplexSolver().solve(lp)
+        assert sol.ok
+        assert sol.x == pytest.approx([-3.0])
+
+    def test_free_variable(self):
+        # min x st x >= -7 encoded via equality with a free variable.
+        lp = LinearProgram(
+            c=[1.0, 0.0],
+            a_eq=[[1.0, -1.0]],
+            b_eq=[-7.0],
+            lower=[-np.inf, 0.0],
+            upper=[np.inf, 0.0],
+        )
+        sol = SimplexSolver().solve(lp)
+        assert sol.ok
+        assert sol.x[0] == pytest.approx(-7.0)
+
+    def test_upper_only_variable(self):
+        # min -x with x in (-inf, 3]: optimum at 3.
+        lp = LinearProgram(c=[-1.0], lower=[-np.inf], upper=[3.0])
+        sol = SimplexSolver().solve(lp)
+        assert sol.ok
+        assert sol.x == pytest.approx([3.0])
+
+    def test_no_constraints_unbounded(self):
+        lp = LinearProgram(c=[-1.0])
+        assert SimplexSolver().solve(lp).status is SolveStatus.UNBOUNDED
+
+    def test_degenerate_does_not_cycle(self):
+        # Classic degenerate LP; Bland's rule must terminate.
+        lp = LinearProgram(
+            c=[-0.75, 150.0, -0.02, 6.0],
+            a_ub=[
+                [0.25, -60.0, -0.04, 9.0],
+                [0.5, -90.0, -0.02, 3.0],
+                [0.0, 0.0, 1.0, 0.0],
+            ],
+            b_ub=[0.0, 0.0, 1.0],
+        )
+        sol = SimplexSolver().solve(lp)
+        assert sol.ok
+        assert sol.objective == pytest.approx(-0.05)
+
+
+class TestSimplexAgainstHighs:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_random_bounded_lps_agree(self, seed):
+        rng = np.random.default_rng(seed)
+        n, m = 8, 5
+        lp = LinearProgram(
+            c=rng.normal(size=n),
+            a_ub=rng.normal(size=(m, n)),
+            b_ub=rng.uniform(0.5, 3.0, size=m),
+            upper=np.full(n, 4.0),
+        )
+        ours = solve_lp(lp, "simplex")
+        ref = solve_lp(lp, "highs")
+        assert ours.status == ref.status
+        if ref.ok:
+            assert ours.objective == pytest.approx(ref.objective, abs=1e-6)
+            assert lp.is_feasible(ours.x, tol=1e-6)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_lps_with_equalities_agree(self, seed):
+        rng = np.random.default_rng(100 + seed)
+        n = 6
+        x_feas = rng.uniform(0.0, 1.0, size=n)
+        a_eq = rng.normal(size=(2, n))
+        lp = LinearProgram(
+            c=rng.normal(size=n),
+            a_eq=a_eq,
+            b_eq=a_eq @ x_feas,  # guaranteed feasible
+            upper=np.full(n, 2.0),
+        )
+        ours = solve_lp(lp, "simplex")
+        ref = solve_lp(lp, "highs")
+        assert ours.ok and ref.ok
+        assert ours.objective == pytest.approx(ref.objective, abs=1e-6)
+
+
+class TestSolveLpFrontend:
+    def test_unknown_method(self):
+        with pytest.raises(ValueError, match="method"):
+            solve_lp(LinearProgram(c=[1.0]), method="magic")
+
+    def test_highs_path(self):
+        lp = LinearProgram(c=[-1.0], upper=[2.0])
+        sol = solve_lp(lp, "highs")
+        assert sol.ok
+        assert sol.x == pytest.approx([2.0])
+
+    def test_highs_infeasible(self):
+        lp = LinearProgram(c=[1.0], a_eq=[[1.0]], b_eq=[5.0], upper=[1.0])
+        assert solve_lp(lp, "highs").status is SolveStatus.INFEASIBLE

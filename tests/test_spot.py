@@ -1,0 +1,91 @@
+"""Tests for the spot-market spike overlay."""
+
+import numpy as np
+import pytest
+
+from repro.market.market import MultiElectricityMarket
+from repro.market.prices import PriceTrace, houston_profile
+from repro.market.spot import spike_overlay, spot_market
+
+
+class TestSpikeOverlay:
+    def test_prices_only_scale_up(self):
+        base = houston_profile()
+        spot = spike_overlay(base, seed=1)
+        ratio = spot.prices / base.prices
+        assert np.all((np.isclose(ratio, 1.0)) | (np.isclose(ratio, 6.0)))
+
+    def test_no_spikes_when_prob_zero(self):
+        base = houston_profile()
+        spot = spike_overlay(base, spike_prob=0.0, seed=1)
+        assert np.array_equal(spot.prices, base.prices)
+
+    def test_always_spiked(self):
+        base = PriceTrace("x", np.full(10, 0.1))
+        spot = spike_overlay(base, spike_prob=1.0, persist_prob=1.0,
+                             magnitude=3.0)
+        assert np.allclose(spot.prices, 0.3)
+
+    def test_persistence_creates_runs(self):
+        base = PriceTrace("x", np.full(5000, 0.1))
+        sticky = spike_overlay(base, spike_prob=0.05, persist_prob=0.9,
+                               seed=3)
+        flip = np.diff((sticky.prices > 0.15).astype(int))
+        spike_slots = int((sticky.prices > 0.15).sum())
+        entries = int((flip == 1).sum())
+        # Mean run length ~ 1/(1-persist) = 10 >> 1.
+        assert spike_slots / max(entries, 1) > 4.0
+
+    def test_deterministic(self):
+        base = houston_profile()
+        a = spike_overlay(base, seed=9).prices
+        b = spike_overlay(base, seed=9).prices
+        assert np.array_equal(a, b)
+
+    def test_magnitude_validated(self):
+        with pytest.raises(ValueError):
+            spike_overlay(houston_profile(), magnitude=1.0)
+
+    def test_name_tagged(self):
+        assert "(spot)" in spike_overlay(houston_profile()).location
+
+
+class TestSpotMarket:
+    def test_independent_spikes_per_location(self):
+        market = MultiElectricityMarket([
+            PriceTrace("a", np.full(200, 0.1)),
+            PriceTrace("b", np.full(200, 0.1)),
+        ])
+        spot = spot_market(market, spike_prob=0.3, persist_prob=0.3, seed=5)
+        spikes = spot.as_matrix() > 0.15
+        # Both locations spike, but not in lockstep.
+        assert spikes[0].any() and spikes[1].any()
+        assert np.any(spikes[0] != spikes[1])
+
+    def test_structure_preserved(self):
+        market = MultiElectricityMarket([houston_profile()])
+        spot = spot_market(market)
+        assert spot.num_locations == 1
+        assert spot.num_slots == 24
+
+    def test_optimizer_gains_more_under_spikes(self):
+        # The optimizer's edge over Balanced grows when prices spike
+        # independently across sites (there is more to dodge).
+        from repro.experiments.section7 import section7_experiment
+        from repro.sim.slotted import compare_dispatchers
+        exp = section7_experiment()
+        calm = compare_dispatchers(
+            [exp.optimizer(), exp.balanced()], exp.trace, exp.market
+        )
+        spiky_market = spot_market(exp.market, spike_prob=0.3,
+                                   persist_prob=0.3, magnitude=8.0, seed=11)
+        spiky = compare_dispatchers(
+            [exp.optimizer(), exp.balanced()], exp.trace, spiky_market
+        )
+        calm_gap = (calm["optimized"].total_net_profit
+                    - calm["balanced"].total_net_profit)
+        spiky_gap = (spiky["optimized"].total_net_profit
+                     - spiky["balanced"].total_net_profit)
+        assert spiky_gap > 0
+        # Both still profitable; optimizer keeps its lead.
+        assert spiky["optimized"].total_net_profit > 0

@@ -1,0 +1,131 @@
+"""End-to-end tests with three-level TUFs (paper §IV-3).
+
+The §VII experiments use two levels; the paper's constraint machinery is
+derived for n levels (Eqs. 16-26).  These tests push three-level TUFs
+through every solve path.
+"""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.cloud.datacenter import DataCenter
+from repro.cloud.frontend import FrontEnd
+from repro.cloud.topology import CloudTopology
+from repro.core.formulation import SlotInputs, fixed_level_lp, multilevel_milp
+from repro.core.objective import evaluate_plan
+from repro.core.optimizer import ProfitAwareOptimizer
+from repro.core.request import RequestClass
+from repro.core.tuf import StepDownwardTUF
+from repro.solvers.branch_bound import solve_milp
+from repro.solvers.linprog import solve_lp
+
+
+@pytest.fixture
+def three_level_topology() -> CloudTopology:
+    classes = (
+        RequestClass(
+            "gold",
+            StepDownwardTUF([30.0, 18.0, 6.0], [0.001, 0.003, 0.008]),
+            transfer_unit_cost=1e-5,
+        ),
+        RequestClass(
+            "bronze",
+            StepDownwardTUF([8.0, 5.0, 2.0], [0.002, 0.005, 0.010]),
+            transfer_unit_cost=1e-5,
+        ),
+    )
+    datacenters = (
+        DataCenter("dc1", 2, np.array([8000.0, 6000.0]),
+                   np.array([0.2, 0.3])),
+        DataCenter("dc2", 2, np.array([7000.0, 8000.0]),
+                   np.array([0.3, 0.2])),
+    )
+    return CloudTopology(
+        classes, (FrontEnd("fe1"),), datacenters,
+        distances=np.array([[800.0, 1500.0]]),
+    )
+
+
+@pytest.fixture
+def slot(three_level_topology):
+    return SlotInputs(
+        three_level_topology,
+        arrivals=np.array([[14000.0], [12000.0]]),
+        prices=np.array([0.06, 0.10]),
+    )
+
+
+class TestThreeLevelMILP:
+    def test_milp_matches_exhaustive_enumeration(self, slot):
+        best = np.inf
+        for combo in itertools.product([0, 1, 2], repeat=4):
+            levels = np.asarray(combo).reshape(2, 2)
+            sol = solve_lp(fixed_level_lp(slot, levels=levels)[0])
+            if sol.ok:
+                best = min(best, sol.objective)
+        mip, _ = multilevel_milp(slot)
+        milp_obj = solve_milp(mip, "highs").require_ok().objective
+        assert milp_obj == pytest.approx(best, rel=1e-7)
+
+    def test_bb_agrees_with_highs(self, slot):
+        mip, _ = multilevel_milp(slot)
+        a = solve_milp(mip, "highs").require_ok().objective
+        b = solve_milp(mip, "bb").require_ok().objective
+        assert a == pytest.approx(b, rel=1e-7)
+
+    def test_plan_feasible_and_levels_realized(self, slot,
+                                               three_level_topology):
+        mip, decoder = multilevel_milp(slot)
+        plan = decoder(solve_milp(mip, "highs").require_ok().x)
+        assert plan.meets_deadlines()
+        out = evaluate_plan(plan, slot.arrivals, slot.prices)
+        # Realized profit can only match or beat the plan (delays inside
+        # a better band earn more).
+        milp_obj = solve_milp(mip, "highs").require_ok().objective
+        assert out.net_profit >= -milp_obj - 1e-6
+
+
+class TestThreeLevelSolverPaths:
+    @pytest.mark.parametrize("kwargs", [
+        dict(level_method="milp", milp_method="highs"),
+        dict(level_method="milp", milp_method="bb"),
+        dict(level_method="greedy"),
+    ])
+    def test_paths_agree_or_bound(self, three_level_topology, slot, kwargs):
+        exact = ProfitAwareOptimizer(three_level_topology)
+        plan_exact = exact.plan_slot(slot.arrivals, slot.prices)
+        profit_exact = evaluate_plan(
+            plan_exact, slot.arrivals, slot.prices
+        ).net_profit
+        opt = ProfitAwareOptimizer(three_level_topology, **kwargs)
+        plan = opt.plan_slot(slot.arrivals, slot.prices)
+        profit = evaluate_plan(plan, slot.arrivals, slot.prices).net_profit
+        if kwargs.get("level_method") == "milp":
+            assert profit == pytest.approx(profit_exact, rel=1e-6)
+        else:
+            assert profit >= 0.9 * profit_exact
+
+    def test_bigm_path_runs(self, three_level_topology, slot):
+        opt = ProfitAwareOptimizer(three_level_topology, level_method="bigm")
+        plan = opt.plan_slot(slot.arrivals, slot.prices)
+        exact = evaluate_plan(
+            ProfitAwareOptimizer(three_level_topology).plan_slot(
+                slot.arrivals, slot.prices),
+            slot.arrivals, slot.prices,
+        ).net_profit
+        profit = evaluate_plan(plan, slot.arrivals, slot.prices).net_profit
+        assert profit >= 0.7 * exact
+
+    def test_overload_picks_levels_selectively(self, three_level_topology):
+        # Under extreme load the MILP trades gold's tight level for
+        # volume somewhere; everything stays feasible.
+        arrivals = np.array([[60000.0], [50000.0]])
+        prices = np.array([0.06, 0.10])
+        opt = ProfitAwareOptimizer(three_level_topology)
+        plan = opt.plan_slot(arrivals, prices)
+        assert plan.meets_deadlines()
+        out = evaluate_plan(plan, arrivals, prices)
+        assert out.net_profit > 0
+        assert out.completion_fractions.min() < 1.0

@@ -1,0 +1,158 @@
+"""Tests for time utility functions and the task model."""
+
+import numpy as np
+import pytest
+
+from repro.core.request import RequestClass
+from repro.core.tuf import (
+    ConstantTUF,
+    MonotonicTUF,
+    StepDownwardTUF,
+    UtilityLevel,
+)
+
+
+class TestUtilityLevel:
+    def test_valid(self):
+        level = UtilityLevel(value=5.0, deadline=0.1)
+        assert level.value == 5.0
+
+    def test_rejects_negative_value(self):
+        with pytest.raises(ValueError):
+            UtilityLevel(value=-1.0, deadline=0.1)
+
+    def test_rejects_zero_deadline(self):
+        with pytest.raises(ValueError):
+            UtilityLevel(value=1.0, deadline=0.0)
+
+
+class TestConstantTUF:
+    def test_utility_before_and_after_deadline(self):
+        tuf = ConstantTUF(value=10.0, deadline=0.02)
+        assert tuf.utility(0.0) == 10.0
+        assert tuf.utility(0.02) == 10.0   # inclusive deadline
+        assert tuf.utility(0.020001) == 0.0
+
+    def test_is_one_level(self):
+        tuf = ConstantTUF(5.0, 1.0)
+        assert tuf.num_levels == 1
+        assert tuf.max_value == 5.0
+        assert tuf.deadline == 1.0
+
+
+class TestStepDownwardTUF:
+    @pytest.fixture
+    def tuf(self):
+        return StepDownwardTUF(values=[10.0, 6.0, 2.0],
+                               deadlines=[0.1, 0.2, 0.4])
+
+    def test_levels_by_delay(self, tuf):
+        assert tuf.utility(0.05) == 10.0
+        assert tuf.utility(0.1) == 10.0
+        assert tuf.utility(0.15) == 6.0
+        assert tuf.utility(0.2) == 6.0
+        assert tuf.utility(0.3) == 2.0
+        assert tuf.utility(0.4) == 2.0
+        assert tuf.utility(0.41) == 0.0
+
+    def test_vectorized(self, tuf):
+        out = tuf.utility(np.array([0.05, 0.15, 0.3, 1.0]))
+        assert out.tolist() == [10.0, 6.0, 2.0, 0.0]
+
+    def test_negative_or_zero_delay_gets_top_level(self, tuf):
+        assert tuf.utility(0.0) == 10.0
+        assert tuf.utility(-0.1) == 10.0
+
+    def test_level_for_delay(self, tuf):
+        assert tuf.level_for_delay(0.05) == 0
+        assert tuf.level_for_delay(0.15) == 1
+        assert tuf.level_for_delay(0.35) == 2
+        assert tuf.level_for_delay(0.5) == -1
+
+    def test_levels_tuple(self, tuf):
+        levels = tuf.levels
+        assert len(levels) == 3
+        assert levels[1] == UtilityLevel(6.0, 0.2)
+
+    def test_rejects_non_decreasing_values(self):
+        with pytest.raises(ValueError, match="strictly decreasing"):
+            StepDownwardTUF(values=[5.0, 5.0], deadlines=[0.1, 0.2])
+
+    def test_rejects_non_increasing_deadlines(self):
+        with pytest.raises(ValueError, match="strictly increasing"):
+            StepDownwardTUF(values=[5.0, 3.0], deadlines=[0.2, 0.1])
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValueError, match="same length"):
+            StepDownwardTUF(values=[5.0], deadlines=[0.1, 0.2])
+
+    def test_monotone_non_increasing_property(self, tuf):
+        delays = np.linspace(0.0, 0.6, 200)
+        utils = tuf.utility(delays)
+        assert np.all(np.diff(utils) <= 1e-12)
+
+    def test_repr(self, tuf):
+        assert "StepDownwardTUF" in repr(tuf)
+
+
+class TestMonotonicTUF:
+    def test_callable_wrapping(self):
+        tuf = MonotonicTUF(lambda t: 10.0 * np.exp(-t), deadline=2.0)
+        assert tuf.max_value == 10.0
+        assert tuf.utility(1.0) == pytest.approx(10.0 * np.exp(-1.0))
+        assert tuf.utility(2.5) == 0.0
+
+    def test_vectorized(self):
+        tuf = MonotonicTUF(lambda t: 4.0 - t, deadline=3.0)
+        out = tuf.utility(np.array([0.0, 1.0, 3.5]))
+        assert out.tolist() == [4.0, 3.0, 0.0]
+
+    def test_discretize_approximates(self):
+        tuf = MonotonicTUF(lambda t: 10.0 - 2.0 * t, deadline=4.0)
+        step = tuf.discretize(num_levels=64)
+        assert step.num_levels == 64
+        delays = np.linspace(0.05, 3.9, 40)
+        # The step TUF samples the left interval edge: upper bound within
+        # one step's slope drop.
+        max_gap = 2.0 * 4.0 / 64
+        for d in delays:
+            approx, exact = float(step.utility(d)), float(tuf.utility(d))
+            assert exact - 1e-9 <= approx <= exact + max_gap + 1e-9
+
+    def test_discretize_one_level(self):
+        tuf = MonotonicTUF(lambda t: 5.0, deadline=1.0)
+        step = tuf.discretize(1)
+        assert step.num_levels == 1
+        assert step.utility(0.5) == 5.0
+
+    def test_discretize_rejects_zero_levels(self):
+        tuf = MonotonicTUF(lambda t: 1.0, deadline=1.0)
+        with pytest.raises(ValueError):
+            tuf.discretize(0)
+
+    def test_discretize_handles_flat_functions(self):
+        # Flat segments force the strict-decrease repair path.
+        tuf = MonotonicTUF(lambda t: 3.0 if t < 0.5 else 1.0, deadline=1.0)
+        step = tuf.discretize(8)
+        assert step.num_levels == 8
+        assert np.all(np.diff(step.values) < 0)
+
+
+class TestRequestClass:
+    def test_valid(self):
+        rc = RequestClass("web", ConstantTUF(10.0, 0.1), transfer_unit_cost=0.01)
+        assert rc.deadline == 0.1
+        assert rc.num_levels == 1
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ValueError):
+            RequestClass("", ConstantTUF(1.0, 1.0))
+
+    def test_rejects_non_step_tuf(self):
+        mono = MonotonicTUF(lambda t: 1.0, deadline=1.0)
+        with pytest.raises(TypeError, match="StepDownwardTUF"):
+            RequestClass("web", mono)
+
+    def test_rejects_negative_transfer_cost(self):
+        with pytest.raises(ValueError):
+            RequestClass("web", ConstantTUF(1.0, 1.0), transfer_unit_cost=-1.0)

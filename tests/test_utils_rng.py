@@ -1,0 +1,84 @@
+"""Tests for repro.utils.rng."""
+
+import numpy as np
+
+from repro.utils.rng import RandomStreams, as_generator
+
+
+class TestAsGenerator:
+    def test_from_int(self):
+        gen = as_generator(42)
+        assert isinstance(gen, np.random.Generator)
+
+    def test_from_none(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+    def test_passthrough_generator(self):
+        gen = np.random.default_rng(0)
+        assert as_generator(gen) is gen
+
+    def test_from_seed_sequence(self):
+        seq = np.random.SeedSequence(7)
+        assert isinstance(as_generator(seq), np.random.Generator)
+
+    def test_same_seed_same_draws(self):
+        a = as_generator(5).random(4)
+        b = as_generator(5).random(4)
+        assert np.array_equal(a, b)
+
+
+class TestRandomStreams:
+    def test_stream_is_cached(self):
+        streams = RandomStreams(0)
+        assert streams.stream("arrivals") is streams.stream("arrivals")
+
+    def test_streams_are_independent_of_creation_order(self):
+        s1 = RandomStreams(123)
+        s2 = RandomStreams(123)
+        # Create in opposite order; named streams must still match.
+        a1 = s1.stream("a").random(3)
+        b1 = s1.stream("b").random(3)
+        b2 = s2.stream("b").random(3)
+        a2 = s2.stream("a").random(3)
+        assert np.array_equal(a1, a2)
+        assert np.array_equal(b1, b2)
+
+    def test_different_names_differ(self):
+        streams = RandomStreams(9)
+        a = streams.stream("x").random(8)
+        b = streams.stream("y").random(8)
+        assert not np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = RandomStreams(1).stream("s").random(8)
+        b = RandomStreams(2).stream("s").random(8)
+        assert not np.array_equal(a, b)
+
+    def test_spawn_returns_new_streams(self):
+        parent = RandomStreams(3)
+        child = parent.spawn()
+        assert isinstance(child, RandomStreams)
+        a = parent.stream("s").random(4)
+        b = child.stream("s").random(4)
+        assert not np.array_equal(a, b)
+
+
+class TestTables:
+    def test_render_basic(self):
+        from repro.utils.tables import render_table
+        text = render_table(["a", "b"], [[1, 2.5], ["x", 3.0]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "b" in lines[1]
+        assert len(lines) == 5
+
+    def test_row_length_mismatch(self):
+        import pytest
+        from repro.utils.tables import render_table
+        with pytest.raises(ValueError, match="cells"):
+            render_table(["a", "b"], [[1]])
+
+    def test_float_formatting(self):
+        from repro.utils.tables import render_table
+        text = render_table(["v"], [[0.123456]], float_fmt=".2f")
+        assert "0.12" in text

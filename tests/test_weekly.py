@@ -1,0 +1,78 @@
+"""Tests for the weekly workload generator."""
+
+import numpy as np
+import pytest
+
+from repro.workload.weekly import DEFAULT_DAY_FACTORS, weekly_trace
+
+
+class TestWeeklyTrace:
+    def test_shape(self):
+        trace = weekly_trace(num_classes=3, num_frontends=2, days=7)
+        assert trace.num_classes == 3
+        assert trace.num_frontends == 2
+        assert trace.num_slots == 7 * 24
+
+    def test_weekend_quieter(self):
+        trace = weekly_trace(days=7, noise=0.0, seed=1)
+        daily_totals = trace.rates.sum(axis=(0, 1)).reshape(7, 24).sum(axis=1)
+        weekday_mean = daily_totals[:5].mean()
+        weekend_mean = daily_totals[5:].mean()
+        assert weekend_mean < 0.75 * weekday_mean
+
+    def test_day_factor_cycle_beyond_week(self):
+        trace = weekly_trace(days=14, noise=0.0, seed=2)
+        totals = trace.rates.sum(axis=(0, 1)).reshape(14, 24).sum(axis=1)
+        assert totals[0] == pytest.approx(totals[7], rel=1e-9)
+
+    def test_drift_compounds(self):
+        # Single class with zero shift so day boundaries stay clean.
+        trace = weekly_trace(num_classes=1, days=10, noise=0.0,
+                             drift_per_day=0.05, day_factors=[1.0],
+                             shift_slots=0, seed=3)
+        totals = trace.rates.sum(axis=(0, 1)).reshape(10, 24).sum(axis=1)
+        assert totals[9] == pytest.approx(totals[0] * 1.05**9, rel=1e-9)
+
+    def test_diurnal_within_each_day(self):
+        trace = weekly_trace(days=3, noise=0.0, seed=4)
+        day0 = trace.class_series(0, 0)[:24]
+        assert day0[12:20].mean() > 1.5 * day0[0:5].mean()
+
+    def test_classes_are_shifts(self):
+        trace = weekly_trace(num_classes=2, days=2, shift_slots=3,
+                             noise=0.0, seed=5)
+        assert np.allclose(np.roll(trace.class_series(0, 0), 3),
+                           trace.class_series(1, 0))
+
+    def test_deterministic(self):
+        a = weekly_trace(seed=6).rates
+        b = weekly_trace(seed=6).rates
+        assert np.array_equal(a, b)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            weekly_trace(days=0)
+        with pytest.raises(ValueError):
+            weekly_trace(day_factors=[])
+        with pytest.raises(ValueError):
+            weekly_trace(drift_per_day=-1.5)
+
+    def test_default_factors_weekend_dip(self):
+        factors = np.asarray(DEFAULT_DAY_FACTORS)
+        assert factors[5:].max() < factors[:5].min()
+
+    def test_runs_through_controller(self, small_topology):
+        from repro.core.baselines import BalancedDispatcher
+        from repro.market.market import MultiElectricityMarket
+        from repro.market.prices import houston_profile, atlanta_profile
+        from repro.sim.slotted import run_simulation
+        trace = weekly_trace(num_classes=2, num_frontends=2, days=2,
+                             base=20.0, amplitude=60.0, seed=7)
+        market = MultiElectricityMarket(
+            [houston_profile(), atlanta_profile()]
+        )
+        result = run_simulation(
+            BalancedDispatcher(small_topology), trace, market
+        )
+        assert result.num_slots == 48
+        assert result.total_net_profit > 0

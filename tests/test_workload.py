@@ -1,0 +1,226 @@
+"""Tests for the workload substrate (traces, synthesizers, predictors)."""
+
+import numpy as np
+import pytest
+
+from repro.workload.arrivals import (
+    burst_overlay,
+    diurnal_rates,
+    mmpp_rates,
+    poisson_counts,
+)
+from repro.workload.googletrace import google_like_trace
+from repro.workload.prediction import EWMAPredictor, KalmanFilterPredictor
+from repro.workload.traces import WorkloadTrace
+from repro.workload.worldcup import worldcup_like_trace
+
+
+class TestWorkloadTrace:
+    @pytest.fixture
+    def trace(self):
+        rates = np.arange(2 * 3 * 4, dtype=float).reshape(2, 3, 4)
+        return WorkloadTrace(rates, slot_duration=2.0)
+
+    def test_shape_properties(self, trace):
+        assert trace.num_classes == 2
+        assert trace.num_frontends == 3
+        assert trace.num_slots == 4
+
+    def test_arrivals_at(self, trace):
+        assert trace.arrivals_at(1).shape == (2, 3)
+        assert trace.arrivals_at(5)[0, 0] == trace.arrivals_at(1)[0, 0]
+
+    def test_total_requests(self, trace):
+        assert trace.total_requests() == pytest.approx(trace.rates.sum() * 2.0)
+
+    def test_from_single_type_shifts(self):
+        series = np.array([[1.0, 2.0, 3.0, 4.0]])
+        trace = WorkloadTrace.from_single_type(series, num_classes=2,
+                                               shift_slots=1)
+        assert trace.class_series(0, 0).tolist() == [1.0, 2.0, 3.0, 4.0]
+        assert trace.class_series(1, 0).tolist() == [4.0, 1.0, 2.0, 3.0]
+
+    def test_duplicated_as_class(self):
+        base = WorkloadTrace(np.ones((1, 1, 3)))
+        dup = base.duplicated_as_class(shift_slots=1)
+        assert dup.num_classes == 2
+
+    def test_scaled(self, trace):
+        assert trace.scaled(2.0).rates[1, 1, 1] == trace.rates[1, 1, 1] * 2
+
+    def test_window_wraps(self, trace):
+        win = trace.window(3, 5)
+        assert win.num_slots == 2
+        assert win.rates[0, 0, 1] == trace.rates[0, 0, 0]
+
+    def test_select_classes(self, trace):
+        sub = trace.select_classes([1])
+        assert sub.num_classes == 1
+        assert np.array_equal(sub.rates[0], trace.rates[1])
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            WorkloadTrace(-np.ones((1, 1, 1)))
+
+    def test_rejects_wrong_ndim(self):
+        with pytest.raises(ValueError, match=r"\(K, S, T\)"):
+            WorkloadTrace(np.ones((2, 2)))
+
+
+class TestArrivalPatterns:
+    def test_diurnal_peak_location(self):
+        rates = diurnal_rates(24, base=10.0, amplitude=100.0, peak_slot=15.0)
+        assert np.argmax(rates) == 15
+        assert rates.min() >= 10.0
+
+    def test_diurnal_sharpness_narrows_peak(self):
+        soft = diurnal_rates(24, 10.0, 100.0, 12.0, sharpness=1.0)
+        sharp = diurnal_rates(24, 10.0, 100.0, 12.0, sharpness=4.0)
+        # Sharper curve is lower away from the peak, equal at the peak.
+        assert sharp[12] == pytest.approx(soft[12])
+        assert sharp[6] < soft[6]
+
+    def test_burst_overlay_adds_at_center(self):
+        base = np.full(10, 5.0)
+        bursty = burst_overlay(base, burst_slot=4, magnitude=20.0, width=1.0)
+        assert bursty[4] == pytest.approx(25.0)
+        assert bursty[0] < 6.0
+
+    def test_mmpp_rates_values_from_levels(self):
+        rates = mmpp_rates(
+            50, level_rates=[1.0, 10.0],
+            transition=np.array([[0.5, 0.5], [0.5, 0.5]]), seed=0,
+        )
+        assert set(np.unique(rates)) <= {1.0, 10.0}
+
+    def test_mmpp_rejects_bad_transition(self):
+        with pytest.raises(ValueError, match="stochastic"):
+            mmpp_rates(5, [1.0, 2.0], np.array([[0.5, 0.2], [0.5, 0.5]]))
+
+    def test_poisson_counts_mean(self):
+        counts = poisson_counts(np.full(5000, 10.0), slot_duration=2.0, seed=0)
+        assert counts.mean() == pytest.approx(20.0, rel=0.05)
+
+
+class TestWorldCupTrace:
+    def test_shape(self):
+        trace = worldcup_like_trace()
+        assert trace.num_classes == 3
+        assert trace.num_frontends == 4
+        assert trace.num_slots == 24
+
+    def test_deterministic_given_seed(self):
+        a = worldcup_like_trace(seed=5).rates
+        b = worldcup_like_trace(seed=5).rates
+        assert np.array_equal(a, b)
+
+    def test_classes_are_shifted_copies(self):
+        trace = worldcup_like_trace(shift_slots=2, noise=0.0)
+        base = trace.class_series(0, 0)
+        shifted = trace.class_series(1, 0)
+        assert np.allclose(np.roll(base, 2), shifted)
+
+    def test_diurnal_swing(self):
+        trace = worldcup_like_trace(noise=0.0)
+        day = trace.class_series(0, 0)
+        assert day[12:22].mean() > 2 * day[0:5].mean()
+
+    def test_frontends_differ(self):
+        trace = worldcup_like_trace(noise=0.0)
+        assert not np.allclose(trace.class_series(0, 0), trace.class_series(0, 1))
+
+
+class TestGoogleTrace:
+    def test_shape(self):
+        trace = google_like_trace()
+        assert trace.num_classes == 2
+        assert trace.num_frontends == 1
+        assert trace.num_slots == 7
+
+    def test_second_type_is_shifted_duplicate(self):
+        trace = google_like_trace(shift_slots=2)
+        assert np.allclose(
+            np.roll(trace.class_series(0, 0), 2), trace.class_series(1, 0)
+        )
+
+    def test_mean_rate_approx(self):
+        trace = google_like_trace(num_slots=500, mean_rate=1000.0, seed=3)
+        assert trace.class_series(0, 0).mean() == pytest.approx(1000.0, rel=0.2)
+
+    def test_rejects_negative_variability(self):
+        with pytest.raises(ValueError):
+            google_like_trace(variability=-0.1)
+
+
+class TestEWMAPredictor:
+    def test_initial_prediction(self):
+        assert EWMAPredictor(initial=5.0).predict() == 5.0
+
+    def test_first_observation_resets_level(self):
+        p = EWMAPredictor(alpha=0.5, initial=100.0)
+        p.observe(10.0)
+        assert p.predict() == 10.0
+
+    def test_smoothing(self):
+        p = EWMAPredictor(alpha=0.5)
+        p.observe(10.0)
+        p.observe(20.0)
+        assert p.predict() == pytest.approx(15.0)
+
+    def test_alpha_bounds(self):
+        with pytest.raises(ValueError):
+            EWMAPredictor(alpha=0.0)
+        with pytest.raises(ValueError):
+            EWMAPredictor(alpha=1.5)
+
+
+class TestKalmanPredictor:
+    def test_converges_to_constant_signal(self):
+        p = KalmanFilterPredictor(process_var=0.01, observation_var=1.0)
+        for _ in range(200):
+            p.observe(50.0)
+        assert p.predict() == pytest.approx(50.0, abs=0.5)
+
+    def test_tracks_level_shift(self):
+        p = KalmanFilterPredictor(process_var=1.0, observation_var=1.0)
+        for _ in range(50):
+            p.observe(10.0)
+        for _ in range(50):
+            p.observe(100.0)
+        assert p.predict() == pytest.approx(100.0, rel=0.05)
+
+    def test_prediction_nonnegative(self):
+        p = KalmanFilterPredictor(initial_estimate=0.0)
+        p.observe(0.0)
+        assert p.predict() >= 0.0
+
+    def test_predict_series_is_one_step_ahead(self):
+        p = KalmanFilterPredictor(initial_estimate=1.0, initial_var=0.0)
+        forecasts = p.predict_series(np.array([5.0, 5.0, 5.0]))
+        # First forecast made before any observation: the prior estimate.
+        assert forecasts[0] == pytest.approx(1.0)
+        assert forecasts[2] > forecasts[0]
+
+    def test_variance_shrinks_with_observations(self):
+        p = KalmanFilterPredictor(initial_var=1e6)
+        before = p.variance
+        p.observe(10.0)
+        assert p.variance < before
+
+    def test_beats_ewma_on_noisy_random_walk(self):
+        rng = np.random.default_rng(0)
+        level = 100.0
+        truth, observed = [], []
+        for _ in range(400):
+            level += rng.normal(0, 1.0)
+            truth.append(level)
+            observed.append(max(0.0, level + rng.normal(0, 8.0)))
+        kalman = KalmanFilterPredictor(process_var=1.0, observation_var=64.0)
+        ewma = EWMAPredictor(alpha=0.5)
+        k_err = e_err = 0.0
+        for z, x in zip(observed, truth):
+            k_err += (kalman.predict() - x) ** 2
+            e_err += (ewma.predict() - x) ** 2
+            kalman.observe(z)
+            ewma.observe(z)
+        assert k_err < e_err
