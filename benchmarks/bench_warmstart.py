@@ -1,0 +1,181 @@
+"""Warm vs cold slot-pipeline timing on the Fig. 11 setup.
+
+The paper's Fig. 11 study re-solves the per-server slot problem for a
+growing server count; its hourly controller re-solves a *structurally
+identical* problem every slot.  This bench measures what the warm-start
+layer buys on that pipeline: the §VII experiment at a fixed server
+count, solved slot by slot cold (``warm_start=False``, every slot built
+and solved from scratch) and warm (``warm_start=True``, cached
+formulation skeleton + solver state chained across slots).
+
+The measured configuration is the greedy level search over the
+per-server LP with the library's own interior-point backend — the pair
+that exercises both halves of the layer (formulation cache + iterate
+re-centering).  Warm and cold must agree on every slot's objective;
+the speedup is reported as the median across repeats.
+
+Run directly for a JSON record::
+
+    PYTHONPATH=src python benchmarks/bench_warmstart.py --quick
+    PYTHONPATH=src python benchmarks/bench_warmstart.py --output out.json
+
+or through pytest (``pytest benchmarks/bench_warmstart.py``), which
+also asserts the acceptance threshold.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Dict, List
+
+import numpy as np
+
+from repro.core.optimizer import ProfitAwareOptimizer
+from repro.experiments.section7 import section7_experiment
+
+SPEEDUP_TARGET = 1.5
+
+
+def _run_pipeline(optimizer, exp, num_slots: int):
+    """Solve ``num_slots`` slots in trace order; per-slot seconds + objectives."""
+    times: List[float] = []
+    objectives: List[float] = []
+    for t in range(num_slots):
+        arrivals = exp.trace.arrivals_at(t)
+        prices = exp.market.prices_at(t)
+        start = time.perf_counter()
+        optimizer.plan_slot(arrivals, prices, slot_duration=1.0)
+        times.append(time.perf_counter() - start)
+        objectives.append(optimizer.last_stats.objective)
+    return np.array(times), np.array(objectives)
+
+
+def measure_warmstart(
+    servers_per_dc: int = 3,
+    num_slots: int | None = None,
+    repeats: int = 3,
+    seed: int = 2010,
+) -> Dict:
+    """Measure cold vs warm per-slot time; returns a JSON-ready record."""
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    exp = section7_experiment(seed=seed)
+    topology = exp.topology.with_servers_per_datacenter(int(servers_per_dc))
+    if num_slots is None:
+        num_slots = exp.trace.num_slots
+    num_slots = min(int(num_slots), exp.trace.num_slots)
+    kwargs = dict(
+        level_method="greedy", lp_method="ipm", formulation="per_server"
+    )
+
+    speedups: List[float] = []
+    cold_means: List[float] = []
+    warm_means: List[float] = []
+    cold_slots = warm_slots = None
+    max_obj_diff = 0.0
+    for _ in range(repeats):
+        # Fresh optimizers each repeat: cold must not keep caches, warm
+        # must pay its first-slot structure build inside the measurement.
+        cold_t, cold_obj = _run_pipeline(
+            ProfitAwareOptimizer(topology, warm_start=False, **kwargs),
+            exp, num_slots,
+        )
+        warm_t, warm_obj = _run_pipeline(
+            ProfitAwareOptimizer(topology, warm_start=True, **kwargs),
+            exp, num_slots,
+        )
+        rel = np.max(np.abs(warm_obj - cold_obj)
+                     / (1.0 + np.abs(cold_obj)))
+        max_obj_diff = max(max_obj_diff, float(rel))
+        speedups.append(float(cold_t.mean() / warm_t.mean()))
+        cold_means.append(float(cold_t.mean()))
+        warm_means.append(float(warm_t.mean()))
+        cold_slots, warm_slots = cold_t, warm_t
+
+    return {
+        "benchmark": "warmstart",
+        "setup": {
+            "experiment": "section7 (Fig. 11 per-server formulation)",
+            "servers_per_dc": int(servers_per_dc),
+            "num_slots": int(num_slots),
+            "repeats": int(repeats),
+            "seed": int(seed),
+            **{k: str(v) for k, v in kwargs.items()},
+        },
+        "cold_mean_s": float(np.median(cold_means)),
+        "warm_mean_s": float(np.median(warm_means)),
+        "cold_per_slot_s": [float(x) for x in cold_slots],
+        "warm_per_slot_s": [float(x) for x in warm_slots],
+        "speedup_per_repeat": speedups,
+        "speedup": float(np.median(speedups)),
+        "max_objective_rel_diff": max_obj_diff,
+        "speedup_target": SPEEDUP_TARGET,
+    }
+
+
+def test_warmstart_speedup(benchmark, report):
+    record = benchmark.pedantic(
+        measure_warmstart, kwargs={}, rounds=1, iterations=1
+    )
+    report(
+        "Warm-start: cold vs warm per-slot time "
+        "(Fig. 11 setup, per-server formulation)",
+        [
+            f"cold mean: {record['cold_mean_s'] * 1e3:8.2f} ms/slot",
+            f"warm mean: {record['warm_mean_s'] * 1e3:8.2f} ms/slot",
+            f"speedup:   {record['speedup']:8.2f}x "
+            f"(per repeat: "
+            f"{', '.join(f'{s:.2f}' for s in record['speedup_per_repeat'])})",
+            f"max objective rel diff: "
+            f"{record['max_objective_rel_diff']:.2e}",
+        ],
+    )
+    # Warm-starting must not change any slot's planned profit...
+    assert record["max_objective_rel_diff"] <= 1e-6
+    # ...and must clear the acceptance threshold.
+    assert record["speedup"] >= SPEEDUP_TARGET
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Warm vs cold slot-pipeline timing (Fig. 11 setup)."
+    )
+    parser.add_argument("--quick", action="store_true",
+                        help="fewer slots and repeats (CI smoke run)")
+    parser.add_argument("--servers-per-dc", type=int, default=3)
+    parser.add_argument("--repeats", type=int, default=None)
+    parser.add_argument("--output", type=str, default=None,
+                        help="write the JSON record here instead of stdout")
+    args = parser.parse_args(argv)
+    repeats = (args.repeats if args.repeats is not None
+               else (2 if args.quick else 3))
+    if repeats < 1:
+        parser.error("--repeats must be >= 1")
+    if args.servers_per_dc < 1:
+        parser.error("--servers-per-dc must be >= 1")
+
+    # Quick mode trims repeats, not slots: warm-starting needs the slot
+    # sequence to amortize, and the full §VII trace is only 7 slots.
+    record = measure_warmstart(
+        servers_per_dc=args.servers_per_dc,
+        repeats=repeats,
+    )
+    payload = json.dumps(record, indent=2)
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(payload + "\n")
+    else:
+        print(payload)
+    ok = (record["max_objective_rel_diff"] <= 1e-6
+          and record["speedup"] >= SPEEDUP_TARGET)
+    if not ok:
+        print(f"FAIL: speedup {record['speedup']:.2f}x below target "
+              f"{SPEEDUP_TARGET}x or objectives diverged", file=sys.stderr)
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

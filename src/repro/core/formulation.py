@@ -43,6 +43,8 @@ __all__ = [
     "feasibility_margin",
     "fixed_level_lp",
     "multilevel_milp",
+    "FixedLevelLPCache",
+    "MultilevelMILPCache",
     "DEADLINE_SAFETY",
 ]
 
@@ -226,12 +228,190 @@ def _level_tables(
     return utilities, deadlines
 
 
+class FixedLevelLPCache:
+    """Slot-invariant skeleton of the fixed-level LP, refilled per slot.
+
+    The slot LP's constraint *matrix*, variable bounds, and decoder
+    depend only on the topology and variable layout; everything that
+    changes between the controller's hourly slots — electricity prices,
+    arrival rates, targeted TUF levels — enters purely through the
+    objective vector ``c`` and the right-hand side ``b_ub``.  This cache
+    builds the matrix structure once and, on every :meth:`build`, only
+    refills those two vectors: ``O(vars)`` ndarray writes instead of the
+    ``O(rows x vars)`` Python-level matrix construction the cold path
+    pays, which dominates per-slot cost in day-long runs (cf. the
+    paper's Fig. 11 computation-time study).
+
+    Returned problems **share** the cache's constraint matrix; treat
+    ``lp.a_ub`` as read-only.
+
+    Row layout (relied upon by :mod:`repro.core.sensitivity`): delay
+    rows (class-major), then share-budget rows, then arrival-cap rows.
+    """
+
+    def __init__(self, topology: CloudTopology, per_server: bool = False):
+        self.topology = topology
+        self.per_server = bool(per_server)
+        if self.per_server:
+            self._build_per_server_structure()
+        else:
+            self._build_aggregated_structure()
+
+    # --------------------------------------------------------- structure
+
+    def _build_aggregated_structure(self) -> None:
+        topo = self.topology
+        K, S, L = topo.num_classes, topo.num_frontends, topo.num_datacenters
+        M = topo.servers_per_datacenter.astype(float)  # (L,)
+        mu = topo.service_rates  # (K, L)
+        cap = topo.server_capacities  # (L,)
+        n_lam = K * S * L
+        n_vars = n_lam + K * L
+        self._n_lam = n_lam
+        self._n_vars = n_vars
+        self._M = M
+
+        a = np.zeros((K * L + L + K * S, n_vars))
+        # (1) Delay: sum_s lam - Phi*C*mu <= -M_l / D_{k,l-level}
+        for k in range(K):
+            for l in range(L):
+                r = k * L + l
+                for s in range(S):
+                    a[r, (k * S + s) * L + l] = 1.0
+                a[r, n_lam + k * L + l] = -cap[l] * mu[k, l]
+        # (2) Shares: sum_k Phi_{k,l} <= M_l
+        for l in range(L):
+            for k in range(K):
+                a[K * L + l, n_lam + k * L + l] = 1.0
+        # (3) Arrivals: sum_l lam <= lambda_{k,s}
+        for k in range(K):
+            for s in range(S):
+                r = K * L + L + k * S + s
+                a[r, (k * S + s) * L:(k * S + s) * L + L] = 1.0
+        self._a_ub = a
+
+        upper = np.full(n_vars, np.inf)
+        upper[n_lam:] = np.tile(M, K)
+        self._upper = upper
+
+        b = np.empty(a.shape[0])
+        b[K * L:K * L + L] = M
+        self._b_template = b
+
+        def decoder(x: np.ndarray) -> DispatchPlan:
+            lam = x[:n_lam].reshape(K, S, L)
+            phi_total = x[n_lam:].reshape(K, L)
+            return _expand_symmetric(topo, lam, phi_total)
+
+        self._decoder: Decoder = decoder
+
+    def _build_per_server_structure(self) -> None:
+        topo = self.topology
+        K, S = topo.num_classes, topo.num_frontends
+        N = topo.num_servers
+        dc_of = np.empty(N, dtype=int)
+        offsets = topo.server_offsets()
+        for l, _dc in enumerate(topo.datacenters):
+            dc_of[offsets[l]:offsets[l + 1]] = l
+        mu = topo.service_rates  # (K, L)
+        cap = topo.server_capacities  # (L,)
+        n_lam = K * S * N
+        n_vars = n_lam + K * N
+        self._n_lam = n_lam
+        self._n_vars = n_vars
+        self._dc_of = dc_of
+
+        a = np.zeros((K * N + N + K * S, n_vars))
+        # (1) Delay per (k, n): sum_s lam - phi*C*mu <= -1/D
+        for k in range(K):
+            for n in range(N):
+                r = k * N + n
+                for s in range(S):
+                    a[r, (k * S + s) * N + n] = 1.0
+                l = dc_of[n]
+                a[r, n_lam + k * N + n] = -cap[l] * mu[k, l]
+        # (2) Shares per server: sum_k phi <= 1
+        for n in range(N):
+            for k in range(K):
+                a[K * N + n, n_lam + k * N + n] = 1.0
+        # (3) Arrivals: sum_n lam <= lambda_{k,s}
+        for k in range(K):
+            for s in range(S):
+                r = K * N + N + k * S + s
+                a[r, (k * S + s) * N:(k * S + s) * N + N] = 1.0
+        self._a_ub = a
+
+        upper = np.full(n_vars, np.inf)
+        upper[n_lam:] = 1.0
+        self._upper = upper
+
+        b = np.empty(a.shape[0])
+        b[K * N:K * N + N] = 1.0
+        self._b_template = b
+
+        def decoder(x: np.ndarray) -> DispatchPlan:
+            lam = x[:n_lam].reshape(K, S, N)
+            phi = x[n_lam:].reshape(K, N)
+            phi = _normalize_shares(phi)
+            return DispatchPlan(topology=topo, rates=lam, shares=phi)
+
+        self._decoder = decoder
+
+    # -------------------------------------------------------------- build
+
+    def build(
+        self, inputs: SlotInputs, levels: Optional[np.ndarray] = None
+    ) -> Tuple[LinearProgram, Decoder]:
+        """Fill the skeleton with one slot's data; see :func:`fixed_level_lp`."""
+        topo = inputs.topology
+        if topo is not self.topology:
+            raise ValueError(
+                "SlotInputs.topology differs from the cache's topology; "
+                "build a new cache for a new topology"
+            )
+        _require_feasible(topo, inputs.deadline_scale / inputs.delay_factor)
+        K, S, L = topo.num_classes, topo.num_frontends, topo.num_datacenters
+        if levels is None:
+            levels = np.zeros((K, L), dtype=int)
+        levels = np.asarray(levels, dtype=int)
+        if levels.shape != (K, L):
+            raise ValueError(
+                f"levels must have shape {(K, L)}, got {levels.shape}"
+            )
+        utilities, deadlines = _level_tables(
+            topo, levels, inputs.deadline_scale, inputs.delay_factor
+        )
+        cost = inputs.cost_per_request()  # (K, S, L)
+        # Net profit per dispatched request if the targeted level is met.
+        net = utilities[:, None, :] - cost  # (K, S, L)
+        T = inputs.slot_duration
+
+        c = np.zeros(self._n_vars)
+        b = self._b_template.copy()
+        if self.per_server:
+            N = topo.num_servers
+            c[:self._n_lam] = (-T * net[:, :, self._dc_of]).ravel()
+            b[:K * N] = (-1.0 / deadlines[:, self._dc_of]).ravel()
+            b[K * N + N:] = inputs.arrivals.ravel()
+        else:
+            c[:self._n_lam] = (-T * net).ravel()  # minimize -profit
+            b[:K * L] = (-self._M / deadlines).ravel()
+            b[K * L + L:] = inputs.arrivals.ravel()
+
+        lp = LinearProgram(c=c, a_ub=self._a_ub, b_ub=b, upper=self._upper)
+        return lp, self._decoder
+
+
 def fixed_level_lp(
     inputs: SlotInputs,
     levels: Optional[np.ndarray] = None,
     per_server: bool = False,
 ) -> Tuple[LinearProgram, Decoder]:
     """Build the slot LP for a fixed TUF-level assignment.
+
+    One-shot wrapper over :class:`FixedLevelLPCache`; callers planning
+    many slots on one topology should hold a cache instead (the
+    optimizer does when warm-starting).
 
     Parameters
     ----------
@@ -251,179 +431,243 @@ def fixed_level_lp(
         ``lp`` minimizes *negative* net profit; ``decoder`` maps an LP
         solution vector to a :class:`DispatchPlan`.
     """
-    topo = inputs.topology
-    _require_feasible(topo, inputs.deadline_scale / inputs.delay_factor)
-    K, S, L = topo.num_classes, topo.num_frontends, topo.num_datacenters
-    if levels is None:
-        levels = np.zeros((K, L), dtype=int)
-    levels = np.asarray(levels, dtype=int)
-    if levels.shape != (K, L):
-        raise ValueError(f"levels must have shape {(K, L)}, got {levels.shape}")
-    utilities, deadlines = _level_tables(
-        topo, levels, inputs.deadline_scale, inputs.delay_factor
-    )
-    cost = inputs.cost_per_request()  # (K, S, L)
-    # Net profit per dispatched request if the targeted level is met.
-    net = utilities[:, None, :] - cost  # (K, S, L)
-    T = inputs.slot_duration
-
-    if per_server:
-        return _fixed_level_lp_per_server(inputs, net, deadlines, T)
-    return _fixed_level_lp_aggregated(inputs, net, deadlines, T)
-
-
-def _fixed_level_lp_aggregated(
-    inputs: SlotInputs, net: np.ndarray, deadlines: np.ndarray, T: float
-) -> Tuple[LinearProgram, Decoder]:
-    topo = inputs.topology
-    K, S, L = topo.num_classes, topo.num_frontends, topo.num_datacenters
-    M = topo.servers_per_datacenter.astype(float)  # (L,)
-    mu = topo.service_rates  # (K, L)
-    cap = topo.server_capacities  # (L,)
-
-    n_lam = K * S * L
-    n_phi = K * L
-    n_vars = n_lam + n_phi
-
-    def lam_idx(k: int, s: int, l: int) -> int:
-        return (k * S + s) * L + l
-
-    def phi_idx(k: int, l: int) -> int:
-        return n_lam + k * L + l
-
-    c = np.zeros(n_vars)
-    c[:n_lam] = (-T * net).ravel()  # minimize -profit
-
-    rows_a: List[np.ndarray] = []
-    rows_b: List[float] = []
-
-    # (1) Delay: sum_s lam - Phi*C*mu <= -M_l / D_{k,l-level}
-    for k in range(K):
-        for l in range(L):
-            row = np.zeros(n_vars)
-            for s in range(S):
-                row[lam_idx(k, s, l)] = 1.0
-            row[phi_idx(k, l)] = -cap[l] * mu[k, l]
-            rows_a.append(row)
-            rows_b.append(-M[l] / deadlines[k, l])
-
-    # (2) Shares: sum_k Phi_{k,l} <= M_l
-    for l in range(L):
-        row = np.zeros(n_vars)
-        for k in range(K):
-            row[phi_idx(k, l)] = 1.0
-        rows_a.append(row)
-        rows_b.append(M[l])
-
-    # (3) Arrivals: sum_l lam <= lambda_{k,s}
-    for k in range(K):
-        for s in range(S):
-            row = np.zeros(n_vars)
-            for l in range(L):
-                row[lam_idx(k, s, l)] = 1.0
-            rows_a.append(row)
-            rows_b.append(float(inputs.arrivals[k, s]))
-
-    upper = np.full(n_vars, np.inf)
-    for k in range(K):
-        for l in range(L):
-            upper[phi_idx(k, l)] = M[l]
-
-    lp = LinearProgram(
-        c=c, a_ub=np.array(rows_a), b_ub=np.array(rows_b), upper=upper
-    )
-
-    def decoder(x: np.ndarray) -> DispatchPlan:
-        lam = x[:n_lam].reshape(K, S, L)
-        phi_total = x[n_lam:].reshape(K, L)
-        return _expand_symmetric(topo, lam, phi_total)
-
-    return lp, decoder
-
-
-def _fixed_level_lp_per_server(
-    inputs: SlotInputs, net: np.ndarray, deadlines: np.ndarray, T: float
-) -> Tuple[LinearProgram, Decoder]:
-    topo = inputs.topology
-    K, S = topo.num_classes, topo.num_frontends
-    N = topo.num_servers
-    dc_of = np.empty(N, dtype=int)
-    offsets = topo.server_offsets()
-    for l, dc in enumerate(topo.datacenters):
-        dc_of[offsets[l]:offsets[l + 1]] = l
-    mu = topo.service_rates  # (K, L)
-    cap = topo.server_capacities  # (L,)
-
-    n_lam = K * S * N
-    n_phi = K * N
-    n_vars = n_lam + n_phi
-
-    def lam_idx(k: int, s: int, n: int) -> int:
-        return (k * S + s) * N + n
-
-    def phi_idx(k: int, n: int) -> int:
-        return n_lam + k * N + n
-
-    c = np.zeros(n_vars)
-    # Objective coefficient of lam_{k,s,n} is the per-DC net coefficient.
-    for k in range(K):
-        for s in range(S):
-            for n in range(N):
-                c[lam_idx(k, s, n)] = -T * net[k, s, dc_of[n]]
-
-    rows_a: List[np.ndarray] = []
-    rows_b: List[float] = []
-
-    # (1) Delay per (k, n): sum_s lam - phi*C*mu <= -1/D
-    for k in range(K):
-        for n in range(N):
-            l = dc_of[n]
-            row = np.zeros(n_vars)
-            for s in range(S):
-                row[lam_idx(k, s, n)] = 1.0
-            row[phi_idx(k, n)] = -cap[l] * mu[k, l]
-            rows_a.append(row)
-            rows_b.append(-1.0 / deadlines[k, l])
-
-    # (2) Shares per server: sum_k phi <= 1
-    for n in range(N):
-        row = np.zeros(n_vars)
-        for k in range(K):
-            row[phi_idx(k, n)] = 1.0
-        rows_a.append(row)
-        rows_b.append(1.0)
-
-    # (3) Arrivals: sum_n lam <= lambda_{k,s}
-    for k in range(K):
-        for s in range(S):
-            row = np.zeros(n_vars)
-            for n in range(N):
-                row[lam_idx(k, s, n)] = 1.0
-            rows_a.append(row)
-            rows_b.append(float(inputs.arrivals[k, s]))
-
-    upper = np.full(n_vars, np.inf)
-    upper[n_lam:] = 1.0
-
-    lp = LinearProgram(
-        c=c, a_ub=np.array(rows_a), b_ub=np.array(rows_b), upper=upper
-    )
-
-    def decoder(x: np.ndarray) -> DispatchPlan:
-        lam = x[:n_lam].reshape(K, S, N)
-        phi = x[n_lam:].reshape(K, N)
-        phi = _normalize_shares(phi)
-        return DispatchPlan(topology=topo, rates=lam, shares=phi)
-
-    return lp, decoder
+    cache = FixedLevelLPCache(inputs.topology, per_server=per_server)
+    return cache.build(inputs, levels=levels)
 
 
 # ---------------------------------------------------------------------------
 # Multi-level MILP
 # ---------------------------------------------------------------------------
 
+class MultilevelMILPCache:
+    """Slot-invariant skeleton of the multi-level slot MILP.
+
+    Unlike the fixed-level LP, a few *matrix* entries of the MILP do
+    vary with slot data: the McCormick big-M coefficients and the ``y``
+    upper bounds both use ``Lambda_max`` (a function of the arrivals).
+    The cache records their (row, column) positions during the one-time
+    structural build and patches exactly those entries on each
+    :meth:`build` — everything else (sparsity pattern, equality system,
+    level selectors, integrality mask, decoder) is reused.  The
+    constraint matrix handed out is a fresh copy per build (one
+    ``memcpy``), so returned problems never alias each other.
+
+    The structure depends on ``deadline_scale``/``delay_factor`` (they
+    scale the delay rows' ``z`` coefficients); the cache transparently
+    rebuilds if those change between calls.
+    """
+
+    def __init__(self, topology: CloudTopology):
+        self.topology = topology
+        self._key: Optional[Tuple[float, float]] = None
+
+    # --------------------------------------------------------- structure
+
+    def _build_structure(self, key: Tuple[float, float]) -> None:
+        deadline_scale, delay_factor = key
+        topo = self.topology
+        K, S, L = topo.num_classes, topo.num_frontends, topo.num_datacenters
+        M = topo.servers_per_datacenter.astype(float)
+        mu = topo.service_rates
+        cap = topo.server_capacities
+
+        level_counts = [rc.tuf.num_levels for rc in topo.request_classes]
+        n_lam = K * S * L
+        n_phi = K * L
+        # z and y blocks, laid out class-major then dc-major then level.
+        zy_offsets = np.concatenate(
+            [[0], np.cumsum([q * L for q in level_counts])]
+        )
+        n_z = int(zy_offsets[-1])
+        n_vars = n_lam + n_phi + 2 * n_z
+        self._n_lam = n_lam
+        self._n_vars = n_vars
+
+        def lam_idx(k: int, s: int, l: int) -> int:
+            return (k * S + s) * L + l
+
+        def phi_idx(k: int, l: int) -> int:
+            return n_lam + k * L + l
+
+        def z_idx(k: int, l: int, q: int) -> int:
+            return n_lam + n_phi + int(zy_offsets[k]) + l * level_counts[k] + q
+
+        def y_idx(k: int, l: int, q: int) -> int:
+            return (n_lam + n_phi + n_z + int(zy_offsets[k])
+                    + l * level_counts[k] + q)
+
+        # Slot-invariant part of the objective: revenue enters through y
+        # with the static TUF values; the lam block is overwritten with
+        # the slot's costs on every build.
+        c_unit = np.zeros(n_vars)
+        for k, rc in enumerate(topo.request_classes):
+            values = rc.tuf.values
+            for l in range(L):
+                for q in range(level_counts[k]):
+                    c_unit[y_idx(k, l, q)] = -float(values[q])
+        self._c_unit = c_unit
+
+        rows_ub: List[np.ndarray] = []
+        b_ub: List[float] = []
+        rows_eq: List[np.ndarray] = []
+        b_eq: List[float] = []
+        # Positions of the arrival-dependent McCormick coefficients.
+        mc_rows: List[int] = []
+        mc_cols: List[int] = []
+        mc_k: List[int] = []
+        mc_l: List[int] = []
+        y_cols: List[int] = []
+        y_k: List[int] = []
+        y_l: List[int] = []
+
+        for k, rc in enumerate(topo.request_classes):
+            subdeadlines = rc.tuf.deadlines
+            for l in range(L):
+                # (1) Delay with level-dependent sub-deadline:
+                # Lambda - Phi*C*mu + sum_q (M_l / D_q) z_q <= 0
+                row = np.zeros(n_vars)
+                for s in range(S):
+                    row[lam_idx(k, s, l)] = 1.0
+                row[phi_idx(k, l)] = -cap[l] * mu[k, l]
+                for q in range(level_counts[k]):
+                    row[z_idx(k, l, q)] = M[l] / float(
+                        subdeadlines[q] * deadline_scale
+                        * (1.0 - DEADLINE_SAFETY) / delay_factor
+                    )
+                rows_ub.append(row)
+                b_ub.append(0.0)
+
+                # (4) Level selection: sum_q z = 1
+                row = np.zeros(n_vars)
+                for q in range(level_counts[k]):
+                    row[z_idx(k, l, q)] = 1.0
+                rows_eq.append(row)
+                b_eq.append(1.0)
+
+                # (5) McCormick sum: sum_q y - Lambda = 0
+                row = np.zeros(n_vars)
+                for q in range(level_counts[k]):
+                    row[y_idx(k, l, q)] = 1.0
+                for s in range(S):
+                    row[lam_idx(k, s, l)] = -1.0
+                rows_eq.append(row)
+                b_eq.append(0.0)
+
+                # (6) McCormick caps: y_q - Lambda_max z_q <= 0; the
+                # -Lambda_max entries are patched per slot.
+                for q in range(level_counts[k]):
+                    row = np.zeros(n_vars)
+                    row[y_idx(k, l, q)] = 1.0
+                    mc_rows.append(len(rows_ub))
+                    mc_cols.append(z_idx(k, l, q))
+                    mc_k.append(k)
+                    mc_l.append(l)
+                    y_cols.append(y_idx(k, l, q))
+                    y_k.append(k)
+                    y_l.append(l)
+                    rows_ub.append(row)
+                    b_ub.append(0.0)
+
+        # (2) Shares: sum_k Phi_{k,l} <= M_l
+        for l in range(L):
+            row = np.zeros(n_vars)
+            for k in range(K):
+                row[phi_idx(k, l)] = 1.0
+            rows_ub.append(row)
+            b_ub.append(M[l])
+
+        # (3) Arrivals: sum_l lam <= lambda_{k,s} (rhs filled per slot)
+        self._arrival_row0 = len(rows_ub)
+        for k in range(K):
+            for s in range(S):
+                row = np.zeros(n_vars)
+                for l in range(L):
+                    row[lam_idx(k, s, l)] = 1.0
+                rows_ub.append(row)
+                b_ub.append(0.0)
+
+        self._a_ub = np.array(rows_ub)
+        self._b_ub_template = np.array(b_ub)
+        self._a_eq = np.array(rows_eq)
+        self._b_eq = np.array(b_eq)
+        self._mc_rows = np.array(mc_rows, dtype=int)
+        self._mc_cols = np.array(mc_cols, dtype=int)
+        self._mc_k = np.array(mc_k, dtype=int)
+        self._mc_l = np.array(mc_l, dtype=int)
+        self._y_cols = np.array(y_cols, dtype=int)
+        self._y_k = np.array(y_k, dtype=int)
+        self._y_l = np.array(y_l, dtype=int)
+
+        self._lower = np.zeros(n_vars)
+        upper = np.full(n_vars, np.inf)
+        integer_mask = np.zeros(n_vars, dtype=bool)
+        for k in range(K):
+            for l in range(L):
+                upper[phi_idx(k, l)] = M[l]
+                for q in range(level_counts[k]):
+                    upper[z_idx(k, l, q)] = 1.0
+                    integer_mask[z_idx(k, l, q)] = True
+        self._upper = upper
+        self._integer_mask = integer_mask
+
+        topo_ref = topo
+        n_phi_ref = n_phi
+
+        def decoder(x: np.ndarray) -> DispatchPlan:
+            lam = x[:n_lam].reshape(K, S, L)
+            phi_total = x[n_lam:n_lam + n_phi_ref].reshape(K, L)
+            return _expand_symmetric(topo_ref, lam, phi_total)
+
+        self._decoder: Decoder = decoder
+        self._key = key
+
+    # -------------------------------------------------------------- build
+
+    def build(
+        self, inputs: SlotInputs
+    ) -> Tuple[MixedIntegerProgram, Decoder]:
+        """Fill the skeleton with one slot's data; see :func:`multilevel_milp`."""
+        topo = inputs.topology
+        if topo is not self.topology:
+            raise ValueError(
+                "SlotInputs.topology differs from the cache's topology; "
+                "build a new cache for a new topology"
+            )
+        _require_feasible(topo, inputs.deadline_scale / inputs.delay_factor)
+        key = (float(inputs.deadline_scale), float(inputs.delay_factor))
+        if self._key != key:
+            self._build_structure(key)
+
+        lam_max = inputs.lambda_max()  # (K, L)
+        self._a_ub[self._mc_rows, self._mc_cols] = -np.maximum(
+            lam_max[self._mc_k, self._mc_l], 1e-12
+        )
+        self._upper[self._y_cols] = np.maximum(
+            lam_max[self._y_k, self._y_l], 0.0
+        )
+
+        T = inputs.slot_duration
+        c = self._c_unit * T  # revenue via y
+        c[:self._n_lam] = (T * inputs.cost_per_request()).ravel()
+
+        b_ub = self._b_ub_template.copy()
+        b_ub[self._arrival_row0:] = inputs.arrivals.ravel()
+
+        lp = LinearProgram(
+            c=c,
+            a_ub=self._a_ub.copy(), b_ub=b_ub,
+            a_eq=self._a_eq, b_eq=self._b_eq,
+            lower=self._lower, upper=self._upper,
+        )
+        mip = MixedIntegerProgram(lp=lp, integer_mask=self._integer_mask)
+        return mip, self._decoder
+
+
 def multilevel_milp(inputs: SlotInputs) -> Tuple[MixedIntegerProgram, Decoder]:
     """Build the multi-level-TUF slot MILP (aggregated formulation).
+
+    One-shot wrapper over :class:`MultilevelMILPCache`; callers planning
+    many slots on one topology should hold a cache instead.
 
     Variables per data center ``l`` and class ``k`` with ``Q_k`` levels:
 
@@ -436,136 +680,8 @@ def multilevel_milp(inputs: SlotInputs) -> Tuple[MixedIntegerProgram, Decoder]:
     arrival caps, level selection, and the exact linearization
     ``sum_q y = Lambda``, ``y_q <= Lambda_max * z_q``.
     """
-    topo = inputs.topology
-    _require_feasible(topo, inputs.deadline_scale / inputs.delay_factor)
-    K, S, L = topo.num_classes, topo.num_frontends, topo.num_datacenters
-    M = topo.servers_per_datacenter.astype(float)
-    mu = topo.service_rates
-    cap = topo.server_capacities
-    cost = inputs.cost_per_request()
-    T = inputs.slot_duration
-    lam_max = inputs.lambda_max()  # (K, L)
-
-    level_counts = [rc.tuf.num_levels for rc in topo.request_classes]
-    n_lam = K * S * L
-    n_phi = K * L
-    # z and y blocks, laid out class-major then dc-major then level.
-    zy_offsets = np.concatenate([[0], np.cumsum([q * L for q in level_counts])])
-    n_z = int(zy_offsets[-1])
-    n_vars = n_lam + n_phi + 2 * n_z
-
-    def lam_idx(k: int, s: int, l: int) -> int:
-        return (k * S + s) * L + l
-
-    def phi_idx(k: int, l: int) -> int:
-        return n_lam + k * L + l
-
-    def z_idx(k: int, l: int, q: int) -> int:
-        return n_lam + n_phi + int(zy_offsets[k]) + l * level_counts[k] + q
-
-    def y_idx(k: int, l: int, q: int) -> int:
-        return n_lam + n_phi + n_z + int(zy_offsets[k]) + l * level_counts[k] + q
-
-    c = np.zeros(n_vars)
-    c[:n_lam] = (T * cost).ravel()  # costs enter through lam
-    for k, rc in enumerate(topo.request_classes):
-        values = rc.tuf.values
-        for l in range(L):
-            for q in range(level_counts[k]):
-                c[y_idx(k, l, q)] = -T * float(values[q])  # revenue via y
-
-    rows_ub: List[np.ndarray] = []
-    b_ub: List[float] = []
-    rows_eq: List[np.ndarray] = []
-    b_eq: List[float] = []
-
-    for k, rc in enumerate(topo.request_classes):
-        subdeadlines = rc.tuf.deadlines
-        for l in range(L):
-            # (1) Delay with level-dependent sub-deadline:
-            # Lambda - Phi*C*mu + sum_q (M_l / D_q) z_q <= 0
-            row = np.zeros(n_vars)
-            for s in range(S):
-                row[lam_idx(k, s, l)] = 1.0
-            row[phi_idx(k, l)] = -cap[l] * mu[k, l]
-            for q in range(level_counts[k]):
-                row[z_idx(k, l, q)] = M[l] / float(
-                    subdeadlines[q] * inputs.deadline_scale
-                    * (1.0 - DEADLINE_SAFETY) / inputs.delay_factor
-                )
-            rows_ub.append(row)
-            b_ub.append(0.0)
-
-            # (4) Level selection: sum_q z = 1
-            row = np.zeros(n_vars)
-            for q in range(level_counts[k]):
-                row[z_idx(k, l, q)] = 1.0
-            rows_eq.append(row)
-            b_eq.append(1.0)
-
-            # (5) McCormick sum: sum_q y - Lambda = 0
-            row = np.zeros(n_vars)
-            for q in range(level_counts[k]):
-                row[y_idx(k, l, q)] = 1.0
-            for s in range(S):
-                row[lam_idx(k, s, l)] = -1.0
-            rows_eq.append(row)
-            b_eq.append(0.0)
-
-            # (6) McCormick caps: y_q - Lambda_max z_q <= 0
-            for q in range(level_counts[k]):
-                row = np.zeros(n_vars)
-                row[y_idx(k, l, q)] = 1.0
-                row[z_idx(k, l, q)] = -float(max(lam_max[k, l], 1e-12))
-                rows_ub.append(row)
-                b_ub.append(0.0)
-
-    # (2) Shares: sum_k Phi_{k,l} <= M_l
-    for l in range(L):
-        row = np.zeros(n_vars)
-        for k in range(K):
-            row[phi_idx(k, l)] = 1.0
-        rows_ub.append(row)
-        b_ub.append(M[l])
-
-    # (3) Arrivals: sum_l lam <= lambda_{k,s}
-    for k in range(K):
-        for s in range(S):
-            row = np.zeros(n_vars)
-            for l in range(L):
-                row[lam_idx(k, s, l)] = 1.0
-            rows_ub.append(row)
-            b_ub.append(float(inputs.arrivals[k, s]))
-
-    lower = np.zeros(n_vars)
-    upper = np.full(n_vars, np.inf)
-    for k in range(K):
-        for l in range(L):
-            upper[phi_idx(k, l)] = M[l]
-            for q in range(level_counts[k]):
-                upper[z_idx(k, l, q)] = 1.0
-                upper[y_idx(k, l, q)] = float(max(lam_max[k, l], 0.0))
-
-    integer_mask = np.zeros(n_vars, dtype=bool)
-    for k in range(K):
-        for l in range(L):
-            for q in range(level_counts[k]):
-                integer_mask[z_idx(k, l, q)] = True
-
-    lp = LinearProgram(
-        c=c,
-        a_ub=np.array(rows_ub), b_ub=np.array(b_ub),
-        a_eq=np.array(rows_eq), b_eq=np.array(b_eq),
-        lower=lower, upper=upper,
-    )
-    mip = MixedIntegerProgram(lp=lp, integer_mask=integer_mask)
-
-    def decoder(x: np.ndarray) -> DispatchPlan:
-        lam = x[:n_lam].reshape(K, S, L)
-        phi_total = x[n_lam:n_lam + n_phi].reshape(K, L)
-        return _expand_symmetric(topo, lam, phi_total)
-
-    return mip, decoder
+    cache = MultilevelMILPCache(inputs.topology)
+    return cache.build(inputs)
 
 
 # ---------------------------------------------------------------------------

@@ -31,10 +31,16 @@ import numpy as np
 from repro.cloud.datacenter import DataCenter
 from repro.cloud.topology import CloudTopology
 from repro.core.bigm import solve_slot_bigm
-from repro.core.formulation import SlotInputs, fixed_level_lp, multilevel_milp
+from repro.core.formulation import (
+    FixedLevelLPCache,
+    MultilevelMILPCache,
+    SlotInputs,
+    fixed_level_lp,
+    multilevel_milp,
+)
 from repro.core.plan import DispatchPlan
 from repro.core.rightsizing import consolidate_plan
-from repro.solvers.base import SolverError
+from repro.solvers.base import SolverError, SolverState
 from repro.solvers.branch_bound import solve_milp
 from repro.solvers.levels import coordinate_descent_levels
 from repro.solvers.linprog import solve_lp
@@ -55,6 +61,9 @@ class SolveStats:
     nodes: int = 0
     objective: float = 0.0
     lp_evaluations: int = 0
+    #: True when this solve was seeded with state from an earlier slot
+    #: (a solver state and/or a greedy level vector).
+    warm_started: bool = False
 
 
 def _explode_topology(topology: CloudTopology) -> CloudTopology:
@@ -123,6 +132,17 @@ class ProfitAwareOptimizer:
         Exact for the M/M/1 model (exponential sojourns): the constraint
         is the same LP row with the headroom requirement multiplied by
         ``ln(1/eps)``.
+    warm_start:
+        Reuse work across successive ``plan_slot`` calls: the slot
+        problem's constraint structure is built once and refilled per
+        slot (:class:`FixedLevelLPCache` / :class:`MultilevelMILPCache`),
+        and each solve's :class:`~repro.solvers.base.SolverState` seeds
+        the next (simplex basis, interior point, B&B incumbent, greedy
+        level vector).  States are advisory: a stale one falls back to a
+        cold start, so results are unaffected for the exact methods —
+        only ``"greedy"`` may land on a different local optimum because
+        the seeded level vector changes the search trajectory.  Call
+        :meth:`reset_warm_state` to make back-to-back runs bit-reproducible.
     """
 
     name = "optimized"
@@ -139,6 +159,7 @@ class ProfitAwareOptimizer:
         use_spare_capacity: bool = True,
         deadline_margin: float = 1.0,
         percentile_sla: Optional[float] = None,
+        warm_start: bool = True,
     ):
         if level_method not in ("auto", "lp", "milp", "bigm", "greedy"):
             raise ValueError(f"unknown level_method {level_method!r}")
@@ -173,6 +194,31 @@ class ProfitAwareOptimizer:
         self._multilevel = any(
             rc.tuf.num_levels > 1 for rc in topology.request_classes
         )
+        self.warm_start = bool(warm_start)
+        # Formulation caches (structure only; built lazily, never reset).
+        self._lp_cache: Optional[FixedLevelLPCache] = None
+        self._milp_cache: Optional[MultilevelMILPCache] = None
+        self._exploded_topology: Optional[CloudTopology] = None
+        # Cross-slot solver state (cleared by reset_warm_state).
+        self._lp_state: Optional[SolverState] = None
+        self._milp_state: Optional[SolverState] = None
+        self._greedy_lp_states: Dict[Tuple[int, ...], SolverState] = {}
+        self._greedy_last_state: Optional[SolverState] = None
+        self._greedy_levels: Optional[Tuple[int, ...]] = None
+
+    def reset_warm_state(self) -> None:
+        """Forget all cross-slot solver state.
+
+        The formulation caches are kept (they depend only on the
+        topology); only the advisory warm-start seeds are dropped, so a
+        run started after this call behaves exactly like a fresh
+        optimizer.
+        """
+        self._lp_state = None
+        self._milp_state = None
+        self._greedy_lp_states.clear()
+        self._greedy_last_state = None
+        self._greedy_levels = None
 
     # --------------------------------------------------------------- public
 
@@ -225,31 +271,53 @@ class ProfitAwareOptimizer:
             nodes=int(stats.get("nodes", 0)),
             objective=float(stats.get("objective", 0.0)),
             lp_evaluations=int(stats.get("lp_evaluations", 0)),
+            warm_started=bool(stats.get("warm_started", False)),
         )
         return plan
 
     # -------------------------------------------------------------- private
 
+    def _build_lp(self, inputs: SlotInputs, levels=None):
+        per_server = self.formulation == "per_server"
+        if not self.warm_start:
+            return fixed_level_lp(inputs, levels=levels, per_server=per_server)
+        if self._lp_cache is None:
+            self._lp_cache = FixedLevelLPCache(
+                self.topology, per_server=per_server
+            )
+        return self._lp_cache.build(inputs, levels=levels)
+
     def _solve_lp(self, inputs: SlotInputs) -> Tuple[DispatchPlan, Dict]:
-        lp, decoder = fixed_level_lp(
-            inputs, per_server=(self.formulation == "per_server")
-        )
-        solution = solve_lp(lp, method=self.lp_method)
+        lp, decoder = self._build_lp(inputs)
+        state = self._lp_state if self.warm_start else None
+        solution = solve_lp(lp, method=self.lp_method, state=state)
         if not solution.ok:
             raise SolverError(
                 f"slot LP failed: {solution.status.value} {solution.message}"
             )
+        if self.warm_start:
+            self._lp_state = solution.state
         return decoder(solution.x), {
             "num_variables": lp.num_variables,
             "num_constraints": lp.num_constraints,
             "iterations": solution.iterations,
             "objective": -solution.objective,
+            "warm_started": state is not None,
         }
+
+    def _build_milp(self, inputs: SlotInputs):
+        if not self.warm_start:
+            return multilevel_milp(inputs)
+        if self._milp_cache is None or self._milp_cache.topology is not inputs.topology:
+            self._milp_cache = MultilevelMILPCache(inputs.topology)
+        return self._milp_cache.build(inputs)
 
     def _solve_milp(self, inputs: SlotInputs) -> Tuple[DispatchPlan, Dict]:
         if self.formulation == "per_server":
-            exploded = _explode_topology(self.topology)
-            sub_inputs = SlotInputs(
+            if self._exploded_topology is None:
+                self._exploded_topology = _explode_topology(self.topology)
+            exploded = self._exploded_topology
+            inputs = SlotInputs(
                 topology=exploded,
                 arrivals=inputs.arrivals,
                 prices=np.repeat(
@@ -260,32 +328,29 @@ class ProfitAwareOptimizer:
                 deadline_scale=inputs.deadline_scale,
                 delay_factor=inputs.delay_factor,
             )
-            mip, decoder = multilevel_milp(sub_inputs)
-            solution = solve_milp(mip, method=self.milp_method)
-            if not solution.ok:
-                raise SolverError(
-                    f"slot MILP failed: {solution.status.value} {solution.message}"
-                )
-            exploded_plan = decoder(solution.x)
+        mip, decoder = self._build_milp(inputs)
+        state = self._milp_state if self.warm_start else None
+        solution = solve_milp(mip, method=self.milp_method, state=state)
+        if not solution.ok:
+            raise SolverError(
+                f"slot MILP failed: {solution.status.value} {solution.message}"
+            )
+        if self.warm_start:
+            self._milp_state = solution.state
+        plan = decoder(solution.x)
+        if self.formulation == "per_server":
             plan = DispatchPlan(
                 topology=self.topology,
-                rates=exploded_plan.rates,
-                shares=exploded_plan.shares,
+                rates=plan.rates,
+                shares=plan.shares,
             )
-        else:
-            mip, decoder = multilevel_milp(inputs)
-            solution = solve_milp(mip, method=self.milp_method)
-            if not solution.ok:
-                raise SolverError(
-                    f"slot MILP failed: {solution.status.value} {solution.message}"
-                )
-            plan = decoder(solution.x)
         return plan, {
             "num_variables": mip.lp.num_variables,
             "num_constraints": mip.lp.num_constraints,
             "iterations": solution.iterations,
             "nodes": solution.nodes,
             "objective": -solution.objective,
+            "warm_started": state is not None,
         }
 
     def _solve_greedy(self, inputs: SlotInputs) -> Tuple[DispatchPlan, Dict]:
@@ -300,20 +365,42 @@ class ProfitAwareOptimizer:
 
         def evaluate(levels_flat: Tuple[int, ...]) -> float:
             levels = np.asarray(levels_flat, dtype=int).reshape(K, L)
-            lp, decoder = fixed_level_lp(
-                inputs, levels=levels,
-                per_server=(self.formulation == "per_server"),
-            )
-            solution = solve_lp(lp, method=self.lp_method)
+            lp, decoder = self._build_lp(inputs, levels=levels)
+            state = None
+            if self.warm_start:
+                # Prefer the state from the last solve of this exact
+                # level vector (a later sweep, or the previous slot's
+                # nearby data); fall back to the most recent solve of
+                # any vector — same structure, so still a usable seed.
+                state = (self._greedy_lp_states.get(levels_flat)
+                         or self._greedy_last_state)
+            solution = solve_lp(lp, method=self.lp_method, state=state)
             if not solution.ok:
                 return -np.inf
+            if self.warm_start and solution.state is not None:
+                self._greedy_lp_states[levels_flat] = solution.state
+                self._greedy_last_state = solution.state
             best_plan[levels_flat] = decoder(solution.x)
             return -solution.objective
 
-        vector, value, evaluations = coordinate_descent_levels(sizes, evaluate)
+        initial = self._greedy_levels if self.warm_start else None
+        if initial is not None and len(initial) != len(sizes):
+            initial = None
+        vector, value, evaluations = coordinate_descent_levels(
+            sizes, evaluate, initial=initial
+        )
+        if vector not in best_plan and initial is not None:
+            # The seeded neighborhood was entirely infeasible under the
+            # new slot data; restart cold so warm-starting can never fail
+            # a slot the cold search would solve.
+            vector, value, extra = coordinate_descent_levels(sizes, evaluate)
+            evaluations += extra
         if vector not in best_plan:
             raise SolverError("greedy level search found no feasible assignment")
+        if self.warm_start:
+            self._greedy_levels = vector
         return best_plan[vector], {
             "lp_evaluations": evaluations,
             "objective": value,
+            "warm_started": initial is not None,
         }

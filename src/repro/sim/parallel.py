@@ -6,6 +6,13 @@ parallelizes trivially across slots.  This module distributes the slot
 solves over a ``multiprocessing`` pool and reassembles an ordered
 :class:`~repro.sim.slotted.SimulationResult`.
 
+Slots are scheduled in contiguous **chunks**, one per worker, rather
+than one task per slot: each worker builds its dispatcher once and
+solves its chunk in trace order, so a warm-starting dispatcher (see
+``ProfitAwareOptimizer(warm_start=True)``) keeps its formulation cache
+and solver state across the slots of its chunk.  Only the chunk
+boundaries pay a cold start.
+
 Dispatchers are described by picklable *specs* rather than live objects
 (solver handles and closures do not cross process boundaries):
 
@@ -21,7 +28,7 @@ from __future__ import annotations
 import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -63,12 +70,32 @@ class DispatcherSpec:
         return _KINDS[self.kind](topology, **self.kwargs)
 
 
-def _solve_slot(args: Tuple) -> Tuple[int, np.ndarray, np.ndarray]:
-    """Worker: solve one slot, return (slot, rates, shares)."""
-    topology, spec, slot, arrivals, prices, slot_duration = args
+def _solve_chunk(
+    args: Tuple,
+) -> List[Tuple[int, np.ndarray, np.ndarray]]:
+    """Worker: solve a contiguous chunk of slots with one dispatcher.
+
+    Building the dispatcher once per chunk (not per slot) lets its
+    formulation cache and warm-start state carry across the chunk.
+    """
+    topology, spec, chunk = args
     dispatcher = spec.build(topology)
-    plan = dispatcher.plan_slot(arrivals, prices, slot_duration=slot_duration)
-    return slot, plan.rates, plan.shares
+    out: List[Tuple[int, np.ndarray, np.ndarray]] = []
+    for slot, arrivals, prices, slot_duration in chunk:
+        plan = dispatcher.plan_slot(
+            arrivals, prices, slot_duration=slot_duration
+        )
+        out.append((slot, plan.rates, plan.shares))
+    return out
+
+
+def _chunked(tasks: Sequence, num_chunks: int) -> List[List]:
+    """Split ``tasks`` into ``num_chunks`` contiguous, near-equal chunks."""
+    n = len(tasks)
+    num_chunks = max(1, min(num_chunks, n))
+    bounds = np.linspace(0, n, num_chunks + 1).astype(int)
+    return [list(tasks[bounds[i]:bounds[i + 1]]) for i in range(num_chunks)
+            if bounds[i] < bounds[i + 1]]
 
 
 def parallel_run_simulation(
@@ -85,29 +112,37 @@ def parallel_run_simulation(
     Parameters
     ----------
     topology:
-        The static system (pickled once per task).
+        The static system (pickled once per chunk).
     spec:
         Dispatcher recipe (see :class:`DispatcherSpec`).
     workers:
-        Pool size; defaults to ``os.cpu_count()``; ``workers=1`` runs
-        serially in-process (no pool overhead, identical results).
+        Pool size; defaults to ``os.cpu_count()`` (serial when that is
+        unavailable).  The pool never exceeds the slot count — extra
+        workers would only idle — and ``workers=1`` runs serially
+        in-process (no pool overhead, identical results).
     """
     total = num_slots if num_slots is not None else trace.num_slots
     tasks = [
-        (topology, spec, t, trace.arrivals_at(t), market.prices_at(t),
-         trace.slot_duration)
+        (t, trace.arrivals_at(t), market.prices_at(t), trace.slot_duration)
         for t in range(total)
     ]
     if workers is None:
         workers = os.cpu_count() or 1
     if workers < 1:
         raise ValueError("workers must be >= 1")
+    workers = min(workers, max(total, 1))
 
     if workers == 1:
-        solved = [_solve_slot(task) for task in tasks]
+        solved = _solve_chunk((topology, spec, tasks))
     else:
+        chunks = _chunked(tasks, workers)
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            solved = list(pool.map(_solve_slot, tasks, chunksize=1))
+            results = pool.map(
+                _solve_chunk,
+                [(topology, spec, chunk) for chunk in chunks],
+            )
+            solved = [item for chunk_result in results
+                      for item in chunk_result]
 
     solved.sort(key=lambda item: item[0])
     from repro.core.plan import DispatchPlan

@@ -67,7 +67,16 @@ def run_simulation(
     predictor_factory=None,
     apply_pue: bool = False,
 ) -> SimulationResult:
-    """Run ``dispatcher`` over the trace/market and collect results."""
+    """Run ``dispatcher`` over the trace/market and collect results.
+
+    Slots are solved in trace order, so a warm-starting dispatcher (see
+    ``ProfitAwareOptimizer(warm_start=True)``) reuses each slot's solver
+    state for the next.  Any state left over from a *previous* run is
+    dropped first so repeated calls are reproducible.
+    """
+    reset = getattr(dispatcher, "reset_warm_state", None)
+    if callable(reset):
+        reset()
     controller = SlottedController(
         dispatcher, trace, market,
         predictor_factory=predictor_factory, apply_pue=apply_pue,

@@ -22,6 +22,8 @@ from repro.solvers.base import (
     SolveStatus,
     Solution,
     SolverError,
+    SolverState,
+    problem_signature,
 )
 from repro.solvers.linprog import solve_lp
 from repro.solvers.simplex import SimplexSolver
@@ -31,6 +33,8 @@ from repro.solvers.presolve import presolve, solve_with_presolve
 from repro.solvers.interior_point import InteriorPointSolver
 
 __all__ = [
+    "SolverState",
+    "problem_signature",
     "presolve",
     "solve_with_presolve",
     "InteriorPointSolver",

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -19,6 +19,8 @@ __all__ = [
     "LinearProgram",
     "MixedIntegerProgram",
     "Solution",
+    "SolverState",
+    "problem_signature",
 ]
 
 
@@ -157,6 +159,50 @@ class MixedIntegerProgram:
         return int(self.integer_mask.sum())
 
 
+def problem_signature(lp: "LinearProgram") -> Tuple[int, int, int]:
+    """Shape triple identifying a problem's structure for warm-start reuse."""
+    ub_rows = 0 if lp.a_ub is None else int(lp.a_ub.shape[0])
+    eq_rows = 0 if lp.a_eq is None else int(lp.a_eq.shape[0])
+    return (lp.num_variables, ub_rows, eq_rows)
+
+
+@dataclass
+class SolverState:
+    """Opaque cross-solve reuse token for warm-starting.
+
+    Solvers attach a state to :attr:`Solution.state`; passing it back to
+    the next solve of a *structurally identical* problem (same variable
+    layout and row counts — only coefficient data changed, as between
+    successive slots of the paper's controller) lets the solver skip
+    most of its cold-start work:
+
+    * simplex — ``basis`` holds the optimal standard-form basis, reused
+      as the starting vertex;
+    * interior point — ``point``/``dual``/``slack`` hold the final
+      primal-dual iterate, re-centred into a starting point;
+    * branch and bound — ``point`` holds the previous incumbent, whose
+      integer assignment seeds the new incumbent for immediate pruning.
+
+    States are **advisory**: a solver that finds the state stale
+    (signature mismatch, singular basis, infeasible at the new data)
+    silently falls back to a cold start, so correctness never depends on
+    the state.  The payload is plain ndarrays and primitives, hence
+    picklable — it can cross the process-pool boundary used by
+    :mod:`repro.sim.parallel`.
+    """
+
+    method: str
+    signature: Tuple[int, int, int] = (0, 0, 0)
+    basis: Optional[np.ndarray] = None
+    point: Optional[np.ndarray] = None
+    dual: Optional[np.ndarray] = None
+    slack: Optional[np.ndarray] = None
+
+    def matches(self, lp: "LinearProgram") -> bool:
+        """True when ``lp`` has the structure this state was taken from."""
+        return tuple(self.signature) == problem_signature(lp)
+
+
 @dataclass
 class Solution:
     """Solver output: status, solution vector, and objective value.
@@ -164,7 +210,9 @@ class Solution:
     ``ineq_marginals``/``eq_marginals`` carry the dual values of the
     inequality/equality rows when the backend provides them (HiGHS LP):
     the change in the *minimization* objective per unit increase of the
-    corresponding right-hand side.
+    corresponding right-hand side.  ``state`` carries the solver's
+    warm-start token (see :class:`SolverState`) when the backend
+    supports cross-solve reuse.
     """
 
     status: SolveStatus
@@ -176,6 +224,7 @@ class Solution:
     gap: float = field(default=0.0)
     ineq_marginals: Optional[np.ndarray] = None
     eq_marginals: Optional[np.ndarray] = None
+    state: Optional[SolverState] = None
 
     @property
     def ok(self) -> bool:

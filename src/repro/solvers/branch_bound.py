@@ -23,7 +23,9 @@ from repro.solvers.base import (
     LinearProgram,
     MixedIntegerProgram,
     Solution,
+    SolverState,
     SolveStatus,
+    problem_signature,
 )
 from repro.solvers.linprog import solve_lp
 
@@ -75,8 +77,57 @@ class BranchAndBoundSolver:
             return None
         return j
 
-    def solve(self, mip: MixedIntegerProgram) -> Solution:
-        """Solve the MILP; returns the incumbent and node statistics."""
+    def _seed_incumbent(
+        self, mip: MixedIntegerProgram, state: SolverState
+    ) -> Tuple[Optional[np.ndarray], float, int]:
+        """Build a starting incumbent from a prior solution's levels.
+
+        Fixes every integer variable to the (rounded) value it took in
+        the previous solve and re-optimizes the continuous variables —
+        one LP.  If that restriction is feasible under the new data, its
+        solution is a valid incumbent whose objective prunes the tree
+        from node one.  Purely an acceleration: the search still
+        explores everything strictly better, so the returned optimum is
+        unchanged.
+        """
+        lp = mip.lp
+        mask = mip.integer_mask
+        prev = np.asarray(state.point, dtype=float)
+        if prev.shape != (lp.num_variables,):
+            return None, np.inf, 0
+        vals = np.round(prev[mask])
+        if np.any(vals < lp.lower[mask] - 1e-9) \
+                or np.any(vals > lp.upper[mask] + 1e-9):
+            return None, np.inf, 0
+        lower = lp.lower.copy()
+        upper = lp.upper.copy()
+        lower[mask] = vals
+        upper[mask] = vals
+        restricted = LinearProgram(
+            c=lp.c, a_ub=lp.a_ub, b_ub=lp.b_ub,
+            a_eq=lp.a_eq, b_eq=lp.b_eq,
+            lower=lower, upper=upper,
+        )
+        sol = solve_lp(restricted, method=self.lp_method)
+        if not sol.ok:
+            return None, np.inf, sol.iterations
+        x = sol.x.copy()
+        x[mask] = np.round(x[mask])
+        if not lp.is_feasible(x, tol=1e-6):
+            return None, np.inf, sol.iterations
+        return x, float(lp.c @ x), sol.iterations
+
+    def solve(
+        self, mip: MixedIntegerProgram, state: Optional[SolverState] = None
+    ) -> Solution:
+        """Solve the MILP; returns the incumbent and node statistics.
+
+        ``state`` may carry a previous solve's solution
+        (:attr:`Solution.state`); its integer assignment seeds the
+        incumbent (see :meth:`_seed_incumbent`), which typically prunes
+        most of the tree when consecutive problems share their optimal
+        level choices — the common case across the paper's hourly slots.
+        """
         lp = mip.lp
         mask = mip.integer_mask
         counter = itertools.count()
@@ -91,6 +142,16 @@ class BranchAndBoundSolver:
         nodes = 0
         iterations = 0
         any_feasible_relaxation = False
+        if (
+            state is not None
+            and state.method == "bb"
+            and state.point is not None
+            and tuple(state.signature) == problem_signature(lp)
+        ):
+            incumbent_x, incumbent_obj, seed_iters = self._seed_incumbent(
+                mip, state
+            )
+            iterations += seed_iters
 
         while heap and nodes < self.max_nodes:
             node = heapq.heappop(heap)
@@ -155,6 +216,10 @@ class BranchAndBoundSolver:
                 status=SolveStatus.ITERATION_LIMIT if exhausted else SolveStatus.OPTIMAL,
                 x=incumbent_x, objective=incumbent_obj,
                 nodes=nodes, iterations=iterations, gap=gap,
+                state=SolverState(
+                    method="bb", signature=problem_signature(lp),
+                    point=incumbent_x.copy(),
+                ),
             )
         if nodes >= self.max_nodes:
             return Solution(status=SolveStatus.ITERATION_LIMIT, nodes=nodes,
@@ -170,10 +235,20 @@ class BranchAndBoundSolver:
         return self.rel_gap * abs(incumbent_obj) + 1e-12
 
 
-def solve_milp(mip: MixedIntegerProgram, method: str = "bb") -> Solution:
-    """Solve a MILP with the own B&B (``"bb"``) or scipy HiGHS (``"highs"``)."""
+def solve_milp(
+    mip: MixedIntegerProgram,
+    method: str = "bb",
+    state: Optional[SolverState] = None,
+) -> Solution:
+    """Solve a MILP with the own B&B (``"bb"``) or scipy HiGHS (``"highs"``).
+
+    ``state`` seeds the branch-and-bound incumbent from a previous
+    solution (see :meth:`BranchAndBoundSolver.solve`); the HiGHS bridge
+    has no warm-start API and ignores it, but still emits a state so a
+    later ``"bb"`` solve can pick it up.
+    """
     if method == "bb":
-        return BranchAndBoundSolver().solve(mip)
+        return BranchAndBoundSolver().solve(mip, state=state)
     if method != "highs":
         raise ValueError(f"unknown MILP method {method!r}")
 
@@ -209,7 +284,11 @@ def solve_milp(mip: MixedIntegerProgram, method: str = "bb") -> Solution:
         x = np.clip(result.x, lower, upper)
         return Solution(status=SolveStatus.OPTIMAL, x=x,
                         objective=float(lp.c @ x),
-                        message=str(result.message or ""))
+                        message=str(result.message or ""),
+                        state=SolverState(
+                            method="bb", signature=problem_signature(lp),
+                            point=np.asarray(x, dtype=float).copy(),
+                        ))
     status = {2: SolveStatus.INFEASIBLE, 3: SolveStatus.UNBOUNDED}.get(
         result.status, SolveStatus.NUMERICAL_ERROR
     )

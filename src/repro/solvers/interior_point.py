@@ -18,11 +18,17 @@ when the Newton systems become too ill-conditioned.
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
-from repro.solvers.base import LinearProgram, Solution, SolveStatus
+from repro.solvers.base import (
+    LinearProgram,
+    Solution,
+    SolverState,
+    SolveStatus,
+    problem_signature,
+)
 from repro.solvers.simplex import _to_standard_form
 
 __all__ = ["InteriorPointSolver"]
@@ -69,10 +75,44 @@ class InteriorPointSolver:
         ds_hat = 0.5 * xs / max(x.sum(), 1e-12)
         return x + dx_hat, lam, s + ds_hat
 
-    def _solve_standard(self, a: np.ndarray, b: np.ndarray, c: np.ndarray
-                        ) -> Tuple[str, np.ndarray, int]:
+    @staticmethod
+    def _warm_point(
+        a: np.ndarray, c: np.ndarray,
+        x_prev: np.ndarray, s_prev: np.ndarray, lam_prev: Optional[np.ndarray],
+    ) -> Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]]:
+        """Re-centre a previous primal-dual iterate into a starting point.
+
+        The previous optimum sits on the boundary (many zero
+        coordinates), which would stall the very first Newton step, so
+        both ``x`` and ``s`` are floored a little into the interior.
+        """
         m, n = a.shape
-        x, lam, s = self._starting_point(a, b, c)
+        if x_prev.shape != (n,) or s_prev.shape != (n,):
+            return None
+        if not (np.all(np.isfinite(x_prev)) and np.all(np.isfinite(s_prev))):
+            return None
+        floor_x = max(1e-8, 1e-3 * (1.0 + float(np.abs(x_prev).max(initial=0.0))))
+        floor_s = max(1e-8, 1e-3 * (1.0 + float(np.abs(s_prev).max(initial=0.0))))
+        x = np.maximum(x_prev, floor_x)
+        s = np.maximum(s_prev, floor_s)
+        if lam_prev is not None and lam_prev.shape == (m,) \
+                and np.all(np.isfinite(lam_prev)):
+            lam = lam_prev.copy()
+        else:
+            # Row-rank reduction can change the dual dimension between
+            # calls; recover multipliers for the current rows instead.
+            lam, *_ = np.linalg.lstsq(a.T, c - s, rcond=None)
+        return x, lam, s
+
+    def _solve_standard(
+        self, a: np.ndarray, b: np.ndarray, c: np.ndarray,
+        start: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]] = None,
+    ) -> Tuple[str, np.ndarray, np.ndarray, np.ndarray, int]:
+        m, n = a.shape
+        if start is not None:
+            x, lam, s = start
+        else:
+            x, lam, s = self._starting_point(a, b, c)
         norm_b = 1.0 + np.linalg.norm(b)
         norm_c = 1.0 + np.linalg.norm(c)
 
@@ -83,7 +123,7 @@ class InteriorPointSolver:
             if (np.linalg.norm(r_primal) / norm_b < self.tol
                     and np.linalg.norm(r_dual) / norm_c < self.tol
                     and mu < self.tol):
-                return "optimal", x, it
+                return "optimal", x, lam, s, it
             # Normal equations: (A D A') dlam = rhs, D = X S^{-1}.
             d = x / s
             adat = (a * d) @ a.T
@@ -91,7 +131,7 @@ class InteriorPointSolver:
             try:
                 chol = np.linalg.cholesky(adat)
             except np.linalg.LinAlgError:
-                return "numerical", x, it
+                return "numerical", x, lam, s, it
 
             def solve_newton(rc: np.ndarray, rb: np.ndarray,
                              rxs: np.ndarray):
@@ -124,17 +164,26 @@ class InteriorPointSolver:
             lam = lam + alpha_d * dlam
             s = s + alpha_d * ds
             if not (np.all(np.isfinite(x)) and np.all(np.isfinite(s))):
-                return "numerical", x, it
+                return "numerical", x, lam, s, it
             # Divergence heuristics (infeasible/unbounded problems blow
             # the iterates up rather than converging).
             if np.linalg.norm(x) > 1e14 or np.linalg.norm(lam) > 1e14:
-                return "diverged", x, it
-        return "iteration_limit", x, self.max_iterations
+                return "diverged", x, lam, s, it
+        return "iteration_limit", x, lam, s, self.max_iterations
 
     # --------------------------------------------------------------- solve
 
-    def solve(self, lp: LinearProgram) -> Solution:
-        """Solve ``lp``; see :class:`repro.solvers.base.Solution`."""
+    def solve(
+        self, lp: LinearProgram, state: Optional[SolverState] = None
+    ) -> Solution:
+        """Solve ``lp``; see :class:`repro.solvers.base.Solution`.
+
+        ``state`` may carry the final primal-dual iterate of an earlier
+        solve of a structurally identical problem; it is re-centred into
+        a starting point (typically saving most Newton iterations).  If
+        the warm run fails to converge, the solver transparently retries
+        from the cold Mehrotra starting point.
+        """
         sf = _to_standard_form(lp)
         a, b, c = sf.a, sf.b, sf.c
         m, n = a.shape
@@ -163,12 +212,41 @@ class InteriorPointSolver:
                                 message="inconsistent dependent rows")
             a, b = a_red, b_red
 
-        verdict, x_std, iters = self._solve_standard(a, b, c)
+        sig = problem_signature(lp)
+        start = None
+        if (
+            state is not None
+            and state.method == "ipm"
+            and state.point is not None
+            and state.slack is not None
+            and tuple(state.signature) == sig
+        ):
+            start = self._warm_point(
+                a, c,
+                np.asarray(state.point, dtype=float),
+                np.asarray(state.slack, dtype=float),
+                None if state.dual is None
+                else np.asarray(state.dual, dtype=float),
+            )
+
+        verdict, x_std, lam_std, s_std, iters = self._solve_standard(
+            a, b, c, start=start
+        )
+        if start is not None and verdict != "optimal":
+            # Stale warm point: retry cold so the warm path can never
+            # make a solvable problem fail.
+            verdict, x_std, lam_std, s_std, extra = self._solve_standard(a, b, c)
+            iters += extra
         if verdict == "optimal":
             x = sf.shift + sf.mapping @ x_std
             x = np.clip(x, lp.lower, lp.upper)
+            new_state = SolverState(
+                method="ipm", signature=sig,
+                point=x_std.copy(), dual=lam_std.copy(), slack=s_std.copy(),
+            )
             return Solution(status=SolveStatus.OPTIMAL, x=x,
-                            objective=float(lp.c @ x), iterations=iters)
+                            objective=float(lp.c @ x), iterations=iters,
+                            state=new_state)
         if verdict == "diverged":
             return Solution(status=SolveStatus.INFEASIBLE, iterations=iters,
                             message="iterates diverged "

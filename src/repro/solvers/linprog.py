@@ -8,10 +8,12 @@ implementations cross-checked in tests.
 
 from __future__ import annotations
 
+from typing import Optional
+
 import numpy as np
 from scipy import optimize
 
-from repro.solvers.base import LinearProgram, Solution, SolveStatus
+from repro.solvers.base import LinearProgram, Solution, SolverState, SolveStatus
 from repro.solvers.interior_point import InteriorPointSolver
 from repro.solvers.simplex import SimplexSolver
 
@@ -26,7 +28,11 @@ _SCIPY_STATUS = {
 }
 
 
-def solve_lp(lp: LinearProgram, method: str = "highs") -> Solution:
+def solve_lp(
+    lp: LinearProgram,
+    method: str = "highs",
+    state: Optional[SolverState] = None,
+) -> Solution:
     """Solve a linear program.
 
     Parameters
@@ -37,11 +43,17 @@ def solve_lp(lp: LinearProgram, method: str = "highs") -> Solution:
         ``"highs"`` for scipy's HiGHS solvers, ``"simplex"`` for the
         library's own two-phase simplex, ``"ipm"`` for the library's own
         primal-dual interior-point method.
+    state:
+        Optional :class:`~repro.solvers.base.SolverState` from an
+        earlier solve of a structurally identical problem.  ``simplex``
+        and ``ipm`` warm-start from it (falling back to a cold start
+        when it is stale); the scipy HiGHS bridge has no warm-start API,
+        so ``highs`` ignores it.
     """
     if method == "simplex":
-        return SimplexSolver().solve(lp)
+        return SimplexSolver().solve(lp, state=state)
     if method == "ipm":
-        return InteriorPointSolver().solve(lp)
+        return InteriorPointSolver().solve(lp, state=state)
     if method != "highs":
         raise ValueError(f"unknown LP method {method!r}")
 

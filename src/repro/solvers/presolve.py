@@ -129,10 +129,18 @@ def presolve(lp: LinearProgram, tol: float = 1e-12) -> PresolveResult:
     )
 
 
-def solve_with_presolve(lp: LinearProgram, method: str = "highs") -> Solution:
+def solve_with_presolve(
+    lp: LinearProgram, method: str = "highs", state=None
+) -> Solution:
     """Presolve, solve the reduction, and postsolve back.
 
-    Falls through to a direct solve when nothing reduces.
+    Falls through to a direct solve when nothing reduces.  ``state`` is
+    a :class:`~repro.solvers.base.SolverState` taken from an earlier
+    ``solve_with_presolve`` call: it lives in the *reduced* problem's
+    space, so it composes with warm-starting whenever successive
+    problems presolve to the same shape (the usual case for successive
+    slots, where the fixed-variable pattern is structural).  A state
+    that no longer fits the reduction is ignored by the inner solver.
     """
     from repro.solvers.linprog import solve_lp
 
@@ -147,7 +155,7 @@ def solve_with_presolve(lp: LinearProgram, method: str = "highs") -> Solution:
                             message="fixed point violates constraints")
         return Solution(status=SolveStatus.OPTIMAL, x=x,
                         objective=float(lp.c @ x))
-    inner = solve_lp(result.reduced, method=method)
+    inner = solve_lp(result.reduced, method=method, state=state)
     if not inner.ok:
         return inner
     x = result.restore(inner.x)
@@ -156,4 +164,5 @@ def solve_with_presolve(lp: LinearProgram, method: str = "highs") -> Solution:
         x=x,
         objective=float(lp.c @ x),
         iterations=inner.iterations,
+        state=inner.state,
     )

@@ -23,7 +23,13 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
-from repro.solvers.base import LinearProgram, Solution, SolveStatus
+from repro.solvers.base import (
+    LinearProgram,
+    Solution,
+    SolverState,
+    SolveStatus,
+    problem_signature,
+)
 
 __all__ = ["SimplexSolver"]
 
@@ -190,13 +196,83 @@ class SimplexSolver:
             used += 1
         return "iteration_limit", used
 
+    # ---------------------------------------------------------- warm start
+
+    def _warm_tableau(
+        self, sf: _StandardForm, basis: np.ndarray
+    ) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+        """Rebuild a phase-2 tableau from a prior basis, or None if stale.
+
+        The basis is only a *column index set*; ``B^{-1}A`` is
+        recomputed against the new coefficient data, so a basis carried
+        across slots stays valid whenever it is still primal feasible
+        (typical when only prices/arrivals moved).  Any defect —
+        wrong size, duplicate or artificial columns, singular ``B``,
+        negative basic values — rejects the warm start.
+        """
+        a, b, c = sf.a, sf.b, sf.c
+        m, ncols = a.shape
+        if basis.shape != (m,) or m == 0:
+            return None
+        if basis.min() < 0 or basis.max() >= ncols:
+            return None
+        if np.unique(basis).size != m:
+            return None
+        try:
+            binv = np.linalg.inv(a[:, basis])
+        except np.linalg.LinAlgError:
+            return None
+        binv_a = binv @ a
+        xb = binv @ b
+        if not (np.all(np.isfinite(binv_a)) and np.all(np.isfinite(xb))):
+            return None
+        if xb.min(initial=0.0) < -1e-7:
+            return None  # basis primal-infeasible at the new rhs
+        xb = np.clip(xb, 0.0, None)
+        tableau = np.zeros((m + 1, ncols + 1))
+        tableau[:m, :ncols] = binv_a
+        tableau[:m, -1] = xb
+        cb = c[basis]
+        tableau[-1, :ncols] = c - cb @ binv_a
+        # Cost-row rhs convention: holds the *negated* objective.
+        tableau[-1, -1] = -float(cb @ xb)
+        return tableau, basis.astype(np.intp).copy()
+
     # --------------------------------------------------------------- solve
 
-    def solve(self, lp: LinearProgram) -> Solution:
-        """Solve ``lp``; see :class:`repro.solvers.base.Solution`."""
+    def solve(
+        self, lp: LinearProgram, state: Optional[SolverState] = None
+    ) -> Solution:
+        """Solve ``lp``; see :class:`repro.solvers.base.Solution`.
+
+        ``state`` may carry a prior optimal basis
+        (:attr:`Solution.state` of an earlier solve of a structurally
+        identical problem); when still feasible it skips phase 1
+        entirely.  A stale state falls back to the cold two-phase path.
+        """
         sf = _to_standard_form(lp)
         a, b, c = sf.a, sf.b, sf.c
         m, ncols = a.shape
+        sig = problem_signature(lp)
+
+        if (
+            state is not None
+            and state.method == "simplex"
+            and state.basis is not None
+            and tuple(state.signature) == sig
+            and m > 0
+        ):
+            warm = self._warm_tableau(sf, np.asarray(state.basis, dtype=np.intp))
+            if warm is not None:
+                tableau, basis = warm
+                status, used = self._iterate(tableau, basis, self.max_iterations)
+                if status == "optimal":
+                    return self._extract(lp, sf, tableau, basis, ncols, used, sig)
+                if status == "unbounded":
+                    # The warm tableau is a feasible vertex, so an
+                    # unbounded ray from it is a valid certificate.
+                    return Solution(status=SolveStatus.UNBOUNDED, iterations=used)
+                # Iteration limit on the warm path: retry cold below.
 
         if m == 0:
             # Unconstrained besides y >= 0: minimize each term at 0 or unbounded.
@@ -257,6 +333,20 @@ class SimplexSolver:
         if status == "unbounded":
             return Solution(status=SolveStatus.UNBOUNDED, iterations=total_iters)
 
+        return self._extract(lp, sf, tableau, basis, ncols, total_iters, sig)
+
+    def _extract(
+        self,
+        lp: LinearProgram,
+        sf: _StandardForm,
+        tableau: np.ndarray,
+        basis: np.ndarray,
+        ncols: int,
+        iterations: int,
+        sig,
+    ) -> Solution:
+        """Map an optimal tableau back to original space, with a state."""
+        m = tableau.shape[0] - 1
         y = np.zeros(ncols)
         for r in range(m):
             if basis[r] < ncols:
@@ -264,9 +354,15 @@ class SimplexSolver:
         x = sf.shift + sf.mapping @ y
         # Clean tiny negative noise inside bounds.
         x = np.clip(x, lp.lower, lp.upper)
+        state = SolverState(
+            method="simplex",
+            signature=sig,
+            basis=np.asarray(basis, dtype=np.intp).copy(),
+        )
         return Solution(
             status=SolveStatus.OPTIMAL,
             x=x,
             objective=float(lp.c @ x),
-            iterations=total_iters,
+            iterations=iterations,
+            state=state,
         )

@@ -85,3 +85,55 @@ class TestParallelRun:
             parallel_run_simulation(
                 topo, DispatcherSpec("balanced"), trace, market, workers=0
             )
+
+    def test_workers_clamped_to_slot_count(self, setup):
+        # More workers than slots must not spawn idle processes (or
+        # crash on empty chunks) — the pool is clamped to the slot count.
+        topo, trace, market = setup
+        result = parallel_run_simulation(
+            topo, DispatcherSpec("balanced"), trace, market,
+            num_slots=2, workers=64,
+        )
+        assert result.num_slots == 2
+        assert [r.slot for r in result.records] == [0, 1]
+
+    def test_cpu_count_none_falls_back_to_serial(self, setup, monkeypatch):
+        # os.cpu_count() may return None (e.g. restricted containers);
+        # the default must degrade to a serial run, not crash.
+        import repro.sim.parallel as parallel_mod
+        monkeypatch.setattr(parallel_mod.os, "cpu_count", lambda: None)
+        topo, trace, market = setup
+        reference = run_simulation(ProfitAwareOptimizer(topo), trace, market)
+        result = parallel_run_simulation(
+            topo, DispatcherSpec("optimized"), trace, market, workers=None
+        )
+        assert np.allclose(result.net_profit_series,
+                           reference.net_profit_series)
+
+    def test_zero_slots(self, setup):
+        topo, trace, market = setup
+        result = parallel_run_simulation(
+            topo, DispatcherSpec("balanced"), trace, market,
+            num_slots=0, workers=4,
+        )
+        assert result.num_slots == 0
+
+    def test_chunked_pool_matches_serial_with_warm_start(self, setup):
+        # Chunked scheduling keeps warm state inside each worker's chunk;
+        # with the exact backends that must not change any result.
+        topo, trace, market = setup
+        spec = DispatcherSpec("optimized", {"warm_start": True})
+        serial = parallel_run_simulation(topo, spec, trace, market, workers=1)
+        pooled = parallel_run_simulation(topo, spec, trace, market, workers=3)
+        assert np.allclose(pooled.net_profit_series,
+                           serial.net_profit_series)
+
+
+def test_chunked_splits_are_contiguous_and_complete():
+    from repro.sim.parallel import _chunked
+    tasks = list(range(10))
+    for k in (1, 2, 3, 7, 10, 25):
+        chunks = _chunked(tasks, k)
+        assert [x for c in chunks for x in c] == tasks
+        assert all(c for c in chunks)
+        assert len(chunks) == min(k, len(tasks))

@@ -1,0 +1,141 @@
+"""SolverState serialization and lifecycle.
+
+Warm-start states must survive ``pickle`` — the parallel runner ships
+dispatchers across a process pool, and chunk workers carry states
+between their slots — and a stale or foreign state must degrade to a
+cold start, never to a wrong answer.
+"""
+
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro.solvers.base import (
+    LinearProgram,
+    MixedIntegerProgram,
+    SolverState,
+    SolveStatus,
+    problem_signature,
+)
+from repro.solvers.branch_bound import BranchAndBoundSolver
+from repro.solvers.interior_point import InteriorPointSolver
+from repro.solvers.simplex import SimplexSolver
+
+
+def _sample_lp(seed=0, n=6, m=4):
+    rng = np.random.default_rng(seed)
+    a = rng.normal(size=(m, n))
+    x0 = rng.uniform(0.5, 1.5, size=n)
+    b = a @ x0 + rng.uniform(0.5, 1.0, size=m)
+    c = rng.normal(size=n)
+    return LinearProgram(c=c, a_ub=a, b_ub=b,
+                         lower=np.zeros(n), upper=np.full(n, 10.0))
+
+
+def _sample_mip(seed=0):
+    lp = _sample_lp(seed=seed)
+    mask = np.zeros(lp.num_variables, dtype=bool)
+    mask[:2] = True
+    return MixedIntegerProgram(lp=lp, integer_mask=mask)
+
+
+def _roundtrip(state):
+    return pickle.loads(pickle.dumps(state))
+
+
+class TestPickleRoundTrip:
+    def test_simplex_state(self):
+        lp = _sample_lp()
+        sol = SimplexSolver().solve(lp)
+        assert sol.status is SolveStatus.OPTIMAL
+        assert sol.state is not None and sol.state.method == "simplex"
+        restored = _roundtrip(sol.state)
+        assert restored.method == "simplex"
+        assert tuple(restored.signature) == problem_signature(lp)
+        assert np.array_equal(restored.basis, sol.state.basis)
+
+    def test_ipm_state(self):
+        lp = _sample_lp()
+        sol = InteriorPointSolver().solve(lp)
+        assert sol.status is SolveStatus.OPTIMAL
+        restored = _roundtrip(sol.state)
+        assert restored.method == "ipm"
+        assert np.array_equal(restored.point, sol.state.point)
+        assert np.array_equal(restored.dual, sol.state.dual)
+        assert np.array_equal(restored.slack, sol.state.slack)
+
+    def test_bb_state(self):
+        mip = _sample_mip()
+        sol = BranchAndBoundSolver().solve(mip)
+        assert sol.status is SolveStatus.OPTIMAL
+        restored = _roundtrip(sol.state)
+        assert restored.method == "bb"
+        assert np.array_equal(restored.point, sol.state.point)
+
+    def test_unpickled_state_warm_starts(self):
+        lp = _sample_lp()
+        solver = SimplexSolver()
+        cold = solver.solve(lp)
+        warm = solver.solve(lp, state=_roundtrip(cold.state))
+        assert warm.status is SolveStatus.OPTIMAL
+        assert np.isclose(warm.objective, cold.objective,
+                          rtol=1e-9, atol=1e-9)
+        # Re-solving the same LP from its own optimal basis needs no pivots.
+        assert warm.iterations == 0
+
+
+class TestStaleStateFallback:
+    def test_signature_mismatch_is_ignored(self):
+        small = _sample_lp(seed=1, n=4, m=3)
+        big = _sample_lp(seed=2, n=8, m=5)
+        solver = SimplexSolver()
+        stale = solver.solve(small).state
+        assert not stale.matches(big)
+        sol = solver.solve(big, state=stale)
+        assert sol.status is SolveStatus.OPTIMAL
+        reference = solver.solve(big)
+        assert np.isclose(sol.objective, reference.objective, rtol=1e-9)
+
+    def test_wrong_method_is_ignored(self):
+        lp = _sample_lp()
+        simplex_state = SimplexSolver().solve(lp).state
+        sol = InteriorPointSolver().solve(lp, state=simplex_state)
+        assert sol.status is SolveStatus.OPTIMAL
+
+    def test_corrupted_arrays_fall_back(self):
+        lp = _sample_lp()
+        solver = SimplexSolver()
+        state = solver.solve(lp).state
+        bad = SolverState(method="simplex", signature=state.signature,
+                          basis=np.array([999, 1000, 1001, 1002]))
+        sol = solver.solve(lp, state=bad)
+        assert sol.status is SolveStatus.OPTIMAL
+        assert np.isclose(sol.objective, solver.solve(lp).objective,
+                          rtol=1e-9)
+
+
+def _solve_with_state(payload):
+    """Pool target: warm-solve an LP from a shipped state."""
+    lp_parts, state = payload
+    lp = LinearProgram(**lp_parts)
+    sol = SimplexSolver().solve(lp, state=state)
+    return sol.objective, sol.iterations, sol.state
+
+
+class TestProcessPoolCrossing:
+    def test_state_crosses_pool_boundary(self):
+        lp = _sample_lp()
+        cold = SimplexSolver().solve(lp)
+        parts = dict(c=lp.c, a_ub=lp.a_ub, b_ub=lp.b_ub,
+                     lower=lp.lower, upper=lp.upper)
+        with ProcessPoolExecutor(max_workers=1) as pool:
+            objective, iterations, returned = pool.submit(
+                _solve_with_state, (parts, cold.state)
+            ).result()
+        assert np.isclose(objective, cold.objective, rtol=1e-9)
+        assert iterations == 0
+        # The state that came back is usable locally too.
+        again = SimplexSolver().solve(lp, state=returned)
+        assert again.iterations == 0
