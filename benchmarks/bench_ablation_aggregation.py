@@ -10,7 +10,6 @@ ahead.)  This bench quantifies both sides on §VI and §VII slots.
 
 import time
 
-import numpy as np
 import pytest
 
 from repro.core.objective import evaluate_plan

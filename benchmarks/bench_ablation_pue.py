@@ -11,7 +11,6 @@ profit in every hour where the sites compete.
 
 import dataclasses
 
-import numpy as np
 
 from repro.core.objective import evaluate_plan
 from repro.core.optimizer import ProfitAwareOptimizer

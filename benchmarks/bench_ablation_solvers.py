@@ -9,7 +9,6 @@ profit and wall time on the §VII slot problem.
 
 import time
 
-import numpy as np
 
 from repro.core.objective import evaluate_plan
 from repro.core.optimizer import ProfitAwareOptimizer

@@ -11,7 +11,6 @@ spiked locations and keeps a larger share of its calm-market profit
 than the price-greedy-but-static Balanced keeps of its own.
 """
 
-import pytest
 
 from repro.experiments.section7 import section7_experiment
 from repro.market.spot import spot_market

@@ -28,29 +28,36 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-import time
 from typing import Dict, List
 
 import numpy as np
 
-from repro.core.optimizer import ProfitAwareOptimizer
+from repro.core.optimizer import OptimizerConfig, ProfitAwareOptimizer
 from repro.experiments.section7 import section7_experiment
+from repro.obs.collectors import InMemoryCollector
 
 SPEEDUP_TARGET = 1.5
 
 
 def _run_pipeline(optimizer, exp, num_slots: int):
-    """Solve ``num_slots`` slots in trace order; per-slot seconds + objectives."""
-    times: List[float] = []
-    objectives: List[float] = []
+    """Solve ``num_slots`` slots in trace order, instrumented.
+
+    Per-slot wall times and objectives are read back from the
+    :class:`~repro.obs.trace.SlotTrace` records the optimizer emits —
+    the bench consumes the telemetry layer it shares with ``repro
+    trace`` rather than keeping its own stopwatch.  The collector is
+    returned too, for warm-start outcome accounting.
+    """
+    collector = InMemoryCollector()
+    optimizer.collector = collector
     for t in range(num_slots):
         arrivals = exp.trace.arrivals_at(t)
         prices = exp.market.prices_at(t)
-        start = time.perf_counter()
         optimizer.plan_slot(arrivals, prices, slot_duration=1.0)
-        times.append(time.perf_counter() - start)
-        objectives.append(optimizer.last_stats.objective)
-    return np.array(times), np.array(objectives)
+    traces = collector.slot_traces
+    times = np.array([trace.total_time for trace in traces])
+    objectives = np.array([trace.objective for trace in traces])
+    return times, objectives, collector
 
 
 def measure_warmstart(
@@ -67,7 +74,7 @@ def measure_warmstart(
     if num_slots is None:
         num_slots = exp.trace.num_slots
     num_slots = min(int(num_slots), exp.trace.num_slots)
-    kwargs = dict(
+    base = OptimizerConfig(
         level_method="greedy", lp_method="ipm", formulation="per_server"
     )
 
@@ -75,16 +82,17 @@ def measure_warmstart(
     cold_means: List[float] = []
     warm_means: List[float] = []
     cold_slots = warm_slots = None
+    warm_outcomes: Dict[str, int] = {}
     max_obj_diff = 0.0
     for _ in range(repeats):
         # Fresh optimizers each repeat: cold must not keep caches, warm
         # must pay its first-slot structure build inside the measurement.
-        cold_t, cold_obj = _run_pipeline(
-            ProfitAwareOptimizer(topology, warm_start=False, **kwargs),
+        cold_t, cold_obj, _ = _run_pipeline(
+            ProfitAwareOptimizer(topology, config=base.replace(warm_start=False)),
             exp, num_slots,
         )
-        warm_t, warm_obj = _run_pipeline(
-            ProfitAwareOptimizer(topology, warm_start=True, **kwargs),
+        warm_t, warm_obj, warm_collector = _run_pipeline(
+            ProfitAwareOptimizer(topology, config=base.replace(warm_start=True)),
             exp, num_slots,
         )
         rel = np.max(np.abs(warm_obj - cold_obj)
@@ -94,6 +102,7 @@ def measure_warmstart(
         cold_means.append(float(cold_t.mean()))
         warm_means.append(float(warm_t.mean()))
         cold_slots, warm_slots = cold_t, warm_t
+        warm_outcomes = warm_collector.warm_start_counts()
 
     return {
         "benchmark": "warmstart",
@@ -103,8 +112,11 @@ def measure_warmstart(
             "num_slots": int(num_slots),
             "repeats": int(repeats),
             "seed": int(seed),
-            **{k: str(v) for k, v in kwargs.items()},
+            "level_method": base.level_method,
+            "lp_method": base.lp_method,
+            "formulation": base.formulation,
         },
+        "warm_outcomes": warm_outcomes,
         "cold_mean_s": float(np.median(cold_means)),
         "warm_mean_s": float(np.median(warm_means)),
         "cold_per_slot_s": [float(x) for x in cold_slots],

@@ -13,8 +13,6 @@ Two downstream uses of the library beyond the paper's experiments:
 Run:  python examples/capacity_planning.py
 """
 
-import numpy as np
-
 from repro.experiments.section7 import section7_experiment
 from repro.sim.metrics import powered_on_series
 from repro.sim.slotted import run_simulation
@@ -28,7 +26,10 @@ def capacity_sweep() -> None:
         exp = section7_experiment()
         topo = exp.topology.with_servers_per_datacenter(servers)
         result = run_simulation(
-            __import__("repro").ProfitAwareOptimizer(topo, consolidate=True),
+            __import__("repro").ProfitAwareOptimizer(
+                topo,
+                config=__import__("repro").OptimizerConfig(consolidate=True),
+            ),
             exp.trace, exp.market,
         )
         powered = powered_on_series(result.records)

@@ -12,7 +12,7 @@ Run:  python examples/google_twolevel.py
 import numpy as np
 
 from repro.core.objective import evaluate_plan
-from repro.core.optimizer import ProfitAwareOptimizer
+from repro.core.optimizer import OptimizerConfig, ProfitAwareOptimizer
 from repro.experiments.section7 import section7_experiment
 from repro.sim.metrics import net_profit_series
 from repro.utils.tables import render_table
@@ -49,13 +49,14 @@ def main() -> None:
     arrivals = exp.trace.arrivals_at(2)
     prices = exp.market.prices_at(2)
     print("\nLevel-selection solver paths on hour 2 (same slot problem):")
-    for label, kwargs in [
-        ("exact MILP (HiGHS)", dict(level_method="milp")),
-        ("exact MILP (own B&B)", dict(level_method="milp", milp_method="bb")),
-        ("paper big-M + repair", dict(level_method="bigm")),
-        ("greedy level search", dict(level_method="greedy")),
+    for label, config in [
+        ("exact MILP (HiGHS)", OptimizerConfig(level_method="milp")),
+        ("exact MILP (own B&B)",
+         OptimizerConfig(level_method="milp", milp_method="bb")),
+        ("paper big-M + repair", OptimizerConfig(level_method="bigm")),
+        ("greedy level search", OptimizerConfig(level_method="greedy")),
     ]:
-        optimizer = ProfitAwareOptimizer(exp.topology, **kwargs)
+        optimizer = ProfitAwareOptimizer(exp.topology, config=config)
         plan = optimizer.plan_slot(arrivals, prices, slot_duration=1.0)
         profit = evaluate_plan(plan, arrivals, prices).net_profit
         print(f"  {label:>22s}: ${profit:,.0f} "

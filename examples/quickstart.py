@@ -16,6 +16,7 @@ from repro import (
     ConstantTUF,
     DataCenter,
     FrontEnd,
+    OptimizerConfig,
     ProfitAwareOptimizer,
     RequestClass,
     evaluate_plan,
@@ -52,7 +53,9 @@ def main() -> None:
     prices = np.array([0.055, 0.110])         # $/kWh at each data center
     slot = 3600.0                              # one-hour slot, in seconds
 
-    optimizer = ProfitAwareOptimizer(topo)
+    # All knobs live on the frozen OptimizerConfig; the defaults are the
+    # paper's formulation, so an empty config is the usual starting point.
+    optimizer = ProfitAwareOptimizer(topo, config=OptimizerConfig())
     balanced = BalancedDispatcher(topo)
 
     rows = []

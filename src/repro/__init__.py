@@ -32,6 +32,7 @@ from repro.core import (
     EvenSplitDispatcher,
     MonotonicTUF,
     NetProfitBreakdown,
+    OptimizerConfig,
     ProfitAwareOptimizer,
     RequestClass,
     SlottedController,
@@ -87,6 +88,13 @@ from repro.sim import (
     run_with_failures,
 )
 from repro.des import ClusterSimulation, SimulatedSlotOutcome, simulate_plan
+from repro.obs import (
+    InMemoryCollector,
+    NullCollector,
+    SlotTrace,
+    read_traces,
+    write_traces,
+)
 from repro.core.sensitivity import SlotSensitivity, slot_sensitivity
 from repro.queueing import JacksonNetwork
 from repro.sim import ProfitDistribution, monte_carlo_profit
@@ -110,8 +118,12 @@ __all__ = [
     "EWMAPredictor", "KalmanFilterPredictor",
     # core algorithm
     "DispatchPlan", "NetProfitBreakdown", "evaluate_plan",
-    "ProfitAwareOptimizer", "BalancedDispatcher", "EvenSplitDispatcher",
+    "OptimizerConfig", "ProfitAwareOptimizer",
+    "BalancedDispatcher", "EvenSplitDispatcher",
     "SlottedController", "powered_on_servers", "consolidate_plan",
+    # observability
+    "InMemoryCollector", "NullCollector", "SlotTrace",
+    "read_traces", "write_traces",
     # simulation harness
     "ProfitLedger", "SimulationResult", "run_simulation",
     "compare_dispatchers", "ExperimentConfig", "comparison_report",

@@ -7,7 +7,9 @@ Commands:
 * ``section6`` — the §VI World-Cup day (Optimized vs Balanced);
 * ``section7`` — the §VII Google-trace study with two-level TUFs;
 * ``validate`` — M/M/1 model (Eq. 1) vs discrete-event simulation;
-* ``sweep [--servers 2,4,6,...]`` — capacity sweep on the §VII workload.
+* ``sweep [--servers 2,4,6,...]`` — capacity sweep on the §VII workload;
+* ``trace [--out traces.jsonl]`` — run a scenario with telemetry on and
+  dump per-slot :class:`~repro.obs.trace.SlotTrace` records as JSONL.
 """
 
 from __future__ import annotations
@@ -62,6 +64,28 @@ def build_parser() -> argparse.ArgumentParser:
     pr.add_argument("--out", type=str, default="results")
     pr.add_argument("--skip-slow", action="store_true",
                     help="skip the computation-time sweep (Fig. 11)")
+
+    pt = sub.add_parser(
+        "trace",
+        help="run a scenario with telemetry on and dump per-slot traces",
+    )
+    pt.add_argument("--scenario",
+                    choices=["section5", "section6", "section7"],
+                    default="section6",
+                    help="experiment to trace (default: the 24-slot §VI day)")
+    pt.add_argument("--slots", type=int, default=None,
+                    help="number of slots (default: the whole trace)")
+    pt.add_argument("--out", type=str, default=None,
+                    help="write SlotTrace records to this JSONL file")
+    pt.add_argument("--workers", type=int, default=1,
+                    help="process-pool size; per-worker collectors are "
+                         "merged at the barrier (default 1: serial)")
+    pt.add_argument("--level-method", type=str, default="auto",
+                    choices=["auto", "lp", "milp", "bigm", "greedy"])
+    pt.add_argument("--lp-method", type=str, default="simplex",
+                    choices=["highs", "simplex", "ipm"],
+                    help="LP backend (default 'simplex': warm-startable, "
+                         "so cross-slot hits show up in the traces)")
     return parser
 
 
@@ -152,7 +176,7 @@ def _cmd_validate(utilization: float, horizon: float) -> int:
 
 
 def _cmd_sweep(servers: str) -> int:
-    from repro.core.optimizer import ProfitAwareOptimizer
+    from repro.core.optimizer import OptimizerConfig, ProfitAwareOptimizer
     from repro.experiments.section7 import section7_experiment
     from repro.sim.slotted import run_simulation
     try:
@@ -168,7 +192,7 @@ def _cmd_sweep(servers: str) -> int:
         exp = section7_experiment()
         topo = exp.topology.with_servers_per_datacenter(m)
         result = run_simulation(
-            ProfitAwareOptimizer(topo, consolidate=True),
+            ProfitAwareOptimizer(topo, config=OptimizerConfig(consolidate=True)),
             exp.trace, exp.market,
         )
         rows.append([
@@ -243,6 +267,79 @@ def _cmd_reproduce(out_dir: str, skip_slow: bool) -> int:
     return 0
 
 
+def _trace_experiment(scenario: str):
+    if scenario == "section5":
+        from repro.experiments.section5 import section5_experiment
+        return section5_experiment("low")
+    if scenario == "section6":
+        from repro.experiments.section6 import section6_experiment
+        return section6_experiment()
+    from repro.experiments.section7 import section7_experiment
+    return section7_experiment()
+
+
+def _cmd_trace(
+    scenario: str,
+    slots: Optional[int],
+    out: Optional[str],
+    workers: int,
+    level_method: str,
+    lp_method: str,
+) -> int:
+    from repro.core.optimizer import OptimizerConfig
+    from repro.obs import InMemoryCollector, write_traces
+
+    if workers < 1:
+        print(
+            f"error: --workers must be >= 1 (got {workers}); "
+            "use --workers 1 for a serial run",
+            file=sys.stderr,
+        )
+        return 2
+    exp = _trace_experiment(scenario)
+    config = OptimizerConfig(level_method=level_method, lp_method=lp_method)
+    collector = InMemoryCollector()
+    if workers == 1:
+        from repro.sim.slotted import run_simulation
+        run_simulation(
+            exp.optimizer(config=config), exp.trace, exp.market,
+            num_slots=slots, collector=collector,
+        )
+    else:
+        from repro.sim.parallel import DispatcherSpec, parallel_run_simulation
+        parallel_run_simulation(
+            exp.topology, DispatcherSpec("optimized", {"config": config}),
+            exp.trace, exp.market,
+            num_slots=slots, workers=workers, collector=collector,
+        )
+
+    traces = collector.slot_traces
+    rows = [
+        [t.slot, t.method, t.warm_start, t.iterations,
+         t.objective, t.total_time * 1e3, t.phase_time_total * 1e3]
+        for t in traces
+    ]
+    print(render_table(
+        ["slot", "method", "warm", "iters", "objective ($)",
+         "total ms", "phases ms"],
+        rows, title=f"{exp.name}: per-slot solver traces", float_fmt=",.2f",
+    ))
+    warm = collector.warm_start_counts()
+    print("\nwarm-start outcomes: "
+          + ", ".join(f"{k}={v}" for k, v in sorted(warm.items())))
+    interesting = {
+        name: value for name, value in sorted(collector.counters.items())
+        if not name.startswith("controller.")
+    }
+    if interesting:
+        print("counters: "
+              + ", ".join(f"{k}={v:g}" for k, v in interesting.items()))
+    if out is not None:
+        count = write_traces(traces, out)
+        print(f"wrote {count} trace records to {out}")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -260,4 +357,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_sweep(args.servers)
     if args.command == "reproduce":
         return _cmd_reproduce(args.out, args.skip_slow)
+    if args.command == "trace":
+        return _cmd_trace(
+            args.scenario, args.slots, args.out, args.workers,
+            args.level_method, args.lp_method,
+        )
     raise AssertionError(f"unhandled command {args.command!r}")

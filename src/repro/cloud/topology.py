@@ -9,7 +9,7 @@ index bookkeeping (``k``, ``s``, ``i``, ``l`` in the paper's notation).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator, List, Sequence, Tuple
+from typing import Iterator, Sequence, Tuple
 
 import numpy as np
 

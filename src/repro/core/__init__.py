@@ -31,6 +31,7 @@ from repro.core.tuf import (
 from repro.core.request import RequestClass
 from repro.core.plan import DispatchPlan
 from repro.core.objective import NetProfitBreakdown, evaluate_plan
+from repro.core.config import OptimizerConfig
 from repro.core.optimizer import ProfitAwareOptimizer
 from repro.core.baselines import BalancedDispatcher, EvenSplitDispatcher
 from repro.core.controller import SlottedController
@@ -49,6 +50,7 @@ __all__ = [
     "DispatchPlan",
     "NetProfitBreakdown",
     "evaluate_plan",
+    "OptimizerConfig",
     "ProfitAwareOptimizer",
     "BalancedDispatcher",
     "EvenSplitDispatcher",

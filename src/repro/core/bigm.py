@@ -26,7 +26,6 @@ The exact MILP path is the reference it is compared against in tests.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from math import comb
 from typing import Callable, List, Sequence, Tuple
 
 import numpy as np

@@ -1,0 +1,132 @@
+"""Consolidated optimizer configuration.
+
+:class:`OptimizerConfig` gathers every knob of
+:class:`~repro.core.optimizer.ProfitAwareOptimizer` into one frozen,
+validated, picklable value — the primary constructor signature is
+``ProfitAwareOptimizer(topology, config=OptimizerConfig(...))``.  The
+old flat keyword arguments still work through a deprecation shim on the
+optimizer itself.
+
+Keeping the configuration a value (rather than loose kwargs) means it
+can be stored on experiment bundles, shipped across the process-pool
+boundary of :mod:`repro.sim.parallel`, compared for equality, and
+varied with :meth:`OptimizerConfig.replace`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.obs.collectors import Collector, NullCollector
+
+__all__ = ["OptimizerConfig"]
+
+LEVEL_METHODS = ("auto", "lp", "milp", "bigm", "greedy")
+FORMULATIONS = ("aggregated", "per_server")
+LP_METHODS = ("highs", "simplex", "ipm")
+MILP_METHODS = ("highs", "bb")
+
+
+@dataclass(frozen=True)
+class OptimizerConfig:
+    """All :class:`ProfitAwareOptimizer` knobs, validated on construction.
+
+    Parameters
+    ----------
+    level_method:
+        ``"auto"``, ``"lp"``, ``"milp"``, ``"bigm"``, or ``"greedy"``.
+    formulation:
+        ``"aggregated"`` or ``"per_server"``.
+    lp_method:
+        LP backend: ``"highs"``, ``"simplex"``, or ``"ipm"``.
+    milp_method:
+        MILP backend: ``"highs"`` or ``"bb"``.
+    consolidate:
+        Run the right-sizing consolidation pass on every plan.
+    apply_pue:
+        Include PUE in the processing-energy cost.
+    use_spare_capacity:
+        Distribute unused CPU to loaded VMs after solving (free under
+        the per-request energy model; strictly improves delays).
+    deadline_margin:
+        Plan against deadlines scaled by this factor in (0, 1].
+    percentile_sla:
+        When set to ``eps`` in (0, 1), plan for the tail SLA
+        ``P(sojourn > D) <= eps`` instead of the mean-delay SLA.
+    warm_start:
+        Reuse formulation caches and solver state across slots.
+    collector:
+        Telemetry sink (see :mod:`repro.obs`); the default
+        :class:`~repro.obs.collectors.NullCollector` disables all
+        instrumentation at (near) zero cost.
+    """
+
+    level_method: str = "auto"
+    formulation: str = "aggregated"
+    lp_method: str = "highs"
+    milp_method: str = "highs"
+    consolidate: bool = False
+    apply_pue: bool = False
+    use_spare_capacity: bool = True
+    deadline_margin: float = 1.0
+    percentile_sla: Optional[float] = None
+    warm_start: bool = True
+    collector: Collector = field(default_factory=NullCollector, compare=False)
+
+    def __post_init__(self):
+        if self.level_method not in LEVEL_METHODS:
+            raise ValueError(
+                f"unknown level_method {self.level_method!r}; "
+                f"choose from {LEVEL_METHODS}"
+            )
+        if self.formulation not in FORMULATIONS:
+            raise ValueError(
+                f"unknown formulation {self.formulation!r}; "
+                f"choose from {FORMULATIONS}"
+            )
+        if self.lp_method not in LP_METHODS:
+            raise ValueError(
+                f"unknown lp_method {self.lp_method!r}; "
+                f"choose from {LP_METHODS}"
+            )
+        if self.milp_method not in MILP_METHODS:
+            raise ValueError(
+                f"unknown milp_method {self.milp_method!r}; "
+                f"choose from {MILP_METHODS}"
+            )
+        object.__setattr__(self, "deadline_margin", float(self.deadline_margin))
+        if not 0.0 < self.deadline_margin <= 1.0:
+            raise ValueError(
+                f"deadline_margin must be in (0, 1], got {self.deadline_margin}"
+            )
+        if self.percentile_sla is not None:
+            object.__setattr__(
+                self, "percentile_sla", float(self.percentile_sla)
+            )
+            if not 0.0 < self.percentile_sla < 1.0:
+                raise ValueError(
+                    f"percentile_sla must be in (0, 1), got {self.percentile_sla}"
+                )
+        object.__setattr__(self, "consolidate", bool(self.consolidate))
+        object.__setattr__(self, "apply_pue", bool(self.apply_pue))
+        object.__setattr__(
+            self, "use_spare_capacity", bool(self.use_spare_capacity)
+        )
+        object.__setattr__(self, "warm_start", bool(self.warm_start))
+
+    @property
+    def delay_factor(self) -> float:
+        """Headroom multiplier implied by ``percentile_sla`` (>= 1)."""
+        if self.percentile_sla is None:
+            return 1.0
+        # eps > 1/e would *weaken* the mean constraint; floor at the
+        # paper's mean-delay requirement.
+        return max(1.0, float(np.log(1.0 / self.percentile_sla)))
+
+    def replace(self, **changes) -> "OptimizerConfig":
+        """A copy with ``changes`` applied (re-validated)."""
+        return dataclasses.replace(self, **changes)

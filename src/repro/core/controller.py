@@ -18,6 +18,7 @@ import numpy as np
 from repro.core.objective import NetProfitBreakdown, evaluate_plan
 from repro.core.plan import DispatchPlan
 from repro.market.market import MultiElectricityMarket
+from repro.obs.collectors import NULL_COLLECTOR, Collector
 from repro.workload.traces import WorkloadTrace
 
 __all__ = ["Dispatcher", "SlotRecord", "SlottedController"]
@@ -63,6 +64,11 @@ class SlottedController:
         plans each slot on *predicted* arrivals (one predictor per
         ``(k, s)`` stream) while outcomes are still evaluated on the
         true rates.
+    collector:
+        Optional telemetry sink (see :mod:`repro.obs`); receives the
+        loop-level slot counter and planning/evaluation timings.  This
+        is the *controller's* collector — the dispatcher keeps its own
+        (usually the same instance, wired by ``run_simulation``).
     """
 
     def __init__(
@@ -72,11 +78,13 @@ class SlottedController:
         market: MultiElectricityMarket,
         predictor_factory=None,
         apply_pue: bool = False,
+        collector: Optional[Collector] = None,
     ):
         self.dispatcher = dispatcher
         self.trace = trace
         self.market = market
         self.apply_pue = apply_pue
+        self.collector = collector if collector is not None else NULL_COLLECTOR
         self._predictor_factory = predictor_factory
         if predictor_factory is not None:
             self._predictors = [
@@ -100,22 +108,26 @@ class SlottedController:
     def iter_slots(self, num_slots: Optional[int] = None) -> Iterator[SlotRecord]:
         """Yield one :class:`SlotRecord` per slot."""
         total = num_slots if num_slots is not None else self.trace.num_slots
+        collector = self.collector
         for t in range(total):
             actual = self.trace.arrivals_at(t)
             prices = self.market.prices_at(t)
             planned = self._planned_arrivals(actual)
-            plan = self.dispatcher.plan_slot(
-                planned, prices, slot_duration=self.trace.slot_duration
-            )
+            with collector.timer("controller.plan_slot"):
+                plan = self.dispatcher.plan_slot(
+                    planned, prices, slot_duration=self.trace.slot_duration
+                )
             # A predictive plan may overshoot the true arrivals; cap the
             # dispatched rates at what actually arrived before scoring.
             if self._predictors is not None:
                 plan = _cap_to_arrivals(plan, actual)
-            outcome = evaluate_plan(
-                plan, actual, prices,
-                slot_duration=self.trace.slot_duration,
-                apply_pue=self.apply_pue,
-            )
+            with collector.timer("controller.evaluate"):
+                outcome = evaluate_plan(
+                    plan, actual, prices,
+                    slot_duration=self.trace.slot_duration,
+                    apply_pue=self.apply_pue,
+                )
+            collector.increment("controller.slots")
             yield SlotRecord(
                 slot=t, plan=plan, outcome=outcome, prices=prices, arrivals=actual
             )

@@ -23,7 +23,8 @@ time study since its size grows with the server count).
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+import warnings
+from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
 import numpy as np
@@ -31,6 +32,7 @@ import numpy as np
 from repro.cloud.datacenter import DataCenter
 from repro.cloud.topology import CloudTopology
 from repro.core.bigm import solve_slot_bigm
+from repro.core.config import OptimizerConfig
 from repro.core.formulation import (
     FixedLevelLPCache,
     MultilevelMILPCache,
@@ -40,12 +42,14 @@ from repro.core.formulation import (
 )
 from repro.core.plan import DispatchPlan
 from repro.core.rightsizing import consolidate_plan
+from repro.obs.collectors import Collector
+from repro.obs.trace import SlotTrace
 from repro.solvers.base import SolverError, SolverState
 from repro.solvers.branch_bound import solve_milp
 from repro.solvers.levels import coordinate_descent_levels
 from repro.solvers.linprog import solve_lp
 
-__all__ = ["ProfitAwareOptimizer", "SolveStats"]
+__all__ = ["OptimizerConfig", "ProfitAwareOptimizer", "SolveStats"]
 
 
 @dataclass(frozen=True)
@@ -64,6 +68,15 @@ class SolveStats:
     #: True when this solve was seeded with state from an earlier slot
     #: (a solver state and/or a greedy level vector).
     warm_started: bool = False
+    #: ``"off"``/``"cold"``/``"hit"``/``"miss"`` — whether warm-starting
+    #: was enabled, had state to offer, and whether the solver took it.
+    warm_outcome: str = "off"
+    #: Wall seconds spent building/refilling the slot problem.
+    build_time: float = 0.0
+    #: Wall seconds spent inside the solver.
+    solve_time: float = 0.0
+    #: Wall seconds spent on consolidation / spare-capacity passes.
+    postprocess_time: float = 0.0
 
 
 def _explode_topology(topology: CloudTopology) -> CloudTopology:
@@ -95,54 +108,39 @@ def _explode_topology(topology: CloudTopology) -> CloudTopology:
     )
 
 
+#: Legacy flat keyword arguments accepted by the deprecation shim; each
+#: maps one-to-one onto an :class:`OptimizerConfig` field.
+_LEGACY_KWARGS = (
+    "level_method", "formulation", "lp_method", "milp_method",
+    "consolidate", "apply_pue", "use_spare_capacity",
+    "deadline_margin", "percentile_sla", "warm_start", "collector",
+)
+
+
 class ProfitAwareOptimizer:
     """Profit- and cost-aware slot optimizer (the paper's "Optimized").
 
-    Parameters
-    ----------
-    topology:
-        The static system description.
-    level_method:
-        ``"auto"``, ``"lp"``, ``"milp"``, ``"bigm"``, or ``"greedy"``.
-    formulation:
-        ``"aggregated"`` or ``"per_server"``.
-    lp_method:
-        LP backend (``"highs"`` or the library's own ``"simplex"``).
-    milp_method:
-        MILP backend (``"highs"`` or the library's own ``"bb"``).
-    consolidate:
-        Run the right-sizing consolidation pass on every plan.
-    apply_pue:
-        Include PUE in the processing-energy cost.
-    use_spare_capacity:
-        Distribute each server's unused CPU to its loaded VMs after
-        solving (free under the per-request energy model; strictly
-        improves delays, keeping stochastic realizations away from the
-        TUF cliffs).  On by default.
-    deadline_margin:
-        Plan against deadlines scaled by this factor in (0, 1].  1.0 is
-        the paper's formulation; at saturation it leaves mean delays
-        exactly on the TUF boundary, where stochastic realizations earn
-        the level only about half the time.  A margin like 0.85 trades a
-        little admission capacity for robust realized revenue (see
-        ``benchmarks/bench_validation_des.py``).
-    percentile_sla:
-        When set to ``eps`` in (0, 1), plan for the *tail* SLA
-        ``P(sojourn > D) <= eps`` instead of the paper's mean-delay SLA.
-        Exact for the M/M/1 model (exponential sojourns): the constraint
-        is the same LP row with the headroom requirement multiplied by
-        ``ln(1/eps)``.
-    warm_start:
-        Reuse work across successive ``plan_slot`` calls: the slot
-        problem's constraint structure is built once and refilled per
-        slot (:class:`FixedLevelLPCache` / :class:`MultilevelMILPCache`),
-        and each solve's :class:`~repro.solvers.base.SolverState` seeds
-        the next (simplex basis, interior point, B&B incumbent, greedy
-        level vector).  States are advisory: a stale one falls back to a
-        cold start, so results are unaffected for the exact methods —
-        only ``"greedy"`` may land on a different local optimum because
-        the seeded level vector changes the search trajectory.  Call
-        :meth:`reset_warm_state` to make back-to-back runs bit-reproducible.
+    The primary signature is::
+
+        ProfitAwareOptimizer(topology, config=OptimizerConfig(...))
+
+    Every knob lives on the frozen, validated
+    :class:`~repro.core.config.OptimizerConfig` (see its docstring for
+    the full catalogue: solve path, formulation, backends, robustness
+    margins, warm-starting, telemetry collector).  ``config=None``
+    means the all-defaults configuration.
+
+    The pre-config flat keywords (``level_method=...``, ``lp_method=...``
+    and friends) are still accepted: they are folded into an
+    ``OptimizerConfig`` behind a :class:`DeprecationWarning` (emitted
+    once per construction).  Passing both ``config`` and flat keywords
+    is an error.
+
+    Per-slot diagnostics land on :attr:`last_stats`
+    (:class:`SolveStats`); when ``config.collector`` is enabled, each
+    ``plan_slot`` call additionally emits a
+    :class:`~repro.obs.trace.SlotTrace` and threads the collector
+    through the underlying LP/MILP solvers.
     """
 
     name = "optimized"
@@ -150,51 +148,56 @@ class ProfitAwareOptimizer:
     def __init__(
         self,
         topology: CloudTopology,
-        level_method: str = "auto",
-        formulation: str = "aggregated",
-        lp_method: str = "highs",
-        milp_method: str = "highs",
-        consolidate: bool = False,
-        apply_pue: bool = False,
-        use_spare_capacity: bool = True,
-        deadline_margin: float = 1.0,
-        percentile_sla: Optional[float] = None,
-        warm_start: bool = True,
+        config: Optional[OptimizerConfig] = None,
+        **legacy_kwargs,
     ):
-        if level_method not in ("auto", "lp", "milp", "bigm", "greedy"):
-            raise ValueError(f"unknown level_method {level_method!r}")
-        if formulation not in ("aggregated", "per_server"):
-            raise ValueError(f"unknown formulation {formulation!r}")
+        if legacy_kwargs:
+            unknown = sorted(set(legacy_kwargs) - set(_LEGACY_KWARGS))
+            if unknown:
+                raise TypeError(
+                    f"unexpected keyword argument(s) {unknown}; "
+                    f"valid OptimizerConfig fields are {_LEGACY_KWARGS}"
+                )
+            if config is not None:
+                raise TypeError(
+                    "pass either config=OptimizerConfig(...) or legacy "
+                    "keyword arguments, not both"
+                )
+            warnings.warn(
+                "passing flat keyword arguments to ProfitAwareOptimizer is "
+                "deprecated; use ProfitAwareOptimizer(topology, "
+                "config=OptimizerConfig("
+                + ", ".join(f"{k}=..." for k in sorted(legacy_kwargs)) + "))",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            config = OptimizerConfig(**legacy_kwargs)
+        elif config is None:
+            config = OptimizerConfig()
         self.topology = topology
-        self.level_method = level_method
-        self.formulation = formulation
-        self.lp_method = lp_method
-        self.milp_method = milp_method
-        self.consolidate = consolidate
-        self.apply_pue = apply_pue
-        self.use_spare_capacity = use_spare_capacity
-        if not 0.0 < deadline_margin <= 1.0:
-            raise ValueError(
-                f"deadline_margin must be in (0, 1], got {deadline_margin}"
-            )
-        self.deadline_margin = float(deadline_margin)
-        if percentile_sla is not None and not 0.0 < percentile_sla < 1.0:
-            raise ValueError(
-                f"percentile_sla must be in (0, 1), got {percentile_sla}"
-            )
-        self.percentile_sla = percentile_sla
-        self._delay_factor = (
-            1.0 if percentile_sla is None else float(np.log(1.0 / percentile_sla))
-        )
-        if self._delay_factor < 1.0:
-            # eps > 1/e would *weaken* the mean constraint; floor at the
-            # paper's mean-delay requirement.
-            self._delay_factor = 1.0
+        self.config = config
+        # Flat mirrors, kept for backward compatibility with pre-config
+        # call sites (and cheaper attribute access on the hot path).
+        self.level_method = config.level_method
+        self.formulation = config.formulation
+        self.lp_method = config.lp_method
+        self.milp_method = config.milp_method
+        self.consolidate = config.consolidate
+        self.apply_pue = config.apply_pue
+        self.use_spare_capacity = config.use_spare_capacity
+        self.deadline_margin = config.deadline_margin
+        self.percentile_sla = config.percentile_sla
+        self._delay_factor = config.delay_factor
+        self.warm_start = config.warm_start
+        #: Telemetry sink; reassignable (e.g. by ``run_simulation``).
+        self.collector: Collector = config.collector
+        #: Slot index stamped onto the next emitted trace; advanced by
+        #: every ``plan_slot`` call, reset by :meth:`reset_warm_state`.
+        self.slot_index = 0
         self.last_stats: Optional[SolveStats] = None
         self._multilevel = any(
             rc.tuf.num_levels > 1 for rc in topology.request_classes
         )
-        self.warm_start = bool(warm_start)
         # Formulation caches (structure only; built lazily, never reset).
         self._lp_cache: Optional[FixedLevelLPCache] = None
         self._milp_cache: Optional[MultilevelMILPCache] = None
@@ -210,15 +213,16 @@ class ProfitAwareOptimizer:
         """Forget all cross-slot solver state.
 
         The formulation caches are kept (they depend only on the
-        topology); only the advisory warm-start seeds are dropped, so a
-        run started after this call behaves exactly like a fresh
-        optimizer.
+        topology); only the advisory warm-start seeds are dropped (and
+        the trace slot counter rewound), so a run started after this
+        call behaves exactly like a fresh optimizer.
         """
         self._lp_state = None
         self._milp_state = None
         self._greedy_lp_states.clear()
         self._greedy_last_state = None
         self._greedy_levels = None
+        self.slot_index = 0
 
     # --------------------------------------------------------------- public
 
@@ -229,6 +233,12 @@ class ProfitAwareOptimizer:
         slot_duration: float = 1.0,
     ) -> DispatchPlan:
         """Solve one slot and return the dispatch plan."""
+        if not slot_duration > 0.0:
+            raise ValueError(
+                f"slot_duration must be positive (got {slot_duration}); "
+                "it is the slot length in hours over which the arrival "
+                "rates apply — e.g. 1.0 for the paper's hourly slots"
+            )
         method = self.level_method
         if method == "auto":
             method = "milp" if self._multilevel else "lp"
@@ -254,13 +264,25 @@ class ProfitAwareOptimizer:
         elif method == "greedy":
             plan, stats = self._solve_greedy(inputs)
         else:  # bigm
+            t0 = time.perf_counter()
             plan = solve_slot_bigm(inputs, lp_method=self.lp_method)
-            stats = {"num_variables": 0, "num_constraints": 0}
-        elapsed = time.perf_counter() - start
+            stats = {"num_variables": 0, "num_constraints": 0,
+                     "solve_time": time.perf_counter() - t0}
+        post_start = time.perf_counter()
         if self.consolidate:
             plan = consolidate_plan(plan)
         if self.use_spare_capacity:
             plan = plan.with_spare_capacity_distributed()
+        postprocess_time = time.perf_counter() - post_start
+        elapsed = time.perf_counter() - start
+        if not self.warm_start:
+            warm_outcome = "off"
+        elif not stats.get("warm_offered", False):
+            warm_outcome = "cold"
+        elif stats.get("warm_used", False):
+            warm_outcome = "hit"
+        else:
+            warm_outcome = "miss"
         self.last_stats = SolveStats(
             method=method,
             formulation=self.formulation,
@@ -271,8 +293,38 @@ class ProfitAwareOptimizer:
             nodes=int(stats.get("nodes", 0)),
             objective=float(stats.get("objective", 0.0)),
             lp_evaluations=int(stats.get("lp_evaluations", 0)),
-            warm_started=bool(stats.get("warm_started", False)),
+            warm_started=bool(stats.get("warm_offered", False)),
+            warm_outcome=warm_outcome,
+            build_time=float(stats.get("build_time", 0.0)),
+            solve_time=float(stats.get("solve_time", 0.0)),
+            postprocess_time=postprocess_time,
         )
+        slot = self.slot_index
+        self.slot_index = slot + 1
+        collector = self.collector
+        if collector.enabled:
+            collector.increment("optimizer.slots")
+            collector.increment(f"optimizer.warm_{warm_outcome}")
+            collector.observe_time("optimizer.plan_slot", elapsed)
+            collector.record_slot(SlotTrace(
+                slot=slot,
+                method=method,
+                formulation=self.formulation,
+                warm_start=warm_outcome,
+                objective=float(stats.get("objective", 0.0)),
+                total_time=elapsed,
+                phase_times={
+                    "build": float(stats.get("build_time", 0.0)),
+                    "solve": float(stats.get("solve_time", 0.0)),
+                    "postprocess": postprocess_time,
+                },
+                iterations=int(stats.get("iterations", 0)),
+                nodes=int(stats.get("nodes", 0)),
+                lp_evaluations=int(stats.get("lp_evaluations", 0)),
+                num_variables=int(stats.get("num_variables", 0)),
+                num_constraints=int(stats.get("num_constraints", 0)),
+                residuals=stats.get("residuals", {}),
+            ))
         return plan
 
     # -------------------------------------------------------------- private
@@ -288,22 +340,33 @@ class ProfitAwareOptimizer:
         return self._lp_cache.build(inputs, levels=levels)
 
     def _solve_lp(self, inputs: SlotInputs) -> Tuple[DispatchPlan, Dict]:
+        t0 = time.perf_counter()
         lp, decoder = self._build_lp(inputs)
+        t1 = time.perf_counter()
         state = self._lp_state if self.warm_start else None
-        solution = solve_lp(lp, method=self.lp_method, state=state)
+        solution = solve_lp(
+            lp, method=self.lp_method, state=state, collector=self.collector
+        )
+        t2 = time.perf_counter()
         if not solution.ok:
             raise SolverError(
                 f"slot LP failed: {solution.status.value} {solution.message}"
             )
         if self.warm_start:
             self._lp_state = solution.state
-        return decoder(solution.x), {
+        stats = {
             "num_variables": lp.num_variables,
             "num_constraints": lp.num_constraints,
             "iterations": solution.iterations,
             "objective": -solution.objective,
-            "warm_started": state is not None,
+            "warm_offered": state is not None,
+            "warm_used": solution.warm_start_used,
+            "build_time": t1 - t0,
+            "solve_time": t2 - t1,
         }
+        if self.collector.enabled:
+            stats["residuals"] = lp.residuals(solution.x)
+        return decoder(solution.x), stats
 
     def _build_milp(self, inputs: SlotInputs):
         if not self.warm_start:
@@ -328,9 +391,14 @@ class ProfitAwareOptimizer:
                 deadline_scale=inputs.deadline_scale,
                 delay_factor=inputs.delay_factor,
             )
+        t0 = time.perf_counter()
         mip, decoder = self._build_milp(inputs)
+        t1 = time.perf_counter()
         state = self._milp_state if self.warm_start else None
-        solution = solve_milp(mip, method=self.milp_method, state=state)
+        solution = solve_milp(
+            mip, method=self.milp_method, state=state, collector=self.collector
+        )
+        t2 = time.perf_counter()
         if not solution.ok:
             raise SolverError(
                 f"slot MILP failed: {solution.status.value} {solution.message}"
@@ -344,14 +412,20 @@ class ProfitAwareOptimizer:
                 rates=plan.rates,
                 shares=plan.shares,
             )
-        return plan, {
+        stats = {
             "num_variables": mip.lp.num_variables,
             "num_constraints": mip.lp.num_constraints,
             "iterations": solution.iterations,
             "nodes": solution.nodes,
             "objective": -solution.objective,
-            "warm_started": state is not None,
+            "warm_offered": state is not None,
+            "warm_used": solution.warm_start_used,
+            "build_time": t1 - t0,
+            "solve_time": t2 - t1,
         }
+        if self.collector.enabled:
+            stats["residuals"] = mip.lp.residuals(solution.x)
+        return plan, stats
 
     def _solve_greedy(self, inputs: SlotInputs) -> Tuple[DispatchPlan, Dict]:
         topo = self.topology
@@ -374,7 +448,10 @@ class ProfitAwareOptimizer:
                 # any vector — same structure, so still a usable seed.
                 state = (self._greedy_lp_states.get(levels_flat)
                          or self._greedy_last_state)
-            solution = solve_lp(lp, method=self.lp_method, state=state)
+            solution = solve_lp(
+                lp, method=self.lp_method, state=state,
+                collector=self.collector,
+            )
             if not solution.ok:
                 return -np.inf
             if self.warm_start and solution.state is not None:
@@ -383,9 +460,11 @@ class ProfitAwareOptimizer:
             best_plan[levels_flat] = decoder(solution.x)
             return -solution.objective
 
+        t0 = time.perf_counter()
         initial = self._greedy_levels if self.warm_start else None
         if initial is not None and len(initial) != len(sizes):
             initial = None
+        warm_used = initial is not None
         vector, value, evaluations = coordinate_descent_levels(
             sizes, evaluate, initial=initial
         )
@@ -393,6 +472,7 @@ class ProfitAwareOptimizer:
             # The seeded neighborhood was entirely infeasible under the
             # new slot data; restart cold so warm-starting can never fail
             # a slot the cold search would solve.
+            warm_used = False
             vector, value, extra = coordinate_descent_levels(sizes, evaluate)
             evaluations += extra
         if vector not in best_plan:
@@ -402,5 +482,7 @@ class ProfitAwareOptimizer:
         return best_plan[vector], {
             "lp_evaluations": evaluations,
             "objective": value,
-            "warm_started": initial is not None,
+            "warm_offered": initial is not None,
+            "warm_used": warm_used,
+            "solve_time": time.perf_counter() - t0,
         }

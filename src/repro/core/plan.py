@@ -11,7 +11,6 @@ expand their symmetric solutions over this flat axis.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
 
 import numpy as np
 

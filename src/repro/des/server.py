@@ -11,7 +11,7 @@ disciplines are provided and cross-checked in tests.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from typing import Dict, List, Optional
 
 import numpy as np
 

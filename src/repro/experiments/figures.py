@@ -13,14 +13,13 @@ from typing import Dict, List, Sequence
 
 import numpy as np
 
-from repro.core.baselines import BalancedDispatcher
-from repro.core.optimizer import ProfitAwareOptimizer
+from repro.core.optimizer import OptimizerConfig, ProfitAwareOptimizer
 from repro.experiments.section5 import section5_experiment
 from repro.experiments.section6 import section6_experiment
 from repro.experiments.section7 import section7_experiment
 from repro.market.prices import paper_locations
 from repro.sim.metrics import dc_dispatch_series, net_profit_series
-from repro.sim.slotted import SimulationResult, compare_dispatchers, run_simulation
+from repro.sim.slotted import SimulationResult
 
 __all__ = [
     "fig1_price_series",
@@ -167,9 +166,9 @@ def fig11_computation_time(
     for m in server_counts:
         exp = section7_experiment(seed=seed)
         topo = exp.topology.with_servers_per_datacenter(int(m))
-        optimizer = ProfitAwareOptimizer(
-            topo, formulation="per_server", milp_method=milp_method
-        )
+        optimizer = ProfitAwareOptimizer(topo, config=OptimizerConfig(
+            formulation="per_server", milp_method=milp_method,
+        ))
         arrivals = exp.trace.arrivals_at(0)
         prices = exp.market.prices_at(0)
         times: List[float] = []

@@ -16,7 +16,7 @@ marginal cost of the renewable supply (0 for owned panels).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 

@@ -1,0 +1,48 @@
+"""Observability: solver/slot telemetry for the whole pipeline.
+
+Zero-dependency counters, timers, histograms, and structured per-slot
+trace records, threaded through the solvers
+(:mod:`repro.solvers.simplex`, :mod:`repro.solvers.interior_point`,
+:mod:`repro.solvers.branch_bound`, :mod:`repro.solvers.presolve`), the
+optimizer, the controller, and both simulation loops.  Everything is
+opt-in: the default :data:`NULL_COLLECTOR` makes every hook a no-op, so
+uninstrumented runs pay (almost) nothing.
+
+>>> from repro.obs import InMemoryCollector
+>>> from repro import OptimizerConfig, ProfitAwareOptimizer
+>>> collector = InMemoryCollector()
+>>> opt = ProfitAwareOptimizer(         # doctest: +SKIP
+...     topology, config=OptimizerConfig(collector=collector))
+
+After a run, ``collector.slot_traces`` holds one
+:class:`~repro.obs.trace.SlotTrace` per planned slot (phase timings,
+iteration counts, warm-start outcome, objective, residuals), which
+round-trips to JSONL via :func:`write_traces` / :func:`read_traces`.
+The ``repro trace`` CLI subcommand wraps the whole flow.
+"""
+
+from repro.obs.collectors import (
+    NULL_COLLECTOR,
+    Collector,
+    InMemoryCollector,
+    NullCollector,
+    TimerStats,
+)
+from repro.obs.trace import (
+    WARM_OUTCOMES,
+    SlotTrace,
+    read_traces,
+    write_traces,
+)
+
+__all__ = [
+    "Collector",
+    "NullCollector",
+    "NULL_COLLECTOR",
+    "InMemoryCollector",
+    "TimerStats",
+    "SlotTrace",
+    "WARM_OUTCOMES",
+    "read_traces",
+    "write_traces",
+]

@@ -1,0 +1,247 @@
+"""Event/metric collectors: the write side of the telemetry layer.
+
+Instrumented code talks to a *collector* through four calls —
+``increment`` (counters), ``timer`` (wall-time context manager),
+``observe`` (histogram samples), and ``record_slot`` (structured
+:class:`~repro.obs.trace.SlotTrace` records).  Two implementations:
+
+* :class:`NullCollector` — the default everywhere.  Every call is a
+  no-op; ``timer`` hands back a shared singleton context manager, so
+  disabled instrumentation allocates nothing and costs a method call.
+  Hot paths may additionally gate work behind ``collector.enabled``.
+* :class:`InMemoryCollector` — accumulates everything in plain dicts
+  and lists.  It is picklable (counters, timer stats, floats, traces),
+  so per-process collectors can cross the ``multiprocessing`` boundary
+  of :mod:`repro.sim.parallel` and be :meth:`~InMemoryCollector.merge`\\ d
+  at the barrier.
+
+The layer is zero-dependency on purpose: no logging handlers, no
+third-party metrics clients — just data that serializes.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Protocol, runtime_checkable
+
+from repro.obs.trace import SlotTrace
+
+__all__ = [
+    "Collector",
+    "NullCollector",
+    "NULL_COLLECTOR",
+    "InMemoryCollector",
+    "TimerStats",
+]
+
+
+@runtime_checkable
+class Collector(Protocol):
+    """What instrumented code needs from a metrics sink."""
+
+    #: False means every call is a no-op; hot paths may skip building
+    #: payloads (residual vectors, trace records) entirely.
+    enabled: bool
+
+    def increment(self, name: str, value: float = 1.0) -> None:
+        """Add ``value`` to the counter ``name``."""
+        ...
+
+    def observe(self, name: str, value: float) -> None:
+        """Record one histogram sample under ``name``."""
+        ...
+
+    def observe_time(self, name: str, seconds: float) -> None:
+        """Fold one already-measured duration into the timer ``name``."""
+        ...
+
+    def timer(self, name: str):
+        """Context manager timing its block into the timer ``name``."""
+        ...
+
+    def record_slot(self, trace: SlotTrace) -> None:
+        """Attach one per-slot trace record."""
+        ...
+
+
+class _NullTimer:
+    """Reusable no-op context manager (one instance for the process)."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+
+_NULL_TIMER = _NullTimer()
+
+
+class NullCollector:
+    """Collector that drops everything (the zero-overhead default)."""
+
+    __slots__ = ()
+    enabled = False
+
+    def increment(self, name: str, value: float = 1.0) -> None:
+        pass
+
+    def observe(self, name: str, value: float) -> None:
+        pass
+
+    def observe_time(self, name: str, seconds: float) -> None:
+        pass
+
+    def timer(self, name: str):
+        return _NULL_TIMER
+
+    def record_slot(self, trace: SlotTrace) -> None:
+        pass
+
+    def merge(self, other) -> None:
+        pass
+
+
+#: Shared process-wide instance; instrumented call sites default to it.
+NULL_COLLECTOR = NullCollector()
+
+
+@dataclass
+class TimerStats:
+    """Aggregated wall-time observations for one timer name."""
+
+    count: int = 0
+    total: float = 0.0
+    min: float = float("inf")
+    max: float = 0.0
+
+    def add(self, seconds: float) -> None:
+        """Fold one observation in."""
+        self.count += 1
+        self.total += seconds
+        if seconds < self.min:
+            self.min = seconds
+        if seconds > self.max:
+            self.max = seconds
+
+    def merge(self, other: "TimerStats") -> None:
+        """Fold another aggregate in."""
+        self.count += other.count
+        self.total += other.total
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+
+    @property
+    def mean(self) -> float:
+        """Mean seconds per observation (0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+
+class _Timer:
+    """Context manager feeding one timed block into a collector."""
+
+    __slots__ = ("_collector", "_name", "_start")
+
+    def __init__(self, collector: "InMemoryCollector", name: str):
+        self._collector = collector
+        self._name = name
+
+    def __enter__(self):
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc):
+        self._collector.observe_time(
+            self._name, time.perf_counter() - self._start
+        )
+        return False
+
+
+@dataclass
+class InMemoryCollector:
+    """Accumulating collector: counters, timers, histograms, slot traces."""
+
+    counters: Dict[str, float] = field(default_factory=dict)
+    timers: Dict[str, TimerStats] = field(default_factory=dict)
+    histograms: Dict[str, List[float]] = field(default_factory=dict)
+    slot_traces: List[SlotTrace] = field(default_factory=list)
+    enabled: bool = field(default=True, repr=False)
+
+    def increment(self, name: str, value: float = 1.0) -> None:
+        """Add ``value`` to the counter ``name`` (created at 0)."""
+        self.counters[name] = self.counters.get(name, 0.0) + value
+
+    def observe(self, name: str, value: float) -> None:
+        """Append one histogram sample."""
+        self.histograms.setdefault(name, []).append(float(value))
+
+    def observe_time(self, name: str, seconds: float) -> None:
+        """Fold one timing into the ``name`` aggregate."""
+        stats = self.timers.get(name)
+        if stats is None:
+            stats = self.timers[name] = TimerStats()
+        stats.add(float(seconds))
+
+    def timer(self, name: str) -> _Timer:
+        """Time a ``with`` block into ``name``."""
+        return _Timer(self, name)
+
+    def record_slot(self, trace: SlotTrace) -> None:
+        """Keep one per-slot trace record."""
+        self.slot_traces.append(trace)
+
+    # ---------------------------------------------------------------- merge
+
+    def merge(self, other: "InMemoryCollector") -> None:
+        """Fold another collector's data into this one.
+
+        Counters add, timer aggregates combine, histogram samples and
+        slot traces concatenate (traces re-sorted by slot index so a
+        chunked parallel run merges into trace order).  Merging is
+        associative and commutative up to histogram sample order, which
+        is why per-process collectors can be combined at the pool
+        barrier in any completion order.
+        """
+        for name, value in other.counters.items():
+            self.increment(name, value)
+        for name, stats in other.timers.items():
+            mine = self.timers.get(name)
+            if mine is None:
+                self.timers[name] = TimerStats(
+                    count=stats.count, total=stats.total,
+                    min=stats.min, max=stats.max,
+                )
+            else:
+                mine.merge(stats)
+        for name, samples in other.histograms.items():
+            self.histograms.setdefault(name, []).extend(samples)
+        self.slot_traces.extend(other.slot_traces)
+        self.slot_traces.sort(key=lambda trace: trace.slot)
+
+    # -------------------------------------------------------------- summary
+
+    def warm_start_counts(self) -> Dict[str, int]:
+        """Count slot traces per warm-start outcome."""
+        out: Dict[str, int] = {}
+        for trace in self.slot_traces:
+            out[trace.warm_start] = out.get(trace.warm_start, 0) + 1
+        return out
+
+    def summary(self) -> Dict:
+        """JSON-ready digest: counters, timer means, warm-start counts."""
+        return {
+            "counters": dict(sorted(self.counters.items())),
+            "timers": {
+                name: {"count": s.count, "total_s": s.total,
+                       "mean_s": s.mean, "min_s": s.min, "max_s": s.max}
+                for name, s in sorted(self.timers.items())
+            },
+            "histogram_sizes": {
+                name: len(v) for name, v in sorted(self.histograms.items())
+            },
+            "slots": len(self.slot_traces),
+            "warm_start": self.warm_start_counts(),
+        }

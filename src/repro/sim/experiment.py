@@ -12,7 +12,7 @@ from typing import Dict, Optional
 
 from repro.cloud.topology import CloudTopology
 from repro.core.baselines import BalancedDispatcher
-from repro.core.optimizer import ProfitAwareOptimizer
+from repro.core.optimizer import OptimizerConfig, ProfitAwareOptimizer
 from repro.market.market import MultiElectricityMarket
 from repro.sim.slotted import SimulationResult, compare_dispatchers
 from repro.workload.traces import WorkloadTrace
@@ -47,9 +47,23 @@ class ExperimentConfig:
                 f"has {self.topology.num_datacenters}"
             )
 
-    def optimizer(self, **kwargs) -> ProfitAwareOptimizer:
-        """Build the paper's "Optimized" dispatcher for this topology."""
-        return ProfitAwareOptimizer(self.topology, **kwargs)
+    def optimizer(
+        self, config: Optional[OptimizerConfig] = None, **kwargs
+    ) -> ProfitAwareOptimizer:
+        """Build the paper's "Optimized" dispatcher for this topology.
+
+        Pass a ready :class:`OptimizerConfig`, or flat config-field
+        keywords which are folded into one (without going through the
+        optimizer's deprecation shim).
+        """
+        if config is not None and kwargs:
+            raise TypeError(
+                "pass either config=OptimizerConfig(...) or flat config "
+                "fields, not both"
+            )
+        if config is None:
+            config = OptimizerConfig(**kwargs)
+        return ProfitAwareOptimizer(self.topology, config=config)
 
     def balanced(self, **kwargs) -> BalancedDispatcher:
         """Build the paper's "Balanced" baseline for this topology."""

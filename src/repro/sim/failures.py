@@ -10,7 +10,6 @@ full server index space (failed servers carry zero load).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence
 
 import numpy as np

@@ -4,15 +4,23 @@ These helpers compute exactly the quantities the paper plots: per-slot
 net profit (Figs. 4/6/8/10), per-data-center request allocation
 (Figs. 7/9), completion percentages (§VII-B2), and powered-on server
 counts.
+
+The record-level summaries (``net_profit_series``,
+``completion_fractions``, ``total_requests_processed``) are thin
+wrappers over the canonical ``compute_*`` staticmethods on
+:class:`~repro.sim.slotted.SimulationResult` — one implementation, two
+surfaces.  Each wrapper accepts either a bare record sequence or a
+``SimulationResult`` (its ``.records`` are used).
 """
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import Sequence
 
 import numpy as np
 
 from repro.core.controller import SlotRecord
+from repro.sim.slotted import SimulationResult
 
 __all__ = [
     "net_profit_series",
@@ -25,38 +33,39 @@ __all__ = [
 ]
 
 
+def _records(records_or_result) -> Sequence[SlotRecord]:
+    """Accept a record sequence or anything with a ``.records`` list."""
+    return getattr(records_or_result, "records", records_or_result)
+
+
 def net_profit_series(records: Sequence[SlotRecord]) -> np.ndarray:
     """``(T,)`` net profit per slot."""
-    return np.array([r.outcome.net_profit for r in records])
+    return SimulationResult.compute_net_profit_series(_records(records))
 
 
 def dc_dispatch_series(records: Sequence[SlotRecord], k: int, l: int) -> np.ndarray:
     """``(T,)`` rate of class ``k`` dispatched to data center ``l``."""
-    return np.array([float(r.outcome.dc_loads[k, l]) for r in records])
+    return np.array([float(r.outcome.dc_loads[k, l]) for r in _records(records)])
 
 
 def dispatch_matrix(records: Sequence[SlotRecord]) -> np.ndarray:
     """``(T, K, L)`` per-slot class-to-data-center load matrix."""
-    return np.stack([r.outcome.dc_loads for r in records], axis=0)
+    return np.stack([r.outcome.dc_loads for r in _records(records)], axis=0)
 
 
 def completion_fractions(records: Sequence[SlotRecord]) -> np.ndarray:
     """``(K,)`` overall fraction of offered requests dispatched."""
-    served = np.sum([r.outcome.served_rates for r in records], axis=0)
-    offered = np.sum([r.outcome.offered_rates for r in records], axis=0)
-    with np.errstate(divide="ignore", invalid="ignore"):
-        frac = np.where(offered > 0, served / offered, 1.0)
-    return np.clip(frac, 0.0, 1.0)
+    return SimulationResult.compute_completion_fractions(_records(records))
 
 
 def powered_on_series(records: Sequence[SlotRecord]) -> np.ndarray:
     """``(T, L)`` powered-on server counts per slot per data center."""
-    return np.stack([r.plan.powered_on_per_dc() for r in records], axis=0)
+    return np.stack([r.plan.powered_on_per_dc() for r in _records(records)], axis=0)
 
 
 def total_requests_processed(records: Sequence[SlotRecord]) -> float:
     """Total requests served across the whole run."""
-    return float(sum(r.outcome.served_requests for r in records))
+    return SimulationResult.compute_total_requests_processed(_records(records))
 
 
 def relative_improvement(optimized: float, baseline: float) -> float:

@@ -36,8 +36,9 @@ from repro.cloud.topology import CloudTopology
 from repro.core.baselines import BalancedDispatcher, EvenSplitDispatcher
 from repro.core.controller import SlotRecord
 from repro.core.objective import evaluate_plan
-from repro.core.optimizer import ProfitAwareOptimizer
+from repro.core.optimizer import OptimizerConfig, ProfitAwareOptimizer
 from repro.market.market import MultiElectricityMarket
+from repro.obs.collectors import Collector, InMemoryCollector
 from repro.sim.accounting import ProfitLedger
 from repro.sim.slotted import SimulationResult
 from repro.workload.traces import WorkloadTrace
@@ -53,7 +54,14 @@ _KINDS = {
 
 @dataclass(frozen=True)
 class DispatcherSpec:
-    """Picklable recipe for building a dispatcher in a worker process."""
+    """Picklable recipe for building a dispatcher in a worker process.
+
+    For ``kind="optimized"`` the ``kwargs`` either contain a single
+    ``"config"`` key holding an :class:`OptimizerConfig`, or flat
+    config-field values (``{"level_method": "milp"}``); both build the
+    optimizer through its config signature, so no deprecation warning
+    fires inside workers.
+    """
 
     kind: str
     kwargs: Dict = field(default_factory=dict)
@@ -65,28 +73,60 @@ class DispatcherSpec:
                 f"choose from {sorted(_KINDS)}"
             )
 
-    def build(self, topology: CloudTopology):
-        """Instantiate the dispatcher against ``topology``."""
-        return _KINDS[self.kind](topology, **self.kwargs)
+    def build(
+        self,
+        topology: CloudTopology,
+        collector: Optional[Collector] = None,
+    ):
+        """Instantiate the dispatcher against ``topology``.
+
+        ``collector`` (when given, and when the dispatcher supports
+        telemetry) overrides the config's collector — this is how each
+        worker process wires its own :class:`InMemoryCollector` in.
+        """
+        cls = _KINDS[self.kind]
+        if cls is ProfitAwareOptimizer:
+            kwargs = dict(self.kwargs)
+            config = kwargs.pop("config", None)
+            if config is not None and kwargs:
+                raise ValueError(
+                    "DispatcherSpec kwargs must hold either a 'config' "
+                    "entry or flat OptimizerConfig fields, not both "
+                    f"(got extra {sorted(kwargs)})"
+                )
+            if config is None:
+                config = OptimizerConfig(**kwargs)
+            if collector is not None:
+                config = config.replace(collector=collector)
+            return ProfitAwareOptimizer(topology, config=config)
+        return cls(topology, **self.kwargs)
 
 
 def _solve_chunk(
     args: Tuple,
-) -> List[Tuple[int, np.ndarray, np.ndarray]]:
+) -> Tuple[List[Tuple[int, np.ndarray, np.ndarray]], Optional[InMemoryCollector]]:
     """Worker: solve a contiguous chunk of slots with one dispatcher.
 
     Building the dispatcher once per chunk (not per slot) lets its
     formulation cache and warm-start state carry across the chunk.
+    When telemetry is requested the worker accumulates into its own
+    :class:`InMemoryCollector` (returned alongside the plans) and
+    stamps the dispatcher's slot counter before each solve, so merged
+    traces carry true trace-order slot indices.
     """
-    topology, spec, chunk = args
-    dispatcher = spec.build(topology)
+    topology, spec, chunk, collect = args
+    collector = InMemoryCollector() if collect else None
+    dispatcher = spec.build(topology, collector=collector)
+    track_slots = collect and hasattr(dispatcher, "slot_index")
     out: List[Tuple[int, np.ndarray, np.ndarray]] = []
     for slot, arrivals, prices, slot_duration in chunk:
+        if track_slots:
+            dispatcher.slot_index = slot
         plan = dispatcher.plan_slot(
             arrivals, prices, slot_duration=slot_duration
         )
         out.append((slot, plan.rates, plan.shares))
-    return out
+    return out, collector
 
 
 def _chunked(tasks: Sequence, num_chunks: int) -> List[List]:
@@ -106,6 +146,7 @@ def parallel_run_simulation(
     num_slots: Optional[int] = None,
     workers: Optional[int] = None,
     apply_pue: bool = False,
+    collector: Optional[InMemoryCollector] = None,
 ) -> SimulationResult:
     """Run a slotted simulation with slot solves fanned out to a pool.
 
@@ -120,6 +161,13 @@ def parallel_run_simulation(
         unavailable).  The pool never exceeds the slot count — extra
         workers would only idle — and ``workers=1`` runs serially
         in-process (no pool overhead, identical results).
+    collector:
+        Optional :class:`~repro.obs.collectors.InMemoryCollector`.
+        Live collectors cannot be shared across processes, so each
+        worker accumulates into its own collector, which crosses back
+        over the pool boundary with the chunk's plans and is
+        :meth:`~repro.obs.collectors.InMemoryCollector.merge`\\ d into
+        this one at the barrier (slot traces re-sorted to trace order).
     """
     total = num_slots if num_slots is not None else trace.num_slots
     tasks = [
@@ -129,20 +177,29 @@ def parallel_run_simulation(
     if workers is None:
         workers = os.cpu_count() or 1
     if workers < 1:
-        raise ValueError("workers must be >= 1")
+        raise ValueError(
+            f"workers must be >= 1 (got {workers}); pass workers=None "
+            "to size the pool from os.cpu_count()"
+        )
     workers = min(workers, max(total, 1))
+    collect = collector is not None
 
     if workers == 1:
-        solved = _solve_chunk((topology, spec, tasks))
+        solved, worker_collector = _solve_chunk((topology, spec, tasks, collect))
+        if collect and worker_collector is not None:
+            collector.merge(worker_collector)
     else:
         chunks = _chunked(tasks, workers)
         with ProcessPoolExecutor(max_workers=workers) as pool:
             results = pool.map(
                 _solve_chunk,
-                [(topology, spec, chunk) for chunk in chunks],
+                [(topology, spec, chunk, collect) for chunk in chunks],
             )
-            solved = [item for chunk_result in results
-                      for item in chunk_result]
+            solved = []
+            for chunk_result, worker_collector in results:
+                solved.extend(chunk_result)
+                if collect and worker_collector is not None:
+                    collector.merge(worker_collector)
 
     solved.sort(key=lambda item: item[0])
     from repro.core.plan import DispatchPlan

@@ -10,7 +10,6 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
-import numpy as np
 
 from repro.cloud.topology import CloudTopology
 from repro.sim.metrics import dispatch_matrix, powered_on_series

@@ -9,12 +9,8 @@ import numpy as np
 
 from repro.core.controller import Dispatcher, SlotRecord, SlottedController
 from repro.market.market import MultiElectricityMarket
+from repro.obs.collectors import Collector
 from repro.sim.accounting import ProfitLedger
-from repro.sim.metrics import (
-    completion_fractions,
-    net_profit_series,
-    total_requests_processed,
-)
 from repro.workload.traces import WorkloadTrace
 
 __all__ = ["SimulationResult", "run_simulation", "compare_dispatchers"]
@@ -22,11 +18,40 @@ __all__ = ["SimulationResult", "run_simulation", "compare_dispatchers"]
 
 @dataclass
 class SimulationResult:
-    """All records + ledger for one dispatcher over one trace."""
+    """All records + ledger for one dispatcher over one trace.
+
+    This is the canonical home of the record-level summary metrics; the
+    free functions in :mod:`repro.sim.metrics` are thin wrappers over
+    the ``compute_*`` staticmethods here, so both surfaces agree by
+    construction.
+    """
 
     dispatcher_name: str
     records: List[SlotRecord] = field(repr=False)
     ledger: ProfitLedger = field(repr=False)
+
+    # Canonical metric implementations.  Staticmethods taking a bare
+    # record sequence so the wrappers in ``repro.sim.metrics`` (and any
+    # caller holding records without a full result) can reuse them.
+
+    @staticmethod
+    def compute_net_profit_series(records: Sequence[SlotRecord]) -> np.ndarray:
+        """``(T,)`` net profit per slot."""
+        return np.array([r.outcome.net_profit for r in records])
+
+    @staticmethod
+    def compute_completion_fractions(records: Sequence[SlotRecord]) -> np.ndarray:
+        """``(K,)`` overall fraction of offered requests dispatched."""
+        served = np.sum([r.outcome.served_rates for r in records], axis=0)
+        offered = np.sum([r.outcome.offered_rates for r in records], axis=0)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            frac = np.where(offered > 0, served / offered, 1.0)
+        return np.clip(frac, 0.0, 1.0)
+
+    @staticmethod
+    def compute_total_requests_processed(records: Sequence[SlotRecord]) -> float:
+        """Total requests served across the whole run."""
+        return float(sum(r.outcome.served_requests for r in records))
 
     @property
     def num_slots(self) -> int:
@@ -41,7 +66,7 @@ class SimulationResult:
     @property
     def net_profit_series(self) -> np.ndarray:
         """``(T,)`` per-slot net profit."""
-        return net_profit_series(self.records)
+        return self.compute_net_profit_series(self.records)
 
     @property
     def total_cost(self) -> float:
@@ -51,12 +76,12 @@ class SimulationResult:
     @property
     def requests_processed(self) -> float:
         """Total requests served."""
-        return total_requests_processed(self.records)
+        return self.compute_total_requests_processed(self.records)
 
     @property
     def completion_fractions(self) -> np.ndarray:
         """``(K,)`` completion fraction per request class."""
-        return completion_fractions(self.records)
+        return self.compute_completion_fractions(self.records)
 
 
 def run_simulation(
@@ -66,6 +91,7 @@ def run_simulation(
     num_slots: Optional[int] = None,
     predictor_factory=None,
     apply_pue: bool = False,
+    collector: Optional[Collector] = None,
 ) -> SimulationResult:
     """Run ``dispatcher`` over the trace/market and collect results.
 
@@ -73,13 +99,22 @@ def run_simulation(
     ``ProfitAwareOptimizer(warm_start=True)``) reuses each slot's solver
     state for the next.  Any state left over from a *previous* run is
     dropped first so repeated calls are reproducible.
+
+    ``collector`` (see :mod:`repro.obs`) instruments the run: it is
+    handed to the controller and — when the dispatcher has a
+    ``collector`` attribute, as :class:`ProfitAwareOptimizer` does —
+    installed on the dispatcher too, so per-slot traces and solver
+    counters land in the same sink as the loop timings.
     """
     reset = getattr(dispatcher, "reset_warm_state", None)
     if callable(reset):
         reset()
+    if collector is not None and hasattr(dispatcher, "collector"):
+        dispatcher.collector = collector
     controller = SlottedController(
         dispatcher, trace, market,
         predictor_factory=predictor_factory, apply_pue=apply_pue,
+        collector=collector,
     )
     ledger = ProfitLedger()
     records: List[SlotRecord] = []

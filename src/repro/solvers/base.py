@@ -212,7 +212,10 @@ class Solution:
     the change in the *minimization* objective per unit increase of the
     corresponding right-hand side.  ``state`` carries the solver's
     warm-start token (see :class:`SolverState`) when the backend
-    supports cross-solve reuse.
+    supports cross-solve reuse.  ``warm_start_used`` reports whether an
+    *incoming* state actually steered this solve (simplex basis
+    accepted, IPM warm point converged, B&B incumbent seeded) — False
+    both when no state was offered and when a stale one was rejected.
     """
 
     status: SolveStatus
@@ -225,6 +228,7 @@ class Solution:
     ineq_marginals: Optional[np.ndarray] = None
     eq_marginals: Optional[np.ndarray] = None
     state: Optional[SolverState] = None
+    warm_start_used: bool = False
 
     @property
     def ok(self) -> bool:

@@ -19,6 +19,7 @@ from typing import Optional, Tuple
 import numpy as np
 from scipy import optimize as scipy_optimize
 
+from repro.obs.collectors import NULL_COLLECTOR, Collector
 from repro.solvers.base import (
     LinearProgram,
     MixedIntegerProgram,
@@ -118,7 +119,10 @@ class BranchAndBoundSolver:
         return x, float(lp.c @ x), sol.iterations
 
     def solve(
-        self, mip: MixedIntegerProgram, state: Optional[SolverState] = None
+        self,
+        mip: MixedIntegerProgram,
+        state: Optional[SolverState] = None,
+        collector: Optional[Collector] = None,
     ) -> Solution:
         """Solve the MILP; returns the incumbent and node statistics.
 
@@ -127,7 +131,10 @@ class BranchAndBoundSolver:
         incumbent (see :meth:`_seed_incumbent`), which typically prunes
         most of the tree when consecutive problems share their optimal
         level choices — the common case across the paper's hourly slots.
+        ``collector`` (see :mod:`repro.obs`) receives node/iteration
+        counters and incumbent-seeding hit/miss counts.
         """
+        collector = collector if collector is not None else NULL_COLLECTOR
         lp = mip.lp
         mask = mip.integer_mask
         counter = itertools.count()
@@ -141,6 +148,7 @@ class BranchAndBoundSolver:
         incumbent_obj = np.inf
         nodes = 0
         iterations = 0
+        warm_used = False
         any_feasible_relaxation = False
         if (
             state is not None
@@ -148,10 +156,16 @@ class BranchAndBoundSolver:
             and state.point is not None
             and tuple(state.signature) == problem_signature(lp)
         ):
-            incumbent_x, incumbent_obj, seed_iters = self._seed_incumbent(
-                mip, state
-            )
+            with collector.timer("bb.seed_incumbent"):
+                incumbent_x, incumbent_obj, seed_iters = self._seed_incumbent(
+                    mip, state
+                )
             iterations += seed_iters
+            warm_used = incumbent_x is not None
+        if state is not None:
+            collector.increment(
+                "bb.warm_hits" if warm_used else "bb.warm_misses"
+            )
 
         while heap and nodes < self.max_nodes:
             node = heapq.heappop(heap)
@@ -204,6 +218,8 @@ class BranchAndBoundSolver:
                     depth=node.depth + 1,
                 ))
 
+        collector.increment("bb.nodes", nodes)
+        collector.increment("bb.lp_iterations", iterations)
         if incumbent_x is not None:
             # Nodes left in the heap are only unexplored if the budget ran
             # out; otherwise every remaining node was prunable by bound.
@@ -220,6 +236,7 @@ class BranchAndBoundSolver:
                     method="bb", signature=problem_signature(lp),
                     point=incumbent_x.copy(),
                 ),
+                warm_start_used=warm_used,
             )
         if nodes >= self.max_nodes:
             return Solution(status=SolveStatus.ITERATION_LIMIT, nodes=nodes,
@@ -239,16 +256,22 @@ def solve_milp(
     mip: MixedIntegerProgram,
     method: str = "bb",
     state: Optional[SolverState] = None,
+    collector: Optional[Collector] = None,
 ) -> Solution:
     """Solve a MILP with the own B&B (``"bb"``) or scipy HiGHS (``"highs"``).
 
     ``state`` seeds the branch-and-bound incumbent from a previous
     solution (see :meth:`BranchAndBoundSolver.solve`); the HiGHS bridge
     has no warm-start API and ignores it, but still emits a state so a
-    later ``"bb"`` solve can pick it up.
+    later ``"bb"`` solve can pick it up.  ``collector`` (see
+    :mod:`repro.obs`) receives node counters and solve timings.
     """
+    collector = collector if collector is not None else NULL_COLLECTOR
     if method == "bb":
-        return BranchAndBoundSolver().solve(mip, state=state)
+        with collector.timer("bb.solve"):
+            return BranchAndBoundSolver().solve(
+                mip, state=state, collector=collector
+            )
     if method != "highs":
         raise ValueError(f"unknown MILP method {method!r}")
 
@@ -274,12 +297,17 @@ def solve_milp(
     if np.any(lower > upper):
         return Solution(status=SolveStatus.INFEASIBLE,
                         message="no integral point within bounds")
-    result = scipy_optimize.milp(
-        c=lp.c,
-        constraints=constraints or None,
-        integrality=mask.astype(int),
-        bounds=scipy_optimize.Bounds(lower, upper),
-    )
+    if state is not None:
+        # The scipy bridge cannot consume a state; count the offer so
+        # warm-start accounting stays truthful for the HiGHS path.
+        collector.increment("highs.milp_warm_misses")
+    with collector.timer("highs.milp_solve"):
+        result = scipy_optimize.milp(
+            c=lp.c,
+            constraints=constraints or None,
+            integrality=mask.astype(int),
+            bounds=scipy_optimize.Bounds(lower, upper),
+        )
     if result.status == 0 and result.x is not None:
         x = np.clip(result.x, lower, upper)
         return Solution(status=SolveStatus.OPTIMAL, x=x,

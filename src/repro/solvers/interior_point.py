@@ -22,6 +22,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from repro.obs.collectors import NULL_COLLECTOR, Collector
 from repro.solvers.base import (
     LinearProgram,
     Solution,
@@ -174,7 +175,10 @@ class InteriorPointSolver:
     # --------------------------------------------------------------- solve
 
     def solve(
-        self, lp: LinearProgram, state: Optional[SolverState] = None
+        self,
+        lp: LinearProgram,
+        state: Optional[SolverState] = None,
+        collector: Optional[Collector] = None,
     ) -> Solution:
         """Solve ``lp``; see :class:`repro.solvers.base.Solution`.
 
@@ -182,8 +186,11 @@ class InteriorPointSolver:
         solve of a structurally identical problem; it is re-centred into
         a starting point (typically saving most Newton iterations).  If
         the warm run fails to converge, the solver transparently retries
-        from the cold Mehrotra starting point.
+        from the cold Mehrotra starting point.  ``collector`` (see
+        :mod:`repro.obs`) receives iteration counts, solve timings, and
+        warm-start hit/miss counters.
         """
+        collector = collector if collector is not None else NULL_COLLECTOR
         sf = _to_standard_form(lp)
         a, b, c = sf.a, sf.b, sf.c
         m, n = a.shape
@@ -229,14 +236,24 @@ class InteriorPointSolver:
                 else np.asarray(state.dual, dtype=float),
             )
 
-        verdict, x_std, lam_std, s_std, iters = self._solve_standard(
-            a, b, c, start=start
-        )
+        with collector.timer("ipm.solve"):
+            verdict, x_std, lam_std, s_std, iters = self._solve_standard(
+                a, b, c, start=start
+            )
+        warm_used = start is not None and verdict == "optimal"
         if start is not None and verdict != "optimal":
             # Stale warm point: retry cold so the warm path can never
             # make a solvable problem fail.
-            verdict, x_std, lam_std, s_std, extra = self._solve_standard(a, b, c)
+            with collector.timer("ipm.cold_retry"):
+                verdict, x_std, lam_std, s_std, extra = self._solve_standard(
+                    a, b, c
+                )
             iters += extra
+        collector.increment("ipm.iterations", iters)
+        if state is not None:
+            collector.increment(
+                "ipm.warm_hits" if warm_used else "ipm.warm_misses"
+            )
         if verdict == "optimal":
             x = sf.shift + sf.mapping @ x_std
             x = np.clip(x, lp.lower, lp.upper)
@@ -246,7 +263,7 @@ class InteriorPointSolver:
             )
             return Solution(status=SolveStatus.OPTIMAL, x=x,
                             objective=float(lp.c @ x), iterations=iters,
-                            state=new_state)
+                            state=new_state, warm_start_used=warm_used)
         if verdict == "diverged":
             return Solution(status=SolveStatus.INFEASIBLE, iterations=iters,
                             message="iterates diverged "

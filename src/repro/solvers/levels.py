@@ -15,7 +15,6 @@ from __future__ import annotations
 
 from typing import Callable, List, Optional, Sequence, Tuple
 
-import numpy as np
 
 __all__ = ["coordinate_descent_levels"]
 

@@ -13,6 +13,7 @@ from typing import Optional
 import numpy as np
 from scipy import optimize
 
+from repro.obs.collectors import NULL_COLLECTOR, Collector
 from repro.solvers.base import LinearProgram, Solution, SolverState, SolveStatus
 from repro.solvers.interior_point import InteriorPointSolver
 from repro.solvers.simplex import SimplexSolver
@@ -32,6 +33,7 @@ def solve_lp(
     lp: LinearProgram,
     method: str = "highs",
     state: Optional[SolverState] = None,
+    collector: Optional[Collector] = None,
 ) -> Solution:
     """Solve a linear program.
 
@@ -49,24 +51,33 @@ def solve_lp(
         and ``ipm`` warm-start from it (falling back to a cold start
         when it is stale); the scipy HiGHS bridge has no warm-start API,
         so ``highs`` ignores it.
+    collector:
+        Optional telemetry sink (see :mod:`repro.obs`); receives
+        backend-specific counters and timings.
     """
+    collector = collector if collector is not None else NULL_COLLECTOR
     if method == "simplex":
-        return SimplexSolver().solve(lp, state=state)
+        return SimplexSolver().solve(lp, state=state, collector=collector)
     if method == "ipm":
-        return InteriorPointSolver().solve(lp, state=state)
+        return InteriorPointSolver().solve(lp, state=state, collector=collector)
     if method != "highs":
         raise ValueError(f"unknown LP method {method!r}")
 
+    if state is not None:
+        # HiGHS-via-scipy cannot consume a state; count the offer so
+        # warm-start accounting stays truthful for this backend too.
+        collector.increment("highs.warm_misses")
     bounds = np.column_stack([lp.lower, lp.upper])
-    result = optimize.linprog(
-        c=lp.c,
-        A_ub=lp.a_ub,
-        b_ub=lp.b_ub,
-        A_eq=lp.a_eq,
-        b_eq=lp.b_eq,
-        bounds=bounds,
-        method="highs",
-    )
+    with collector.timer("highs.solve"):
+        result = optimize.linprog(
+            c=lp.c,
+            A_ub=lp.a_ub,
+            b_ub=lp.b_ub,
+            A_eq=lp.a_eq,
+            b_eq=lp.b_eq,
+            bounds=bounds,
+            method="highs",
+        )
     status = _SCIPY_STATUS.get(result.status, SolveStatus.NUMERICAL_ERROR)
     x = None
     objective = None
@@ -79,6 +90,7 @@ def solve_lp(
             ineq_marginals = np.asarray(result.ineqlin.marginals, dtype=float)
         if getattr(result, "eqlin", None) is not None:
             eq_marginals = np.asarray(result.eqlin.marginals, dtype=float)
+    collector.increment("highs.iterations", int(getattr(result, "nit", 0) or 0))
     return Solution(
         status=status,
         x=x,

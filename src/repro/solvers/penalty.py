@@ -14,8 +14,8 @@ tests compare against.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Callable, List, Optional
 
 import numpy as np
 from scipy import optimize

@@ -17,11 +17,12 @@ simplex gains the most; HiGHS has its own presolve.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Optional, Tuple
+from dataclasses import dataclass
+from typing import Callable, Optional
 
 import numpy as np
 
+from repro.obs.collectors import NULL_COLLECTOR, Collector
 from repro.solvers.base import LinearProgram, Solution, SolveStatus
 
 __all__ = ["PresolveResult", "presolve", "solve_with_presolve"]
@@ -43,8 +44,28 @@ class PresolveResult:
     dropped_rows: int = 0
 
 
-def presolve(lp: LinearProgram, tol: float = 1e-12) -> PresolveResult:
-    """Apply the reductions to ``lp``."""
+def presolve(
+    lp: LinearProgram,
+    tol: float = 1e-12,
+    collector: Optional[Collector] = None,
+) -> PresolveResult:
+    """Apply the reductions to ``lp``.
+
+    ``collector`` (see :mod:`repro.obs`) receives the reduction counts
+    (fixed variables, dropped rows) and the reduction timing.
+    """
+    collector = collector if collector is not None else NULL_COLLECTOR
+    with collector.timer("presolve.reduce"):
+        result = _reduce(lp, tol)
+    collector.increment("presolve.fixed_variables", result.fixed_variables)
+    collector.increment("presolve.dropped_rows", result.dropped_rows)
+    if result.verdict is not None:
+        collector.increment("presolve.decided")
+    return result
+
+
+def _reduce(lp: LinearProgram, tol: float) -> PresolveResult:
+    """The reduction pass behind :func:`presolve`."""
     n = lp.num_variables
     fixed_mask = np.isclose(lp.lower, lp.upper, rtol=0.0, atol=tol)
     fixed_values = np.where(fixed_mask, lp.lower, 0.0)
@@ -130,7 +151,7 @@ def presolve(lp: LinearProgram, tol: float = 1e-12) -> PresolveResult:
 
 
 def solve_with_presolve(
-    lp: LinearProgram, method: str = "highs", state=None
+    lp: LinearProgram, method: str = "highs", state=None, collector=None
 ) -> Solution:
     """Presolve, solve the reduction, and postsolve back.
 
@@ -141,10 +162,12 @@ def solve_with_presolve(
     problems presolve to the same shape (the usual case for successive
     slots, where the fixed-variable pattern is structural).  A state
     that no longer fits the reduction is ignored by the inner solver.
+    ``collector`` (see :mod:`repro.obs`) is threaded through both the
+    reduction pass and the inner solve.
     """
     from repro.solvers.linprog import solve_lp
 
-    result = presolve(lp)
+    result = presolve(lp, collector=collector)
     if result.verdict is not None:
         return Solution(status=result.verdict,
                         message="decided by presolve")
@@ -155,7 +178,8 @@ def solve_with_presolve(
                             message="fixed point violates constraints")
         return Solution(status=SolveStatus.OPTIMAL, x=x,
                         objective=float(lp.c @ x))
-    inner = solve_lp(result.reduced, method=method, state=state)
+    inner = solve_lp(result.reduced, method=method, state=state,
+                     collector=collector)
     if not inner.ok:
         return inner
     x = result.restore(inner.x)
@@ -165,4 +189,5 @@ def solve_with_presolve(
         objective=float(lp.c @ x),
         iterations=inner.iterations,
         state=inner.state,
+        warm_start_used=inner.warm_start_used,
     )

@@ -23,6 +23,7 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from repro.obs.collectors import NULL_COLLECTOR, Collector
 from repro.solvers.base import (
     LinearProgram,
     Solution,
@@ -241,7 +242,10 @@ class SimplexSolver:
     # --------------------------------------------------------------- solve
 
     def solve(
-        self, lp: LinearProgram, state: Optional[SolverState] = None
+        self,
+        lp: LinearProgram,
+        state: Optional[SolverState] = None,
+        collector: Optional[Collector] = None,
     ) -> Solution:
         """Solve ``lp``; see :class:`repro.solvers.base.Solution`.
 
@@ -249,12 +253,17 @@ class SimplexSolver:
         (:attr:`Solution.state` of an earlier solve of a structurally
         identical problem); when still feasible it skips phase 1
         entirely.  A stale state falls back to the cold two-phase path.
+        ``collector`` (see :mod:`repro.obs`) receives pivot counts,
+        phase timings, and warm-start hit/miss counters.
         """
-        sf = _to_standard_form(lp)
+        collector = collector if collector is not None else NULL_COLLECTOR
+        with collector.timer("simplex.standard_form"):
+            sf = _to_standard_form(lp)
         a, b, c = sf.a, sf.b, sf.c
         m, ncols = a.shape
         sig = problem_signature(lp)
 
+        warm_attempted = False
         if (
             state is not None
             and state.method == "simplex"
@@ -262,17 +271,30 @@ class SimplexSolver:
             and tuple(state.signature) == sig
             and m > 0
         ):
+            warm_attempted = True
             warm = self._warm_tableau(sf, np.asarray(state.basis, dtype=np.intp))
             if warm is not None:
                 tableau, basis = warm
-                status, used = self._iterate(tableau, basis, self.max_iterations)
+                with collector.timer("simplex.warm_iterate"):
+                    status, used = self._iterate(
+                        tableau, basis, self.max_iterations
+                    )
+                collector.increment("simplex.pivots", used)
                 if status == "optimal":
-                    return self._extract(lp, sf, tableau, basis, ncols, used, sig)
+                    collector.increment("simplex.warm_hits")
+                    return self._extract(
+                        lp, sf, tableau, basis, ncols, used, sig,
+                        warm_used=True,
+                    )
                 if status == "unbounded":
                     # The warm tableau is a feasible vertex, so an
                     # unbounded ray from it is a valid certificate.
-                    return Solution(status=SolveStatus.UNBOUNDED, iterations=used)
+                    collector.increment("simplex.warm_hits")
+                    return Solution(status=SolveStatus.UNBOUNDED,
+                                    iterations=used, warm_start_used=True)
                 # Iteration limit on the warm path: retry cold below.
+        if warm_attempted:
+            collector.increment("simplex.warm_misses")
 
         if m == 0:
             # Unconstrained besides y >= 0: minimize each term at 0 or unbounded.
@@ -295,7 +317,9 @@ class SimplexSolver:
         tableau[-1, ncols:ncols + m] = 1.0
         tableau[-1] -= tableau[:m].sum(axis=0)
 
-        status, used = self._iterate(tableau, basis, self.max_iterations)
+        with collector.timer("simplex.phase1"):
+            status, used = self._iterate(tableau, basis, self.max_iterations)
+        collector.increment("simplex.pivots", used)
         total_iters = used
         if status == "iteration_limit":
             return Solution(status=SolveStatus.ITERATION_LIMIT, iterations=total_iters,
@@ -325,7 +349,11 @@ class SimplexSolver:
         # Rows whose basic variable is an artificial stuck at zero must not
         # admit pivots through artificial columns; they are inert.
 
-        status, used = self._iterate(tableau, basis, self.max_iterations - total_iters)
+        with collector.timer("simplex.phase2"):
+            status, used = self._iterate(
+                tableau, basis, self.max_iterations - total_iters
+            )
+        collector.increment("simplex.pivots", used)
         total_iters += used
         if status == "iteration_limit":
             return Solution(status=SolveStatus.ITERATION_LIMIT, iterations=total_iters,
@@ -344,6 +372,7 @@ class SimplexSolver:
         ncols: int,
         iterations: int,
         sig,
+        warm_used: bool = False,
     ) -> Solution:
         """Map an optimal tableau back to original space, with a state."""
         m = tableau.shape[0] - 1
@@ -365,4 +394,5 @@ class SimplexSolver:
             objective=float(lp.c @ x),
             iterations=iterations,
             state=state,
+            warm_start_used=warm_used,
         )

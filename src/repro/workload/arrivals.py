@@ -7,7 +7,7 @@ slot's integer request count (rather than its average rate) is needed.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Sequence
 
 import numpy as np
 

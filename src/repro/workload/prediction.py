@@ -12,7 +12,7 @@ the two standard baselines so the controller can be run predictively:
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List
 
 import numpy as np
 

@@ -64,6 +64,31 @@ class TestCommands:
     def test_sweep_rejects_nonpositive(self, capsys):
         assert main(["sweep", "--servers", "0,2"]) == 2
 
+    def test_trace_writes_jsonl(self, capsys, tmp_path):
+        out = tmp_path / "traces.jsonl"
+        assert main(["trace", "--scenario", "section6",
+                     "--slots", "4", "--out", str(out)]) == 0
+        stdout = capsys.readouterr().out
+        assert "warm-start outcomes" in stdout
+        assert "hit=" in stdout  # simplex warm-starts across slots
+
+        from repro.obs import read_traces
+        traces = read_traces(out)
+        assert [t.slot for t in traces] == [0, 1, 2, 3]
+        for t in traces:
+            assert t.phase_time_total <= t.total_time + 1e-9
+
+    def test_trace_parallel_merges(self, capsys):
+        assert main(["trace", "--scenario", "section6",
+                     "--slots", "4", "--workers", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "per-slot solver traces" in out
+
+    def test_trace_rejects_bad_workers(self, capsys):
+        assert main(["trace", "--workers", "0"]) == 2
+        err = capsys.readouterr().err
+        assert "--workers must be >= 1" in err
+
     def test_reproduce_writes_series(self, capsys, tmp_path):
         out = tmp_path / "results"
         assert main(["reproduce", "--out", str(out), "--skip-slow"]) == 0

@@ -79,7 +79,6 @@ class TestApplyGreenEnergy:
         from repro.core.optimizer import ProfitAwareOptimizer
         from repro.core.objective import evaluate_plan
         arrivals = np.full((2, 2), 40.0)
-        brown_prices = np.array([0.10, 0.10])
         market = MultiElectricityMarket([
             PriceTrace("a", np.array([0.10])),
             PriceTrace("b", np.array([0.10])),

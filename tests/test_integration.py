@@ -73,7 +73,6 @@ class TestPlanAgainstDES:
         plan = ProfitAwareOptimizer(small_topology).plan_slot(arrivals, prices)
         loads = plan.server_loads()
         predicted = plan.delays()
-        service = plan.server_service_rates()
 
         # Simulate the most-loaded (class, server) VM.
         k, n = np.unravel_index(np.nanargmax(loads), loads.shape)

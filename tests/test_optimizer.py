@@ -5,7 +5,6 @@ import pytest
 
 from repro.core.objective import evaluate_plan
 from repro.core.optimizer import ProfitAwareOptimizer, _explode_topology
-from repro.solvers.base import SolverError
 
 
 def profits(topology, optimizer, arrivals, prices):

@@ -5,7 +5,7 @@ from hypothesis import assume, given, settings
 from hypothesis import strategies as st
 from hypothesis.extra.numpy import arrays
 
-from repro.solvers.base import LinearProgram, MixedIntegerProgram, SolveStatus
+from repro.solvers.base import LinearProgram, MixedIntegerProgram
 from repro.solvers.branch_bound import solve_milp
 from repro.solvers.linprog import solve_lp
 

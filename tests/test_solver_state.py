@@ -10,7 +10,6 @@ import pickle
 from concurrent.futures import ProcessPoolExecutor
 
 import numpy as np
-import pytest
 
 from repro.solvers.base import (
     LinearProgram,

@@ -86,6 +86,7 @@ class TestSpotMarket:
                     - calm["balanced"].total_net_profit)
         spiky_gap = (spiky["optimized"].total_net_profit
                      - spiky["balanced"].total_net_profit)
+        assert calm_gap > 0
         assert spiky_gap > 0
         # Both still profitable; optimizer keeps its lead.
         assert spiky["optimized"].total_net_profit > 0
