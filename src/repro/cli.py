@@ -86,6 +86,10 @@ def build_parser() -> argparse.ArgumentParser:
                     choices=["highs", "simplex", "ipm"],
                     help="LP backend (default 'simplex': warm-startable, "
                          "so cross-slot hits show up in the traces)")
+    pt.add_argument("--iteration-budget", type=int, default=None,
+                    help="iteration/node cap for the primary solver; a "
+                         "tiny value forces failures so the fallback "
+                         "chain shows up in the traces")
     return parser
 
 
@@ -285,6 +289,7 @@ def _cmd_trace(
     workers: int,
     level_method: str,
     lp_method: str,
+    iteration_budget: Optional[int],
 ) -> int:
     from repro.core.optimizer import OptimizerConfig
     from repro.obs import InMemoryCollector, write_traces
@@ -296,8 +301,16 @@ def _cmd_trace(
             file=sys.stderr,
         )
         return 2
+    if iteration_budget is not None and iteration_budget < 1:
+        print(
+            f"error: --iteration-budget must be >= 1 (got "
+            f"{iteration_budget}); omit it for unbounded solves",
+            file=sys.stderr,
+        )
+        return 2
     exp = _trace_experiment(scenario)
-    config = OptimizerConfig(level_method=level_method, lp_method=lp_method)
+    config = OptimizerConfig(level_method=level_method, lp_method=lp_method,
+                             solver_iteration_budget=iteration_budget)
     collector = InMemoryCollector()
     if workers == 1:
         from repro.sim.slotted import run_simulation
@@ -315,18 +328,21 @@ def _cmd_trace(
 
     traces = collector.slot_traces
     rows = [
-        [t.slot, t.method, t.warm_start, t.iterations,
+        [t.slot, t.method, t.warm_start, t.fallback, t.iterations,
          t.objective, t.total_time * 1e3, t.phase_time_total * 1e3]
         for t in traces
     ]
     print(render_table(
-        ["slot", "method", "warm", "iters", "objective ($)",
+        ["slot", "method", "warm", "fb", "iters", "objective ($)",
          "total ms", "phases ms"],
         rows, title=f"{exp.name}: per-slot solver traces", float_fmt=",.2f",
     ))
     warm = collector.warm_start_counts()
     print("\nwarm-start outcomes: "
           + ", ".join(f"{k}={v}" for k, v in sorted(warm.items())))
+    fallback = collector.fallback_counts()
+    print("fallback levels: "
+          + ", ".join(f"level{k}={v}" for k, v in sorted(fallback.items())))
     interesting = {
         name: value for name, value in sorted(collector.counters.items())
         if not name.startswith("controller.")
@@ -360,6 +376,6 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "trace":
         return _cmd_trace(
             args.scenario, args.slots, args.out, args.workers,
-            args.level_method, args.lp_method,
+            args.level_method, args.lp_method, args.iteration_budget,
         )
     raise AssertionError(f"unhandled command {args.command!r}")

@@ -63,6 +63,29 @@ class OptimizerConfig:
         Telemetry sink (see :mod:`repro.obs`); the default
         :class:`~repro.obs.collectors.NullCollector` disables all
         instrumentation at (near) zero cost.
+    fallback:
+        Run the fault-tolerant solve chain when the requested solver
+        fails a slot (infeasible / numerical error / budget exhausted):
+        the primary method is retried, then an alternate backend is
+        tried, then the greedy level search, and finally the always-
+        feasible :class:`~repro.core.baselines.BalancedDispatcher` plan.
+        ``False`` restores the raise-on-failure behavior.
+    fallback_retries:
+        Extra attempts per fallback stage (>= 0).  Retries run with the
+        warm-start state cleared, since a stale state is a common cause
+        of a failed solve.
+    solver_iteration_budget:
+        Iteration cap handed to the *primary* solve (simplex pivots /
+        IPM iterations / HiGHS iterations; B&B and HiGHS-MILP node
+        counts).  Fallback stages run with their default budgets so the
+        chain can actually rescue the slot.  ``None`` means the solver
+        defaults; a tiny value is the standard way to inject solver
+        failures in tests and CI.
+    fallback_time_budget:
+        Wall-second budget for one ``plan_slot`` call.  Once a failed
+        stage leaves the call over budget, intermediate stages are
+        skipped and the chain jumps straight to the baseline plan.
+        ``None`` disables the time check.
     """
 
     level_method: str = "auto"
@@ -76,6 +99,10 @@ class OptimizerConfig:
     percentile_sla: Optional[float] = None
     warm_start: bool = True
     collector: Collector = field(default_factory=NullCollector, compare=False)
+    fallback: bool = True
+    fallback_retries: int = 1
+    solver_iteration_budget: Optional[int] = None
+    fallback_time_budget: Optional[float] = None
 
     def __post_init__(self):
         if self.level_method not in LEVEL_METHODS:
@@ -117,6 +144,31 @@ class OptimizerConfig:
             self, "use_spare_capacity", bool(self.use_spare_capacity)
         )
         object.__setattr__(self, "warm_start", bool(self.warm_start))
+        object.__setattr__(self, "fallback", bool(self.fallback))
+        object.__setattr__(self, "fallback_retries", int(self.fallback_retries))
+        if self.fallback_retries < 0:
+            raise ValueError(
+                f"fallback_retries must be >= 0, got {self.fallback_retries}"
+            )
+        if self.solver_iteration_budget is not None:
+            object.__setattr__(
+                self, "solver_iteration_budget",
+                int(self.solver_iteration_budget),
+            )
+            if self.solver_iteration_budget < 1:
+                raise ValueError(
+                    "solver_iteration_budget must be >= 1, got "
+                    f"{self.solver_iteration_budget}"
+                )
+        if self.fallback_time_budget is not None:
+            object.__setattr__(
+                self, "fallback_time_budget", float(self.fallback_time_budget)
+            )
+            if not self.fallback_time_budget > 0.0:
+                raise ValueError(
+                    "fallback_time_budget must be positive, got "
+                    f"{self.fallback_time_budget}"
+                )
 
     @property
     def delay_factor(self) -> float:

@@ -117,6 +117,11 @@ class SlottedController:
                 plan = self.dispatcher.plan_slot(
                     planned, prices, slot_duration=self.trace.slot_duration
                 )
+            # Surface degraded slots at the loop level too, so a run's
+            # robustness shows up next to its timings.
+            stats = getattr(self.dispatcher, "last_stats", None)
+            if stats is not None and getattr(stats, "fallback_level", 0) > 0:
+                collector.increment("controller.fallback_slots")
             # A predictive plan may overshoot the true arrivals; cap the
             # dispatched rates at what actually arrived before scoring.
             if self._predictors is not None:

@@ -25,12 +25,13 @@ from __future__ import annotations
 import time
 import warnings
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.cloud.datacenter import DataCenter
 from repro.cloud.topology import CloudTopology
+from repro.core.baselines import BalancedDispatcher
 from repro.core.bigm import solve_slot_bigm
 from repro.core.config import OptimizerConfig
 from repro.core.formulation import (
@@ -40,6 +41,7 @@ from repro.core.formulation import (
     fixed_level_lp,
     multilevel_milp,
 )
+from repro.core.objective import evaluate_plan
 from repro.core.plan import DispatchPlan
 from repro.core.rightsizing import consolidate_plan
 from repro.obs.collectors import Collector
@@ -77,6 +79,15 @@ class SolveStats:
     solve_time: float = 0.0
     #: Wall seconds spent on consolidation / spare-capacity passes.
     postprocess_time: float = 0.0
+    #: Position in the fallback chain that produced the plan (0 = the
+    #: requested solver succeeded; see ``OptimizerConfig.fallback``).
+    fallback_level: int = 0
+    #: Name of the winning stage (``"lp"``, ``"lp:simplex"``,
+    #: ``"greedy"``, ``"balanced"``, ...).
+    fallback_stage: str = ""
+    #: ``"; "``-joined error messages of the stages that failed before
+    #: the winning one ("" when the primary solve succeeded).
+    failure: str = ""
 
 
 def _explode_topology(topology: CloudTopology) -> CloudTopology:
@@ -141,6 +152,15 @@ class ProfitAwareOptimizer:
     ``plan_slot`` call additionally emits a
     :class:`~repro.obs.trace.SlotTrace` and threads the collector
     through the underlying LP/MILP solvers.
+
+    With ``config.fallback`` (the default), a failed solve no longer
+    aborts the run: the slot is retried and then re-solved down a chain
+    of increasingly conservative stages — alternate exact backend,
+    greedy level search, and finally the always-feasible Balanced plan —
+    so ``plan_slot`` returns a feasible plan for every slot.  The chain
+    position that produced the plan is reported as
+    :attr:`SolveStats.fallback_level` and in the slot trace's
+    ``fallback``/``failure`` fields.
     """
 
     name = "optimized"
@@ -202,6 +222,8 @@ class ProfitAwareOptimizer:
         self._lp_cache: Optional[FixedLevelLPCache] = None
         self._milp_cache: Optional[MultilevelMILPCache] = None
         self._exploded_topology: Optional[CloudTopology] = None
+        # Last-resort fallback dispatcher (built lazily, topology-static).
+        self._baseline: Optional[BalancedDispatcher] = None
         # Cross-slot solver state (cleared by reset_warm_state).
         self._lp_state: Optional[SolverState] = None
         self._milp_state: Optional[SolverState] = None
@@ -217,11 +239,7 @@ class ProfitAwareOptimizer:
         the trace slot counter rewound), so a run started after this
         call behaves exactly like a fresh optimizer.
         """
-        self._lp_state = None
-        self._milp_state = None
-        self._greedy_lp_states.clear()
-        self._greedy_last_state = None
-        self._greedy_levels = None
+        self._drop_solver_state()
         self.slot_index = 0
 
     # --------------------------------------------------------------- public
@@ -257,17 +275,15 @@ class ProfitAwareOptimizer:
             delay_factor=self._delay_factor,
         )
         start = time.perf_counter()
-        if method == "lp":
-            plan, stats = self._solve_lp(inputs)
-        elif method == "milp":
-            plan, stats = self._solve_milp(inputs)
-        elif method == "greedy":
-            plan, stats = self._solve_greedy(inputs)
-        else:  # bigm
-            t0 = time.perf_counter()
-            plan = solve_slot_bigm(inputs, lp_method=self.lp_method)
-            stats = {"num_variables": 0, "num_constraints": 0,
-                     "solve_time": time.perf_counter() - t0}
+        if self.config.fallback:
+            plan, stats, fallback_level, fallback_stage, failure = \
+                self._solve_with_fallback(method, inputs, start)
+        else:
+            plan, stats = self._solve_stage(
+                method, inputs,
+                budget=self.config.solver_iteration_budget,
+            )
+            fallback_level, fallback_stage, failure = 0, method, ""
         post_start = time.perf_counter()
         if self.consolidate:
             plan = consolidate_plan(plan)
@@ -298,6 +314,9 @@ class ProfitAwareOptimizer:
             build_time=float(stats.get("build_time", 0.0)),
             solve_time=float(stats.get("solve_time", 0.0)),
             postprocess_time=postprocess_time,
+            fallback_level=fallback_level,
+            fallback_stage=fallback_stage,
+            failure=failure,
         )
         slot = self.slot_index
         self.slot_index = slot + 1
@@ -306,6 +325,9 @@ class ProfitAwareOptimizer:
             collector.increment("optimizer.slots")
             collector.increment(f"optimizer.warm_{warm_outcome}")
             collector.observe_time("optimizer.plan_slot", elapsed)
+            if fallback_level > 0:
+                collector.increment("optimizer.fallbacks")
+                collector.increment(f"optimizer.fallback_{fallback_stage}")
             collector.record_slot(SlotTrace(
                 slot=slot,
                 method=method,
@@ -324,8 +346,155 @@ class ProfitAwareOptimizer:
                 num_variables=int(stats.get("num_variables", 0)),
                 num_constraints=int(stats.get("num_constraints", 0)),
                 residuals=stats.get("residuals", {}),
+                fallback=fallback_level,
+                failure=failure,
             ))
         return plan
+
+    # ----------------------------------------------------- fallback pipeline
+
+    def _solve_stage(
+        self,
+        method: str,
+        inputs: SlotInputs,
+        lp_method: Optional[str] = None,
+        milp_method: Optional[str] = None,
+        budget: Optional[int] = None,
+    ) -> Tuple[DispatchPlan, Dict]:
+        """Run one solve path; raises :class:`SolverError` on failure.
+
+        ``lp_method``/``milp_method`` override the configured backends
+        (fallback stages re-solve with an *independent* implementation);
+        ``budget`` caps solver work (iterations for LPs, nodes for
+        MILPs).  The big-M path has no budget knob.
+        """
+        if method == "lp":
+            return self._solve_lp(
+                inputs, lp_method=lp_method, max_iterations=budget
+            )
+        if method == "milp":
+            return self._solve_milp(
+                inputs, milp_method=milp_method, max_nodes=budget
+            )
+        if method == "greedy":
+            return self._solve_greedy(
+                inputs, lp_method=lp_method, max_iterations=budget
+            )
+        # bigm
+        t0 = time.perf_counter()
+        plan = solve_slot_bigm(inputs, lp_method=lp_method or self.lp_method)
+        return plan, {"num_variables": 0, "num_constraints": 0,
+                      "solve_time": time.perf_counter() - t0}
+
+    def _solve_baseline(self, inputs: SlotInputs) -> Tuple[DispatchPlan, Dict]:
+        """Last-resort stage: the always-feasible Balanced plan.
+
+        The price-greedy :class:`BalancedDispatcher` admits load only up
+        to each server's deadline-safe M/M/1 capacity, so its plan is
+        feasible by construction for *any* slot data — it may drop
+        demand, but it never violates a constraint and never fails.
+        """
+        if self._baseline is None:
+            self._baseline = BalancedDispatcher(self.topology)
+        t0 = time.perf_counter()
+        plan = self._baseline.plan_slot(
+            inputs.arrivals, inputs.prices, slot_duration=inputs.slot_duration
+        )
+        outcome = evaluate_plan(
+            plan, inputs.arrivals, inputs.prices,
+            slot_duration=inputs.slot_duration, apply_pue=inputs.apply_pue,
+        )
+        return plan, {
+            "num_variables": 0,
+            "num_constraints": 0,
+            "objective": outcome.net_profit,
+            "solve_time": time.perf_counter() - t0,
+        }
+
+    def _fallback_stages(self, method: str) -> List[Tuple[str, Dict]]:
+        """Ordered rescue stages after the failed primary ``method``.
+
+        Each entry is ``(stage_name, _solve_stage kwargs)``; the final
+        ``"balanced"`` sentinel maps to :meth:`_solve_baseline`.  The
+        chain re-solves with an alternate exact backend first (HiGHS,
+        simplex, and the own B&B are independent implementations, so a
+        numerical failure in one rarely repeats in another), then the
+        greedy level search, then the baseline plan.
+        """
+        stages: List[Tuple[str, Dict]] = []
+        if self._multilevel:
+            if method != "milp":
+                stages.append(
+                    (f"milp:{self.milp_method}", {"method": "milp"})
+                )
+            else:
+                alt = "bb" if self.milp_method != "bb" else "highs"
+                stages.append((f"milp:{alt}", {"method": "milp",
+                                               "milp_method": alt}))
+        else:
+            alt = ("simplex"
+                   if not (method == "lp" and self.lp_method == "simplex")
+                   else "highs")
+            stages.append((f"lp:{alt}", {"method": "lp", "lp_method": alt}))
+        if method != "greedy":
+            stages.append(("greedy", {"method": "greedy"}))
+        stages.append(("balanced", {}))
+        return stages
+
+    def _drop_solver_state(self) -> None:
+        """Clear cross-slot warm-start seeds (stale state is a common
+        cause of a failed solve) without rewinding the trace counter."""
+        self._lp_state = None
+        self._milp_state = None
+        self._greedy_lp_states.clear()
+        self._greedy_last_state = None
+        self._greedy_levels = None
+
+    def _solve_with_fallback(
+        self, method: str, inputs: SlotInputs, start: float
+    ) -> Tuple[DispatchPlan, Dict, int, str, str]:
+        """Drive the fallback chain until some stage yields a plan.
+
+        Returns ``(plan, stats, fallback_level, stage_name, failure)``
+        where ``fallback_level`` is the chain position of the winning
+        stage (0 = requested solver) and ``failure`` joins the error
+        messages collected along the way.  The final baseline stage
+        cannot fail, so every call returns a feasible plan.
+        """
+        config = self.config
+        failures: List[str] = []
+        stages: List[Tuple[str, Dict]] = [
+            (method, {"method": method,
+                      "budget": config.solver_iteration_budget})
+        ]
+        stages.extend(self._fallback_stages(method))
+        last = len(stages) - 1
+        time_budget = config.fallback_time_budget
+        for level, (stage_name, kwargs) in enumerate(stages):
+            if (level and level < last and time_budget is not None
+                    and time.perf_counter() - start > time_budget):
+                failures.append(
+                    f"{stage_name}: skipped (over time budget "
+                    f"{time_budget:g}s)"
+                )
+                continue
+            for attempt in range(1 + config.fallback_retries):
+                if attempt or level:
+                    # Retries and rescue stages start cold.
+                    self._drop_solver_state()
+                try:
+                    if stage_name == "balanced":
+                        plan, stats = self._solve_baseline(inputs)
+                    else:
+                        plan, stats = self._solve_stage(inputs=inputs,
+                                                        **kwargs)
+                except SolverError as exc:
+                    failures.append(f"{stage_name}: {exc}")
+                    continue
+                return plan, stats, level, stage_name, "; ".join(failures)
+        raise SolverError(  # pragma: no cover - balanced cannot fail
+            "fallback chain exhausted: " + "; ".join(failures)
+        )
 
     # -------------------------------------------------------------- private
 
@@ -339,20 +508,30 @@ class ProfitAwareOptimizer:
             )
         return self._lp_cache.build(inputs, levels=levels)
 
-    def _solve_lp(self, inputs: SlotInputs) -> Tuple[DispatchPlan, Dict]:
+    def _solve_lp(
+        self,
+        inputs: SlotInputs,
+        lp_method: Optional[str] = None,
+        max_iterations: Optional[int] = None,
+    ) -> Tuple[DispatchPlan, Dict]:
+        # A fallback stage re-solving with an alternate backend neither
+        # consumes nor overwrites the primary backend's warm state.
+        override = lp_method is not None and lp_method != self.lp_method
+        lp_method = lp_method if lp_method is not None else self.lp_method
         t0 = time.perf_counter()
         lp, decoder = self._build_lp(inputs)
         t1 = time.perf_counter()
-        state = self._lp_state if self.warm_start else None
+        state = self._lp_state if (self.warm_start and not override) else None
         solution = solve_lp(
-            lp, method=self.lp_method, state=state, collector=self.collector
+            lp, method=lp_method, state=state, collector=self.collector,
+            max_iterations=max_iterations,
         )
         t2 = time.perf_counter()
         if not solution.ok:
             raise SolverError(
                 f"slot LP failed: {solution.status.value} {solution.message}"
             )
-        if self.warm_start:
+        if self.warm_start and not override:
             self._lp_state = solution.state
         stats = {
             "num_variables": lp.num_variables,
@@ -375,7 +554,15 @@ class ProfitAwareOptimizer:
             self._milp_cache = MultilevelMILPCache(inputs.topology)
         return self._milp_cache.build(inputs)
 
-    def _solve_milp(self, inputs: SlotInputs) -> Tuple[DispatchPlan, Dict]:
+    def _solve_milp(
+        self,
+        inputs: SlotInputs,
+        milp_method: Optional[str] = None,
+        max_nodes: Optional[int] = None,
+    ) -> Tuple[DispatchPlan, Dict]:
+        override = milp_method is not None and milp_method != self.milp_method
+        milp_method = (milp_method if milp_method is not None
+                       else self.milp_method)
         if self.formulation == "per_server":
             if self._exploded_topology is None:
                 self._exploded_topology = _explode_topology(self.topology)
@@ -394,16 +581,17 @@ class ProfitAwareOptimizer:
         t0 = time.perf_counter()
         mip, decoder = self._build_milp(inputs)
         t1 = time.perf_counter()
-        state = self._milp_state if self.warm_start else None
+        state = self._milp_state if (self.warm_start and not override) else None
         solution = solve_milp(
-            mip, method=self.milp_method, state=state, collector=self.collector
+            mip, method=milp_method, state=state, collector=self.collector,
+            max_nodes=max_nodes,
         )
         t2 = time.perf_counter()
         if not solution.ok:
             raise SolverError(
                 f"slot MILP failed: {solution.status.value} {solution.message}"
             )
-        if self.warm_start:
+        if self.warm_start and not override:
             self._milp_state = solution.state
         plan = decoder(solution.x)
         if self.formulation == "per_server":
@@ -427,7 +615,15 @@ class ProfitAwareOptimizer:
             stats["residuals"] = mip.lp.residuals(solution.x)
         return plan, stats
 
-    def _solve_greedy(self, inputs: SlotInputs) -> Tuple[DispatchPlan, Dict]:
+    def _solve_greedy(
+        self,
+        inputs: SlotInputs,
+        lp_method: Optional[str] = None,
+        max_iterations: Optional[int] = None,
+    ) -> Tuple[DispatchPlan, Dict]:
+        override = lp_method is not None and lp_method != self.lp_method
+        lp_method = lp_method if lp_method is not None else self.lp_method
+        use_warm = self.warm_start and not override
         topo = self.topology
         K, L = topo.num_classes, topo.num_datacenters
         sizes = []
@@ -441,7 +637,7 @@ class ProfitAwareOptimizer:
             levels = np.asarray(levels_flat, dtype=int).reshape(K, L)
             lp, decoder = self._build_lp(inputs, levels=levels)
             state = None
-            if self.warm_start:
+            if use_warm:
                 # Prefer the state from the last solve of this exact
                 # level vector (a later sweep, or the previous slot's
                 # nearby data); fall back to the most recent solve of
@@ -449,19 +645,20 @@ class ProfitAwareOptimizer:
                 state = (self._greedy_lp_states.get(levels_flat)
                          or self._greedy_last_state)
             solution = solve_lp(
-                lp, method=self.lp_method, state=state,
+                lp, method=lp_method, state=state,
                 collector=self.collector,
+                max_iterations=max_iterations,
             )
             if not solution.ok:
                 return -np.inf
-            if self.warm_start and solution.state is not None:
+            if use_warm and solution.state is not None:
                 self._greedy_lp_states[levels_flat] = solution.state
                 self._greedy_last_state = solution.state
             best_plan[levels_flat] = decoder(solution.x)
             return -solution.objective
 
         t0 = time.perf_counter()
-        initial = self._greedy_levels if self.warm_start else None
+        initial = self._greedy_levels if use_warm else None
         if initial is not None and len(initial) != len(sizes):
             initial = None
         warm_used = initial is not None
@@ -477,7 +674,7 @@ class ProfitAwareOptimizer:
             evaluations += extra
         if vector not in best_plan:
             raise SolverError("greedy level search found no feasible assignment")
-        if self.warm_start:
+        if use_warm:
             self._greedy_levels = vector
         return best_plan[vector], {
             "lp_evaluations": evaluations,

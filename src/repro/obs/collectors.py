@@ -230,6 +230,13 @@ class InMemoryCollector:
             out[trace.warm_start] = out.get(trace.warm_start, 0) + 1
         return out
 
+    def fallback_counts(self) -> Dict[int, int]:
+        """Count slot traces per fallback level (0 = primary succeeded)."""
+        out: Dict[int, int] = {}
+        for trace in self.slot_traces:
+            out[trace.fallback] = out.get(trace.fallback, 0) + 1
+        return out
+
     def summary(self) -> Dict:
         """JSON-ready digest: counters, timer means, warm-start counts."""
         return {
@@ -244,4 +251,5 @@ class InMemoryCollector:
             },
             "slots": len(self.slot_traces),
             "warm_start": self.warm_start_counts(),
+            "fallback": self.fallback_counts(),
         }

@@ -45,6 +45,14 @@ class SlotTrace:
     returned solution in the solved problem's space (see
     ``LinearProgram.residuals``); empty for solve paths that do not
     expose the final problem (big-M, greedy).
+
+    ``fallback`` is the fault-tolerance level that produced the plan:
+    ``0`` means the requested solver succeeded; ``n > 0`` means the
+    ``n``-th stage of the optimizer's fallback chain rescued the slot
+    (see ``OptimizerConfig.fallback``).  ``failure`` concatenates the
+    error messages of the stages that failed before the winning one
+    (``""`` when the primary solve succeeded).  Both default so trace
+    files written before these fields existed still round-trip.
     """
 
     slot: int
@@ -60,6 +68,8 @@ class SlotTrace:
     num_variables: int = 0
     num_constraints: int = 0
     residuals: Dict[str, float] = field(default_factory=dict)
+    fallback: int = 0
+    failure: str = ""
 
     def __post_init__(self):
         if self.warm_start not in WARM_OUTCOMES:
@@ -69,6 +79,8 @@ class SlotTrace:
             )
         if self.slot < 0:
             raise ValueError(f"slot must be >= 0, got {self.slot}")
+        if self.fallback < 0:
+            raise ValueError(f"fallback must be >= 0, got {self.fallback}")
         object.__setattr__(
             self, "phase_times",
             {str(k): float(v) for k, v in dict(self.phase_times).items()},

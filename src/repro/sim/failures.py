@@ -10,7 +10,7 @@ full server index space (failed servers carry zero load).
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -19,6 +19,7 @@ from repro.core.controller import Dispatcher, SlotRecord
 from repro.core.objective import evaluate_plan
 from repro.core.plan import DispatchPlan
 from repro.market.market import MultiElectricityMarket
+from repro.obs.collectors import Collector
 from repro.sim.accounting import ProfitLedger
 from repro.sim.slotted import SimulationResult
 from repro.utils.rng import as_generator
@@ -139,29 +140,55 @@ def run_with_failures(
     market: MultiElectricityMarket,
     availability: MarkovServerAvailability,
     num_slots: Optional[int] = None,
+    apply_pue: bool = False,
+    collector: Optional[Collector] = None,
 ) -> SimulationResult:
     """Slotted run with per-slot server availability.
 
     Each slot: sample availability, re-plan on the degraded topology via
     ``dispatcher_factory``, expand the plan to the full fleet, and score
-    it with the standard evaluator.
+    it with the standard evaluator (``apply_pue`` reaches the evaluator
+    exactly as in :func:`~repro.sim.slotted.run_simulation`).
+
+    Dispatchers are **cached per availability signature**: the degraded
+    topology is a pure function of the up-server counts, so a fleet
+    state seen before reuses the dispatcher built for it — keeping its
+    formulation caches and warm-start state alive instead of paying a
+    cold rebuild every slot.  Warm==cold solve equivalence (see
+    ``tests/test_warmstart.py``) guarantees this changes no objective.
+
+    ``collector`` (see :mod:`repro.obs`) is installed on every cached
+    dispatcher that supports telemetry; each dispatcher's slot counter
+    is stamped with the trace-order slot index before planning, so slot
+    traces carry true slot numbers even though dispatchers are shared
+    across non-contiguous slots.
     """
     total = num_slots if num_slots is not None else trace.num_slots
     ledger = ProfitLedger()
     records: List[SlotRecord] = []
+    dispatchers: Dict[Tuple[int, ...], Dispatcher] = {}
     name = "unknown"
     for t in range(total):
-        counts = availability.step()
-        degraded = degraded_topology(topology, counts)
-        dispatcher = dispatcher_factory(degraded)
+        counts = tuple(int(c) for c in availability.step())
+        dispatcher = dispatchers.get(counts)
+        if dispatcher is None:
+            dispatcher = dispatcher_factory(
+                degraded_topology(topology, counts)
+            )
+            if collector is not None and hasattr(dispatcher, "collector"):
+                dispatcher.collector = collector
+            dispatchers[counts] = dispatcher
         name = getattr(dispatcher, "name", dispatcher.__class__.__name__)
+        if hasattr(dispatcher, "slot_index"):
+            dispatcher.slot_index = t
         arrivals = trace.arrivals_at(t)
         prices = market.prices_at(t)
         plan = dispatcher.plan_slot(arrivals, prices,
                                     slot_duration=trace.slot_duration)
         full_plan = expand_degraded_plan(plan, topology, counts)
         outcome = evaluate_plan(full_plan, arrivals, prices,
-                                slot_duration=trace.slot_duration)
+                                slot_duration=trace.slot_duration,
+                                apply_pue=apply_pue)
         ledger.record(outcome)
         records.append(SlotRecord(
             slot=t, plan=full_plan, outcome=outcome,

@@ -26,7 +26,9 @@ milliseconds) and grow with per-server formulations and MILP slots;
 from __future__ import annotations
 
 import os
+import warnings
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -83,8 +85,20 @@ class DispatcherSpec:
         ``collector`` (when given, and when the dispatcher supports
         telemetry) overrides the config's collector — this is how each
         worker process wires its own :class:`InMemoryCollector` in.
+        Baseline kinds (``"balanced"``, ``"even_split"``) carry no
+        telemetry hooks, so a collector passed for them is dropped with
+        a warning: the run works, but its slot traces stay empty.
         """
         cls = _KINDS[self.kind]
+        if collector is not None and cls is not ProfitAwareOptimizer \
+                and not hasattr(cls, "collector"):
+            warnings.warn(
+                f"dispatcher kind {self.kind!r} has no telemetry hooks; "
+                "the collector is ignored and its slot traces will be "
+                "empty",
+                RuntimeWarning,
+                stacklevel=2,
+            )
         if cls is ProfitAwareOptimizer:
             kwargs = dict(self.kwargs)
             config = kwargs.pop("config", None)
@@ -168,6 +182,24 @@ def parallel_run_simulation(
         over the pool boundary with the chunk's plans and is
         :meth:`~repro.obs.collectors.InMemoryCollector.merge`\\ d into
         this one at the barrier (slot traces re-sorted to trace order).
+        Baseline specs (``"balanced"``, ``"even_split"``) have no
+        telemetry hooks, so with them the merged collector holds loop
+        counters only and ``slot_traces`` stays empty (see
+        :meth:`DispatcherSpec.build`).
+
+    Fault tolerance
+    ---------------
+    A worker exception — including a worker process dying outright
+    (``BrokenProcessPool``) — no longer loses the run.  Each failed
+    chunk is re-solved **serially in this process**, split one slot at
+    a time so a single poisoned slot cannot mask its neighbours; the
+    chunk-level causes land per slot in
+    :attr:`~repro.sim.slotted.SimulationResult.failures` and a
+    ``RuntimeWarning`` is emitted per failed chunk.  Only when a slot
+    still fails during the serial re-solve does the run abort, with the
+    slot index named in the raised error.  Serial re-solves build a
+    fresh dispatcher per slot (cold start), which by the warm==cold
+    equivalence guarantee changes no objective.
     """
     total = num_slots if num_slots is not None else trace.num_slots
     tasks = [
@@ -184,20 +216,53 @@ def parallel_run_simulation(
     workers = min(workers, max(total, 1))
     collect = collector is not None
 
+    failures: Dict[int, str] = {}
     if workers == 1:
         solved, worker_collector = _solve_chunk((topology, spec, tasks, collect))
         if collect and worker_collector is not None:
             collector.merge(worker_collector)
     else:
         chunks = _chunked(tasks, workers)
+        solved = []
+        failed_chunks: List[Tuple[List, BaseException]] = []
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            results = pool.map(
-                _solve_chunk,
-                [(topology, spec, chunk, collect) for chunk in chunks],
-            )
-            solved = []
-            for chunk_result, worker_collector in results:
+            futures = [
+                pool.submit(_solve_chunk, (topology, spec, chunk, collect))
+                for chunk in chunks
+            ]
+            for chunk, future in zip(chunks, futures):
+                try:
+                    chunk_result, worker_collector = future.result()
+                except (Exception, BrokenProcessPool) as exc:
+                    # A dead worker (BrokenProcessPool) also fails every
+                    # other outstanding future; each chunk is recovered
+                    # individually below.
+                    failed_chunks.append((chunk, exc))
+                    continue
                 solved.extend(chunk_result)
+                if collect and worker_collector is not None:
+                    collector.merge(worker_collector)
+        for chunk, exc in failed_chunks:
+            cause = f"{type(exc).__name__}: {exc}"
+            warnings.warn(
+                f"worker chunk covering slots "
+                f"{chunk[0][0]}..{chunk[-1][0]} failed ({cause}); "
+                "re-solving its slots serially",
+                RuntimeWarning,
+            )
+            for task in chunk:
+                slot = task[0]
+                failures[slot] = cause
+                try:
+                    part, worker_collector = _solve_chunk(
+                        (topology, spec, [task], collect)
+                    )
+                except Exception as slot_exc:
+                    raise RuntimeError(
+                        f"slot {slot} failed during serial recovery "
+                        f"(original worker failure: {cause})"
+                    ) from slot_exc
+                solved.extend(part)
                 if collect and worker_collector is not None:
                     collector.merge(worker_collector)
 
@@ -220,5 +285,6 @@ def parallel_run_simulation(
             prices=prices, arrivals=arrivals,
         ))
     return SimulationResult(
-        dispatcher_name=spec.kind, records=records, ledger=ledger
+        dispatcher_name=spec.kind, records=records, ledger=ledger,
+        failures=failures,
     )

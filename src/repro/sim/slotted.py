@@ -29,6 +29,11 @@ class SimulationResult:
     dispatcher_name: str
     records: List[SlotRecord] = field(repr=False)
     ledger: ProfitLedger = field(repr=False)
+    #: Per-slot failure causes recovered from (slot index -> message);
+    #: empty for a clean run.  Populated by
+    #: :func:`~repro.sim.parallel.parallel_run_simulation` when worker
+    #: chunks die and their slots are re-solved serially.
+    failures: Dict[int, str] = field(default_factory=dict, repr=False)
 
     # Canonical metric implementations.  Staticmethods taking a bare
     # record sequence so the wrappers in ``repro.sim.metrics`` (and any
@@ -41,7 +46,15 @@ class SimulationResult:
 
     @staticmethod
     def compute_completion_fractions(records: Sequence[SlotRecord]) -> np.ndarray:
-        """``(K,)`` overall fraction of offered requests dispatched."""
+        """``(K,)`` overall fraction of offered requests dispatched.
+
+        With no records the class count is unknowable, so the degenerate
+        result is an empty ``(0,)`` vector — still one-dimensional, so
+        downstream ``.min()``-style reductions fail loudly instead of
+        silently treating a scalar 1.0 as a full completion profile.
+        """
+        if not len(records):
+            return np.empty(0)
         served = np.sum([r.outcome.served_rates for r in records], axis=0)
         offered = np.sum([r.outcome.offered_rates for r in records], axis=0)
         with np.errstate(divide="ignore", invalid="ignore"):
@@ -104,23 +117,32 @@ def run_simulation(
     handed to the controller and — when the dispatcher has a
     ``collector`` attribute, as :class:`ProfitAwareOptimizer` does —
     installed on the dispatcher too, so per-slot traces and solver
-    counters land in the same sink as the loop timings.
+    counters land in the same sink as the loop timings.  The
+    dispatcher's previous collector is restored when the run finishes,
+    so instrumentation wired for one run never leaks into later runs of
+    the same dispatcher.
     """
     reset = getattr(dispatcher, "reset_warm_state", None)
     if callable(reset):
         reset()
-    if collector is not None and hasattr(dispatcher, "collector"):
+    swap_collector = collector is not None and hasattr(dispatcher, "collector")
+    if swap_collector:
+        saved_collector = dispatcher.collector
         dispatcher.collector = collector
-    controller = SlottedController(
-        dispatcher, trace, market,
-        predictor_factory=predictor_factory, apply_pue=apply_pue,
-        collector=collector,
-    )
-    ledger = ProfitLedger()
-    records: List[SlotRecord] = []
-    for record in controller.iter_slots(num_slots):
-        ledger.record(record.outcome)
-        records.append(record)
+    try:
+        controller = SlottedController(
+            dispatcher, trace, market,
+            predictor_factory=predictor_factory, apply_pue=apply_pue,
+            collector=collector,
+        )
+        ledger = ProfitLedger()
+        records: List[SlotRecord] = []
+        for record in controller.iter_slots(num_slots):
+            ledger.record(record.outcome)
+            records.append(record)
+    finally:
+        if swap_collector:
+            dispatcher.collector = saved_collector
     name = getattr(dispatcher, "name", dispatcher.__class__.__name__)
     return SimulationResult(dispatcher_name=name, records=records, ledger=ledger)
 

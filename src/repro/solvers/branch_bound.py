@@ -257,6 +257,7 @@ def solve_milp(
     method: str = "bb",
     state: Optional[SolverState] = None,
     collector: Optional[Collector] = None,
+    max_nodes: Optional[int] = None,
 ) -> Solution:
     """Solve a MILP with the own B&B (``"bb"``) or scipy HiGHS (``"highs"``).
 
@@ -265,13 +266,15 @@ def solve_milp(
     has no warm-start API and ignores it, but still emits a state so a
     later ``"bb"`` solve can pick it up.  ``collector`` (see
     :mod:`repro.obs`) receives node counters and solve timings.
+    ``max_nodes`` caps the node count of either backend (``None`` keeps
+    the defaults); exhausting it yields ``ITERATION_LIMIT``.
     """
     collector = collector if collector is not None else NULL_COLLECTOR
     if method == "bb":
+        solver = (BranchAndBoundSolver() if max_nodes is None
+                  else BranchAndBoundSolver(max_nodes=max_nodes))
         with collector.timer("bb.solve"):
-            return BranchAndBoundSolver().solve(
-                mip, state=state, collector=collector
-            )
+            return solver.solve(mip, state=state, collector=collector)
     if method != "highs":
         raise ValueError(f"unknown MILP method {method!r}")
 
@@ -301,12 +304,14 @@ def solve_milp(
         # The scipy bridge cannot consume a state; count the offer so
         # warm-start accounting stays truthful for the HiGHS path.
         collector.increment("highs.milp_warm_misses")
+    options = {} if max_nodes is None else {"node_limit": int(max_nodes)}
     with collector.timer("highs.milp_solve"):
         result = scipy_optimize.milp(
             c=lp.c,
             constraints=constraints or None,
             integrality=mask.astype(int),
             bounds=scipy_optimize.Bounds(lower, upper),
+            options=options or None,
         )
     if result.status == 0 and result.x is not None:
         x = np.clip(result.x, lower, upper)

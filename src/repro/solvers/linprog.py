@@ -34,6 +34,7 @@ def solve_lp(
     method: str = "highs",
     state: Optional[SolverState] = None,
     collector: Optional[Collector] = None,
+    max_iterations: Optional[int] = None,
 ) -> Solution:
     """Solve a linear program.
 
@@ -54,12 +55,20 @@ def solve_lp(
     collector:
         Optional telemetry sink (see :mod:`repro.obs`); receives
         backend-specific counters and timings.
+    max_iterations:
+        Iteration budget (simplex pivots / IPM steps / HiGHS
+        iterations); exhausting it yields ``ITERATION_LIMIT``.  ``None``
+        keeps each backend's default.
     """
     collector = collector if collector is not None else NULL_COLLECTOR
     if method == "simplex":
-        return SimplexSolver().solve(lp, state=state, collector=collector)
+        solver = (SimplexSolver() if max_iterations is None
+                  else SimplexSolver(max_iterations=max_iterations))
+        return solver.solve(lp, state=state, collector=collector)
     if method == "ipm":
-        return InteriorPointSolver().solve(lp, state=state, collector=collector)
+        solver = (InteriorPointSolver() if max_iterations is None
+                  else InteriorPointSolver(max_iterations=max_iterations))
+        return solver.solve(lp, state=state, collector=collector)
     if method != "highs":
         raise ValueError(f"unknown LP method {method!r}")
 
@@ -68,6 +77,7 @@ def solve_lp(
         # warm-start accounting stays truthful for this backend too.
         collector.increment("highs.warm_misses")
     bounds = np.column_stack([lp.lower, lp.upper])
+    options = {} if max_iterations is None else {"maxiter": int(max_iterations)}
     with collector.timer("highs.solve"):
         result = optimize.linprog(
             c=lp.c,
@@ -77,6 +87,7 @@ def solve_lp(
             b_eq=lp.b_eq,
             bounds=bounds,
             method="highs",
+            options=options or None,
         )
     status = _SCIPY_STATUS.get(result.status, SolveStatus.NUMERICAL_ERROR)
     x = None

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core.optimizer import ProfitAwareOptimizer
+from repro.core.optimizer import OptimizerConfig, ProfitAwareOptimizer
 from repro.market.market import MultiElectricityMarket
 from repro.market.prices import PriceTrace
 from repro.sim.failures import (
@@ -137,3 +137,88 @@ class TestRunWithFailures:
             assert np.all(
                 record.plan.rates.sum(axis=2) <= record.arrivals + 1e-6
             )
+
+    def test_apply_pue_reaches_evaluator(self, setup):
+        # With PUE > 1 on every DC the facility overhead must inflate
+        # the energy bill exactly as in run_simulation.
+        import dataclasses
+        topo, trace, market = setup
+        pue_topo = topo.with_datacenters([
+            dataclasses.replace(dc, pue=1.6) for dc in topo.datacenters
+        ])
+        kwargs = dict(
+            trace=trace, market=market,
+        )
+        raw = run_with_failures(
+            pue_topo, lambda t: ProfitAwareOptimizer(t),
+            availability=MarkovServerAvailability(pue_topo, fail_prob=0.0),
+            apply_pue=False, **kwargs,
+        )
+        with_pue = run_with_failures(
+            pue_topo, lambda t: ProfitAwareOptimizer(t),
+            availability=MarkovServerAvailability(pue_topo, fail_prob=0.0),
+            apply_pue=True, **kwargs,
+        )
+        assert with_pue.total_cost > raw.total_cost
+        assert with_pue.total_net_profit < raw.total_net_profit
+
+    def test_collector_wired_with_true_slot_indices(self, setup):
+        from repro.obs import InMemoryCollector
+        topo, trace, market = setup
+        collector = InMemoryCollector()
+        availability = MarkovServerAvailability(
+            topo, fail_prob=0.4, repair_prob=0.4, seed=7
+        )
+        run_with_failures(
+            topo,
+            lambda t: ProfitAwareOptimizer(
+                t, config=OptimizerConfig(collector=collector)
+            ),
+            trace, market, availability, collector=collector,
+        )
+        # Dispatchers are shared across non-contiguous slots, yet each
+        # trace carries its true trace-order slot number.
+        slots = sorted(t.slot for t in collector.slot_traces)
+        assert slots == list(range(trace.num_slots))
+
+    def test_dispatcher_reused_per_availability_signature(self, setup):
+        topo, trace, market = setup
+        built = []
+
+        def factory(degraded):
+            built.append(degraded.servers_per_datacenter.tolist())
+            return ProfitAwareOptimizer(degraded)
+
+        run_with_failures(
+            topo, factory, trace, market,
+            MarkovServerAvailability(topo, fail_prob=0.0),
+        )
+        # A stable fleet has one signature -> one dispatcher for 5 slots.
+        assert built == [[3, 2]]
+
+    def test_reuse_matches_fresh_dispatcher_per_slot(self, setup):
+        # Per-signature caching keeps warm state alive across reuses;
+        # warm==cold equivalence means objectives must not move.
+        topo, trace, market = setup
+
+        def availability():
+            return MarkovServerAvailability(
+                topo, fail_prob=0.4, repair_prob=0.4, seed=12
+            )
+
+        cached = run_with_failures(
+            topo,
+            lambda t: ProfitAwareOptimizer(
+                t, config=OptimizerConfig(warm_start=True)
+            ),
+            trace, market, availability(),
+        )
+        cold = run_with_failures(
+            topo,
+            lambda t: ProfitAwareOptimizer(
+                t, config=OptimizerConfig(warm_start=False)
+            ),
+            trace, market, availability(),
+        )
+        assert np.allclose(cached.net_profit_series,
+                           cold.net_profit_series, rtol=1e-6)

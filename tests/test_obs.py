@@ -238,6 +238,41 @@ class TestTracedRun:
         assert collector.counters["controller.slots"] == 6
         assert collector.timers["controller.plan_slot"].count == 6
 
+    def test_run_collector_restored_afterwards(self, setup):
+        # run_simulation installs its collector on the dispatcher for
+        # the duration of the run only; the dispatcher's own collector
+        # comes back afterwards, even if the run blows up mid-loop.
+        topo, trace, market = setup
+        own = InMemoryCollector()
+        dispatcher = ProfitAwareOptimizer(
+            topo, config=OptimizerConfig(collector=own)
+        )
+        run_collector = InMemoryCollector()
+        run_simulation(dispatcher, trace, market, num_slots=2,
+                       collector=run_collector)
+        assert dispatcher.collector is own
+        assert len(run_collector.slot_traces) == 2
+        assert own.slot_traces == []
+
+        class Boom(Exception):
+            pass
+
+        bad_market = MultiElectricityMarket([
+            PriceTrace("a", np.array([0.08])),
+            PriceTrace("b", np.array([0.08])),
+        ])
+        original_prices_at = bad_market.prices_at
+
+        def explode(t):
+            raise Boom()
+
+        bad_market.prices_at = explode
+        with pytest.raises(Boom):
+            run_simulation(dispatcher, trace, bad_market, num_slots=1,
+                           collector=run_collector)
+        bad_market.prices_at = original_prices_at
+        assert dispatcher.collector is own
+
 
 class TestNoOpOverhead:
     def test_null_collector_is_shared_singletons(self):

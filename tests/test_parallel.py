@@ -1,14 +1,49 @@
 """Tests for the parallel slot-solving runner."""
 
+import multiprocessing
+import os
+
 import numpy as np
 import pytest
 
+from repro.core.baselines import BalancedDispatcher
 from repro.core.optimizer import ProfitAwareOptimizer
+from repro.obs import InMemoryCollector
+from repro.sim.parallel import DispatcherSpec, parallel_run_simulation
 from repro.market.market import MultiElectricityMarket
 from repro.market.prices import PriceTrace
-from repro.sim.parallel import DispatcherSpec, parallel_run_simulation
 from repro.sim.slotted import run_simulation
 from repro.workload.traces import WorkloadTrace
+
+
+class _WorkerBomb(BalancedDispatcher):
+    """Plans normally in-process, raises inside pool workers.
+
+    Lets the parent re-solve the poisoned chunks serially and compare
+    against an unpoisoned reference run.  Module-level so it pickles;
+    the fork start method (the Linux default) carries the monkeypatched
+    ``_KINDS`` registry into the children.
+    """
+
+    name = "worker_bomb"
+
+    def plan_slot(self, arrivals, prices, slot_duration=1.0):
+        if multiprocessing.parent_process() is not None:
+            raise RuntimeError("injected worker failure")
+        return super().plan_slot(arrivals, prices,
+                                 slot_duration=slot_duration)
+
+
+class _WorkerKiller(BalancedDispatcher):
+    """Kills the worker process outright (-> ``BrokenProcessPool``)."""
+
+    name = "worker_killer"
+
+    def plan_slot(self, arrivals, prices, slot_duration=1.0):
+        if multiprocessing.parent_process() is not None:
+            os._exit(1)
+        return super().plan_slot(arrivals, prices,
+                                 slot_duration=slot_duration)
 
 
 @pytest.fixture
@@ -35,6 +70,23 @@ class TestDispatcherSpec:
     def test_unknown_kind_rejected(self):
         with pytest.raises(ValueError, match="kind"):
             DispatcherSpec("magic")
+
+    def test_collector_on_baseline_kind_warns(self, small_topology):
+        # Baselines have no telemetry hooks: the run works, but the
+        # caller should learn their traces will stay empty.
+        with pytest.warns(RuntimeWarning, match="no telemetry hooks"):
+            DispatcherSpec("balanced").build(
+                small_topology, collector=InMemoryCollector()
+            )
+
+    def test_collector_on_optimizer_kind_does_not_warn(self, small_topology):
+        import warnings as warnings_mod
+        with warnings_mod.catch_warnings():
+            warnings_mod.simplefilter("error")
+            dispatcher = DispatcherSpec("optimized").build(
+                small_topology, collector=InMemoryCollector()
+            )
+        assert isinstance(dispatcher.collector, InMemoryCollector)
 
 
 class TestParallelRun:
@@ -117,6 +169,8 @@ class TestParallelRun:
             num_slots=0, workers=4,
         )
         assert result.num_slots == 0
+        # Degenerate run: an empty (0,) completion vector, not a scalar.
+        assert result.completion_fractions.shape == (0,)
 
     def test_chunked_pool_matches_serial_with_warm_start(self, setup):
         # Chunked scheduling keeps warm state inside each worker's chunk;
@@ -127,6 +181,77 @@ class TestParallelRun:
         pooled = parallel_run_simulation(topo, spec, trace, market, workers=3)
         assert np.allclose(pooled.net_profit_series,
                            serial.net_profit_series)
+
+
+class TestWorkerRecovery:
+    @pytest.fixture(autouse=True)
+    def _register_bombs(self, monkeypatch):
+        import repro.sim.parallel as parallel_mod
+        monkeypatch.setitem(parallel_mod._KINDS, "worker_bomb", _WorkerBomb)
+        monkeypatch.setitem(parallel_mod._KINDS, "worker_killer",
+                            _WorkerKiller)
+
+    def test_worker_exception_recovered_serially(self, setup):
+        topo, trace, market = setup
+        reference = run_simulation(BalancedDispatcher(topo), trace, market)
+        with pytest.warns(RuntimeWarning, match="re-solving its slots"):
+            result = parallel_run_simulation(
+                topo, DispatcherSpec("worker_bomb"), trace, market,
+                workers=2,
+            )
+        # Every slot recovered, in order, with identical objectives.
+        assert [r.slot for r in result.records] == list(range(6))
+        assert np.allclose(result.net_profit_series,
+                           reference.net_profit_series)
+        # And the causes are on record, per slot.
+        assert set(result.failures) == set(range(6))
+        assert all("injected worker failure" in cause
+                   for cause in result.failures.values())
+
+    def test_dead_worker_recovered_serially(self, setup):
+        # A worker dying outright surfaces as BrokenProcessPool, which
+        # poisons every outstanding future — all chunks must recover.
+        topo, trace, market = setup
+        reference = run_simulation(BalancedDispatcher(topo), trace, market)
+        with pytest.warns(RuntimeWarning, match="re-solving its slots"):
+            result = parallel_run_simulation(
+                topo, DispatcherSpec("worker_killer"), trace, market,
+                workers=2,
+            )
+        assert np.allclose(result.net_profit_series,
+                           reference.net_profit_series)
+        assert set(result.failures) == set(range(6))
+        assert any("BrokenProcessPool" in cause
+                   for cause in result.failures.values())
+
+    def test_clean_run_reports_no_failures(self, setup):
+        topo, trace, market = setup
+        result = parallel_run_simulation(
+            topo, DispatcherSpec("balanced"), trace, market, workers=2,
+        )
+        assert result.failures == {}
+
+
+def test_serial_zero_slot_run_has_empty_completion_vector(small_topology):
+    rng = np.random.default_rng(0)
+    trace = WorkloadTrace(rng.uniform(10.0, 60.0, size=(2, 2, 3)))
+    market = MultiElectricityMarket([
+        PriceTrace("a", rng.uniform(0.04, 0.12, size=3)),
+        PriceTrace("b", rng.uniform(0.04, 0.12, size=3)),
+    ])
+    result = run_simulation(
+        BalancedDispatcher(small_topology), trace, market, num_slots=0
+    )
+    assert result.num_slots == 0
+    assert result.completion_fractions.shape == (0,)
+    assert result.completion_fractions.ndim == 1
+
+
+def test_compute_completion_fractions_empty_records():
+    from repro.sim.slotted import SimulationResult
+    frac = SimulationResult.compute_completion_fractions([])
+    assert isinstance(frac, np.ndarray)
+    assert frac.shape == (0,)
 
 
 def test_chunked_splits_are_contiguous_and_complete():
