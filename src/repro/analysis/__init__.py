@@ -1,0 +1,56 @@
+"""Domain-aware static analysis (``reprolint``) for this codebase.
+
+The paper's profit numbers rest on numerically delicate machinery —
+big-M step-TUF constraints (Eqs. 11-16), M/M/1 stability boundaries
+(Eq. 1), and per-slot re-solves — where a float-equality check, an
+unseeded RNG, or an unpicklable object crossing the process-pool
+boundary corrupts results *silently* instead of crashing.  This package
+is the correctness tooling that keeps those bug classes out of the tree:
+
+* :mod:`repro.analysis.diagnostics` — finding datatypes and text/JSON
+  rendering;
+* :mod:`repro.analysis.registry`    — the rule registry (``Rule`` base
+  class, ``@register``, per-rule ``RP0xx`` codes);
+* :mod:`repro.analysis.rules`       — the domain rules themselves
+  (``RP001``..``RP006``);
+* :mod:`repro.analysis.suppression` — inline ``# reprolint:
+  disable=RP0xx`` handling;
+* :mod:`repro.analysis.runner`      — file walking, parsing, and rule
+  dispatch (``lint_paths`` / ``lint_source``);
+* :mod:`repro.analysis.baseline`    — findings baseline files so
+  pre-existing debt can be frozen without blocking CI on new findings;
+* :mod:`repro.analysis.cli`         — the ``repro lint`` subcommand.
+
+Everything here is zero-dependency (stdlib ``ast`` + ``tokenize``), in
+line with the repo's no-new-packages policy.
+"""
+
+from repro.analysis.baseline import (
+    Baseline,
+    apply_baseline,
+    read_baseline,
+    write_baseline,
+)
+from repro.analysis.diagnostics import Diagnostic, render_json, render_text
+from repro.analysis.registry import Rule, all_rules, get_rule, register
+from repro.analysis.runner import LintReport, lint_paths, lint_source
+
+# Importing the rules module populates the registry as a side effect.
+from repro.analysis import rules as _rules  # noqa: F401  (registration import)
+
+__all__ = [
+    "Baseline",
+    "Diagnostic",
+    "apply_baseline",
+    "LintReport",
+    "Rule",
+    "all_rules",
+    "get_rule",
+    "lint_paths",
+    "lint_source",
+    "read_baseline",
+    "register",
+    "render_json",
+    "render_text",
+    "write_baseline",
+]

@@ -1,0 +1,97 @@
+"""Findings baselines: freeze pre-existing debt without blocking CI.
+
+A baseline file is a JSON snapshot of known findings.  ``repro lint
+--baseline FILE`` filters findings that match a baseline entry, so a
+deliberately-unfixed legacy finding does not fail the gate while any
+*new* finding still does.  Matching is by fingerprint ``(path, code,
+line)`` as a multiset: each baseline entry absorbs at most one live
+finding, so a second violation appearing on an already-baselined line's
+file still fails.
+
+Baselines are regenerated with ``repro lint --write-baseline`` after a
+deliberate decision to defer; they are a ratchet, not a dumping ground
+— the catalog in docs/DEVELOPMENT.md asks for a tracking note per
+entry.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Iterable, List, Tuple
+
+from repro.analysis.diagnostics import Diagnostic
+
+__all__ = ["Baseline", "read_baseline", "write_baseline", "apply_baseline"]
+
+_VERSION = 1
+
+Fingerprint = Tuple[str, str, int]
+
+
+@dataclass
+class Baseline:
+    """A multiset of accepted finding fingerprints."""
+
+    entries: Counter = field(default_factory=Counter)
+
+    def __len__(self) -> int:
+        return int(sum(self.entries.values()))
+
+
+def write_baseline(findings: Iterable[Diagnostic], path: str) -> int:
+    """Write ``findings`` as a baseline file; returns the entry count.
+
+    The full diagnostic (including message) is stored for human review,
+    but only the fingerprint participates in matching — messages may be
+    reworded without invalidating a baseline.
+    """
+    records = [d.to_dict() for d in sorted(findings)]
+    payload = {"version": _VERSION, "findings": records}
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    return len(records)
+
+
+def read_baseline(path: str) -> Baseline:
+    """Load a baseline file written by :func:`write_baseline`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if not isinstance(payload, dict) or "findings" not in payload:
+        raise ValueError(f"{path}: not a reprolint baseline file")
+    version = payload.get("version")
+    if version != _VERSION:
+        raise ValueError(
+            f"{path}: unsupported baseline version {version!r} "
+            f"(expected {_VERSION})"
+        )
+    entries: Counter = Counter()
+    for record in payload["findings"]:
+        try:
+            fingerprint: Fingerprint = (
+                str(record["path"]),
+                str(record["code"]),
+                int(record["line"]),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ValueError(f"{path}: malformed baseline entry {record!r}") from exc
+        entries[fingerprint] += 1
+    return Baseline(entries=entries)
+
+
+def apply_baseline(
+    findings: Iterable[Diagnostic], baseline: Baseline
+) -> Tuple[List[Diagnostic], int]:
+    """Split findings into (new, baselined-count) against ``baseline``."""
+    budget = Counter(baseline.entries)
+    fresh: List[Diagnostic] = []
+    absorbed = 0
+    for diagnostic in sorted(findings):
+        if budget[diagnostic.fingerprint] > 0:
+            budget[diagnostic.fingerprint] -= 1
+            absorbed += 1
+        else:
+            fresh.append(diagnostic)
+    return fresh, absorbed

@@ -1,0 +1,126 @@
+"""The ``repro lint`` subcommand (wired up by :mod:`repro.cli`).
+
+Exit codes follow the usual lint-gate convention:
+
+* ``0`` — no findings (after suppression and baseline filtering);
+* ``1`` — at least one finding;
+* ``2`` — usage error (bad path, missing/corrupt baseline file).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.baseline import apply_baseline, read_baseline, write_baseline
+from repro.analysis.diagnostics import render_json, render_text
+from repro.analysis.registry import all_rules
+from repro.analysis.runner import lint_paths
+
+__all__ = ["add_lint_arguments", "run_lint"]
+
+_DEFAULT_PATHS = ["src"]
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the ``repro lint`` flags to ``parser``."""
+    parser.add_argument(
+        "paths", nargs="*", default=None, metavar="PATH",
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--format", choices=["text", "json"], default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline", type=str, default=None, metavar="FILE",
+        help="filter findings recorded in this baseline file; new "
+             "findings still fail the run",
+    )
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="write the current findings to --baseline FILE and exit 0",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalog (code, name, rationale) and exit",
+    )
+
+
+def _print_rules() -> None:
+    # Import for the registration side effect; runner does the same
+    # lazily, but --list-rules never reaches the runner.
+    import repro.analysis.rules  # noqa: F401
+
+    for rule in all_rules():
+        print(f"{rule.code}  {rule.name}")
+        print(f"    {rule.rationale}")
+
+
+def run_lint(args: argparse.Namespace) -> int:
+    """Execute ``repro lint`` for parsed ``args``; returns the exit code."""
+    if args.list_rules:
+        _print_rules()
+        return 0
+    if args.write_baseline and args.baseline is None:
+        print("error: --write-baseline requires --baseline FILE",
+              file=sys.stderr)
+        return 2
+    paths: List[str] = args.paths or _DEFAULT_PATHS
+    try:
+        report = lint_paths(paths)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.write_baseline:
+        count = write_baseline(report.findings, args.baseline)
+        print(f"wrote {count} finding(s) to baseline {args.baseline}")
+        return 0
+
+    baselined = 0
+    if args.baseline is not None:
+        try:
+            baseline = read_baseline(args.baseline)
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot read baseline: {exc}", file=sys.stderr)
+            return 2
+        report.findings, baselined = apply_baseline(report.findings, baseline)
+        report.baselined += baselined
+
+    if args.format == "json":
+        print(render_json(
+            report.findings,
+            suppressed=report.suppressed,
+            baselined=report.baselined,
+            files_checked=report.files_checked,
+        ))
+        return 0 if report.clean else 1
+
+    if report.findings:
+        print(render_text(report.findings))
+    summary = (
+        f"{len(report.findings)} finding(s) in "
+        f"{report.files_checked} file(s)"
+    )
+    if report.suppressed:
+        summary += f", {report.suppressed} suppressed"
+    if report.baselined:
+        summary += f", {report.baselined} baselined"
+    print(("" if not report.findings else "\n") + summary)
+    return 0 if report.clean else 1
+
+
+def _standalone(argv: Optional[List[str]] = None) -> int:
+    """``python -m repro.analysis.cli`` — same gate without the main CLI."""
+    parser = argparse.ArgumentParser(
+        prog="reprolint",
+        description="domain-aware static analysis for the repro codebase",
+    )
+    add_lint_arguments(parser)
+    return run_lint(parser.parse_args(argv))
+
+
+if __name__ == "__main__":  # pragma: no cover - thin wrapper
+    sys.exit(_standalone())

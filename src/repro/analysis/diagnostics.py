@@ -1,0 +1,83 @@
+"""Finding datatypes and rendering for the ``reprolint`` pass.
+
+A :class:`Diagnostic` is one finding: a rule code anchored to a file
+and line.  Findings are plain frozen dataclasses so reports serialize
+(JSON output, baseline files) without any custom machinery.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Iterable, List, Tuple
+
+__all__ = ["Diagnostic", "render_text", "render_json"]
+
+
+@dataclass(frozen=True, order=True)
+class Diagnostic:
+    """One static-analysis finding.
+
+    Ordering is (path, line, col, code) so sorted reports group by file
+    and read top to bottom.
+    """
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def __post_init__(self) -> None:
+        if not self.code.startswith("RP"):
+            raise ValueError(f"rule codes are RPxxx, got {self.code!r}")
+        if self.line < 1 or self.col < 0:
+            raise ValueError(
+                f"bad location {self.line}:{self.col} for {self.code}"
+            )
+
+    @property
+    def fingerprint(self) -> Tuple[str, str, int]:
+        """Baseline-matching key: (path, code, line)."""
+        return (self.path, self.code, self.line)
+
+    def to_dict(self) -> dict:
+        """Plain-dict form for ``--format json`` and baselines."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "code": self.code,
+            "message": self.message,
+        }
+
+
+def render_text(diagnostics: Iterable[Diagnostic]) -> str:
+    """``path:line:col: CODE message`` lines, one per finding, sorted."""
+    return "\n".join(
+        f"{d.path}:{d.line}:{d.col}: {d.code} {d.message}"
+        for d in sorted(diagnostics)
+    )
+
+
+def render_json(
+    diagnostics: Iterable[Diagnostic],
+    *,
+    suppressed: int = 0,
+    baselined: int = 0,
+    files_checked: int = 0,
+) -> str:
+    """Machine-readable report for ``repro lint --format json``."""
+    findings: List[dict] = [d.to_dict() for d in sorted(diagnostics)]
+    return json.dumps(
+        {
+            "findings": findings,
+            "summary": {
+                "findings": len(findings),
+                "suppressed": suppressed,
+                "baselined": baselined,
+                "files_checked": files_checked,
+            },
+        },
+        indent=2,
+    )

@@ -1,0 +1,114 @@
+"""Rule registry: every lint rule registers itself under an ``RP0xx`` code.
+
+A rule is a class with a unique ``code``, a short ``name``, a
+``rationale`` tying it to the numerics it protects, and a ``check``
+method that walks one parsed file and yields
+:class:`~repro.analysis.diagnostics.Diagnostic` findings.  Rules are
+stateless across files; per-file state lives in the visitor instances
+they create inside ``check``.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Type
+
+from repro.analysis.diagnostics import Diagnostic
+
+__all__ = ["FileContext", "Rule", "register", "all_rules", "get_rule"]
+
+_CODE_RE = re.compile(r"^RP\d{3}$")
+
+
+@dataclass
+class FileContext:
+    """Everything a rule may need about the file under analysis.
+
+    ``path`` is normalized to forward slashes so path-scoped rules
+    (solver modules, the RNG helper exemption) behave identically on
+    every platform.
+    """
+
+    path: str
+    source: str
+    tree: ast.AST
+    lines: List[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.path = self.path.replace("\\", "/")
+        if not self.lines:
+            self.lines = self.source.splitlines()
+
+    def in_package(self, *parts: str) -> bool:
+        """True when the file lives under any ``repro/<part>/`` tree."""
+        return any(f"/{part}/" in f"/{self.path}" for part in parts)
+
+
+class Rule:
+    """Base class for lint rules; subclasses override the metadata + check.
+
+    Attributes
+    ----------
+    code:
+        Stable ``RP0xx`` identifier used in reports, suppressions, and
+        baselines.
+    name:
+        Short kebab-case slug for ``repro lint --list-rules``.
+    rationale:
+        One paragraph connecting the bug class to the paper's numerics;
+        surfaced in the rule catalog (docs/DEVELOPMENT.md).
+    """
+
+    code: str = ""
+    name: str = ""
+    rationale: str = ""
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        """Yield findings for one parsed file."""
+        raise NotImplementedError
+        yield  # pragma: no cover - makes this a generator for typing
+
+    def diagnostic(self, ctx: FileContext, node: ast.AST, message: str) -> Diagnostic:
+        """Build a finding anchored at ``node``."""
+        return Diagnostic(
+            path=ctx.path,
+            line=int(getattr(node, "lineno", 1)),
+            col=int(getattr(node, "col_offset", 0)),
+            code=self.code,
+            message=message,
+        )
+
+
+_REGISTRY: Dict[str, Rule] = {}
+
+
+def register(rule_cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding one rule instance to the global registry."""
+    if not _CODE_RE.match(rule_cls.code or ""):
+        raise ValueError(
+            f"rule {rule_cls.__name__} needs a code matching RPxxx, "
+            f"got {rule_cls.code!r}"
+        )
+    if rule_cls.code in _REGISTRY:
+        raise ValueError(f"duplicate rule code {rule_cls.code}")
+    if not rule_cls.name:
+        raise ValueError(f"rule {rule_cls.code} needs a name")
+    _REGISTRY[rule_cls.code] = rule_cls()
+    return rule_cls
+
+
+def all_rules() -> List[Rule]:
+    """Every registered rule, sorted by code."""
+    return [_REGISTRY[code] for code in sorted(_REGISTRY)]
+
+
+def get_rule(code: str) -> Rule:
+    """Look up one rule by its ``RP0xx`` code."""
+    try:
+        return _REGISTRY[code]
+    except KeyError:
+        raise KeyError(
+            f"unknown rule code {code!r}; known: {sorted(_REGISTRY)}"
+        ) from None

@@ -1,0 +1,34 @@
+"""The domain rule set; importing this package registers every rule.
+
+Codes are stable and append-only (a retired rule's code is never
+reused — baselines and suppression comments outlive rules):
+
+* ``RP001`` float ``==``/``!=`` comparisons (numeric-boundary hazard);
+* ``RP002`` unseeded / legacy-global RNG use outside ``utils/rng.py``;
+* ``RP003`` frozen-dataclass mutation outside ``__post_init__``;
+* ``RP004`` solver entry points dropping the ``state``/``collector``
+  threading contract of :mod:`repro.solvers.base`;
+* ``RP005`` unpicklable callables (lambdas, nested defs) handed to
+  process-pool boundaries;
+* ``RP006`` bare or swallowed ``except`` in solver/fallback code.
+"""
+
+from repro.analysis.rules.contracts import (
+    PoolPicklabilityRule,
+    SolverContractRule,
+    SwallowedExceptionRule,
+)
+from repro.analysis.rules.numerics import (
+    FloatEqualityRule,
+    FrozenMutationRule,
+    UnseededRngRule,
+)
+
+__all__ = [
+    "FloatEqualityRule",
+    "UnseededRngRule",
+    "FrozenMutationRule",
+    "SolverContractRule",
+    "PoolPicklabilityRule",
+    "SwallowedExceptionRule",
+]

@@ -9,7 +9,9 @@ Commands:
 * ``validate`` — M/M/1 model (Eq. 1) vs discrete-event simulation;
 * ``sweep [--servers 2,4,6,...]`` — capacity sweep on the §VII workload;
 * ``trace [--out traces.jsonl]`` — run a scenario with telemetry on and
-  dump per-slot :class:`~repro.obs.trace.SlotTrace` records as JSONL.
+  dump per-slot :class:`~repro.obs.trace.SlotTrace` records as JSONL;
+* ``lint [PATH ...]`` — run the :mod:`repro.analysis` domain-aware
+  static-analysis pass (``reprolint``); exits 1 on findings.
 """
 
 from __future__ import annotations
@@ -90,6 +92,13 @@ def build_parser() -> argparse.ArgumentParser:
                     help="iteration/node cap for the primary solver; a "
                          "tiny value forces failures so the fallback "
                          "chain shows up in the traces")
+
+    pl = sub.add_parser(
+        "lint",
+        help="domain-aware static analysis (reprolint); exit 1 on findings",
+    )
+    from repro.analysis.cli import add_lint_arguments
+    add_lint_arguments(pl)
     return parser
 
 
@@ -378,4 +387,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             args.scenario, args.slots, args.out, args.workers,
             args.level_method, args.lp_method, args.iteration_budget,
         )
+    if args.command == "lint":
+        from repro.analysis.cli import run_lint
+        return run_lint(args)
     raise AssertionError(f"unhandled command {args.command!r}")

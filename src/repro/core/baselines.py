@@ -63,7 +63,9 @@ class BalancedDispatcher:
 
     name = "balanced"
 
-    def __init__(self, topology: CloudTopology, admission_level: Optional[int] = None):
+    def __init__(
+        self, topology: CloudTopology, admission_level: Optional[int] = None
+    ) -> None:
         self.topology = topology
         self._deadlines = _admission_deadlines(topology, admission_level)
         K = topology.num_classes
@@ -140,7 +142,9 @@ class EvenSplitDispatcher:
 
     name = "even_split"
 
-    def __init__(self, topology: CloudTopology, admission_level: Optional[int] = None):
+    def __init__(
+        self, topology: CloudTopology, admission_level: Optional[int] = None
+    ) -> None:
         self.topology = topology
         self._deadlines = _admission_deadlines(topology, admission_level)
         K = topology.num_classes

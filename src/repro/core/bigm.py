@@ -295,7 +295,7 @@ def solve_slot_bigm(
     for k in range(K):
         sizes.extend([topo.request_classes[k].tuf.num_levels] * L)
 
-    def lp_objective(levels_flat) -> float:
+    def lp_objective(levels_flat: Sequence[int]) -> float:
         lp_trial, _ = fixed_level_lp(
             inputs, levels=np.asarray(levels_flat, dtype=int).reshape(K, L)
         )

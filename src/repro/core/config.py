@@ -104,7 +104,7 @@ class OptimizerConfig:
     solver_iteration_budget: Optional[int] = None
     fallback_time_budget: Optional[float] = None
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.level_method not in LEVEL_METHODS:
             raise ValueError(
                 f"unknown level_method {self.level_method!r}; "
@@ -179,6 +179,6 @@ class OptimizerConfig:
         # paper's mean-delay requirement.
         return max(1.0, float(np.log(1.0 / self.percentile_sla)))
 
-    def replace(self, **changes) -> "OptimizerConfig":
+    def replace(self, **changes: object) -> "OptimizerConfig":
         """A copy with ``changes`` applied (re-validated)."""
         return dataclasses.replace(self, **changes)

@@ -11,7 +11,7 @@ optional predictor forecasts arrivals instead of using the oracle rates.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator, List, Optional, Protocol
+from typing import Any, Callable, Iterator, List, Optional, Protocol
 
 import numpy as np
 
@@ -76,10 +76,10 @@ class SlottedController:
         dispatcher: Dispatcher,
         trace: WorkloadTrace,
         market: MultiElectricityMarket,
-        predictor_factory=None,
+        predictor_factory: Optional[Callable[[], Any]] = None,
         apply_pue: bool = False,
         collector: Optional[Collector] = None,
-    ):
+    ) -> None:
         self.dispatcher = dispatcher
         self.trace = trace
         self.market = market

@@ -98,7 +98,7 @@ class SlotInputs:
     deadline_scale: float = 1.0
     delay_factor: float = 1.0
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         topo = self.topology
         arrivals = check_nonnegative(self.arrivals, "arrivals")
         prices = check_nonnegative(self.prices, "prices")
@@ -249,7 +249,7 @@ class FixedLevelLPCache:
     rows (class-major), then share-budget rows, then arrival-cap rows.
     """
 
-    def __init__(self, topology: CloudTopology, per_server: bool = False):
+    def __init__(self, topology: CloudTopology, per_server: bool = False) -> None:
         self.topology = topology
         self.per_server = bool(per_server)
         if self.per_server:
@@ -457,7 +457,7 @@ class MultilevelMILPCache:
     rebuilds if those change between calls.
     """
 
-    def __init__(self, topology: CloudTopology):
+    def __init__(self, topology: CloudTopology) -> None:
         self.topology = topology
         self._key: Optional[Tuple[float, float]] = None
 

@@ -35,6 +35,7 @@ from repro.core.baselines import BalancedDispatcher
 from repro.core.bigm import solve_slot_bigm
 from repro.core.config import OptimizerConfig
 from repro.core.formulation import (
+    Decoder,
     FixedLevelLPCache,
     MultilevelMILPCache,
     SlotInputs,
@@ -46,7 +47,12 @@ from repro.core.plan import DispatchPlan
 from repro.core.rightsizing import consolidate_plan
 from repro.obs.collectors import Collector
 from repro.obs.trace import SlotTrace
-from repro.solvers.base import SolverError, SolverState
+from repro.solvers.base import (
+    LinearProgram,
+    MixedIntegerProgram,
+    SolverError,
+    SolverState,
+)
 from repro.solvers.branch_bound import solve_milp
 from repro.solvers.levels import coordinate_descent_levels
 from repro.solvers.linprog import solve_lp
@@ -169,8 +175,8 @@ class ProfitAwareOptimizer:
         self,
         topology: CloudTopology,
         config: Optional[OptimizerConfig] = None,
-        **legacy_kwargs,
-    ):
+        **legacy_kwargs: object,
+    ) -> None:
         if legacy_kwargs:
             unknown = sorted(set(legacy_kwargs) - set(_LEGACY_KWARGS))
             if unknown:
@@ -498,7 +504,9 @@ class ProfitAwareOptimizer:
 
     # -------------------------------------------------------------- private
 
-    def _build_lp(self, inputs: SlotInputs, levels=None):
+    def _build_lp(
+        self, inputs: SlotInputs, levels: Optional[np.ndarray] = None
+    ) -> Tuple[LinearProgram, Decoder]:
         per_server = self.formulation == "per_server"
         if not self.warm_start:
             return fixed_level_lp(inputs, levels=levels, per_server=per_server)
@@ -547,7 +555,9 @@ class ProfitAwareOptimizer:
             stats["residuals"] = lp.residuals(solution.x)
         return decoder(solution.x), stats
 
-    def _build_milp(self, inputs: SlotInputs):
+    def _build_milp(
+        self, inputs: SlotInputs
+    ) -> Tuple[MixedIntegerProgram, Decoder]:
         if not self.warm_start:
             return multilevel_milp(inputs)
         if self._milp_cache is None or self._milp_cache.topology is not inputs.topology:

@@ -43,7 +43,7 @@ class DispatchPlan:
     rates: np.ndarray = field(repr=False)
     shares: np.ndarray = field(repr=False)
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         topo = self.topology
         k, s, n = topo.num_classes, topo.num_frontends, topo.num_servers
         rates = check_nonnegative(self.rates, "rates")

@@ -39,7 +39,7 @@ class RequestClass:
     transfer_unit_cost: float = 0.0
     description: str = field(default="", compare=False)
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if not self.name:
             raise ValueError("name must be non-empty")
         if not isinstance(self.tuf, StepDownwardTUF):

@@ -51,7 +51,7 @@ class UtilityLevel:
     value: float
     deadline: float
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         check_nonnegative(self.value, "value")
         check_positive(self.deadline, "deadline")
 
@@ -95,7 +95,7 @@ class StepDownwardTUF(TimeUtilityFunction):
     (10.0, 4.0, 0.0)
     """
 
-    def __init__(self, values: Sequence[float], deadlines: Sequence[float]):
+    def __init__(self, values: Sequence[float], deadlines: Sequence[float]) -> None:
         values_arr = check_nonnegative(list(values), "values")
         deadlines_arr = check_strictly_increasing(deadlines, "deadlines")
         if values_arr.ndim != 1 or values_arr.size == 0:
@@ -181,7 +181,7 @@ class ConstantTUF(StepDownwardTUF):
     (10.0, 0.0)
     """
 
-    def __init__(self, value: float, deadline: float):
+    def __init__(self, value: float, deadline: float) -> None:
         super().__init__(values=[value], deadlines=[deadline])
 
     def __repr__(self) -> str:
@@ -196,7 +196,7 @@ class MonotonicTUF(TimeUtilityFunction):
     the same solvers apply.
     """
 
-    def __init__(self, fn: Callable[[float], float], deadline: float):
+    def __init__(self, fn: Callable[[float], float], deadline: float) -> None:
         check_positive(deadline, "deadline")
         self._fn = fn
         self._deadline = float(deadline)

@@ -100,7 +100,9 @@ def section6_experiment(
     topo = section6_topology()
     trace = worldcup_like_trace(num_classes=3, seed=seed,
                                 slot_duration=SLOT_DURATION)
-    if load_scale != 1.0:
+    # Comparison against the exactly-representable default sentinel 1.0
+    # (skip the identity rescale), not a numeric boundary.
+    if load_scale != 1.0:  # reprolint: disable=RP001
         trace = trace.scaled(load_scale)
     market = MultiElectricityMarket([
         houston_profile(), mountain_view_profile(), atlanta_profile()

@@ -125,12 +125,14 @@ def section7_experiment(
         Google-like trace.
     """
     topo = section7_topology()
-    if capacity_scale != 1.0:
+    # Comparisons against the exactly-representable default sentinel 1.0
+    # (skip the identity rescale), not a numeric boundary.
+    if capacity_scale != 1.0:  # reprolint: disable=RP001
         topo = topo.scaled_capacity(capacity_scale)
     trace = google_like_trace(
         num_slots=7, mean_rate=mean_rate, seed=seed, slot_duration=SLOT_DURATION
     ).select_classes([0, 1])
-    if load_scale != 1.0:
+    if load_scale != 1.0:  # reprolint: disable=RP001
         trace = trace.scaled(load_scale)
     market = MultiElectricityMarket(
         [houston_profile(), mountain_view_profile()]

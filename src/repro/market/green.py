@@ -150,7 +150,12 @@ def brown_energy_fraction(
     if len(profiles) != dc_energy_kwh.shape[0]:
         raise ValueError("one profile per location required")
     total = float(dc_energy_kwh.sum())
-    if total == 0.0:
+    # Structural zero check, not ``total == 0.0``: the entries are
+    # validated non-negative, so "no energy drawn" is exactly total <= 0
+    # — and the inequality also covers -0.0 and stray negative rounding
+    # noise a future caller might smuggle past validation, where an
+    # exact equality would fall through to a nonsense 0/eps division.
+    if total <= 0.0:
         return 0.0
     brown = 0.0
     for l, profile in enumerate(profiles):

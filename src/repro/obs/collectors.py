@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Protocol, runtime_checkable
+from typing import Any, Dict, List, Protocol, runtime_checkable
 
 from repro.obs.trace import SlotTrace
 
@@ -56,7 +56,7 @@ class Collector(Protocol):
         """Fold one already-measured duration into the timer ``name``."""
         ...
 
-    def timer(self, name: str):
+    def timer(self, name: str) -> Any:
         """Context manager timing its block into the timer ``name``."""
         ...
 
@@ -70,10 +70,10 @@ class _NullTimer:
 
     __slots__ = ()
 
-    def __enter__(self):
+    def __enter__(self) -> "_NullTimer":
         return self
 
-    def __exit__(self, *exc):
+    def __exit__(self, *exc: object) -> bool:
         return False
 
 
@@ -95,13 +95,13 @@ class NullCollector:
     def observe_time(self, name: str, seconds: float) -> None:
         pass
 
-    def timer(self, name: str):
+    def timer(self, name: str) -> _NullTimer:
         return _NULL_TIMER
 
     def record_slot(self, trace: SlotTrace) -> None:
         pass
 
-    def merge(self, other) -> None:
+    def merge(self, other: object) -> None:
         pass
 
 
@@ -145,15 +145,16 @@ class _Timer:
 
     __slots__ = ("_collector", "_name", "_start")
 
-    def __init__(self, collector: "InMemoryCollector", name: str):
+    def __init__(self, collector: "InMemoryCollector", name: str) -> None:
         self._collector = collector
         self._name = name
+        self._start = 0.0
 
-    def __enter__(self):
+    def __enter__(self) -> "_Timer":
         self._start = time.perf_counter()
         return self
 
-    def __exit__(self, *exc):
+    def __exit__(self, *exc: object) -> bool:
         self._collector.observe_time(
             self._name, time.perf_counter() - self._start
         )

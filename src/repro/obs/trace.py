@@ -71,7 +71,7 @@ class SlotTrace:
     fallback: int = 0
     failure: str = ""
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.warm_start not in WARM_OUTCOMES:
             raise ValueError(
                 f"warm_start must be one of {WARM_OUTCOMES}, "

@@ -16,7 +16,16 @@ from scipy.special import gammaln
 
 from repro.utils.validation import check_nonnegative, check_positive
 
-__all__ = ["erlang_c", "MMcQueue"]
+__all__ = ["erlang_c", "MMcQueue", "ZERO_LOAD_TOL"]
+
+#: Offered loads at or below this are treated as an empty system.  The
+#: guard must be a *tolerance*, not ``a == 0.0``: arrival rates reaching
+#: this function come out of LP solutions and trace arithmetic, so "no
+#: traffic" arrives as values like 1e-17 rather than an exact zero, and
+#: ``log(a)`` of such a value would still be evaluated despite the
+#: system being idle for every practical purpose.  Well below any real
+#: per-slot arrival rate, far above float noise.
+ZERO_LOAD_TOL = 1e-12
 
 
 def erlang_c(c: int, offered_load: float) -> float:
@@ -28,12 +37,14 @@ def erlang_c(c: int, offered_load: float) -> float:
         Number of servers.
     offered_load:
         ``a = lambda / mu`` in Erlangs; must satisfy ``a < c`` for a
-        stable queue (returns 1.0 otherwise).
+        stable queue (returns 1.0 otherwise).  Loads at or below
+        :data:`ZERO_LOAD_TOL` short-circuit to 0.0 (an idle system
+        never waits).
     """
     if c < 1:
         raise ValueError("c must be >= 1")
     a = float(check_nonnegative(offered_load, "offered_load"))
-    if a == 0.0:
+    if a <= ZERO_LOAD_TOL:
         return 0.0
     if a >= c:
         return 1.0

@@ -38,7 +38,7 @@ class SolverError(RuntimeError):
     """Raised when a solver cannot produce a usable answer."""
 
 
-def _as_2d(arr, name: str, ncols: int) -> Optional[np.ndarray]:
+def _as_2d(arr: object, name: str, ncols: int) -> Optional[np.ndarray]:
     if arr is None:
         return None
     out = np.atleast_2d(np.asarray(arr, dtype=float))
@@ -63,7 +63,7 @@ class LinearProgram:
     lower: Optional[np.ndarray] = None
     upper: Optional[np.ndarray] = None
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         self.c = np.asarray(self.c, dtype=float).ravel()
         n = self.c.size
         if n == 0:
@@ -145,7 +145,7 @@ class MixedIntegerProgram:
     lp: LinearProgram
     integer_mask: np.ndarray
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         mask = np.asarray(self.integer_mask, dtype=bool).ravel()
         if mask.size != self.lp.num_variables:
             raise ValueError(

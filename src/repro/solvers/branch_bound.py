@@ -64,7 +64,7 @@ class BranchAndBoundSolver:
         max_nodes: int = 100_000,
         int_tol: float = 1e-6,
         rel_gap: float = 0.0,
-    ):
+    ) -> None:
         self.lp_method = lp_method
         self.max_nodes = int(max_nodes)
         self.int_tol = float(int_tol)

@@ -46,7 +46,7 @@ class InteriorPointSolver:
         Convergence tolerance on scaled residuals and duality gap.
     """
 
-    def __init__(self, max_iterations: int = 100, tol: float = 1e-8):
+    def __init__(self, max_iterations: int = 100, tol: float = 1e-8) -> None:
         if max_iterations < 1:
             raise ValueError("max_iterations must be >= 1")
         self.max_iterations = int(max_iterations)
@@ -134,8 +134,9 @@ class InteriorPointSolver:
             except np.linalg.LinAlgError:
                 return "numerical", x, lam, s, it
 
-            def solve_newton(rc: np.ndarray, rb: np.ndarray,
-                             rxs: np.ndarray):
+            def solve_newton(
+                rc: np.ndarray, rb: np.ndarray, rxs: np.ndarray
+            ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
                 # Standard reduction of the KKT system:
                 #   (A D A') dlam = -r_p - A(D r_d) + A(r_xs / s).
                 tmp = -rb - a @ (d * rc) + a @ (rxs / s)
@@ -282,7 +283,9 @@ def _step_length(v: np.ndarray, dv: np.ndarray) -> float:
     return float(min(1.0, np.min(-v[negative] / dv[negative])))
 
 
-def _qr_column_pivot(mat: np.ndarray):
+def _qr_column_pivot(
+    mat: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
     """QR with column pivoting via scipy (wrapped for testability)."""
     from scipy.linalg import qr
 

@@ -20,7 +20,8 @@ from typing import Callable, List, Optional
 import numpy as np
 from scipy import optimize
 
-from repro.solvers.base import Solution, SolveStatus
+from repro.obs.collectors import NULL_COLLECTOR, Collector
+from repro.solvers.base import Solution, SolverState, SolveStatus
 
 __all__ = ["NonlinearProgram", "PenaltySolver"]
 
@@ -41,7 +42,7 @@ class NonlinearProgram:
     ineq: Optional[VecFn] = None
     eq: Optional[VecFn] = None
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         self.lower = np.asarray(self.lower, dtype=float).ravel()
         self.upper = np.asarray(self.upper, dtype=float).ravel()
         if self.lower.shape != self.upper.shape:
@@ -89,7 +90,7 @@ class PenaltySolver:
         penalty_rounds: int = 8,
         multi_start: int = 3,
         seed: int = 0,
-    ):
+    ) -> None:
         self.feasibility_tol = float(feasibility_tol)
         self.penalty_rounds = int(penalty_rounds)
         self.multi_start = int(multi_start)
@@ -124,7 +125,7 @@ class PenaltySolver:
         x = x0.copy()
         bounds = optimize.Bounds(nlp.lower, nlp.upper)
         for _ in range(self.penalty_rounds):
-            def penalized(z: np.ndarray, w=weight) -> float:
+            def penalized(z: np.ndarray, w: float = weight) -> float:
                 value = nlp.objective(z)
                 if nlp.ineq is not None:
                     g = np.clip(np.asarray(nlp.ineq(z), dtype=float), 0.0, None)
@@ -152,31 +153,70 @@ class PenaltySolver:
     # --------------------------------------------------------------- solve
 
     def solve(
-        self, nlp: NonlinearProgram, x0: Optional[np.ndarray] = None
+        self,
+        nlp: NonlinearProgram,
+        x0: Optional[np.ndarray] = None,
+        state: Optional[SolverState] = None,
+        collector: Optional[Collector] = None,
     ) -> Solution:
-        """Find a near-optimal feasible point of ``nlp``."""
+        """Find a near-optimal feasible point of ``nlp``.
+
+        ``state`` and ``collector`` follow the solver threading contract
+        of :mod:`repro.solvers.base`: ``state`` may carry a previous
+        solve's point (:attr:`Solution.state`), which is added as an
+        extra start — the non-convex landscape shifts little between
+        consecutive slots, so the prior optimum usually lands in the
+        right basin immediately.  ``collector`` (see :mod:`repro.obs`)
+        receives attempt timings and start counters.  Both default to
+        inert values, so existing callers are unaffected.
+        """
+        collector = collector if collector is not None else NULL_COLLECTOR
         rng = np.random.default_rng(self.seed)
         finite_low = np.where(np.isfinite(nlp.lower), nlp.lower, -1.0)
         finite_high = np.where(np.isfinite(nlp.upper), nlp.upper, finite_low + 2.0)
         starts: List[np.ndarray] = []
+        warm_point: Optional[np.ndarray] = None
+        if state is not None and state.method == "penalty" and state.point is not None:
+            candidate = np.asarray(state.point, dtype=float).ravel()
+            if candidate.size == nlp.num_variables:
+                warm_point = candidate
+        warm_offered = warm_point is not None
+        if warm_point is not None:
+            starts.append(np.clip(warm_point, nlp.lower, nlp.upper))
+        if state is not None:
+            collector.increment(
+                "penalty.warm_hits" if warm_offered else "penalty.warm_misses"
+            )
         if x0 is not None:
             starts.append(np.clip(np.asarray(x0, dtype=float), nlp.lower, nlp.upper))
         starts.append((finite_low + finite_high) / 2.0)
         for _ in range(self.multi_start):
             starts.append(rng.uniform(finite_low, finite_high))
+        collector.increment("penalty.starts", len(starts))
 
         best_x: Optional[np.ndarray] = None
         best_obj = np.inf
-        for start in starts:
-            for attempt in (self._slsqp, self._penalty):
-                x = attempt(nlp, start)
-                if x is None or nlp.violation(x) > 10 * self.feasibility_tol:
-                    continue
-                obj = float(nlp.objective(x))
-                if obj < best_obj:
-                    best_obj = obj
-                    best_x = x
+        warm_used = False
+        with collector.timer("penalty.solve"):
+            for start_index, start in enumerate(starts):
+                for attempt in (self._slsqp, self._penalty):
+                    x = attempt(nlp, start)
+                    if x is None or nlp.violation(x) > 10 * self.feasibility_tol:
+                        continue
+                    obj = float(nlp.objective(x))
+                    if obj < best_obj:
+                        best_obj = obj
+                        best_x = x
+                        warm_used = warm_offered and start_index == 0
         if best_x is None:
             return Solution(status=SolveStatus.INFEASIBLE,
                             message="no feasible point found from any start")
-        return Solution(status=SolveStatus.OPTIMAL, x=best_x, objective=best_obj)
+        next_state = SolverState(
+            method="penalty",
+            signature=(nlp.num_variables, 0, 0),
+            point=best_x.copy(),
+        )
+        return Solution(
+            status=SolveStatus.OPTIMAL, x=best_x, objective=best_obj,
+            state=next_state, warm_start_used=warm_used,
+        )

@@ -23,7 +23,12 @@ from typing import Callable, Optional
 import numpy as np
 
 from repro.obs.collectors import NULL_COLLECTOR, Collector
-from repro.solvers.base import LinearProgram, Solution, SolveStatus
+from repro.solvers.base import (
+    LinearProgram,
+    Solution,
+    SolverState,
+    SolveStatus,
+)
 
 __all__ = ["PresolveResult", "presolve", "solve_with_presolve"]
 
@@ -151,7 +156,10 @@ def _reduce(lp: LinearProgram, tol: float) -> PresolveResult:
 
 
 def solve_with_presolve(
-    lp: LinearProgram, method: str = "highs", state=None, collector=None
+    lp: LinearProgram,
+    method: str = "highs",
+    state: Optional[SolverState] = None,
+    collector: Optional[Collector] = None,
 ) -> Solution:
     """Presolve, solve the reduction, and postsolve back.
 

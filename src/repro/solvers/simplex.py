@@ -153,7 +153,7 @@ class SimplexSolver:
         Numerical tolerance for reduced costs / feasibility.
     """
 
-    def __init__(self, max_iterations: int = 20_000, tol: float = 1e-8):
+    def __init__(self, max_iterations: int = 20_000, tol: float = 1e-8) -> None:
         if max_iterations < 1:
             raise ValueError("max_iterations must be >= 1")
         self.max_iterations = int(max_iterations)
@@ -371,7 +371,7 @@ class SimplexSolver:
         basis: np.ndarray,
         ncols: int,
         iterations: int,
-        sig,
+        sig: Tuple[int, int, int],
         warm_used: bool = False,
     ) -> Solution:
         """Map an optimal tableau back to original space, with a state."""

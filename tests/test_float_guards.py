@@ -1,0 +1,64 @@
+"""Regression tests pinning behavior at the float-guard boundaries that
+RP001 flagged: erlang_c's zero-load short-circuit (queueing/mmc.py) and
+brown_energy_fraction's zero-energy guard (market/green.py)."""
+
+import numpy as np
+import pytest
+
+from repro.market.green import brown_energy_fraction, solar_profile
+from repro.queueing.mmc import MMcQueue, ZERO_LOAD_TOL, erlang_c
+
+
+class TestErlangCZeroBoundary:
+    def test_exact_zero_load(self):
+        assert erlang_c(3, 0.0) == 0.0
+
+    def test_negative_zero_load(self):
+        assert erlang_c(3, -0.0) == 0.0
+
+    def test_subtolerance_load_short_circuits(self):
+        # LP noise: "no traffic" often arrives as ~1e-17, not 0.0.
+        assert erlang_c(3, 1e-17) == 0.0
+        assert erlang_c(3, ZERO_LOAD_TOL) == 0.0
+
+    def test_above_tolerance_is_computed_and_continuous(self):
+        just_above = erlang_c(3, ZERO_LOAD_TOL * 10)
+        assert 0.0 < just_above < 1e-9  # tiny but genuine waiting probability
+        # The short-circuit introduces no jump: both sides of the
+        # threshold round to ~0 at solver tolerances.
+        assert abs(just_above - 0.0) < 1e-9
+
+    def test_moderate_load_unchanged(self):
+        # Classic Erlang-C value, pinned so the guard rewrite cannot
+        # perturb the non-degenerate regime.
+        assert erlang_c(2, 1.0) == pytest.approx(1.0 / 3.0, rel=1e-12)
+
+    def test_queue_properties_at_negligible_load(self):
+        q = MMcQueue(num_servers=2, service_rate=5.0, arrival_rate=1e-14)
+        assert q.waiting_probability == 0.0
+        assert q.mean_waiting_time == 0.0
+        assert q.mean_sojourn_time == pytest.approx(1.0 / 5.0)
+
+
+class TestBrownFractionZeroBoundary:
+    def test_exact_zero_energy(self):
+        energy = np.zeros((2, 4))
+        assert brown_energy_fraction([None, None], energy) == 0.0
+
+    def test_negative_zero_sum(self):
+        energy = np.full((1, 3), -0.0)
+        assert brown_energy_fraction([None], energy) == 0.0
+
+    def test_tiny_but_real_energy_still_computes(self):
+        # A denormal-scale total must not be treated as zero: the ratio
+        # is still exactly defined (all brown here).
+        energy = np.full((1, 2), 1e-300)
+        assert brown_energy_fraction([None], energy) == pytest.approx(1.0)
+
+    def test_mixed_green_ratio_unchanged(self):
+        profile = solar_profile(peak_coverage=0.5, num_slots=24)
+        energy = np.ones((1, 24))
+        frac = brown_energy_fraction([profile], energy)
+        expected = float(np.mean(1.0 - profile.availability))
+        assert frac == pytest.approx(expected, rel=1e-12)
+        assert 0.0 < frac < 1.0

@@ -163,6 +163,45 @@ class TestPenaltySolver:
         sol = PenaltySolver(multi_start=1).solve(nlp)
         assert sol.status is SolveStatus.INFEASIBLE
 
+    def test_threading_contract_state_and_collector(self):
+        # RP004 contract: solve accepts state/collector, emits a reusable
+        # state, and a warm re-solve from it lands on the same optimum.
+        from repro.obs.collectors import InMemoryCollector
+
+        nlp = NonlinearProgram(
+            objective=lambda x: float((x[0] - 3.0) ** 2),
+            lower=np.array([0.0]), upper=np.array([10.0]),
+        )
+        collector = InMemoryCollector()
+        cold = PenaltySolver().solve(nlp, collector=collector)
+        assert cold.ok
+        assert cold.state is not None and cold.state.method == "penalty"
+        assert not cold.warm_start_used
+        assert collector.counters.get("penalty.starts", 0) > 0
+
+        warm = PenaltySolver().solve(nlp, state=cold.state,
+                                     collector=collector)
+        assert warm.ok
+        assert warm.warm_start_used
+        assert warm.x[0] == pytest.approx(cold.x[0], abs=1e-6)
+        assert collector.counters.get("penalty.warm_hits", 0) == 1
+
+    def test_stale_state_rejected(self):
+        # A state from a different variable count is ignored, not fatal.
+        nlp1 = NonlinearProgram(
+            objective=lambda x: float(x @ x),
+            lower=np.full(2, -1.0), upper=np.full(2, 1.0),
+        )
+        nlp2 = NonlinearProgram(
+            objective=lambda x: float((x[0] - 0.5) ** 2),
+            lower=np.array([0.0]), upper=np.array([1.0]),
+        )
+        state = PenaltySolver().solve(nlp1).state
+        sol = PenaltySolver().solve(nlp2, state=state)
+        assert sol.ok
+        assert not sol.warm_start_used
+        assert sol.x[0] == pytest.approx(0.5, abs=1e-4)
+
 
 class TestCoordinateDescentLevels:
     def test_finds_separable_optimum(self):
