@@ -19,10 +19,17 @@ is the correctness tooling that keeps those bug classes out of the tree:
   dispatch (``lint_paths`` / ``lint_source``);
 * :mod:`repro.analysis.baseline`    — findings baseline files so
   pre-existing debt can be frozen without blocking CI on new findings;
-* :mod:`repro.analysis.cli`         — the ``repro lint`` subcommand.
+* :mod:`repro.analysis.cli`         — the ``repro lint`` subcommand;
+* :mod:`repro.analysis.model`       — the *formulation auditor*
+  (``repro audit``): static ``MD0xx`` passes over a built slot
+  LP/MILP (big-M tightness, dimensional consistency, matrix
+  diagnostics, feasibility pre-checks).
 
-Everything here is zero-dependency (stdlib ``ast`` + ``tokenize``), in
-line with the repo's no-new-packages policy.
+The AST-lint layer is zero-dependency (stdlib ``ast`` + ``tokenize``),
+in line with the repo's no-new-packages policy; the model subpackage
+needs :mod:`numpy` and the core builders, so it is *not* imported here
+— import :mod:`repro.analysis.model` explicitly (the CLI does so
+lazily), keeping ``repro lint`` numpy-free.
 """
 
 from repro.analysis.baseline import (

@@ -46,8 +46,17 @@ def write_baseline(findings: Iterable[Diagnostic], path: str) -> int:
     The full diagnostic (including message) is stored for human review,
     but only the fingerprint participates in matching — messages may be
     reworded without invalidating a baseline.
+
+    Serialization order is the multiset order — fingerprint first, then
+    column and message as tie-breakers — so regenerating a baseline from
+    the same findings is byte-identical regardless of how the caller
+    ordered them (``repro lint --write-baseline`` twice on an unchanged
+    tree produces the same file).
     """
-    records = [d.to_dict() for d in sorted(findings)]
+    records = [
+        d.to_dict()
+        for d in sorted(findings, key=lambda d: (*d.fingerprint, d.col, d.message))
+    ]
     payload = {"version": _VERSION, "findings": records}
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2)

@@ -1,0 +1,77 @@
+"""Formulation auditor: static analysis of built slot problems.
+
+The model-analysis sibling of the AST lint pass (``reprolint``): where
+:mod:`repro.analysis.rules` reads *source code*, this package reads a
+built :class:`~repro.core.formulation.SlotInputs` / LP / MILP and
+reports — never raises, never solves — on an ``MD0xx`` code space:
+
+* **MD010-MD013** (:mod:`.bigm`) — big-M and McCormick tightness
+  against the data-driven minima, with tightened constants exposed;
+* **MD020-MD021** (:mod:`.units`) — dimensional homogeneity of every
+  objective/constraint family under the quantity unit registry;
+* **MD030-MD036** (:mod:`.matrix`) — coefficient scaling, duplicate/
+  empty/redundant rows, bound and row infeasibility certificates;
+* **MD040-MD045** (:mod:`.feasibility`) — solve-free feasibility and
+  right-sizing pre-checks (deadline achievability, capacity vs.
+  arrivals).
+
+Entry points: :func:`audit_slot` (programmatic), ``repro audit`` (CLI;
+:mod:`.cli`), and ``OptimizerConfig(audit="warn"|"error")`` (per-slot
+hook in ``plan_slot``).
+"""
+
+from repro.analysis.model.audit import ModelAuditReport, audit_slot
+from repro.analysis.model.bigm import (  # noqa: F401 - registration
+    BigMTightnessRule,
+    McCormickEnvelopeRule,
+    minimal_big_for_series,
+    recommended_big,
+    tight_lambda_bound,
+)
+from repro.analysis.model.feasibility import (  # noqa: F401 - registration
+    FeasibilityRule,
+)
+from repro.analysis.model.findings import (
+    ModelFinding,
+    render_model_json,
+    render_model_text,
+)
+from repro.analysis.model.matrix import (  # noqa: F401 - registration
+    MatrixDiagnosticsRule,
+    analyze_program,
+)
+from repro.analysis.model.registry import (
+    AuditContext,
+    AuditRule,
+    AuditThresholds,
+    all_audit_rules,
+    get_audit_rule,
+)
+from repro.analysis.model.units import (  # noqa: F401 - registration
+    Unit,
+    UnitsRule,
+    check_homogeneity,
+    default_unit_registry,
+    formulation_term_table,
+)
+
+__all__ = [
+    "ModelAuditReport",
+    "ModelFinding",
+    "audit_slot",
+    "render_model_text",
+    "render_model_json",
+    "AuditContext",
+    "AuditRule",
+    "AuditThresholds",
+    "all_audit_rules",
+    "get_audit_rule",
+    "minimal_big_for_series",
+    "recommended_big",
+    "tight_lambda_bound",
+    "analyze_program",
+    "Unit",
+    "default_unit_registry",
+    "formulation_term_table",
+    "check_homogeneity",
+]

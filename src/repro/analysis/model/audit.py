@@ -1,0 +1,128 @@
+"""The formulation auditor's entry point: run every pass over one slot.
+
+:func:`audit_slot` is the programmatic API behind both the ``repro
+audit`` CLI and the ``OptimizerConfig(audit=...)`` hook in
+``plan_slot``: build an :class:`AuditContext` around the slot's
+:class:`~repro.core.formulation.SlotInputs`, run every registered pass
+family, and fold the findings plus the tightened constants into one
+:class:`ModelAuditReport`.  The auditor never solves anything and never
+mutates the inputs — it is safe to run on every slot of a day-long
+experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.analysis.model.bigm import BigMTightnessRule
+from repro.analysis.model.findings import (
+    ModelFinding,
+    render_model_json,
+    render_model_text,
+)
+from repro.analysis.model.matrix import matrix_details
+from repro.analysis.model.registry import (
+    AuditContext,
+    AuditThresholds,
+    all_audit_rules,
+)
+from repro.core.bigm import DEFAULT_BIG, DEFAULT_DELTA
+from repro.core.formulation import SlotInputs, feasibility_margin
+
+__all__ = ["ModelAuditReport", "audit_slot"]
+
+
+@dataclass(frozen=True)
+class ModelAuditReport:
+    """Everything one audit run produced.
+
+    Attributes
+    ----------
+    findings:
+        All findings, sorted errors-first (see
+        :attr:`ModelFinding.sort_key`).
+    details:
+        Nested payload of tightened constants and scaling summaries:
+        ``tightened_big`` (per request class), ``matrix`` (per built
+        program), ``feasibility_margin`` (per data center), and
+        ``build_errors`` (builder refusal messages, if any).
+    """
+
+    findings: List[ModelFinding] = field(default_factory=list)
+    details: Dict = field(default_factory=dict)
+
+    @property
+    def errors(self) -> List[ModelFinding]:
+        return [f for f in self.findings if f.severity == "error"]
+
+    @property
+    def warnings(self) -> List[ModelFinding]:
+        return [f for f in self.findings if f.severity == "warning"]
+
+    @property
+    def clean(self) -> bool:
+        """True when no *error*-severity finding was raised."""
+        return not self.errors
+
+    def render_text(self) -> str:
+        if not self.findings:
+            return "formulation audit: clean"
+        return render_model_text(self.findings)
+
+    def render_json(self) -> str:
+        return render_model_json(self.findings, details=self.details)
+
+
+def audit_slot(
+    inputs: SlotInputs,
+    big: Optional[float] = None,
+    delta: float = DEFAULT_DELTA,
+    thresholds: Optional[AuditThresholds] = None,
+) -> ModelAuditReport:
+    """Statically audit one slot problem; report, never raise.
+
+    Parameters
+    ----------
+    inputs:
+        The slot problem (topology + arrivals + prices).
+    big:
+        The big-M constant the ``bigm`` solve path would use; ``None``
+        audits :data:`repro.core.bigm.DEFAULT_BIG`, the path's default.
+    delta:
+        The paper's small time increment.
+    thresholds:
+        Looseness/scaling knobs; defaults to :class:`AuditThresholds`.
+    """
+    ctx = AuditContext(
+        inputs=inputs,
+        big=DEFAULT_BIG if big is None else float(big),
+        delta=delta,
+        thresholds=thresholds if thresholds is not None else AuditThresholds(),
+    )
+    findings: List[ModelFinding] = []
+    for rule in all_audit_rules():
+        findings.extend(rule.check(ctx))
+    findings.sort(key=lambda f: f.sort_key)
+
+    details: Dict = {}
+    tightened = BigMTightnessRule().tightened(ctx)
+    if tightened:
+        details["tightened_big"] = tightened
+    margin = feasibility_margin(
+        inputs.topology, inputs.deadline_scale / inputs.delay_factor
+    )
+    details["feasibility_margin"] = {
+        dc.name: float(margin[l])
+        for l, dc in enumerate(inputs.topology.datacenters)
+    }
+    lp = ctx.lp()
+    if lp is not None:
+        details["matrix"] = {"lp": matrix_details(lp)}
+    milp = ctx.milp()
+    if milp is not None:
+        details.setdefault("matrix", {})["milp"] = matrix_details(milp.lp)
+    build_errors = ctx.build_errors()
+    if build_errors:
+        details["build_errors"] = build_errors
+    return ModelAuditReport(findings=findings, details=details)

@@ -1,0 +1,152 @@
+"""The ``repro audit`` subcommand (wired up by :mod:`repro.cli`).
+
+Statically audits one slot of a canned experiment scenario — no solver
+runs.  Exit codes follow the same gate convention as ``repro lint``:
+
+* ``0`` — no error-severity findings (warnings/info may be present);
+* ``1`` — at least one MD error;
+* ``2`` — usage error (bad slot index, unwritable report path).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.model.audit import ModelAuditReport, audit_slot
+from repro.analysis.model.registry import AuditThresholds, all_audit_rules
+from repro.core.formulation import SlotInputs
+
+__all__ = ["add_audit_arguments", "run_audit"]
+
+_SCENARIOS = ("section5", "section6", "section7")
+
+
+def add_audit_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the ``repro audit`` flags to ``parser``."""
+    parser.add_argument(
+        "--scenario", choices=list(_SCENARIOS), default="section6",
+        help="experiment whose slot problem to audit (default: section6)",
+    )
+    parser.add_argument(
+        "--slot", type=int, default=0,
+        help="slot index within the scenario's trace (default: 0)",
+    )
+    parser.add_argument(
+        "--big", type=float, default=None,
+        help="big-M constant to audit (default: the bigm path's default)",
+    )
+    parser.add_argument(
+        "--format", choices=["text", "json"], default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--out", type=str, default=None, metavar="FILE",
+        help="additionally write the JSON report to this file",
+    )
+    parser.add_argument(
+        "--bigm-ratio-limit", type=float, default=None,
+        help="flag BIG more than this factor above the data-driven "
+             "minimum (default: 100)",
+    )
+    parser.add_argument(
+        "--row-decades-limit", type=float, default=None,
+        help="flag rows/columns spanning more than this many log10 "
+             "decades (default: 6)",
+    )
+    parser.add_argument(
+        "--list-checks", action="store_true",
+        help="print the audit check catalog (codes, rationale) and exit",
+    )
+
+
+def _print_checks() -> None:
+    # Import for the registration side effect (mirrors ``repro lint
+    # --list-rules``); the passes register on import of the package.
+    import repro.analysis.model  # noqa: F401
+
+    for rule in all_audit_rules():
+        print(f"{rule.code}  {rule.name}")
+        for code in sorted(rule.codes):
+            print(f"    {code}: {rule.codes[code]}")
+        print(f"    {rule.rationale}")
+
+
+def _scenario_inputs(scenario: str, slot: int) -> SlotInputs:
+    """Build the audited slot problem from a canned experiment."""
+    if scenario == "section5":
+        from repro.experiments.section5 import section5_experiment
+        exp = section5_experiment("low")
+    elif scenario == "section6":
+        from repro.experiments.section6 import section6_experiment
+        exp = section6_experiment()
+    else:
+        from repro.experiments.section7 import section7_experiment
+        exp = section7_experiment()
+    return SlotInputs(
+        topology=exp.topology,
+        arrivals=exp.trace.arrivals_at(slot),
+        prices=exp.market.prices_at(slot),
+    )
+
+
+def _summary_line(report: ModelAuditReport) -> str:
+    return (
+        f"{len(report.findings)} finding(s): "
+        f"{len(report.errors)} error(s), "
+        f"{len(report.warnings)} warning(s), "
+        f"{len(report.findings) - len(report.errors) - len(report.warnings)}"
+        f" info"
+    )
+
+
+def run_audit(args: argparse.Namespace) -> int:
+    """Execute ``repro audit`` for parsed ``args``; returns the exit code."""
+    if args.list_checks:
+        _print_checks()
+        return 0
+    if args.slot < 0:
+        print(f"error: --slot must be >= 0 (got {args.slot})",
+              file=sys.stderr)
+        return 2
+
+    thresholds = AuditThresholds()
+    if args.bigm_ratio_limit is not None:
+        thresholds.bigm_ratio_limit = args.bigm_ratio_limit
+    if args.row_decades_limit is not None:
+        thresholds.row_decades_limit = args.row_decades_limit
+
+    inputs = _scenario_inputs(args.scenario, args.slot)
+    report = audit_slot(inputs, big=args.big, thresholds=thresholds)
+
+    if args.out is not None:
+        try:
+            with open(args.out, "w", encoding="utf-8") as handle:
+                handle.write(report.render_json() + "\n")
+        except OSError as exc:
+            print(f"error: cannot write report: {exc}", file=sys.stderr)
+            return 2
+
+    if args.format == "json":
+        print(report.render_json())
+    else:
+        print(report.render_text())
+        print(("\n" if report.findings else "")
+              + f"{args.scenario} slot {args.slot}: "
+              + _summary_line(report))
+    return 0 if report.clean else 1
+
+
+def _standalone(argv: Optional[List[str]] = None) -> int:
+    """``python -m repro.analysis.model.cli`` — the gate without the CLI."""
+    parser = argparse.ArgumentParser(
+        prog="repro-audit",
+        description="static formulation auditor for slot problems",
+    )
+    add_audit_arguments(parser)
+    return run_audit(parser.parse_args(argv))
+
+
+if __name__ == "__main__":  # pragma: no cover - thin wrapper
+    sys.exit(_standalone())

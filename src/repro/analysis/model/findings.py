@@ -1,0 +1,129 @@
+"""Finding datatypes and rendering for the formulation auditor.
+
+A :class:`ModelFinding` is the model-analysis sibling of the AST pass's
+:class:`~repro.analysis.diagnostics.Diagnostic`: one finding from a
+static pass over a *built slot problem* rather than over source code.
+Because model findings anchor to formulation components (a big-M row, a
+constraint family, a (class, data center) pair) instead of file/line
+locations, they carry a ``component`` string and a ``severity`` instead
+of a path anchor — everything else (frozen dataclass, stable code
+space, sorted text/JSON reports) mirrors the lint machinery so both
+tools read and script the same way.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+__all__ = [
+    "SEVERITIES",
+    "ModelFinding",
+    "render_model_text",
+    "render_model_json",
+]
+
+#: Severity ladder.  ``error`` findings gate ``repro audit`` (exit 1)
+#: and ``OptimizerConfig(audit="error")``; ``warning``/``info`` report.
+SEVERITIES = ("error", "warning", "info")
+
+_CODE_RE = re.compile(r"^MD\d{3}$")
+
+#: Sort rank so reports list errors first, then warnings, then info.
+_SEVERITY_RANK = {name: rank for rank, name in enumerate(SEVERITIES)}
+
+
+@dataclass(frozen=True)
+class ModelFinding:
+    """One formulation-audit finding.
+
+    Attributes
+    ----------
+    code:
+        Stable ``MD0xx`` identifier (the model-diagnostics code space,
+        disjoint from the lint pass's ``RP0xx``).
+    severity:
+        ``"error"`` (the formulation is wrong or infeasible),
+        ``"warning"`` (numerically risky / silently lossy), or
+        ``"info"`` (reporting only).
+    component:
+        The formulation element the finding anchors to, e.g.
+        ``"bigm[request1]"`` or ``"lp.row[delay:request2@datacenter1]"``.
+    message:
+        Human-readable description with the offending numbers.
+    data:
+        Machine-readable payload (measured value, data-driven limit,
+        suggested replacement, ...) for scripting over JSON reports.
+    """
+
+    code: str
+    severity: str
+    component: str
+    message: str
+    data: Dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not _CODE_RE.match(self.code):
+            raise ValueError(f"audit codes are MDxxx, got {self.code!r}")
+        if self.severity not in SEVERITIES:
+            raise ValueError(
+                f"severity must be one of {SEVERITIES}, got {self.severity!r}"
+            )
+        object.__setattr__(
+            self, "data",
+            {str(k): float(v) for k, v in dict(self.data).items()},
+        )
+
+    @property
+    def sort_key(self) -> Tuple[int, str, str, str]:
+        """Ordering: severity rank, then code, component, message."""
+        return (_SEVERITY_RANK[self.severity], self.code,
+                self.component, self.message)
+
+    def to_dict(self) -> Dict:
+        """Plain-dict form for ``--format json`` reports."""
+        return {
+            "code": self.code,
+            "severity": self.severity,
+            "component": self.component,
+            "message": self.message,
+            "data": dict(self.data),
+        }
+
+
+def render_model_text(findings: Iterable[ModelFinding]) -> str:
+    """``component: SEVERITY CODE message`` lines, errors first."""
+    return "\n".join(
+        f"{f.component}: {f.severity} {f.code} {f.message}"
+        for f in sorted(findings, key=lambda f: f.sort_key)
+    )
+
+
+def render_model_json(
+    findings: Iterable[ModelFinding],
+    *,
+    details: Optional[Dict] = None,
+) -> str:
+    """Machine-readable report for ``repro audit --format json``."""
+    ordered: List[Dict] = [
+        f.to_dict() for f in sorted(findings, key=lambda f: f.sort_key)
+    ]
+    by_severity = {name: 0 for name in SEVERITIES}
+    for record in ordered:
+        by_severity[record["severity"]] += 1
+    return json.dumps(
+        {
+            "findings": ordered,
+            "summary": {
+                "findings": len(ordered),
+                "errors": by_severity["error"],
+                "warnings": by_severity["warning"],
+                "info": by_severity["info"],
+            },
+            "details": details if details is not None else {},
+        },
+        indent=2,
+        sort_keys=True,
+    )

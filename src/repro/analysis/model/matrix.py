@@ -1,0 +1,268 @@
+"""Pass family 3: constraint-matrix diagnostics (MD030-MD036).
+
+Pure-reporting siblings of the :mod:`repro.solvers.presolve` reductions,
+plus scaling diagnostics the presolver does not attempt: per-row and
+per-column log10 coefficient spread (ill-scaling is the classic failure
+mode of big-M formulations — see pass family 1), duplicate rows, and
+interval-arithmetic certificates.  Where presolve *removes* an empty or
+redundant row, this pass *reports* it, because a production builder
+emitting removable rows is itself a finding about the formulation.
+
+All checks operate on a plain :class:`~repro.solvers.base.LinearProgram`
+so tests can feed synthetic programs directly; the registered rule runs
+them over the slot's LP (with human-readable row/variable labels derived
+from the topology) and, when present, the MILP relaxation.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, List, Optional
+
+import numpy as np
+
+from repro.analysis.model.findings import ModelFinding
+from repro.analysis.model.registry import (
+    AuditContext,
+    AuditRule,
+    register_audit,
+)
+from repro.cloud.topology import CloudTopology
+from repro.solvers.base import LinearProgram
+
+__all__ = [
+    "analyze_program",
+    "matrix_details",
+    "lp_row_labels",
+    "lp_var_labels",
+    "MatrixDiagnosticsRule",
+]
+
+#: Coefficients below this magnitude count as structural zeros, matching
+#: the presolve tolerance.
+_ZERO_TOL = 1e-12
+
+
+def lp_row_labels(topology: CloudTopology) -> List[str]:
+    """Human-readable labels for the aggregated fixed-level LP's rows.
+
+    Mirrors the documented :class:`repro.core.formulation.FixedLevelLPCache`
+    row layout: delay rows (class-major), share-budget rows, arrival-cap
+    rows.
+    """
+    labels = []
+    for rc in topology.request_classes:
+        for dc in topology.datacenters:
+            labels.append(f"delay:{rc.name}@{dc.name}")
+    for dc in topology.datacenters:
+        labels.append(f"share:{dc.name}")
+    for rc in topology.request_classes:
+        for fe in topology.frontends:
+            labels.append(f"arrival:{rc.name}@{fe.name}")
+    return labels
+
+
+def lp_var_labels(topology: CloudTopology) -> List[str]:
+    """Labels for the aggregated LP's variables: lam block then Phi block."""
+    labels = []
+    for rc in topology.request_classes:
+        for fe in topology.frontends:
+            for dc in topology.datacenters:
+                labels.append(f"lam[{rc.name},{fe.name},{dc.name}]")
+    for rc in topology.request_classes:
+        for dc in topology.datacenters:
+            labels.append(f"phi[{rc.name},{dc.name}]")
+    return labels
+
+
+def _decades(values: np.ndarray) -> float:
+    """log10 spread of the nonzero magnitudes in ``values`` (0 if < 2)."""
+    mags = np.abs(values)
+    mags = mags[mags > _ZERO_TOL]
+    if mags.size < 2:
+        return 0.0
+    return float(np.log10(mags.max()) - np.log10(mags.min()))
+
+
+def analyze_program(
+    lp: LinearProgram,
+    prefix: str,
+    make: Callable[..., ModelFinding],
+    row_decades_limit: float = 6.0,
+    row_labels: Optional[List[str]] = None,
+    var_labels: Optional[List[str]] = None,
+) -> Iterator[ModelFinding]:
+    """Run MD030-MD036 over one program; ``make`` builds the findings.
+
+    ``make`` is :meth:`AuditRule.finding` (kept injectable so the checks
+    stay importable without the registry).  Labels default to positional
+    ``row[i]`` / ``x[j]`` names.
+    """
+    n = lp.num_variables
+
+    def row_name(r: int) -> str:
+        if row_labels is not None and r < len(row_labels):
+            return f"{prefix}.row[{row_labels[r]}]"
+        return f"{prefix}.row[{r}]"
+
+    def var_name(j: int) -> str:
+        if var_labels is not None and j < len(var_labels):
+            return f"{prefix}.var[{var_labels[j]}]"
+        return f"{prefix}.var[{j}]"
+
+    # ---- variable bounds: MD035 (error) and MD034 (info) ----------------
+    for j in range(n):
+        lo, hi = float(lp.lower[j]), float(lp.upper[j])
+        if lo > hi:
+            yield make(
+                "MD035", "error", var_name(j),
+                f"lower bound {lo:g} exceeds upper bound {hi:g}: the "
+                "program is trivially infeasible",
+                lower=lo, upper=hi,
+            )
+        elif lo == hi and np.isfinite(lo):
+            yield make(
+                "MD034", "info", var_name(j),
+                f"variable is fixed at {lo:g} by its bounds; presolve "
+                "will eliminate it",
+                value=lo,
+            )
+
+    if lp.a_ub is None:
+        return
+    a, b = lp.a_ub, lp.b_ub
+    lo_b, hi_b = lp.lower, lp.upper
+
+    # ---- per-row checks --------------------------------------------------
+    seen = {}
+    for r in range(a.shape[0]):
+        row = a[r]
+        nz = np.abs(row) > _ZERO_TOL
+        if not nz.any():
+            if b[r] < -1e-9:
+                yield make(
+                    "MD036", "error", row_name(r),
+                    f"empty row demands 0 <= {b[r]:g}: infeasibility "
+                    "certificate",
+                    rhs=float(b[r]),
+                )
+            else:
+                yield make(
+                    "MD032", "warning", row_name(r),
+                    "row has no nonzero coefficients; the builder "
+                    "emitted a vacuous constraint",
+                    rhs=float(b[r]),
+                )
+            continue
+
+        spread = _decades(row)
+        if spread > row_decades_limit:
+            yield make(
+                "MD030", "warning", row_name(r),
+                f"coefficient magnitudes span {spread:.2f} decades "
+                f"(limit {row_decades_limit:g}): the row is ill-scaled "
+                "and solver tolerances lose the small coefficients",
+                decades=spread,
+            )
+
+        key = row.tobytes()
+        if key in seen:
+            other = seen[key]
+            yield make(
+                "MD031", "warning", row_name(r),
+                f"row duplicates {row_name(other)} (rhs {b[other]:g} vs "
+                f"{b[r]:g}); the looser copy is dead weight",
+                other_row=float(other), rhs=float(b[r]),
+            )
+        else:
+            seen[key] = r
+
+        # Interval arithmetic over the bounds, as in presolve._reduce.
+        with np.errstate(invalid="ignore"):
+            worst = float(np.sum(np.where(row > 0, row * hi_b, row * lo_b)))
+            best = float(np.sum(np.where(row > 0, row * lo_b, row * hi_b)))
+        if np.isfinite(worst) and worst <= b[r] + 1e-12:
+            yield make(
+                "MD033", "info", row_name(r),
+                f"row is redundant: worst-case lhs {worst:g} cannot "
+                f"exceed rhs {b[r]:g} under the variable bounds",
+                worst=worst, rhs=float(b[r]),
+            )
+        if np.isfinite(best) and best > b[r] + 1e-9:
+            yield make(
+                "MD036", "error", row_name(r),
+                f"row is unsatisfiable: best-case lhs {best:g} already "
+                f"exceeds rhs {b[r]:g} under the variable bounds",
+                best=best, rhs=float(b[r]),
+            )
+
+    # ---- per-column scaling ---------------------------------------------
+    for j in range(n):
+        spread = _decades(a[:, j])
+        if spread > row_decades_limit:
+            yield make(
+                "MD030", "warning", var_name(j),
+                f"column coefficient magnitudes span {spread:.2f} "
+                f"decades (limit {row_decades_limit:g}): consider "
+                "rescaling the variable",
+                decades=spread,
+            )
+
+
+def matrix_details(lp: LinearProgram) -> dict:
+    """Scaling summary for the report's ``details`` block (floats only)."""
+    if lp.a_ub is None:
+        return {}
+    mags = np.abs(lp.a_ub)
+    mags = mags[mags > _ZERO_TOL]
+    if mags.size == 0:
+        return {}
+    return {
+        "coeff_min": float(mags.min()),
+        "coeff_max": float(mags.max()),
+        "coeff_decades": float(np.log10(mags.max()) - np.log10(mags.min())),
+        "rows": float(lp.a_ub.shape[0]),
+        "columns": float(lp.num_variables),
+    }
+
+
+@register_audit
+class MatrixDiagnosticsRule(AuditRule):
+    """MD030-MD036 — scaling, structure, and certificate checks."""
+
+    code = "MD030"
+    codes = {
+        "MD030": "row/column coefficient spread beyond the decade limit",
+        "MD031": "duplicate constraint rows",
+        "MD032": "empty (vacuous) constraint row",
+        "MD033": "redundant row under interval arithmetic",
+        "MD034": "variable fixed by its bounds",
+        "MD035": "lower bound exceeds upper bound",
+        "MD036": "row infeasibility certificate",
+    }
+    name = "matrix-diagnostics"
+    rationale = (
+        "The slot LP mixes unit coefficients with C*mu terms of order "
+        "1e4-1e5 and deadline reserves of order M/D; a row spanning too "
+        "many decades, a duplicated or vacuous row, or a bound-level "
+        "infeasibility certificate all point at builder bugs or "
+        "degenerate topologies that a solver would either grind on or "
+        "mask with a generic 'infeasible' verdict. Mirrors the presolve "
+        "reductions as pure reporting."
+    )
+
+    def check(self, ctx: AuditContext) -> Iterator[ModelFinding]:
+        limit = ctx.thresholds.row_decades_limit
+        lp = ctx.lp()
+        if lp is not None:
+            yield from analyze_program(
+                lp, "lp", self.finding,
+                row_decades_limit=limit,
+                row_labels=lp_row_labels(ctx.topology),
+                var_labels=lp_var_labels(ctx.topology),
+            )
+        milp = ctx.milp()
+        if milp is not None:
+            yield from analyze_program(
+                milp.lp, "milp", self.finding,
+                row_decades_limit=limit,
+            )

@@ -1,0 +1,238 @@
+"""Audit-rule registry and the context handed to every pass.
+
+Mirrors :mod:`repro.analysis.registry` (the AST lint pass): an
+:class:`AuditRule` registers itself under a stable ``MD0xx`` *family*
+code via :func:`register_audit`, carries a name and a rationale for the
+catalog, and yields :class:`~repro.analysis.model.findings.ModelFinding`
+records from :meth:`AuditRule.check`.  Rules are stateless; everything
+slot-specific lives on the shared :class:`AuditContext`.
+
+A rule family may emit several related codes (e.g. the big-M family
+owns MD010 *and* MD011); the registry key is the family's lead code and
+:attr:`AuditRule.codes` enumerates the full set for ``--list-checks``.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Type
+
+import numpy as np
+
+from repro.analysis.model.findings import ModelFinding
+from repro.cloud.topology import CloudTopology
+from repro.core.formulation import SlotInputs, fixed_level_lp, multilevel_milp
+from repro.solvers.base import LinearProgram, MixedIntegerProgram
+
+__all__ = [
+    "AuditContext",
+    "AuditRule",
+    "AuditThresholds",
+    "register_audit",
+    "all_audit_rules",
+    "get_audit_rule",
+]
+
+_CODE_RE = re.compile(r"^MD\d{3}$")
+
+
+@dataclass
+class AuditThresholds:
+    """Configurable knobs shared by the audit passes.
+
+    Attributes
+    ----------
+    bigm_ratio_limit:
+        A configured big-M constant more than this factor above the
+        data-driven minimum is flagged as a numerical trap (MD010).
+    mccormick_ratio_limit:
+        A McCormick envelope bound more than this factor above the
+        tight (deadline-aware) load bound is flagged loose (MD012).
+    row_decades_limit:
+        Maximum tolerated log10 spread of a constraint row's nonzero
+        coefficient magnitudes before MD030 fires.
+    oversize_ratio:
+        Fleet capacity more than this factor above the slot's offered
+        load is reported as over-provisioned (MD045, info).
+    """
+
+    bigm_ratio_limit: float = 100.0
+    mccormick_ratio_limit: float = 100.0
+    row_decades_limit: float = 6.0
+    oversize_ratio: float = 100.0
+
+
+@dataclass
+class AuditContext:
+    """Everything the audit passes may need about one slot problem.
+
+    The LP (and, for multi-level TUFs, the MILP) are built lazily
+    through the production builders in :mod:`repro.core.formulation`;
+    a builder that *refuses* the topology (statically infeasible
+    unconditional-share reserve) leaves the corresponding problem
+    ``None`` with the failure message recorded, so matrix passes skip
+    gracefully while the feasibility pass reports the root cause.
+    """
+
+    inputs: SlotInputs
+    #: The big-M constant the ``bigm`` solve path would use for this
+    #: slot (see :data:`repro.core.bigm.DEFAULT_BIG`).
+    big: float = 0.0
+    #: The paper's "small enough" time increment delta.
+    delta: float = 1e-9
+    thresholds: AuditThresholds = field(default_factory=AuditThresholds)
+
+    _lp: Optional[LinearProgram] = field(default=None, repr=False)
+    _lp_error: Optional[str] = field(default=None, repr=False)
+    _milp: Optional[MixedIntegerProgram] = field(default=None, repr=False)
+    _milp_error: Optional[str] = field(default=None, repr=False)
+    _built_lp: bool = field(default=False, repr=False)
+    _built_milp: bool = field(default=False, repr=False)
+
+    @property
+    def topology(self) -> CloudTopology:
+        return self.inputs.topology
+
+    @property
+    def multilevel(self) -> bool:
+        """True when any class has a multi-level TUF (MILP path)."""
+        return any(
+            rc.tuf.num_levels > 1
+            for rc in self.inputs.topology.request_classes
+        )
+
+    def lp(self) -> Optional[LinearProgram]:
+        """The slot's fixed-level LP, or None when it cannot be built."""
+        if not self._built_lp:
+            self._built_lp = True
+            try:
+                self._lp, _ = fixed_level_lp(self.inputs)
+            except ValueError as exc:
+                self._lp_error = str(exc)
+        return self._lp
+
+    def milp(self) -> Optional[MixedIntegerProgram]:
+        """The slot's multi-level MILP (None for one-level TUFs or on
+        a builder refusal)."""
+        if not self._built_milp:
+            self._built_milp = True
+            if self.multilevel:
+                try:
+                    self._milp, _ = multilevel_milp(self.inputs)
+                except ValueError as exc:
+                    self._milp_error = str(exc)
+        return self._milp
+
+    def build_errors(self) -> List[str]:
+        """Builder refusal messages collected while materializing."""
+        out = []
+        if self._lp_error:
+            out.append(self._lp_error)
+        if self._milp_error:
+            out.append(self._milp_error)
+        return out
+
+    # ------------------------------------------------------- derived data
+
+    def effective_deadlines(self) -> np.ndarray:
+        """``(K,)`` final deadlines after the margin/percentile scaling.
+
+        dtype float64.  The same folding the builders apply: a headroom
+        factor of ``delay_factor`` is a deadline of ``D/delay_factor``.
+        """
+        topo = self.inputs.topology
+        deadlines = np.array(
+            [rc.deadline for rc in topo.request_classes], dtype=float
+        )
+        return deadlines * self.inputs.deadline_scale / self.inputs.delay_factor
+
+
+class AuditRule:
+    """Base class for audit passes; subclasses override metadata + check.
+
+    Attributes
+    ----------
+    code:
+        Lead ``MD0xx`` code the family registers under.
+    codes:
+        All codes the family can emit, mapped to a one-line summary
+        (surfaced by ``repro audit --list-checks`` and the docs
+        catalog).
+    name:
+        Short kebab-case slug of the pass family.
+    rationale:
+        One paragraph tying the check to the paper's formulation.
+    """
+
+    code: str = ""
+    codes: Dict[str, str] = {}
+    name: str = ""
+    rationale: str = ""
+
+    def check(self, ctx: AuditContext) -> Iterator[ModelFinding]:
+        """Yield findings for one slot problem."""
+        raise NotImplementedError
+        yield  # pragma: no cover - makes this a generator for typing
+
+    def finding(
+        self,
+        code: str,
+        severity: str,
+        component: str,
+        message: str,
+        **data: float,
+    ) -> ModelFinding:
+        """Build one finding, asserting the code belongs to this family."""
+        if code not in self.codes:
+            raise ValueError(
+                f"rule {self.name} emitted unregistered code {code}"
+            )
+        return ModelFinding(
+            code=code, severity=severity, component=component,
+            message=message, data=data,
+        )
+
+
+_REGISTRY: Dict[str, AuditRule] = {}
+
+
+def register_audit(rule_cls: Type[AuditRule]) -> Type[AuditRule]:
+    """Class decorator adding one audit pass to the global registry."""
+    if not _CODE_RE.match(rule_cls.code or ""):
+        raise ValueError(
+            f"audit rule {rule_cls.__name__} needs a lead code matching "
+            f"MDxxx, got {rule_cls.code!r}"
+        )
+    if rule_cls.code in _REGISTRY:
+        raise ValueError(f"duplicate audit rule code {rule_cls.code}")
+    if not rule_cls.name:
+        raise ValueError(f"audit rule {rule_cls.code} needs a name")
+    for code in rule_cls.codes:
+        if not _CODE_RE.match(code):
+            raise ValueError(
+                f"audit rule {rule_cls.name}: bad code {code!r}"
+            )
+    if rule_cls.code not in rule_cls.codes:
+        raise ValueError(
+            f"audit rule {rule_cls.name}: lead code {rule_cls.code} "
+            "missing from its codes catalog"
+        )
+    _REGISTRY[rule_cls.code] = rule_cls()
+    return rule_cls
+
+
+def all_audit_rules() -> List[AuditRule]:
+    """Every registered audit pass, sorted by lead code."""
+    return [_REGISTRY[code] for code in sorted(_REGISTRY)]
+
+
+def get_audit_rule(code: str) -> AuditRule:
+    """Look up the pass family owning ``code`` (lead or member)."""
+    for rule in _REGISTRY.values():
+        if code == rule.code or code in rule.codes:
+            return rule
+    raise KeyError(
+        f"unknown audit code {code!r}; known: "
+        f"{sorted(c for r in _REGISTRY.values() for c in r.codes)}"
+    )

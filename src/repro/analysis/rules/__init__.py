@@ -10,13 +10,20 @@ reused — baselines and suppression comments outlive rules):
   threading contract of :mod:`repro.solvers.base`;
 * ``RP005`` unpicklable callables (lambdas, nested defs) handed to
   process-pool boundaries;
-* ``RP006`` bare or swallowed ``except`` in solver/fallback code.
+* ``RP006`` bare or swallowed ``except`` in solver/fallback code;
+* ``RP007`` mutable default argument values (shared-state bug);
+* ``RP008`` public ndarray-returning functions in ``core``/``solvers``
+  without a documented dtype contract (float64 coercion risk).
 """
 
 from repro.analysis.rules.contracts import (
     PoolPicklabilityRule,
     SolverContractRule,
     SwallowedExceptionRule,
+)
+from repro.analysis.rules.hygiene import (
+    ArrayDtypeContractRule,
+    MutableDefaultRule,
 )
 from repro.analysis.rules.numerics import (
     FloatEqualityRule,
@@ -31,4 +38,6 @@ __all__ = [
     "SolverContractRule",
     "PoolPicklabilityRule",
     "SwallowedExceptionRule",
+    "MutableDefaultRule",
+    "ArrayDtypeContractRule",
 ]

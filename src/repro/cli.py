@@ -11,7 +11,10 @@ Commands:
 * ``trace [--out traces.jsonl]`` — run a scenario with telemetry on and
   dump per-slot :class:`~repro.obs.trace.SlotTrace` records as JSONL;
 * ``lint [PATH ...]`` — run the :mod:`repro.analysis` domain-aware
-  static-analysis pass (``reprolint``); exits 1 on findings.
+  static-analysis pass (``reprolint``); exits 1 on findings;
+* ``audit [--scenario ...]`` — run the :mod:`repro.analysis.model`
+  formulation auditor on one slot problem (big-M tightness, units,
+  matrix diagnostics, feasibility); exits 1 on MD errors.
 """
 
 from __future__ import annotations
@@ -99,6 +102,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     from repro.analysis.cli import add_lint_arguments
     add_lint_arguments(pl)
+
+    pa = sub.add_parser(
+        "audit",
+        help="static formulation audit of a slot problem; exit 1 on "
+             "MD-level errors",
+    )
+    from repro.analysis.model.cli import add_audit_arguments
+    add_audit_arguments(pa)
     return parser
 
 
@@ -390,4 +401,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "lint":
         from repro.analysis.cli import run_lint
         return run_lint(args)
+    if args.command == "audit":
+        from repro.analysis.model.cli import run_audit
+        return run_audit(args)
     raise AssertionError(f"unhandled command {args.command!r}")

@@ -36,7 +36,7 @@ class Server:
     index: int
     capacity: float = 1.0
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.index < 0:
             raise ValueError("server index must be non-negative")
         check_positive(self.capacity, "capacity")
@@ -86,7 +86,7 @@ class DataCenter:
     pue: float = 1.0
     idle_power_kw: float = 0.0
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if not self.name:
             raise ValueError("name must be non-empty")
         if self.num_servers < 1:

@@ -40,7 +40,7 @@ class EnergyModel:
         PUE to account for cooling and peripheral equipment.
     """
 
-    def __init__(self, datacenters: Sequence[DataCenter], apply_pue: bool = False):
+    def __init__(self, datacenters: Sequence[DataCenter], apply_pue: bool = False) -> None:
         if not datacenters:
             raise ValueError("need at least one data center")
         classes = {dc.num_request_classes for dc in datacenters}

@@ -20,6 +20,6 @@ class FrontEnd:
 
     name: str
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if not self.name:
             raise ValueError("name must be non-empty")

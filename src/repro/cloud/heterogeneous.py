@@ -43,7 +43,7 @@ class ServerGroup:
     capacity: float = 1.0
     pue: float = 1.0
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if not self.name:
             raise ValueError("group name must be non-empty")
         if self.count < 1:
@@ -68,7 +68,7 @@ class LocationSpec:
     distances: np.ndarray = field(repr=False)  # (S,) miles per front-end
     groups: Tuple[ServerGroup, ...] = ()
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if not self.groups:
             raise ValueError(f"location {self.name!r} needs at least one group")
         object.__setattr__(

@@ -27,7 +27,7 @@ class ServiceLevelAgreement:
         step-downward TUF (one TUF level == one SLA level).
     """
 
-    def __init__(self, request_classes: Sequence[RequestClass]):
+    def __init__(self, request_classes: Sequence[RequestClass]) -> None:
         if not request_classes:
             raise ValueError("need at least one request class")
         self._classes = list(request_classes)

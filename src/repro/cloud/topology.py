@@ -45,7 +45,7 @@ class CloudTopology:
     datacenters: Tuple[DataCenter, ...]
     distances: np.ndarray = field(repr=False)
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         object.__setattr__(self, "request_classes", tuple(self.request_classes))
         object.__setattr__(self, "frontends", tuple(self.frontends))
         object.__setattr__(self, "datacenters", tuple(self.datacenters))

@@ -11,11 +11,16 @@ differences and ``d_{s,l}`` is the source-destination distance in miles.
 
 from __future__ import annotations
 
+from typing import Sequence, Union
+
 import numpy as np
 
 from repro.utils.validation import check_nonnegative
 
 __all__ = ["TransferModel"]
+
+#: Anything :func:`check_nonnegative` coerces to a float ndarray.
+ArrayLike = Union[np.ndarray, Sequence[float], Sequence[Sequence[float]]]
 
 
 class TransferModel:
@@ -30,7 +35,7 @@ class TransferModel:
         Shape ``(S, L)``; ``distances[s, l]`` is ``d_{s,l}`` in miles.
     """
 
-    def __init__(self, unit_costs, distances):
+    def __init__(self, unit_costs: ArrayLike, distances: ArrayLike) -> None:
         self._unit_costs = check_nonnegative(unit_costs, "unit_costs")
         self._distances = check_nonnegative(distances, "distances")
         if self._unit_costs.ndim != 1:

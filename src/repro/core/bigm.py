@@ -38,6 +38,8 @@ from repro.solvers.linprog import solve_lp
 from repro.solvers.penalty import NonlinearProgram, PenaltySolver
 
 __all__ = [
+    "DEFAULT_BIG",
+    "DEFAULT_DELTA",
     "bigm_constraint_series",
     "check_series_selects_level",
     "lagrange_utility",
@@ -46,12 +48,21 @@ __all__ = [
 
 Constraint = Callable[[float, float], float]
 
+#: Default big-M constant of the "bigm" solve path.  Large enough for
+#: every experiment in the paper; ``repro audit`` compares it against
+#: the data-driven minimum per request class and ``solve_slot_bigm``
+#: accepts ``big=None`` to adopt the tightened per-class values.
+DEFAULT_BIG = 1e4
+
+#: The paper's "small enough" time increment (delta in Eqs. 12/17).
+DEFAULT_DELTA = 1e-9
+
 
 def bigm_constraint_series(
     values: Sequence[float],
     deadlines: Sequence[float],
     big: float = 1e6,
-    delta: float = 1e-9,
+    delta: float = DEFAULT_DELTA,
 ) -> List[Constraint]:
     """Build the Eq. 11-13 / 17 constraint callables for one TUF.
 
@@ -189,8 +200,8 @@ class _Layout:
 
 def solve_slot_bigm(
     inputs: SlotInputs,
-    big: float = 1e4,
-    delta: float = 1e-9,
+    big: "float | None" = DEFAULT_BIG,
+    delta: float = DEFAULT_DELTA,
     lp_method: str = "highs",
     seed: int = 0,
 ) -> DispatchPlan:
@@ -205,6 +216,11 @@ def solve_slot_bigm(
     in poor basins, especially with three or more levels);
     (4) re-solve the fixed-level LP at the refined levels for a clean,
     feasible plan.
+
+    ``big=None`` adopts the data-driven tightened constant per request
+    class (:func:`repro.analysis.model.bigm.recommended_big`) instead of
+    one shared :data:`DEFAULT_BIG` — the workflow ``repro audit``
+    suggests when it flags MD010.
     """
     topo = inputs.topology
     K, S, L = topo.num_classes, topo.num_frontends, topo.num_datacenters
@@ -215,9 +231,21 @@ def solve_slot_bigm(
     cost = inputs.cost_per_request()
     T = inputs.slot_duration
 
+    if big is None:
+        from repro.analysis.model.bigm import recommended_big
+
+        bigs = []
+        for rc in topo.request_classes:
+            tightened = recommended_big(rc.tuf.values, rc.tuf.deadlines, delta)
+            # One-level TUFs report 0 (their series never uses BIG).
+            bigs.append(tightened if tightened > 0.0 else 1.0)
+    else:
+        bigs = [float(big)] * K
     series = [
-        bigm_constraint_series(rc.tuf.values, rc.tuf.deadlines, big=big, delta=delta)
-        for rc in topo.request_classes
+        bigm_constraint_series(
+            rc.tuf.values, rc.tuf.deadlines, big=bigs[k], delta=delta
+        )
+        for k, rc in enumerate(topo.request_classes)
     ]
     u_min = np.array([rc.tuf.values.min() for rc in topo.request_classes])
     u_max = np.array([rc.tuf.values.max() for rc in topo.request_classes])

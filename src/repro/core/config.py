@@ -29,6 +29,7 @@ LEVEL_METHODS = ("auto", "lp", "milp", "bigm", "greedy")
 FORMULATIONS = ("aggregated", "per_server")
 LP_METHODS = ("highs", "simplex", "ipm")
 MILP_METHODS = ("highs", "bb")
+AUDIT_MODES = ("off", "warn", "error")
 
 
 @dataclass(frozen=True)
@@ -86,6 +87,16 @@ class OptimizerConfig:
         stage leaves the call over budget, intermediate stages are
         skipped and the chain jumps straight to the baseline plan.
         ``None`` disables the time check.
+    audit:
+        Run the static formulation auditor
+        (:func:`repro.analysis.model.audit_slot`) on every slot before
+        solving.  ``"off"`` (default) skips it; ``"warn"`` records the
+        findings on the emitted :class:`~repro.obs.trace.SlotTrace` and
+        the collector's ``optimizer.audit_*`` counters but never blocks
+        the solve; ``"error"`` additionally raises
+        :class:`~repro.solvers.base.SolverError` when the audit reports
+        an error-severity finding (statically infeasible or mis-scaled
+        slot problem), before any solver time is spent.
     """
 
     level_method: str = "auto"
@@ -103,8 +114,14 @@ class OptimizerConfig:
     fallback_retries: int = 1
     solver_iteration_budget: Optional[int] = None
     fallback_time_budget: Optional[float] = None
+    audit: str = "off"
 
     def __post_init__(self) -> None:
+        if self.audit not in AUDIT_MODES:
+            raise ValueError(
+                f"unknown audit mode {self.audit!r}; "
+                f"choose from {AUDIT_MODES}"
+            )
         if self.level_method not in LEVEL_METHODS:
             raise ValueError(
                 f"unknown level_method {self.level_method!r}; "

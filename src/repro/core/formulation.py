@@ -130,6 +130,7 @@ class SlotInputs:
         """``(K, S, L)`` dollars per dispatched request (energy + transfer).
 
         ``P_{k,l} * p_l + TranCost_k * d_{s,l}`` (paper Eqs. 2-3).
+        dtype float64.
         """
         topo = self.topology
         energy = topo.energy_per_request  # (K, L)
@@ -144,6 +145,7 @@ class SlotInputs:
 
         Used by the MILP's McCormick linearization; the bound is the
         smaller of total offered load and the data center's raw capacity.
+        dtype float64.
         """
         topo = self.topology
         offered = self.arrivals.sum(axis=1)  # (K,)
@@ -165,8 +167,9 @@ def feasibility_margin(
 
         sum_k 1 / (D_k * C_l * mu_{k,l}) <= 1     for every l.
 
-    Returns the ``(L,)`` array of ``1 - sum_k ...`` margins; a negative
-    entry means the topology cannot host all classes on one server.
+    Returns the ``(L,)`` float64 array of ``1 - sum_k ...`` margins; a
+    negative entry means the topology cannot host all classes on one
+    server.
     """
     deadlines = deadline_scale * np.array(
         [rc.deadline for rc in topology.request_classes]

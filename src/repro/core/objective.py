@@ -52,12 +52,12 @@ class NetProfitBreakdown:
 
     @property
     def dropped_rates(self) -> np.ndarray:
-        """``(K,)`` offered-but-not-dispatched rates."""
+        """``(K,)`` offered-but-not-dispatched rates; float64."""
         return np.clip(self.offered_rates - self.served_rates, 0.0, None)
 
     @property
     def completion_fractions(self) -> np.ndarray:
-        """``(K,)`` fraction of offered requests dispatched (1.0 if none offered)."""
+        """``(K,)`` fraction of offered requests dispatched (1.0 if none offered); float64."""
         offered = self.offered_rates
         with np.errstate(divide="ignore", invalid="ignore"):
             frac = np.where(offered > 0, self.served_rates / offered, 1.0)

@@ -280,6 +280,7 @@ class ProfitAwareOptimizer:
             deadline_scale=self.deadline_margin,
             delay_factor=self._delay_factor,
         )
+        audit_findings = self._audit_inputs(inputs)
         start = time.perf_counter()
         if self.config.fallback:
             plan, stats, fallback_level, fallback_stage, failure = \
@@ -354,8 +355,41 @@ class ProfitAwareOptimizer:
                 residuals=stats.get("residuals", {}),
                 fallback=fallback_level,
                 failure=failure,
+                audit=audit_findings,
             ))
         return plan
+
+    def _audit_inputs(self, inputs: SlotInputs) -> List[Dict]:
+        """Run the formulation auditor per ``config.audit``.
+
+        Returns the findings as plain dicts (for the slot trace);
+        raises :class:`SolverError` in ``"error"`` mode when the audit
+        reports an error-severity finding, *before* any solver runs.
+        """
+        if self.config.audit == "off":
+            return []
+        from repro.analysis.model import audit_slot
+
+        report = audit_slot(inputs)
+        collector = self.collector
+        if collector.enabled:
+            collector.increment("optimizer.audits")
+            if report.findings:
+                collector.increment(
+                    "optimizer.audit_findings", len(report.findings)
+                )
+            if report.errors:
+                collector.increment(
+                    "optimizer.audit_errors", len(report.errors)
+                )
+        if self.config.audit == "error" and not report.clean:
+            first = report.errors[0]
+            raise SolverError(
+                f"formulation audit failed with {len(report.errors)} "
+                f"error(s); first: {first.code} [{first.component}] "
+                f"{first.message}"
+            )
+        return [finding.to_dict() for finding in report.findings]
 
     # ----------------------------------------------------- fallback pipeline
 

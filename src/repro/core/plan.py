@@ -70,7 +70,7 @@ class DispatchPlan:
         return out
 
     def server_service_rates(self) -> np.ndarray:
-        """``(K, N)`` full-capacity service rates ``C_l * mu_{k,l}``."""
+        """``(K, N)`` full-capacity service rates ``C_l * mu_{k,l}``; float64."""
         topo = self.topology
         dc_idx = self._dc_of_server()
         mu = topo.service_rates  # (K, L)
@@ -80,11 +80,11 @@ class DispatchPlan:
     # ------------------------------------------------------------- loads
 
     def server_loads(self) -> np.ndarray:
-        """``(K, N)`` aggregate load per class per server (summed over s)."""
+        """``(K, N)`` aggregate load per class per server (summed over s); float64."""
         return self.rates.sum(axis=1)
 
     def dc_rates(self) -> np.ndarray:
-        """``(K, S, L)`` rates aggregated to data-center granularity."""
+        """``(K, S, L)`` rates aggregated to data-center granularity; float64."""
         topo = self.topology
         out = np.zeros((topo.num_classes, topo.num_frontends, topo.num_datacenters))
         offsets = topo.server_offsets()
@@ -93,11 +93,11 @@ class DispatchPlan:
         return out
 
     def dc_loads(self) -> np.ndarray:
-        """``(K, L)`` aggregate load per class per data center."""
+        """``(K, L)`` aggregate load per class per data center; float64."""
         return self.dc_rates().sum(axis=1)
 
     def served_rates(self) -> np.ndarray:
-        """``(K,)`` total dispatched rate per class."""
+        """``(K,)`` total dispatched rate per class; float64."""
         return self.rates.sum(axis=(1, 2))
 
     # ------------------------------------------------------------- delays
@@ -106,7 +106,7 @@ class DispatchPlan:
         """``(K, N)`` expected M/M/1 delays (Eq. 1); ``inf`` if unstable.
 
         Entries for (class, server) pairs with zero load are ``nan`` —
-        no request experiences them.
+        no request experiences them.  dtype float64.
         """
         loads = self.server_loads()
         effective = self.shares * self.server_service_rates()
@@ -116,11 +116,11 @@ class DispatchPlan:
     # ----------------------------------------------------------- servers
 
     def active_server_mask(self) -> np.ndarray:
-        """``(N,)`` True where the server carries any load (powered on)."""
+        """``(N,)`` True where the server carries any load; dtype bool."""
         return self.server_loads().sum(axis=0) > _LOAD_TOL
 
     def powered_on_per_dc(self) -> np.ndarray:
-        """``(L,)`` number of powered-on servers per data center."""
+        """``(L,)`` number of powered-on servers per data center; dtype int."""
         topo = self.topology
         mask = self.active_server_mask()
         offsets = topo.server_offsets()

@@ -24,7 +24,7 @@ __all__ = ["powered_on_servers", "minimum_servers_for_load", "consolidate_plan"]
 
 
 def powered_on_servers(plan: DispatchPlan) -> np.ndarray:
-    """``(L,)`` powered-on server counts implied by ``plan``."""
+    """``(L,)`` powered-on server counts implied by ``plan``; dtype int."""
     return plan.powered_on_per_dc()
 
 

@@ -115,12 +115,12 @@ class StepDownwardTUF(TimeUtilityFunction):
 
     @property
     def values(self) -> np.ndarray:
-        """Per-level utilities, copy."""
+        """Per-level utilities, float64 copy."""
         return self._values.copy()
 
     @property
     def deadlines(self) -> np.ndarray:
-        """Per-level sub-deadlines, copy."""
+        """Per-level sub-deadlines, float64 copy."""
         return self._deadlines.copy()
 
     @property

@@ -41,7 +41,7 @@ class GreenEnergyProfile:
     name: str
     availability: np.ndarray = field(repr=False)
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         arr = check_probability(self.availability, "availability")
         if arr.ndim != 1 or arr.size == 0:
             raise ValueError("availability must be a non-empty 1-D array")

@@ -27,7 +27,7 @@ class MultiElectricityMarket:
         (index ``l`` in the paper's notation).
     """
 
-    def __init__(self, traces: Sequence[PriceTrace]):
+    def __init__(self, traces: Sequence[PriceTrace]) -> None:
         if not traces:
             raise ValueError("need at least one price trace")
         self._traces: List[PriceTrace] = list(traces)

@@ -55,7 +55,7 @@ class PriceTrace:
     location: str
     prices: np.ndarray = field(repr=False)
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         arr = check_nonnegative(self.prices, "prices")
         if arr.ndim != 1 or arr.size == 0:
             raise ValueError("prices must be a non-empty 1-D array")

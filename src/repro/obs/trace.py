@@ -53,6 +53,13 @@ class SlotTrace:
     error messages of the stages that failed before the winning one
     (``""`` when the primary solve succeeded).  Both default so trace
     files written before these fields existed still round-trip.
+
+    ``audit`` carries the formulation auditor's findings for the slot
+    when ``OptimizerConfig(audit="warn"|"error")`` is active: one dict
+    per finding, as produced by
+    ``repro.analysis.model.ModelFinding.to_dict`` (code, severity,
+    component, message, data).  Empty when auditing is off or the slot
+    audited clean; defaults so older trace files still round-trip.
     """
 
     slot: int
@@ -70,6 +77,7 @@ class SlotTrace:
     residuals: Dict[str, float] = field(default_factory=dict)
     fallback: int = 0
     failure: str = ""
+    audit: List[Dict] = field(default_factory=list)
 
     def __post_init__(self) -> None:
         if self.warm_start not in WARM_OUTCOMES:
@@ -89,6 +97,7 @@ class SlotTrace:
             self, "residuals",
             {str(k): float(v) for k, v in dict(self.residuals).items()},
         )
+        object.__setattr__(self, "audit", [dict(f) for f in self.audit])
 
     @property
     def phase_time_total(self) -> float:

@@ -42,7 +42,7 @@ class JacksonNetwork:
     external_arrivals: np.ndarray = field(repr=False)
     routing: np.ndarray = field(repr=False)
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         mu = check_positive(self.service_rates, "service_rates")
         alpha = check_nonnegative(self.external_arrivals, "external_arrivals")
         p = check_nonnegative(self.routing, "routing")

@@ -70,7 +70,7 @@ class MG1Queue:
     arrival_rate: float
     scv: float = 1.0
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         check_positive(self.service_rate, "service_rate")
         check_nonnegative(self.arrival_rate, "arrival_rate")
         check_nonnegative(self.scv, "scv")

@@ -81,7 +81,7 @@ class MM1Queue:
     service_rate: float
     arrival_rate: float
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         check_positive(self.service_rate, "service_rate")
         check_nonnegative(self.arrival_rate, "arrival_rate")
 

@@ -63,7 +63,7 @@ class MMcQueue:
     service_rate: float
     arrival_rate: float
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.num_servers < 1:
             raise ValueError("num_servers must be >= 1")
         check_positive(self.service_rate, "service_rate")

@@ -72,3 +72,16 @@ def multilevel_topology() -> CloudTopology:
         classes, (FrontEnd("fe1"),), datacenters,
         distances=np.array([[1000.0, 2000.0]]),
     )
+
+
+@pytest.fixture
+def formulation_audit():
+    """The formulation auditor as a fixture: audit a SlotInputs.
+
+    Tier-1 tests use this to assert a scenario's slot problem is
+    statically sound (``formulation_audit(inputs).clean``) without each
+    test importing the analysis package.
+    """
+    from repro.analysis.model import audit_slot
+
+    return audit_slot

@@ -130,6 +130,38 @@ class TestBaseline:
         fresh, absorbed = apply_baseline(findings, loaded)
         assert fresh == [] and absorbed == 2
 
+    def test_write_baseline_is_byte_stable(self, dirty_tree, tmp_path, capsys):
+        """Regression: --write-baseline twice on an unchanged tree must
+        produce byte-identical files (the multiset serialization is
+        sorted, not dependent on traversal or caller order)."""
+        first = tmp_path / "first.json"
+        second = tmp_path / "second.json"
+        for target in (first, second):
+            assert main([
+                "lint", str(dirty_tree),
+                "--baseline", str(target), "--write-baseline",
+            ]) == 0
+        capsys.readouterr()
+        assert first.read_bytes() == second.read_bytes()
+
+    def test_write_baseline_order_independent(self, tmp_path):
+        """The serialized baseline does not depend on input ordering —
+        same multiset of findings, shuffled, gives the same bytes."""
+        findings = [
+            Diagnostic(path="b.py", line=9, col=0, code="RP006", message="y"),
+            Diagnostic(path="a.py", line=3, col=4, code="RP001", message="m2"),
+            Diagnostic(path="a.py", line=3, col=1, code="RP002", message="x"),
+            Diagnostic(path="a.py", line=3, col=0, code="RP001", message="m"),
+        ]
+        forward = tmp_path / "forward.json"
+        backward = tmp_path / "backward.json"
+        write_baseline(findings, str(forward))
+        write_baseline(list(reversed(findings)), str(backward))
+        assert forward.read_bytes() == backward.read_bytes()
+        # And the round trip still absorbs every finding.
+        fresh, absorbed = apply_baseline(findings, read_baseline(str(forward)))
+        assert fresh == [] and absorbed == 4
+
 
 class TestListRules:
     def test_list_rules_prints_catalog(self, capsys):

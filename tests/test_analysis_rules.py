@@ -23,10 +23,10 @@ def run_rule(code, source, path="src/repro/module.py"):
 
 
 class TestRegistry:
-    def test_all_six_domain_rules_registered(self):
+    def test_all_eight_domain_rules_registered(self):
         registered = {rule.code for rule in all_rules()}
         assert {"RP001", "RP002", "RP003", "RP004", "RP005",
-                "RP006"} <= registered
+                "RP006", "RP007", "RP008"} <= registered
 
     def test_rules_carry_metadata(self):
         for rule in all_rules():
@@ -335,6 +335,118 @@ class TestRP006SwallowedException:
         report = run_rule(
             "RP006", SWALLOW_VIOLATION, path="src/repro/workload/x.py"
         )
+        assert report.clean
+
+
+MUTABLE_DEFAULT_VIOLATION = """\
+def collect(items, bucket=[]):
+    bucket.extend(items)
+    return bucket
+"""
+
+MUTABLE_DEFAULT_OK = """\
+def collect(items, bucket=None, tol=1e-9, tag=(), names=frozenset()):
+    if bucket is None:
+        bucket = []
+    bucket.extend(items)
+    return bucket
+"""
+
+
+class TestRP007MutableDefault:
+    def test_fires_on_list_literal_default(self):
+        report = run_rule("RP007", MUTABLE_DEFAULT_VIOLATION)
+        assert codes(report) == ["RP007"]
+        assert "bucket" in report.findings[0].message
+
+    def test_fires_on_dict_and_set_literals(self):
+        assert codes(run_rule("RP007", "def f(a, m={}):\n    pass\n")) == ["RP007"]
+        assert codes(run_rule("RP007", "def f(a, s={1}):\n    pass\n")) == ["RP007"]
+
+    def test_fires_on_empty_factory_call(self):
+        src = "def f(out=list()):\n    pass\n"
+        assert codes(run_rule("RP007", src)) == ["RP007"]
+
+    def test_fires_on_keyword_only_default(self):
+        src = "def f(a, *, cache={}):\n    pass\n"
+        report = run_rule("RP007", src)
+        assert codes(report) == ["RP007"]
+        assert "cache" in report.findings[0].message
+
+    def test_fires_in_lambda_and_method(self):
+        assert codes(run_rule("RP007", "g = lambda xs=[]: xs\n")) == ["RP007"]
+        src = "class C:\n    def add(self, xs=[]):\n        pass\n"
+        assert codes(run_rule("RP007", src)) == ["RP007"]
+
+    def test_silent_on_none_sentinel_and_immutables(self):
+        assert run_rule("RP007", MUTABLE_DEFAULT_OK).clean
+
+    def test_silent_on_nonempty_factory_call(self):
+        # list(seed) re-evaluates per call only if seed is the literal; the
+        # rule only targets the unambiguous empty-container spellings.
+        assert run_rule("RP007", "def f(seed, xs=tuple('ab')):\n    pass\n").clean
+
+
+DTYPE_VIOLATION = """\
+import numpy as np
+
+def margins(x) -> np.ndarray:
+    \"\"\"Per-row slack values.\"\"\"
+    return x
+"""
+
+DTYPE_OK = """\
+import numpy as np
+
+def margins(x) -> np.ndarray:
+    \"\"\"Per-row slack values; float64.\"\"\"
+    return x
+
+def mask(x) -> np.ndarray:
+    \"\"\"Active rows; dtype bool.\"\"\"
+    return x
+
+def _helper(x) -> np.ndarray:
+    return x
+
+def scalar(x) -> float:
+    \"\"\"No array returned.\"\"\"
+    return x
+"""
+
+
+class TestRP008ArrayDtypeContract:
+    def test_fires_in_core_package(self):
+        report = run_rule("RP008", DTYPE_VIOLATION, path="src/repro/core/x.py")
+        assert codes(report) == ["RP008"]
+        assert "margins" in report.findings[0].message
+
+    def test_fires_in_solvers_package(self):
+        report = run_rule(
+            "RP008", DTYPE_VIOLATION, path="src/repro/solvers/x.py"
+        )
+        assert codes(report) == ["RP008"]
+
+    def test_fires_on_missing_docstring(self):
+        src = "def rates(x) -> np.ndarray:\n    return x\n"
+        report = run_rule("RP008", src, path="src/repro/core/x.py")
+        assert codes(report) == ["RP008"]
+
+    def test_silent_when_dtype_documented(self):
+        report = run_rule("RP008", DTYPE_OK, path="src/repro/core/x.py")
+        assert report.clean
+
+    def test_silent_outside_numerical_packages(self):
+        report = run_rule("RP008", DTYPE_VIOLATION, path="src/repro/sim/x.py")
+        assert report.clean
+
+    def test_silent_on_private_class_method(self):
+        src = (
+            "class _Cache:\n"
+            "    def rows(self) -> np.ndarray:\n"
+            "        return self._rows\n"
+        )
+        report = run_rule("RP008", src, path="src/repro/core/x.py")
         assert report.clean
 
 
