@@ -11,6 +11,20 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.bench.runner import time_callable
+
+
+@pytest.fixture
+def timed():
+    """Time a callable through the shared :mod:`repro.bench` runner.
+
+    Yields :func:`repro.bench.runner.time_callable` so every bench that
+    keeps its own stopwatch measures and aggregates (warmup, repeats,
+    median) exactly like the ``repro bench`` scenarios — one timing code
+    path instead of per-bench copies that drift.
+    """
+    return time_callable
+
 
 @pytest.fixture
 def report():

@@ -1,0 +1,60 @@
+"""Canonical performance-benchmark subsystem (``repro bench``).
+
+The repo's tracked performance trajectory: a registry of canonical
+scenarios (:mod:`repro.bench.scenarios`), one timed runner with
+warmup/repeat/median aggregation (:mod:`repro.bench.runner`), machine
+fingerprinting and peak-RSS sampling (:mod:`repro.bench.machine`), and
+a schema-versioned ``BENCH_<scenario>.json`` record format with
+baseline comparison (:mod:`repro.bench.schema`).  The ``repro bench``
+CLI (:mod:`repro.bench.cli`) emits the records the repo commits at its
+root and CI gates regressions against.
+"""
+
+from repro.bench.machine import machine_fingerprint, peak_rss_mb
+from repro.bench.runner import TimingResult, summarize_times, time_callable
+from repro.bench.scenarios import (
+    SCENARIOS,
+    Scenario,
+    ScenarioRequest,
+    ScenarioResult,
+    available_scenarios,
+    register_scenario,
+    run_scenario,
+)
+from repro.bench.schema import (
+    MODES,
+    NONDETERMINISTIC_KEYS,
+    SCHEMA_VERSION,
+    ComparisonResult,
+    bench_filename,
+    build_record,
+    compare_records,
+    load_record,
+    strip_nondeterministic,
+    validate_record,
+)
+
+__all__ = [
+    "machine_fingerprint",
+    "peak_rss_mb",
+    "TimingResult",
+    "summarize_times",
+    "time_callable",
+    "SCENARIOS",
+    "Scenario",
+    "ScenarioRequest",
+    "ScenarioResult",
+    "available_scenarios",
+    "register_scenario",
+    "run_scenario",
+    "MODES",
+    "NONDETERMINISTIC_KEYS",
+    "SCHEMA_VERSION",
+    "ComparisonResult",
+    "bench_filename",
+    "build_record",
+    "compare_records",
+    "load_record",
+    "strip_nondeterministic",
+    "validate_record",
+]

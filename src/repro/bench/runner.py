@@ -1,0 +1,113 @@
+"""Timed execution with warmup/repeat/median aggregation.
+
+This is the *single* timing code path for the repo: the ``repro bench``
+scenarios, the Fig. 11 computation-time sweep
+(:func:`repro.experiments.figures.fig11_computation_time`), and the
+``benchmarks/`` pytest harness all aggregate their samples through
+:func:`summarize_times`, so "the median wall time" means the same thing
+everywhere and cannot drift between benchmark scripts.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Sequence, Tuple, TypeVar
+
+__all__ = ["TimingResult", "summarize_times", "time_callable"]
+
+T = TypeVar("T")
+
+
+def summarize_times(samples: Sequence[float]) -> Dict[str, float]:
+    """Aggregate raw wall-time samples into the canonical statistics.
+
+    The headline statistic is the **median** — robust to the one-off
+    stalls (page faults, GC, CPU migration) that poison means on shared
+    machines.  Min/mean/max ride along for context.
+    """
+    values = sorted(float(s) for s in samples)
+    if not values:
+        raise ValueError("summarize_times needs at least one sample")
+    n = len(values)
+    mid = n // 2
+    median = values[mid] if n % 2 else 0.5 * (values[mid - 1] + values[mid])
+    return {
+        "median_s": median,
+        "mean_s": sum(values) / n,
+        "min_s": values[0],
+        "max_s": values[-1],
+    }
+
+
+@dataclass(frozen=True)
+class TimingResult:
+    """Wall-time samples of one measured callable."""
+
+    samples_s: Tuple[float, ...]
+    warmup: int
+
+    def __post_init__(self) -> None:
+        if not self.samples_s:
+            raise ValueError("TimingResult needs at least one sample")
+        if self.warmup < 0:
+            raise ValueError(f"warmup must be >= 0, got {self.warmup}")
+
+    @property
+    def repeats(self) -> int:
+        """Number of measured (non-warmup) runs."""
+        return len(self.samples_s)
+
+    @property
+    def median_s(self) -> float:
+        """Median wall seconds — the canonical headline statistic."""
+        return summarize_times(self.samples_s)["median_s"]
+
+    @property
+    def mean_s(self) -> float:
+        """Mean wall seconds across the measured runs."""
+        return summarize_times(self.samples_s)["mean_s"]
+
+    @property
+    def min_s(self) -> float:
+        """Fastest measured run."""
+        return summarize_times(self.samples_s)["min_s"]
+
+    @property
+    def max_s(self) -> float:
+        """Slowest measured run."""
+        return summarize_times(self.samples_s)["max_s"]
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready summary (inverse not needed; records are one-way)."""
+        summary: Dict[str, object] = dict(summarize_times(self.samples_s))
+        summary["samples_s"] = list(self.samples_s)
+        summary["warmup"] = self.warmup
+        return summary
+
+
+def time_callable(
+    fn: Callable[[], T],
+    repeats: int = 3,
+    warmup: int = 1,
+) -> Tuple[TimingResult, T]:
+    """Run ``fn`` ``warmup + repeats`` times; time the last ``repeats``.
+
+    Returns the timing result and the value from the final run, so a
+    scenario can both measure and inspect its workload without running
+    it twice.  ``fn`` must be idempotent across calls (each scenario
+    builds fresh optimizers/engines inside the callable).
+    """
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    if warmup < 0:
+        raise ValueError(f"warmup must be >= 0, got {warmup}")
+    for _ in range(warmup):
+        fn()
+    samples = []
+    result: T
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        samples.append(time.perf_counter() - start)
+    return TimingResult(samples_s=tuple(samples), warmup=warmup), result

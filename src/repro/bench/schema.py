@@ -1,0 +1,290 @@
+"""The ``BENCH_*.json`` record schema, validation, and comparison.
+
+One record describes one benchmark scenario run:
+
+.. code-block:: json
+
+    {
+      "schema": "repro-bench/1",
+      "scenario": "des_million",
+      "mode": "full",
+      "seed": 0,
+      "created_unix": 1754500000.0,
+      "machine": {"platform": "...", "python": "...", ...},
+      "config": {"requests": 1000000, ...},
+      "determinism": {"generated": 1000000, ...},
+      "timing": {
+        "wall_s": 2.9, "samples_s": [...], "warmup": 0,
+        "per_phase_s": {"horizon": 2.7, "drain": 0.2},
+        "peak_rss_mb": 140.2,
+        "throughput": {"events_per_s": 690000.0},
+        "ratios": {"engine_speedup": 1.7}
+      }
+    }
+
+Field semantics:
+
+* ``determinism`` holds everything that must be *bit-identical* between
+  two runs with the same seed, mode, and scenario (objectives, event
+  counts, warm-start outcomes).  ``repro bench`` run twice must agree
+  here exactly — that is the regression test's definition of a
+  deterministic benchmark.
+* ``timing`` (and ``created_unix``) hold everything allowed to vary run
+  to run.  ``ratios`` are dimensionless speedups measured *within* one
+  run (warm vs cold, new engine vs reference engine) — they transfer
+  across machines, so regression gating in CI compares ratios even
+  when the committed baseline was recorded on different hardware.
+* absolute ``wall_s`` values are only compared when two records share a
+  machine fingerprint *and* a mode.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Tuple, Union
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "MODES",
+    "NONDETERMINISTIC_KEYS",
+    "bench_filename",
+    "build_record",
+    "validate_record",
+    "strip_nondeterministic",
+    "ComparisonResult",
+    "compare_records",
+    "load_record",
+]
+
+SCHEMA_VERSION = "repro-bench/1"
+
+#: Valid values for a record's ``mode`` field.
+MODES = ("full", "smoke")
+
+#: Top-level keys that may legitimately differ between two runs of the
+#: same scenario with the same seed (everything else must be identical).
+NONDETERMINISTIC_KEYS = ("timing", "created_unix")
+
+#: Relative tolerance for "identical" determinism floats — covers JSON
+#: round-tripping, not algorithmic drift.
+DETERMINISM_RTOL = 1e-9
+
+Record = Dict[str, Any]
+
+
+def bench_filename(scenario: str) -> str:
+    """Canonical on-disk name for a scenario's record."""
+    return f"BENCH_{scenario}.json"
+
+
+def build_record(
+    scenario: str,
+    mode: str,
+    seed: int,
+    config: Dict[str, Any],
+    determinism: Dict[str, Any],
+    timing: Dict[str, Any],
+    machine: Dict[str, Any],
+    created_unix: float,
+) -> Record:
+    """Assemble a schema-versioned record from its sections."""
+    record: Record = {
+        "schema": SCHEMA_VERSION,
+        "scenario": str(scenario),
+        "mode": str(mode),
+        "seed": int(seed),
+        "created_unix": float(created_unix),
+        "machine": dict(machine),
+        "config": dict(config),
+        "determinism": dict(determinism),
+        "timing": dict(timing),
+    }
+    problems = validate_record(record)
+    if problems:
+        raise ValueError(
+            f"refusing to build an invalid bench record: {'; '.join(problems)}"
+        )
+    return record
+
+
+def _is_number(value: Any) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def validate_record(record: Any) -> List[str]:
+    """Validate one record; returns a list of problems ([] when valid)."""
+    problems: List[str] = []
+    if not isinstance(record, dict):
+        return [f"record must be a JSON object, got {type(record).__name__}"]
+    schema = record.get("schema")
+    if schema != SCHEMA_VERSION:
+        problems.append(
+            f"schema must be {SCHEMA_VERSION!r}, got {schema!r}"
+        )
+    if not isinstance(record.get("scenario"), str) or not record.get("scenario"):
+        problems.append("scenario must be a non-empty string")
+    if record.get("mode") not in MODES:
+        problems.append(f"mode must be one of {MODES}, got {record.get('mode')!r}")
+    if not isinstance(record.get("seed"), int) or isinstance(record.get("seed"), bool):
+        problems.append("seed must be an integer")
+    if not _is_number(record.get("created_unix")):
+        problems.append("created_unix must be a number")
+    for section in ("machine", "config", "determinism"):
+        if not isinstance(record.get(section), dict):
+            problems.append(f"{section} must be an object")
+    timing = record.get("timing")
+    if not isinstance(timing, dict):
+        problems.append("timing must be an object")
+        return problems
+    wall = timing.get("wall_s")
+    if not _is_number(wall) or wall <= 0 or not math.isfinite(wall):
+        problems.append("timing.wall_s must be a positive finite number")
+    samples = timing.get("samples_s")
+    if (not isinstance(samples, list) or not samples
+            or not all(_is_number(s) and s >= 0 for s in samples)):
+        problems.append("timing.samples_s must be a non-empty list of numbers")
+    if not _is_number(timing.get("peak_rss_mb")) or timing.get("peak_rss_mb") < 0:
+        problems.append("timing.peak_rss_mb must be a non-negative number")
+    per_phase = timing.get("per_phase_s")
+    if (not isinstance(per_phase, dict)
+            or not all(isinstance(k, str) and _is_number(v)
+                       for k, v in per_phase.items())):
+        problems.append("timing.per_phase_s must map phase names to seconds")
+    for optional in ("ratios", "throughput"):
+        section = timing.get(optional, {})
+        if (not isinstance(section, dict)
+                or not all(isinstance(k, str) and _is_number(v)
+                           for k, v in section.items())):
+            problems.append(f"timing.{optional} must map names to numbers")
+    return problems
+
+
+def strip_nondeterministic(record: Record) -> Record:
+    """Drop the run-varying sections; what remains must be stable."""
+    return {k: v for k, v in record.items() if k not in NONDETERMINISTIC_KEYS}
+
+
+def _values_match(a: Any, b: Any, rtol: float = DETERMINISM_RTOL) -> bool:
+    """Deep equality with a relative tolerance on floats."""
+    if _is_number(a) and _is_number(b):
+        fa, fb = float(a), float(b)
+        if math.isnan(fa) or math.isnan(fb):
+            return math.isnan(fa) and math.isnan(fb)
+        return abs(fa - fb) <= rtol * max(1.0, abs(fa), abs(fb))
+    if isinstance(a, dict) and isinstance(b, dict):
+        return a.keys() == b.keys() and all(
+            _values_match(a[k], b[k], rtol) for k in a
+        )
+    if isinstance(a, list) and isinstance(b, list):
+        return len(a) == len(b) and all(
+            _values_match(x, y, rtol) for x, y in zip(a, b)
+        )
+    return bool(a == b)
+
+
+@dataclass(frozen=True)
+class ComparisonResult:
+    """Outcome of comparing a current record against a baseline."""
+
+    scenario: str
+    problems: Tuple[str, ...] = ()
+    notes: Tuple[str, ...] = field(default=(), compare=False)
+
+    @property
+    def ok(self) -> bool:
+        """True when no regression or schema problem was found."""
+        return not self.problems
+
+
+def compare_records(
+    baseline: Any, current: Any, tolerance: float = 0.25
+) -> ComparisonResult:
+    """Compare ``current`` against a committed ``baseline`` record.
+
+    Checks, in order:
+
+    1. both records validate against the schema (an old or malformed
+       baseline is a hard failure — regenerate it, don't guess);
+    2. same scenario;
+    3. with matching mode *and* seed, the ``determinism`` sections must
+       match exactly (rel. tol. :data:`DETERMINISM_RTOL`);
+    4. every ratio present in both records must not regress by more
+       than ``tolerance`` (ratios are speedups: bigger is better);
+    5. absolute ``wall_s`` must not grow by more than ``tolerance`` —
+       only checked when machine fingerprint and mode both match.
+
+    ``tolerance`` is a fraction: ``0.25`` allows a 25% regression.
+    """
+    if tolerance < 0:
+        raise ValueError(f"tolerance must be >= 0, got {tolerance}")
+    scenario = (current or {}).get("scenario", "?") if isinstance(current, dict) \
+        else "?"
+    problems: List[str] = []
+    notes: List[str] = []
+    for name, record in (("baseline", baseline), ("current", current)):
+        for issue in validate_record(record):
+            problems.append(f"{name} record rejected: {issue}")
+    if problems:
+        return ComparisonResult(scenario=str(scenario),
+                                problems=tuple(problems))
+    if baseline["scenario"] != current["scenario"]:
+        problems.append(
+            f"scenario mismatch: baseline {baseline['scenario']!r} "
+            f"vs current {current['scenario']!r}"
+        )
+        return ComparisonResult(scenario=str(scenario),
+                                problems=tuple(problems))
+
+    same_mode = baseline["mode"] == current["mode"]
+    if same_mode and baseline["seed"] == current["seed"]:
+        if not _values_match(baseline["determinism"], current["determinism"]):
+            problems.append(
+                "determinism drift: non-timing fields differ from the "
+                "baseline at identical scenario/mode/seed"
+            )
+    else:
+        notes.append(
+            f"determinism skipped (baseline mode={baseline['mode']}/"
+            f"seed={baseline['seed']}, current mode={current['mode']}/"
+            f"seed={current['seed']})"
+        )
+
+    base_ratios = baseline["timing"].get("ratios", {})
+    cur_ratios = current["timing"].get("ratios", {})
+    for name in sorted(set(base_ratios) & set(cur_ratios)):
+        floor = float(base_ratios[name]) * (1.0 - tolerance)
+        if float(cur_ratios[name]) < floor:
+            problems.append(
+                f"ratio regression: {name} {float(cur_ratios[name]):.3f} "
+                f"< {floor:.3f} (baseline {float(base_ratios[name]):.3f} "
+                f"- {tolerance:.0%})"
+            )
+
+    if same_mode and baseline["machine"] == current["machine"]:
+        ceiling = float(baseline["timing"]["wall_s"]) * (1.0 + tolerance)
+        if float(current["timing"]["wall_s"]) > ceiling:
+            problems.append(
+                f"wall-time regression: {current['timing']['wall_s']:.4f}s "
+                f"> {ceiling:.4f}s (baseline "
+                f"{baseline['timing']['wall_s']:.4f}s + {tolerance:.0%})"
+            )
+    else:
+        notes.append("wall-time skipped (different machine or mode)")
+
+    return ComparisonResult(
+        scenario=str(current["scenario"]),
+        problems=tuple(problems),
+        notes=tuple(notes),
+    )
+
+
+def load_record(path: Union[str, Path]) -> Record:
+    """Read one ``BENCH_*.json`` file (raises on unreadable JSON)."""
+    with Path(path).open() as fh:
+        loaded = json.load(fh)
+    if not isinstance(loaded, dict):
+        raise ValueError(f"{path}: bench record must be a JSON object")
+    return loaded

@@ -14,7 +14,10 @@ Commands:
   static-analysis pass (``reprolint``); exits 1 on findings;
 * ``audit [--scenario ...]`` — run the :mod:`repro.analysis.model`
   formulation auditor on one slot problem (big-M tightness, units,
-  matrix diagnostics, feasibility); exits 1 on MD errors.
+  matrix diagnostics, feasibility); exits 1 on MD errors;
+* ``bench [--all|--scenario ...]`` — run the canonical perf-benchmark
+  scenarios (:mod:`repro.bench`), emit ``BENCH_<scenario>.json``, and
+  optionally gate against committed baselines; exits 1 on regressions.
 """
 
 from __future__ import annotations
@@ -110,6 +113,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     from repro.analysis.model.cli import add_audit_arguments
     add_audit_arguments(pa)
+
+    pb = sub.add_parser(
+        "bench",
+        help="canonical perf-benchmark suite emitting BENCH_*.json; "
+             "exit 1 on baseline regressions",
+    )
+    from repro.bench.cli import add_bench_arguments
+    add_bench_arguments(pb)
     return parser
 
 
@@ -404,4 +415,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "audit":
         from repro.analysis.model.cli import run_audit
         return run_audit(args)
+    if args.command == "bench":
+        from repro.bench.cli import run_bench
+        return run_bench(args)
     raise AssertionError(f"unhandled command {args.command!r}")

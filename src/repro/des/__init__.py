@@ -10,6 +10,7 @@ beyond the analytic model (failure injection, burstiness).
 
 from repro.des.engine import Engine
 from repro.des.events import Event
+from repro.des.reference import ReferenceEngine
 from repro.des.server import FCFSQueueServer, ProcessorSharingServer, VirtualMachine
 from repro.des.processes import PoissonArrivals, exponential_sampler
 from repro.des.measurements import SojournStats, WelfordAccumulator
@@ -18,6 +19,7 @@ from repro.des.cluster import ClusterSimulation, SimulatedSlotOutcome, simulate_
 __all__ = [
     "Engine",
     "Event",
+    "ReferenceEngine",
     "FCFSQueueServer",
     "ProcessorSharingServer",
     "VirtualMachine",

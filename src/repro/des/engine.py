@@ -1,9 +1,21 @@
 """The discrete-event simulation engine.
 
-A minimal, deterministic event loop: a binary heap of
-:class:`~repro.des.events.Event` ordered by ``(time, seq)``.  Components
-(arrival processes, servers) schedule callbacks against the engine and
-the engine advances simulated time monotonically.
+A minimal, deterministic event loop: a binary heap of plain
+``[time, seq, action]`` list entries (see :mod:`repro.des.events`)
+ordered by ``(time, seq)``.  Components (arrival processes, servers)
+schedule callbacks against the engine and the engine advances simulated
+time monotonically.
+
+The entry layout is the engine's hot-path contract: :mod:`heapq` sifts
+list entries entirely in C (the unique ``seq`` guarantees the callable
+slot is never compared), cancellation clears the action slot in place,
+and the run loops bind the heap and ``heappop`` to locals so executing
+one event costs a handful of index loads rather than a cascade of
+attribute lookups on per-event objects.  The pre-refactor object-based
+engine is preserved verbatim as
+:class:`repro.des.reference.ReferenceEngine` — the behavioural oracle
+for the property suite and the baseline the ``des_million`` benchmark
+scenario measures its speedup against.
 """
 
 from __future__ import annotations
@@ -11,7 +23,7 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable, List, Optional
 
-from repro.des.events import Event
+from repro.des.events import Event, HeapEntry
 
 __all__ = ["Engine"]
 
@@ -19,8 +31,10 @@ __all__ = ["Engine"]
 class Engine:
     """Deterministic event-driven simulator core."""
 
-    def __init__(self):
-        self._heap: List[Event] = []
+    __slots__ = ("_heap", "_now", "_seq", "_processed")
+
+    def __init__(self) -> None:
+        self._heap: List[HeapEntry] = []
         self._now = 0.0
         self._seq = 0
         self._processed = 0
@@ -44,10 +58,23 @@ class Engine:
         """Schedule ``action`` to run ``delay`` time units from now."""
         if delay < 0:
             raise ValueError(f"cannot schedule into the past (delay={delay})")
-        event = Event(time=self._now + delay, seq=self._seq, action=action)
+        entry: HeapEntry = [self._now + delay, self._seq, action]
         self._seq += 1
-        heapq.heappush(self._heap, event)
-        return event
+        heapq.heappush(self._heap, entry)
+        return Event(entry)
+
+    def defer(self, delay: float, action: Callable[[], Any]) -> None:
+        """Schedule ``action`` without returning a cancellation handle.
+
+        Identical ordering semantics to :meth:`schedule`, but the
+        :class:`~repro.des.events.Event` handle allocation is skipped —
+        the fast path for arrival/completion events that are never
+        cancelled (the bulk of a large simulation).
+        """
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay})")
+        heapq.heappush(self._heap, [self._now + delay, self._seq, action])
+        self._seq += 1
 
     def schedule_at(self, time: float, action: Callable[[], Any]) -> Event:
         """Schedule ``action`` at absolute simulated time ``time``."""
@@ -55,12 +82,14 @@ class Engine:
 
     def step(self) -> bool:
         """Execute the next non-cancelled event.  Returns False if empty."""
-        while self._heap:
-            event = heapq.heappop(self._heap)
-            if event.cancelled:
+        heap = self._heap
+        while heap:
+            entry = heapq.heappop(heap)
+            action = entry[2]
+            if action is None:
                 continue
-            self._now = event.time
-            event.action()
+            self._now = entry[0]
+            action()
             self._processed += 1
             return True
         return False
@@ -71,27 +100,40 @@ class Engine:
         The clock is left at ``end_time`` (or at the last event if
         ``max_events`` stops the run early).
         """
+        heap = self._heap
+        pop = heapq.heappop
         executed = 0
-        while self._heap:
-            event = self._heap[0]
-            if event.cancelled:
-                heapq.heappop(self._heap)
+        while heap:
+            entry = heap[0]
+            action = entry[2]
+            if action is None:
+                pop(heap)
                 continue
-            if event.time > end_time:
+            time = entry[0]
+            if time > end_time:
                 break
             if max_events is not None and executed >= max_events:
                 return
-            heapq.heappop(self._heap)
-            self._now = event.time
-            event.action()
+            pop(heap)
+            self._now = time
+            action()
             self._processed += 1
             executed += 1
         self._now = max(self._now, end_time)
 
     def run(self, max_events: Optional[int] = None) -> None:
         """Run until the event heap drains (or ``max_events``)."""
+        heap = self._heap
+        pop = heapq.heappop
         executed = 0
-        while self.step():
+        while heap:
+            entry = pop(heap)
+            action = entry[2]
+            if action is None:
+                continue
+            self._now = entry[0]
+            action()
+            self._processed += 1
             executed += 1
             if max_events is not None and executed >= max_events:
                 return

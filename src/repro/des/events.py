@@ -1,27 +1,81 @@
-"""Event primitives for the discrete-event engine."""
+"""Event primitives for the discrete-event engine.
+
+The engine's heap stores plain mutable list entries laid out as
+``[time, seq, action]`` — Python lists compare lexicographically, the
+unique ``seq`` breaks time ties in schedule order (so the callable in
+slot 2 is never compared), and :mod:`heapq`'s C implementation sifts
+them without calling back into Python.  Cancellation clears the action
+slot in place, so the engine can skip a dead entry with one index load
+instead of an attribute lookup on a per-event object.
+
+:class:`Event` is the thin handle ``Engine.schedule`` returns: it wraps
+one heap entry and exposes the read-only view (``time``/``seq``/
+``cancelled``) plus :meth:`Event.cancel`.  Hot paths that never cancel
+should use ``Engine.defer``, which skips the handle allocation
+entirely.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Callable
+from typing import Any, Callable, List, Optional
 
-__all__ = ["Event"]
+__all__ = ["Event", "HeapEntry", "make_entry"]
+
+#: One scheduled callback as stored on the engine heap:
+#: ``[time, seq, action]`` with ``action is None`` once cancelled.
+HeapEntry = List[Any]
+
+#: Indices into a :data:`HeapEntry`.
+ENTRY_TIME = 0
+ENTRY_SEQ = 1
+ENTRY_ACTION = 2
 
 
-@dataclass(order=True)
+def make_entry(time: float, seq: int, action: Callable[[], Any]) -> HeapEntry:
+    """Build one heap entry (see :data:`HeapEntry` for the layout)."""
+    return [time, seq, action]
+
+
 class Event:
-    """A scheduled callback.
+    """Handle to one scheduled callback.
 
     Events are ordered by ``(time, seq)`` — the sequence number breaks
     ties deterministically in schedule order, which keeps simulations
-    reproducible when many events share a timestamp.
+    reproducible when many events share a timestamp.  The handle shares
+    its heap entry with the engine: cancelling mutates the entry in
+    place and the engine skips it when it reaches the top of the heap.
     """
 
-    time: float
-    seq: int
-    action: Callable[[], Any] = field(compare=False)
-    cancelled: bool = field(default=False, compare=False)
+    __slots__ = ("_entry",)
+
+    def __init__(self, entry: HeapEntry):
+        self._entry = entry
+
+    @property
+    def time(self) -> float:
+        """Absolute simulated time the event fires at."""
+        return float(self._entry[ENTRY_TIME])
+
+    @property
+    def seq(self) -> int:
+        """Schedule-order sequence number (the deterministic tiebreak)."""
+        return int(self._entry[ENTRY_SEQ])
+
+    @property
+    def action(self) -> Optional[Callable[[], Any]]:
+        """The scheduled callback (``None`` once cancelled)."""
+        action: Optional[Callable[[], Any]] = self._entry[ENTRY_ACTION]
+        return action
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether :meth:`cancel` has been called."""
+        return self._entry[ENTRY_ACTION] is None
 
     def cancel(self) -> None:
         """Mark the event as cancelled; the engine will skip it."""
-        self.cancelled = True
+        self._entry[ENTRY_ACTION] = None
+
+    def __repr__(self) -> str:
+        state = "cancelled" if self.cancelled else "pending"
+        return f"Event(time={self.time!r}, seq={self.seq}, {state})"

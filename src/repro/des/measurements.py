@@ -1,4 +1,13 @@
-"""Online statistics collection for simulations."""
+"""Online statistics collection for simulations.
+
+:class:`SojournStats.record` sits on the engine's per-completion hot
+path, so the Welford update is inlined onto plain scalar attributes —
+one ``record`` call is a bounds check plus four float operations, with
+no delegation into a nested accumulator object.  The standalone
+:class:`WelfordAccumulator` keeps the same algorithm as the reusable
+building block (and gains a vectorized :meth:`WelfordAccumulator.add_batch`
+for bulk folds via Chan's parallel-merge formula).
+"""
 
 from __future__ import annotations
 
@@ -6,13 +15,17 @@ import math
 from dataclasses import dataclass, field
 from typing import List
 
+import numpy as np
+
 __all__ = ["WelfordAccumulator", "SojournStats"]
 
 
 class WelfordAccumulator:
     """Numerically stable online mean/variance (Welford's algorithm)."""
 
-    def __init__(self):
+    __slots__ = ("_count", "_mean", "_m2")
+
+    def __init__(self) -> None:
         self._count = 0
         self._mean = 0.0
         self._m2 = 0.0
@@ -23,6 +36,32 @@ class WelfordAccumulator:
         delta = value - self._mean
         self._mean += delta / self._count
         self._m2 += delta * (value - self._mean)
+
+    def add_batch(self, values: "np.ndarray") -> None:
+        """Fold a whole array of observations in one vectorized step.
+
+        Equivalent to calling :meth:`add` per element (same mean and
+        variance up to floating-point reassociation), but the batch
+        moments are computed with numpy and merged with Chan's
+        parallel-merge formula — the cheap path for measurement sweeps
+        that arrive as arrays rather than one event at a time.
+        """
+        arr = np.asarray(values, dtype=float).ravel()
+        n = int(arr.size)
+        if n == 0:
+            return
+        batch_mean = float(arr.mean())
+        batch_m2 = float(((arr - batch_mean) ** 2).sum())
+        if self._count == 0:
+            self._count = n
+            self._mean = batch_mean
+            self._m2 = batch_m2
+            return
+        total = self._count + n
+        delta = batch_mean - self._mean
+        self._m2 += batch_m2 + delta * delta * (self._count * n / total)
+        self._mean += delta * (n / total)
+        self._count = total
 
     @property
     def count(self) -> int:
@@ -61,13 +100,19 @@ class SojournStats:
     ``warmup`` observations collected before ``warmup_time`` are
     discarded so steady-state comparisons against M/M/1 analytics are
     not biased by the empty-system start.
+
+    The Welford state lives directly on this object (``_count``,
+    ``_mean``, ``_m2``) so the per-completion :meth:`record` call does
+    not pay a second object's attribute traffic.
     """
 
     warmup_time: float = 0.0
-    _acc: WelfordAccumulator = field(default_factory=WelfordAccumulator)
-    _discarded: int = 0
-    _raw: List[float] = field(default_factory=list)
     keep_raw: bool = False
+    _count: int = field(default=0, repr=False)
+    _mean: float = field(default=0.0, repr=False)
+    _m2: float = field(default=0.0, repr=False)
+    _discarded: int = field(default=0, repr=False)
+    _raw: List[float] = field(default_factory=list, repr=False)
 
     def record(self, arrival_time: float, departure_time: float) -> None:
         """Record one completed job's sojourn time."""
@@ -77,14 +122,18 @@ class SojournStats:
             self._discarded += 1
             return
         sojourn = departure_time - arrival_time
-        self._acc.add(sojourn)
+        count = self._count + 1
+        self._count = count
+        delta = sojourn - self._mean
+        self._mean += delta / count
+        self._m2 += delta * (sojourn - self._mean)
         if self.keep_raw:
             self._raw.append(sojourn)
 
     @property
     def count(self) -> int:
         """Jobs recorded after warmup."""
-        return self._acc.count
+        return self._count
 
     @property
     def discarded(self) -> int:
@@ -94,17 +143,26 @@ class SojournStats:
     @property
     def mean(self) -> float:
         """Mean sojourn time after warmup."""
-        return self._acc.mean
+        return self._mean
+
+    @property
+    def variance(self) -> float:
+        """Unbiased sample variance (0.0 with < 2 observations)."""
+        if self._count < 2:
+            return 0.0
+        return self._m2 / (self._count - 1)
 
     @property
     def std(self) -> float:
         """Sojourn standard deviation after warmup."""
-        return self._acc.std
+        return math.sqrt(self.variance)
 
     @property
     def stderr(self) -> float:
         """Standard error of the mean sojourn time."""
-        return self._acc.stderr
+        if self._count == 0:
+            return 0.0
+        return self.std / math.sqrt(self._count)
 
     @property
     def raw(self) -> List[float]:

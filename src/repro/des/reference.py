@@ -1,0 +1,128 @@
+"""The pre-refactor object-based DES engine, kept as an oracle.
+
+This is the engine exactly as it shipped before the array-backed heap
+refactor in :mod:`repro.des.engine`: one ordered dataclass per event,
+popped and compared through the dataclass dunders.  It is *not* used by
+any production path — it exists so that
+
+* the property suite (``tests/test_property_des.py``) can replay
+  randomized schedule/cancel/step/run sequences against both engines
+  and assert identical event ordering, clock values, and
+  ``events_processed`` counts, and
+* the ``des_million`` benchmark scenario can measure the refactor's
+  speedup against the original implementation on the same workload and
+  record it in ``BENCH_des_million.json``.
+
+Behavioural contract (shared with :class:`repro.des.engine.Engine`):
+events fire in ``(time, seq)`` order with ``seq`` assigned in schedule
+order; cancelled events are skipped without counting as processed;
+``run_until`` leaves the clock at the horizon unless ``max_events``
+stops it early; ``pending`` counts cancelled-but-unpopped entries.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional
+
+__all__ = ["ReferenceEngine", "ReferenceEvent"]
+
+
+@dataclass(order=True)
+class ReferenceEvent:
+    """A scheduled callback, ordered by ``(time, seq)`` (pre-refactor)."""
+
+    time: float
+    seq: int
+    action: Callable[[], Any] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event as cancelled; the engine will skip it."""
+        self.cancelled = True
+
+
+class ReferenceEngine:
+    """Deterministic event-driven simulator core (pre-refactor)."""
+
+    def __init__(self) -> None:
+        self._heap: List[ReferenceEvent] = []
+        self._now = 0.0
+        self._seq = 0
+        self._processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of events executed so far."""
+        return self._processed
+
+    @property
+    def pending(self) -> int:
+        """Number of events still scheduled (including cancelled)."""
+        return len(self._heap)
+
+    def schedule(self, delay: float, action: Callable[[], Any]) -> ReferenceEvent:
+        """Schedule ``action`` to run ``delay`` time units from now."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay})")
+        event = ReferenceEvent(time=self._now + delay, seq=self._seq, action=action)
+        self._seq += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    def defer(self, delay: float, action: Callable[[], Any]) -> None:
+        """Drop-in for :meth:`repro.des.engine.Engine.defer` (no fast path)."""
+        self.schedule(delay, action)
+
+    def schedule_at(self, time: float, action: Callable[[], Any]) -> ReferenceEvent:
+        """Schedule ``action`` at absolute simulated time ``time``."""
+        return self.schedule(time - self._now, action)
+
+    def step(self) -> bool:
+        """Execute the next non-cancelled event.  Returns False if empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            event.action()
+            self._processed += 1
+            return True
+        return False
+
+    def run_until(self, end_time: float, max_events: Optional[int] = None) -> None:
+        """Run events with time <= ``end_time``.
+
+        The clock is left at ``end_time`` (or at the last event if
+        ``max_events`` stops the run early).
+        """
+        executed = 0
+        while self._heap:
+            event = self._heap[0]
+            if event.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            if event.time > end_time:
+                break
+            if max_events is not None and executed >= max_events:
+                return
+            heapq.heappop(self._heap)
+            self._now = event.time
+            event.action()
+            self._processed += 1
+            executed += 1
+        self._now = max(self._now, end_time)
+
+    def run(self, max_events: Optional[int] = None) -> None:
+        """Run until the event heap drains (or ``max_events``)."""
+        executed = 0
+        while self.step():
+            executed += 1
+            if max_events is not None and executed >= max_events:
+                return

@@ -6,12 +6,21 @@ a server of capacity ``C`` serving type-``k`` requests behaves as an
 M/M/1 queue with rate ``phi * C * mu_k`` (Eq. 1); mean sojourn time is
 the same under FCFS and egalitarian processor sharing, so both
 disciplines are provided and cross-checked in tests.
+
+:class:`FCFSQueueServer` is the hot server for large validation runs
+(the ``des_million`` benchmark scenario), so it queues plain
+``(arrival_time, work)`` tuples in a deque and completes jobs through
+one persistent bound callback — no per-job object, closure, or
+cancellation handle is allocated.  The processor-sharing
+:class:`VirtualMachine` keeps per-job objects because its completion
+events genuinely need cancellation on every arrival.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Deque, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -38,14 +47,18 @@ class FCFSQueueServer:
     M/M/1 with service rate ``rate`` under Poisson arrivals.
     """
 
-    def __init__(self, engine: Engine, rate: float, stats: Optional[SojournStats] = None):
+    __slots__ = ("_engine", "_inv_rate", "_queue", "_busy", "_stats",
+                 "_current_arrival")
+
+    def __init__(self, engine: Engine, rate: float,
+                 stats: Optional[SojournStats] = None):
         check_positive(rate, "rate")
         self._engine = engine
-        self._rate = float(rate)
-        self._queue: List[_Job] = []
+        self._inv_rate = 1.0 / float(rate)
+        self._queue: Deque[Tuple[float, float]] = deque()
         self._busy = False
         self._stats = stats if stats is not None else SojournStats()
-        self._next_id = 0
+        self._current_arrival = 0.0
 
     @property
     def stats(self) -> SojournStats:
@@ -59,25 +72,21 @@ class FCFSQueueServer:
 
     def arrive(self, work: float) -> None:
         """Admit a job with ``work`` exponential work units."""
-        job = _Job(self._next_id, self._engine.now, float(work))
-        self._next_id += 1
-        self._queue.append(job)
-        if not self._busy:
-            self._start_next()
+        if self._busy:
+            self._queue.append((self._engine.now, float(work)))
+            return
+        self._busy = True
+        self._current_arrival = self._engine.now
+        self._engine.defer(float(work) * self._inv_rate, self._complete)
 
-    def _start_next(self) -> None:
+    def _complete(self) -> None:
+        self._stats.record(self._current_arrival, self._engine.now)
         if not self._queue:
             self._busy = False
             return
-        self._busy = True
-        job = self._queue.pop(0)
-        service_time = job.remaining_work / self._rate
-
-        def complete() -> None:
-            self._stats.record(job.arrival_time, self._engine.now)
-            self._start_next()
-
-        self._engine.schedule(service_time, complete)
+        arrival, work = self._queue.popleft()
+        self._current_arrival = arrival
+        self._engine.defer(work * self._inv_rate, self._complete)
 
 
 class VirtualMachine:
@@ -88,7 +97,8 @@ class VirtualMachine:
     arrival/departure, which is ample for validation-scale runs.
     """
 
-    def __init__(self, engine: Engine, rate: float, stats: Optional[SojournStats] = None):
+    def __init__(self, engine: Engine, rate: float,
+                 stats: Optional[SojournStats] = None):
         check_positive(rate, "rate")
         self._engine = engine
         self._rate = float(rate)
@@ -163,7 +173,8 @@ class ProcessorSharingServer:
         classes with zero share host no VM and reject arrivals.
     """
 
-    def __init__(self, engine: Engine, capacity: float, service_rates, shares):
+    def __init__(self, engine: Engine, capacity: float,
+                 service_rates: np.ndarray, shares: np.ndarray):
         check_positive(capacity, "capacity")
         rates = np.asarray(service_rates, dtype=float)
         shares_arr = np.asarray(shares, dtype=float)

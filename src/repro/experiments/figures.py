@@ -7,12 +7,12 @@ records them against the paper's reported shapes.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Sequence
 
 import numpy as np
 
+from repro.bench.runner import summarize_times, time_callable
 from repro.core.optimizer import OptimizerConfig, ProfitAwareOptimizer
 from repro.experiments.section5 import section5_experiment
 from repro.experiments.section6 import section6_experiment
@@ -159,8 +159,11 @@ def fig11_computation_time(
 
     Uses the §VII two-level setup with the *per-server* formulation (the
     paper's variable layout), whose MILP size grows with the server
-    count.  Returns mean wall seconds per server count (the paper
-    averages five runs; ``repeats`` defaults to three for bench speed).
+    count.  Returns **median** wall seconds per server count, measured
+    through the shared :mod:`repro.bench.runner` so this sweep, the
+    ``repro bench`` scenarios, and ``benchmarks/bench_warmstart.py``
+    aggregate timings identically (the paper averages five runs;
+    ``repeats`` defaults to three for bench speed).
     """
     out: Dict[int, float] = {}
     for m in server_counts:
@@ -171,10 +174,10 @@ def fig11_computation_time(
         ))
         arrivals = exp.trace.arrivals_at(0)
         prices = exp.market.prices_at(0)
-        times: List[float] = []
-        for _ in range(repeats):
-            start = time.perf_counter()
+
+        def solve_once() -> None:
             optimizer.plan_slot(arrivals, prices, slot_duration=1.0)
-            times.append(time.perf_counter() - start)
-        out[int(m)] = float(np.mean(times))
+
+        timing, _ = time_callable(solve_once, repeats=repeats, warmup=0)
+        out[int(m)] = summarize_times(timing.samples_s)["median_s"]
     return out

@@ -1,0 +1,212 @@
+"""Property tests for the DES event queue after the batching refactor.
+
+The array-backed heap in :class:`repro.des.engine.Engine` must be
+observationally identical to the pre-refactor object-based
+:class:`repro.des.reference.ReferenceEngine`: randomized
+schedule/cancel/step/run sequences are replayed against both engines
+and every observable — event firing order, clock values, monotonicity,
+``events_processed``, ``pending`` — must agree exactly.  A second group
+pins the batched :class:`~repro.des.processes.PoissonArrivals` sampling
+to the per-call realization, bit for bit.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.des.engine import Engine
+from repro.des.measurements import SojournStats, WelfordAccumulator
+from repro.des.processes import PoissonArrivals
+from repro.des.reference import ReferenceEngine
+from repro.des.server import FCFSQueueServer
+from repro.utils.rng import as_generator
+
+# One randomized operation against both engines.  Weights skew toward
+# scheduling so cancel/step/run_until exercise non-trivial heaps.
+op_strategy = st.one_of(
+    st.tuples(st.just("schedule"),
+              st.floats(0.0, 10.0, allow_nan=False, allow_infinity=False)),
+    st.tuples(st.just("schedule"),
+              st.floats(0.0, 10.0, allow_nan=False, allow_infinity=False)),
+    st.tuples(st.just("schedule_at"),
+              st.floats(0.0, 20.0, allow_nan=False, allow_infinity=False)),
+    st.tuples(st.just("cancel"), st.integers(0, 200)),
+    st.tuples(st.just("step"), st.just(0)),
+    st.tuples(st.just("run_until"),
+              st.floats(0.0, 15.0, allow_nan=False, allow_infinity=False)),
+    st.tuples(st.just("run_max"), st.integers(1, 5)),
+)
+
+
+class _Driver:
+    """Applies one op sequence to an engine, recording every observable."""
+
+    def __init__(self, engine):
+        self.engine = engine
+        self.log = []
+        self.handles = []
+        self._label = 0
+
+    def _fire(self, label):
+        def action():
+            self.log.append((label, self.engine.now))
+        return action
+
+    def apply(self, op):
+        kind, arg = op
+        engine = self.engine
+        if kind == "schedule":
+            self.handles.append(engine.schedule(arg, self._fire(self._label)))
+            self._label += 1
+        elif kind == "schedule_at":
+            target = max(arg, engine.now)
+            self.handles.append(
+                engine.schedule_at(target, self._fire(self._label)))
+            self._label += 1
+        elif kind == "cancel":
+            if self.handles:
+                self.handles[arg % len(self.handles)].cancel()
+        elif kind == "step":
+            self.log.append(("step->", engine.step()))
+        elif kind == "run_until":
+            engine.run_until(engine.now + arg)
+        elif kind == "run_max":
+            engine.run(max_events=arg)
+        else:  # pragma: no cover - strategy is exhaustive
+            raise AssertionError(kind)
+
+    def observables(self):
+        return (self.log, self.engine.now, self.engine.events_processed,
+                self.engine.pending)
+
+
+@settings(max_examples=120, deadline=None)
+@given(ops=st.lists(op_strategy, min_size=1, max_size=40))
+def test_engines_observationally_identical(ops):
+    new = _Driver(Engine())
+    ref = _Driver(ReferenceEngine())
+    for op in ops:
+        new.apply(op)
+        ref.apply(op)
+        assert new.engine.now == ref.engine.now
+        assert new.engine.events_processed == ref.engine.events_processed
+        assert new.engine.pending == ref.engine.pending
+    # Drain both completely: identical firing order including ties.
+    new.engine.run()
+    ref.engine.run()
+    assert new.observables() == ref.observables()
+
+
+@settings(max_examples=60, deadline=None)
+@given(ops=st.lists(op_strategy, min_size=1, max_size=40))
+def test_clock_is_monotone_and_counts_match_log(ops):
+    driver = _Driver(Engine())
+    last_now = 0.0
+    for op in ops:
+        driver.apply(op)
+        assert driver.engine.now >= last_now
+        last_now = driver.engine.now
+    driver.engine.run()
+    fired = [entry for entry in driver.log if entry[0] != "step->"]
+    steps = sum(1 for entry in driver.log
+                if entry == ("step->", True))
+    assert driver.engine.events_processed == len(fired)
+    assert steps <= len(fired)
+    # Firing times are non-decreasing (ties broken by schedule order).
+    times = [t for _, t in fired]
+    assert times == sorted(times)
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(0, 2**32 - 1),
+       rate=st.floats(0.2, 0.95, allow_nan=False),
+       horizon=st.floats(20.0, 200.0, allow_nan=False))
+def test_mm1_identical_across_engines(seed, rate, horizon):
+    """A full M/M/1 run must not depend on which engine drives it."""
+
+    def run(engine_cls):
+        engine = engine_cls()
+        server = FCFSQueueServer(engine, rate=1.0)
+        arrivals = PoissonArrivals(engine, rate=rate, sink=server.arrive,
+                                   seed=seed, stop_time=horizon)
+        engine.run_until(horizon)
+        engine.run()
+        return (arrivals.generated, engine.events_processed,
+                server.stats.count, server.stats.mean)
+
+    assert run(Engine) == run(ReferenceEngine)
+
+
+class TestBatchedSamplingEquivalence:
+    """Batched draws must be bit-identical to the per-call stream."""
+
+    @staticmethod
+    def _per_call_realization(seed, rate, stop_time):
+        """The pre-refactor sampling loop, reproduced literally."""
+        rng = as_generator(seed)
+        now = 0.0
+        events = []
+        while True:
+            gap = float(rng.exponential(1.0 / rate))
+            if now + gap >= stop_time:
+                break
+            now += gap
+            events.append((now, float(rng.exponential(1.0))))
+        return events
+
+    @pytest.mark.parametrize("batch", [1, 2, 7, 1024])
+    def test_bit_identical_for_any_batch_size(self, batch):
+        seed, rate, stop = 1234, 2.5, 60.0
+        engine = Engine()
+        seen = []
+        PoissonArrivals(engine, rate=rate,
+                        sink=lambda w: seen.append((engine.now, w)),
+                        seed=seed, stop_time=stop, batch=batch)
+        engine.run()
+        expected = self._per_call_realization(seed, rate, stop)
+        assert len(seen) == len(expected)
+        np.testing.assert_array_equal(np.asarray(seen), np.asarray(expected))
+
+    def test_batch_must_be_positive(self):
+        with pytest.raises(ValueError, match="batch"):
+            PoissonArrivals(Engine(), rate=1.0, sink=lambda w: None,
+                            seed=0, batch=0)
+
+
+class TestMeasurementEquivalence:
+    """Inlined SojournStats must match the standalone Welford fold."""
+
+    @settings(max_examples=50, deadline=None)
+    @given(values=st.lists(
+        st.floats(0.0, 1e6, allow_nan=False, allow_infinity=False),
+        min_size=1, max_size=100,
+    ))
+    def test_sojourn_stats_matches_welford(self, values):
+        acc = WelfordAccumulator()
+        stats = SojournStats()
+        for v in values:
+            acc.add(v)
+            stats.record(0.0, v)
+        assert stats.count == acc.count
+        assert stats.mean == acc.mean
+        assert stats.std == acc.std
+        assert stats.stderr == acc.stderr
+
+    @settings(max_examples=50, deadline=None)
+    @given(values=st.lists(
+        st.floats(0.0, 1e3, allow_nan=False, allow_infinity=False),
+        min_size=0, max_size=60,
+    ), split=st.integers(0, 60))
+    def test_add_batch_matches_sequential(self, values, split):
+        split = min(split, len(values))
+        sequential = WelfordAccumulator()
+        for v in values:
+            sequential.add(v)
+        batched = WelfordAccumulator()
+        batched.add_batch(np.asarray(values[:split]))
+        batched.add_batch(np.asarray(values[split:]))
+        assert batched.count == sequential.count
+        assert batched.mean == pytest.approx(sequential.mean, abs=1e-9)
+        assert batched.variance == pytest.approx(sequential.variance,
+                                                 rel=1e-6, abs=1e-9)
