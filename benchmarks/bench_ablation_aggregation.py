@@ -13,13 +13,14 @@ import time
 import pytest
 
 from repro.core.objective import evaluate_plan
-from repro.core.optimizer import ProfitAwareOptimizer
+from repro.core.optimizer import (OptimizerConfig,
+                                  ProfitAwareOptimizer)
 from repro.experiments.section6 import section6_experiment
 from repro.experiments.section7 import section7_experiment
 
 
 def _measure(topology, arrivals, prices, formulation):
-    optimizer = ProfitAwareOptimizer(topology, formulation=formulation)
+    optimizer = ProfitAwareOptimizer(topology, config=OptimizerConfig(formulation=formulation))
     start = time.perf_counter()
     plan = optimizer.plan_slot(arrivals, prices, slot_duration=1.0)
     elapsed = time.perf_counter() - start

@@ -9,7 +9,8 @@ servers, especially in the light overnight hours.
 import numpy as np
 import pytest
 
-from repro.core.optimizer import ProfitAwareOptimizer
+from repro.core.optimizer import (OptimizerConfig,
+                                  ProfitAwareOptimizer)
 from repro.experiments.section6 import section6_experiment
 from repro.sim.metrics import powered_on_series
 from repro.sim.slotted import run_simulation
@@ -20,7 +21,7 @@ def _run():
     out = {}
     for label, consolidate in (("spread", False), ("consolidated", True)):
         result = run_simulation(
-            ProfitAwareOptimizer(exp.topology, consolidate=consolidate),
+            ProfitAwareOptimizer(exp.topology, config=OptimizerConfig(consolidate=consolidate)),
             exp.trace, exp.market,
         )
         out[label] = result

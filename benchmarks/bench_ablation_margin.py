@@ -10,7 +10,8 @@ then follows the analytic curve down — an interior margin wins.
 import numpy as np
 
 from repro.core.objective import evaluate_plan
-from repro.core.optimizer import ProfitAwareOptimizer
+from repro.core.optimizer import (OptimizerConfig,
+                                  ProfitAwareOptimizer)
 from repro.des.cluster import simulate_plan
 from repro.experiments.section6 import section6_experiment
 
@@ -24,9 +25,7 @@ def _run():
     prices = exp.market.prices_at(HOUR)
     out = {}
     for margin in MARGINS:
-        plan = ProfitAwareOptimizer(
-            exp.topology, deadline_margin=margin
-        ).plan_slot(arrivals, prices, slot_duration=1.0)
+        plan = ProfitAwareOptimizer(exp.topology, config=OptimizerConfig(deadline_margin=margin)).plan_slot(arrivals, prices, slot_duration=1.0)
         analytic = evaluate_plan(plan, arrivals, prices, 1.0).net_profit
         realized = simulate_plan(
             plan, prices, slot_duration=1.0, seed=21, warmup_fraction=0.05

@@ -13,7 +13,8 @@ import dataclasses
 
 
 from repro.core.objective import evaluate_plan
-from repro.core.optimizer import ProfitAwareOptimizer
+from repro.core.optimizer import (OptimizerConfig,
+                                  ProfitAwareOptimizer)
 from repro.experiments.section7 import section7_experiment
 
 PUES = (1.15, 1.8)  # datacenter1 efficient, datacenter2 legacy
@@ -31,7 +32,7 @@ def _run():
         for t in hours:
             arrivals = exp.trace.arrivals_at(t)
             prices = exp.market.prices_at(t)
-            plan = ProfitAwareOptimizer(topo, apply_pue=aware).plan_slot(
+            plan = ProfitAwareOptimizer(topo, config=OptimizerConfig(apply_pue=aware)).plan_slot(
                 arrivals, prices, slot_duration=1.0
             )
             # True costs always include PUE (the cooling power is real).

@@ -11,7 +11,7 @@ import time
 
 
 from repro.core.objective import evaluate_plan
-from repro.core.optimizer import ProfitAwareOptimizer
+from repro.core.optimizer import OptimizerConfig, ProfitAwareOptimizer
 from repro.experiments.section7 import section7_experiment
 
 PATHS = [
@@ -28,7 +28,8 @@ def _run_all():
     prices = exp.market.prices_at(2)
     out = {}
     for name, kwargs in PATHS:
-        optimizer = ProfitAwareOptimizer(exp.topology, **kwargs)
+        optimizer = ProfitAwareOptimizer(exp.topology,
+                                         config=OptimizerConfig(**kwargs))
         start = time.perf_counter()
         plan = optimizer.plan_slot(arrivals, prices, slot_duration=1.0)
         elapsed = time.perf_counter() - start

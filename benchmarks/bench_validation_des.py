@@ -19,7 +19,8 @@ accounting and the one-line mitigation the library offers.
 import pytest
 
 from repro.core.objective import evaluate_plan
-from repro.core.optimizer import ProfitAwareOptimizer
+from repro.core.optimizer import (OptimizerConfig,
+                                  ProfitAwareOptimizer)
 from repro.des.cluster import simulate_plan
 from repro.experiments.section6 import section6_experiment
 
@@ -30,9 +31,7 @@ def _run_one(margin: float):
     exp = section6_experiment()
     arrivals = exp.trace.arrivals_at(HOUR)
     prices = exp.market.prices_at(HOUR)
-    plan = ProfitAwareOptimizer(
-        exp.topology, deadline_margin=margin
-    ).plan_slot(arrivals, prices, slot_duration=1.0)
+    plan = ProfitAwareOptimizer(exp.topology, config=OptimizerConfig(deadline_margin=margin)).plan_slot(arrivals, prices, slot_duration=1.0)
     analytic = evaluate_plan(plan, arrivals, prices, slot_duration=1.0)
     simulated = simulate_plan(plan, prices, slot_duration=1.0, seed=6,
                               warmup_fraction=0.05)

@@ -28,6 +28,7 @@ True
 from repro.core import (
     BalancedDispatcher,
     ConstantTUF,
+    Dispatcher,
     DispatchPlan,
     EvenSplitDispatcher,
     MonotonicTUF,
@@ -119,7 +120,7 @@ __all__ = [
     # core algorithm
     "DispatchPlan", "NetProfitBreakdown", "evaluate_plan",
     "OptimizerConfig", "ProfitAwareOptimizer",
-    "BalancedDispatcher", "EvenSplitDispatcher",
+    "BalancedDispatcher", "EvenSplitDispatcher", "Dispatcher",
     "SlottedController", "powered_on_servers", "consolidate_plan",
     # observability
     "InMemoryCollector", "NullCollector", "SlotTrace",

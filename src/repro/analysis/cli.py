@@ -17,6 +17,7 @@ from repro.analysis.baseline import apply_baseline, read_baseline, write_baselin
 from repro.analysis.diagnostics import render_json, render_text
 from repro.analysis.registry import all_rules
 from repro.analysis.runner import lint_paths
+from repro.cli_registry import register_subcommand
 
 __all__ = ["add_lint_arguments", "run_lint"]
 
@@ -58,6 +59,11 @@ def _print_rules() -> None:
         print(f"    {rule.rationale}")
 
 
+@register_subcommand(
+    "lint",
+    help_text="domain-aware static analysis (reprolint); exit 1 on findings",
+    configure=add_lint_arguments,
+)
 def run_lint(args: argparse.Namespace) -> int:
     """Execute ``repro lint`` for parsed ``args``; returns the exit code."""
     if args.list_rules:

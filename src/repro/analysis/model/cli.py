@@ -17,6 +17,7 @@ from typing import List, Optional
 from repro.analysis.model.audit import ModelAuditReport, audit_slot
 from repro.analysis.model.registry import AuditThresholds, all_audit_rules
 from repro.core.formulation import SlotInputs
+from repro.cli_registry import register_subcommand
 
 __all__ = ["add_audit_arguments", "run_audit"]
 
@@ -101,6 +102,12 @@ def _summary_line(report: ModelAuditReport) -> str:
     )
 
 
+@register_subcommand(
+    "audit",
+    help_text="static formulation audit of a slot problem; exit 1 on "
+              "MD-level errors",
+    configure=add_audit_arguments,
+)
 def run_audit(args: argparse.Namespace) -> int:
     """Execute ``repro audit`` for parsed ``args``; returns the exit code."""
     if args.list_checks:

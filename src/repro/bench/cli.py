@@ -19,6 +19,7 @@ from typing import Any, Dict, List
 
 from repro.bench.schema import bench_filename, compare_records, load_record
 from repro.bench.scenarios import SCENARIOS, available_scenarios, run_scenario
+from repro.cli_registry import register_subcommand
 
 __all__ = ["add_bench_arguments", "run_bench"]
 
@@ -84,6 +85,12 @@ def _summarize(record: Dict[str, Any]) -> str:
     return "  ".join(parts)
 
 
+@register_subcommand(
+    "bench",
+    help_text="canonical perf-benchmark suite emitting BENCH_*.json; "
+              "exit 1 on baseline regressions",
+    configure=add_bench_arguments,
+)
 def run_bench(args: argparse.Namespace) -> int:
     """Execute the bench subcommand; returns a process exit code."""
     if args.list_scenarios:

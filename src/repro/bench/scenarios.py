@@ -1,9 +1,13 @@
 """The canonical benchmark scenario catalog.
 
-Five tracked scenarios, each emitting one ``BENCH_<name>.json``:
+Six tracked scenarios, each emitting one ``BENCH_<name>.json``:
 
 * ``paper_scale``   — the §VI World-Cup day end to end (24 hourly slots,
   18 servers), the paper-faithful workload;
+* ``streaming_ingest`` — the streaming control plane over a blockified
+  (bursty) §VI day: the drift-triggered policy is timed and its solve
+  reduction vs per-slot re-planning tracked as ratios, alongside the
+  periodic-streaming-equals-slotted equivalence check;
 * ``fleet_10x``     — the same day on a 10× fleet (180 servers);
 * ``fleet_100x``    — the same day on a 100× fleet (1800 servers),
   tracking the production aggregated path at ROADMAP scale;
@@ -242,6 +246,119 @@ def _slot_pipeline_scenario(
 def _paper_scale(request: ScenarioRequest) -> ScenarioResult:
     return _slot_pipeline_scenario(request, multiplier=1,
                                    full_slots=24, smoke_slots=6)
+
+
+@register_scenario(
+    "streaming_ingest",
+    "streaming control plane on a bursty §VI day: drift-triggered "
+    "re-solving vs periodic, plus slotted-equivalence check",
+)
+def _streaming_ingest(request: ScenarioRequest) -> ScenarioResult:
+    import numpy as np
+
+    from repro.core.controller import SlottedController
+    from repro.core.optimizer import OptimizerConfig, ProfitAwareOptimizer
+    from repro.experiments.section6 import section6_experiment
+    from repro.stream import (
+        DriftTriggered,
+        PeriodicResolve,
+        StreamingController,
+        StreamingResult,
+    )
+    from repro.workload.traces import WorkloadTrace
+
+    smoke = request.mode == "smoke"
+    seed = request.seed if request.seed is not None else 1998
+    slots = request.param("slots", 8 if smoke else 24)
+    ticks_per_slot = request.param("ticks_per_slot", 6 if smoke else 12)
+    block = request.param("block", 4)
+    repeats = request.param("repeats", 1 if smoke else 3)
+    warmup = request.param("warmup", 0 if smoke else 1)
+
+    exp = section6_experiment(seed=seed)
+    slots = min(slots, exp.trace.num_slots)
+    # Piecewise-constant ("bursty") day: each run of `block` slots
+    # repeats its first slot, so re-planning is only worth it at edges.
+    idx = (np.arange(exp.trace.num_slots) // block) * block
+    bursty = WorkloadTrace(exp.trace.rates[:, :, idx],
+                           exp.trace.slot_duration)
+
+    def dispatcher() -> ProfitAwareOptimizer:
+        return ProfitAwareOptimizer(exp.topology, config=OptimizerConfig())
+
+    def stream(policy: Any,
+               collector: Optional[InMemoryCollector] = None
+               ) -> StreamingResult:
+        return StreamingController(
+            dispatcher(), bursty, exp.market, policy,
+            ticks_per_slot=ticks_per_slot, collector=collector,
+        ).run(num_slots=slots)
+
+    collectors: List[InMemoryCollector] = []
+
+    def timed_drift() -> StreamingResult:
+        collector = InMemoryCollector()
+        collectors.append(collector)
+        return stream(DriftTriggered(), collector)
+
+    timing, drift = time_callable(timed_drift, repeats=repeats,
+                                  warmup=warmup)
+    collector = collectors[-1]
+    periodic = stream(PeriodicResolve())
+    slotted = SlottedController(dispatcher(), bursty, exp.market).run(
+        num_slots=slots
+    )
+    # Equivalence pin: periodic streaming reproduces the slotted loop.
+    equivalence_rel_diff = max(
+        (
+            abs(got.outcome.net_profit - ref.outcome.net_profit)
+            / (1.0 + abs(ref.outcome.net_profit))
+            for got, ref in zip(periodic.records, slotted)
+        ),
+        default=0.0,
+    )
+    plan_stats = collector.timers.get("stream.plan_slot")
+    ticks = slots * ticks_per_slot
+    return ScenarioResult(
+        seed=seed,
+        config={
+            "experiment": "section6 (blockified)",
+            "block": block,
+            "num_slots": slots,
+            "ticks_per_slot": ticks_per_slot,
+            "policy": drift.policy,
+            "repeats": repeats,
+            "warmup": warmup,
+        },
+        determinism={
+            "num_slots": slots,
+            "drift_full_solves": drift.full_solves,
+            "drift_repairs": drift.repairs,
+            "drift_events": drift.drift_events,
+            "periodic_full_solves": periodic.full_solves,
+            "drift_net_profit": float(drift.total_net_profit),
+            "periodic_net_profit": float(periodic.total_net_profit),
+            "drift_profit_series": [
+                float(p) for p in drift.net_profit_series
+            ],
+            "equivalence_max_rel_diff": float(equivalence_rel_diff),
+        },
+        timing=_timing_section(
+            timing,
+            per_phase_s={
+                "plan_slot": plan_stats.total if plan_stats else 0.0,
+            },
+            ratios={
+                "resolve_reduction": (
+                    periodic.full_solves / max(drift.full_solves, 1)
+                ),
+                "profit_ratio": (
+                    drift.total_net_profit / periodic.total_net_profit
+                ),
+            },
+            throughput={"ticks_per_s": ticks / timing.median_s},
+        ),
+    )
 
 
 @register_scenario(

@@ -10,6 +10,9 @@ Commands:
 * ``sweep [--servers 2,4,6,...]`` — capacity sweep on the §VII workload;
 * ``trace [--out traces.jsonl]`` — run a scenario with telemetry on and
   dump per-slot :class:`~repro.obs.trace.SlotTrace` records as JSONL;
+* ``stream [--policy periodic|drift|margin]`` — the sub-slot streaming
+  control plane (:mod:`repro.stream`); re-plans on drift/margin decay
+  instead of the wall clock;
 * ``lint [PATH ...]`` — run the :mod:`repro.analysis` domain-aware
   static-analysis pass (``reprolint``); exits 1 on findings;
 * ``audit [--scenario ...]`` — run the :mod:`repro.analysis.model`
@@ -18,113 +21,37 @@ Commands:
 * ``bench [--all|--scenario ...]`` — run the canonical perf-benchmark
   scenarios (:mod:`repro.bench`), emit ``BENCH_<scenario>.json``, and
   optionally gate against committed baselines; exits 1 on regressions.
+
+Every command lives in a :func:`repro.cli_registry.register_subcommand`
+registration — the core ones below, the subsystem ones
+(``lint``/``audit``/``bench``/``stream``) in their own packages'
+``cli`` modules, imported here for the registration side effect.
+:func:`build_parser` and :func:`main` are both derived from the
+registry, so adding a command never edits this module's dispatch code.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional
+from typing import Any, List, Optional
 
-import numpy as np
-
+from repro.cli_registry import (
+    get_subcommand,
+    register_subcommand,
+    registered_subcommands,
+)
 from repro.utils.ascii_plot import line_chart, sparkline
 from repro.utils.tables import render_table
 
-__all__ = ["main", "build_parser"]
+__all__ = ["build_parser", "main", "register_subcommand"]
 
 
-def build_parser() -> argparse.ArgumentParser:
-    """Construct the top-level argument parser."""
-    parser = argparse.ArgumentParser(
-        prog="repro",
-        description=(
-            "Profit-aware load balancing for distributed cloud data "
-            "centers (IPDPS-W 2013 reproduction)"
-        ),
-    )
-    sub = parser.add_subparsers(dest="command", required=True)
-
-    sub.add_parser("prices", help="Fig. 1 electricity price curves")
-
-    p5 = sub.add_parser("section5", help="§V basic characteristics study")
-    p5.add_argument("--regime", choices=["low", "high"], default="low")
-
-    p6 = sub.add_parser("section6", help="§VI World-Cup day study")
-    p6.add_argument("--seed", type=int, default=1998)
-
-    p7 = sub.add_parser("section7", help="§VII Google-trace study")
-    p7.add_argument("--seed", type=int, default=2010)
-    p7.add_argument("--load-scale", type=float, default=1.0)
-    p7.add_argument("--capacity-scale", type=float, default=1.0)
-
-    pv = sub.add_parser("validate", help="Eq. 1 vs discrete-event simulation")
-    pv.add_argument("--utilization", type=float, default=0.7)
-    pv.add_argument("--horizon", type=float, default=2000.0)
-
-    ps = sub.add_parser("sweep", help="capacity sweep on the §VII workload")
-    ps.add_argument("--servers", type=str, default="2,4,6,8")
-
-    pr = sub.add_parser(
-        "reproduce",
-        help="regenerate every paper figure's data series into a directory",
-    )
-    pr.add_argument("--out", type=str, default="results")
-    pr.add_argument("--skip-slow", action="store_true",
-                    help="skip the computation-time sweep (Fig. 11)")
-
-    pt = sub.add_parser(
-        "trace",
-        help="run a scenario with telemetry on and dump per-slot traces",
-    )
-    pt.add_argument("--scenario",
-                    choices=["section5", "section6", "section7"],
-                    default="section6",
-                    help="experiment to trace (default: the 24-slot §VI day)")
-    pt.add_argument("--slots", type=int, default=None,
-                    help="number of slots (default: the whole trace)")
-    pt.add_argument("--out", type=str, default=None,
-                    help="write SlotTrace records to this JSONL file")
-    pt.add_argument("--workers", type=int, default=1,
-                    help="process-pool size; per-worker collectors are "
-                         "merged at the barrier (default 1: serial)")
-    pt.add_argument("--level-method", type=str, default="auto",
-                    choices=["auto", "lp", "milp", "bigm", "greedy"])
-    pt.add_argument("--lp-method", type=str, default="simplex",
-                    choices=["highs", "simplex", "ipm"],
-                    help="LP backend (default 'simplex': warm-startable, "
-                         "so cross-slot hits show up in the traces)")
-    pt.add_argument("--iteration-budget", type=int, default=None,
-                    help="iteration/node cap for the primary solver; a "
-                         "tiny value forces failures so the fallback "
-                         "chain shows up in the traces")
-
-    pl = sub.add_parser(
-        "lint",
-        help="domain-aware static analysis (reprolint); exit 1 on findings",
-    )
-    from repro.analysis.cli import add_lint_arguments
-    add_lint_arguments(pl)
-
-    pa = sub.add_parser(
-        "audit",
-        help="static formulation audit of a slot problem; exit 1 on "
-             "MD-level errors",
-    )
-    from repro.analysis.model.cli import add_audit_arguments
-    add_audit_arguments(pa)
-
-    pb = sub.add_parser(
-        "bench",
-        help="canonical perf-benchmark suite emitting BENCH_*.json; "
-             "exit 1 on baseline regressions",
-    )
-    from repro.bench.cli import add_bench_arguments
-    add_bench_arguments(pb)
-    return parser
+# --------------------------------------------------------------- commands
 
 
-def _cmd_prices() -> int:
+@register_subcommand("prices", help_text="Fig. 1 electricity price curves")
+def _cmd_prices(args: argparse.Namespace) -> int:
     from repro.market.prices import paper_locations
     rows = []
     for name, trace in paper_locations().items():
@@ -137,9 +64,16 @@ def _cmd_prices() -> int:
     return 0
 
 
-def _cmd_section5(regime: str) -> int:
+def _configure_section5(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--regime", choices=["low", "high"], default="low")
+
+
+@register_subcommand("section5",
+                     help_text="§V basic characteristics study",
+                     configure=_configure_section5)
+def _cmd_section5(args: argparse.Namespace) -> int:
     from repro.experiments.section5 import section5_experiment
-    results = section5_experiment(regime).run_comparison()
+    results = section5_experiment(args.regime).run_comparison()
     rows = [
         [name, r.total_net_profit, r.requests_processed,
          float(r.completion_fractions.min()) * 100.0]
@@ -147,12 +81,13 @@ def _cmd_section5(regime: str) -> int:
     ]
     print(render_table(
         ["approach", "net profit ($)", "requests served", "min completion %"],
-        rows, title=f"Section V ({regime} arrival rates)", float_fmt=",.0f",
+        rows, title=f"Section V ({args.regime} arrival rates)",
+        float_fmt=",.0f",
     ))
     return 0
 
 
-def _run_comparison_command(exp) -> int:
+def _run_comparison_command(exp: Any) -> int:
     results = exp.run_comparison()
     opt, bal = results["optimized"], results["balanced"]
     print(exp.description, "\n")
@@ -174,29 +109,52 @@ def _run_comparison_command(exp) -> int:
     return 0
 
 
-def _cmd_section6(seed: int) -> int:
+def _configure_section6(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--seed", type=int, default=1998)
+
+
+@register_subcommand("section6", help_text="§VI World-Cup day study",
+                     configure=_configure_section6)
+def _cmd_section6(args: argparse.Namespace) -> int:
     from repro.experiments.section6 import section6_experiment
-    return _run_comparison_command(section6_experiment(seed=seed))
+    return _run_comparison_command(section6_experiment(seed=args.seed))
 
 
-def _cmd_section7(seed: int, load_scale: float, capacity_scale: float) -> int:
+def _configure_section7(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--seed", type=int, default=2010)
+    parser.add_argument("--load-scale", type=float, default=1.0)
+    parser.add_argument("--capacity-scale", type=float, default=1.0)
+
+
+@register_subcommand("section7", help_text="§VII Google-trace study",
+                     configure=_configure_section7)
+def _cmd_section7(args: argparse.Namespace) -> int:
     from repro.experiments.section7 import section7_experiment
     return _run_comparison_command(section7_experiment(
-        seed=seed, load_scale=load_scale, capacity_scale=capacity_scale,
+        seed=args.seed, load_scale=args.load_scale,
+        capacity_scale=args.capacity_scale,
     ))
 
 
-def _cmd_validate(utilization: float, horizon: float) -> int:
+def _configure_validate(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--utilization", type=float, default=0.7)
+    parser.add_argument("--horizon", type=float, default=2000.0)
+
+
+@register_subcommand("validate",
+                     help_text="Eq. 1 vs discrete-event simulation",
+                     configure=_configure_validate)
+def _cmd_validate(args: argparse.Namespace) -> int:
     from repro.queueing.validation import compare_with_des
-    if not 0.0 < utilization < 1.0:
+    if not 0.0 < args.utilization < 1.0:
         print("error: --utilization must be in (0, 1)", file=sys.stderr)
         return 2
     rows = []
     for mu in (5.0, 20.0, 80.0):
         for discipline in ("ps", "fcfs"):
             cmp = compare_with_des(
-                service_rate=mu, arrival_rate=utilization * mu,
-                horizon=horizon, discipline=discipline,
+                service_rate=mu, arrival_rate=args.utilization * mu,
+                horizon=args.horizon, discipline=discipline,
             )
             rows.append([
                 f"mu={mu:g} {discipline}", cmp.analytic_mean,
@@ -205,19 +163,26 @@ def _cmd_validate(utilization: float, horizon: float) -> int:
             ])
     print(render_table(
         ["queue", "Eq.1 delay", "simulated", "jobs", "error %"],
-        rows, title=f"M/M/1 validation at utilization {utilization:g}",
+        rows, title=f"M/M/1 validation at utilization {args.utilization:g}",
     ))
     return 0
 
 
-def _cmd_sweep(servers: str) -> int:
+def _configure_sweep(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--servers", type=str, default="2,4,6,8")
+
+
+@register_subcommand("sweep",
+                     help_text="capacity sweep on the §VII workload",
+                     configure=_configure_sweep)
+def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.core.optimizer import OptimizerConfig, ProfitAwareOptimizer
     from repro.experiments.section7 import section7_experiment
     from repro.sim.slotted import run_simulation
     try:
-        counts = [int(tok) for tok in servers.split(",") if tok.strip()]
+        counts = [int(tok) for tok in args.servers.split(",") if tok.strip()]
     except ValueError:
-        print(f"error: bad --servers list {servers!r}", file=sys.stderr)
+        print(f"error: bad --servers list {args.servers!r}", file=sys.stderr)
         return 2
     if not counts or any(c < 1 for c in counts):
         print("error: --servers needs positive integers", file=sys.stderr)
@@ -242,22 +207,33 @@ def _cmd_sweep(servers: str) -> int:
     return 0
 
 
-def _cmd_reproduce(out_dir: str, skip_slow: bool) -> int:
+def _configure_reproduce(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--out", type=str, default="results")
+    parser.add_argument("--skip-slow", action="store_true",
+                        help="skip the computation-time sweep (Fig. 11)")
+
+
+@register_subcommand(
+    "reproduce",
+    help_text="regenerate every paper figure's data series into a directory",
+    configure=_configure_reproduce,
+)
+def _cmd_reproduce(args: argparse.Namespace) -> int:
     from pathlib import Path
 
     import numpy as np
 
     from repro.experiments import figures
 
-    out = Path(out_dir)
+    out = Path(args.out)
     out.mkdir(parents=True, exist_ok=True)
 
-    def write(name: str, lines) -> None:
+    def write(name: str, lines: Any) -> None:
         path = out / f"{name}.txt"
         path.write_text("\n".join(str(line) for line in lines) + "\n")
         print(f"wrote {path}")
 
-    def fmt_series(mapping) -> list:
+    def fmt_series(mapping: Any) -> list:
         return [
             f"{key}: " + " ".join(f"{float(v):.6g}" for v in np.ravel(val))
             for key, val in mapping.items()
@@ -292,7 +268,7 @@ def _cmd_reproduce(out_dir: str, skip_slow: bool) -> int:
     for regime in ("low", "high"):
         write(f"fig10_{regime}",
               fmt_series(figures.fig10_workload_effect(regime)))
-    if not skip_slow:
+    if not args.skip_slow:
         times = figures.fig11_computation_time(
             server_counts=(1, 2, 3, 4), repeats=1, milp_method="bb"
         )
@@ -302,7 +278,7 @@ def _cmd_reproduce(out_dir: str, skip_slow: bool) -> int:
     return 0
 
 
-def _trace_experiment(scenario: str):
+def _trace_experiment(scenario: str) -> Any:
     if scenario == "section5":
         from repro.experiments.section5 import section5_experiment
         return section5_experiment("low")
@@ -313,48 +289,71 @@ def _trace_experiment(scenario: str):
     return section7_experiment()
 
 
-def _cmd_trace(
-    scenario: str,
-    slots: Optional[int],
-    out: Optional[str],
-    workers: int,
-    level_method: str,
-    lp_method: str,
-    iteration_budget: Optional[int],
-) -> int:
+def _configure_trace(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--scenario",
+                        choices=["section5", "section6", "section7"],
+                        default="section6",
+                        help="experiment to trace (default: the 24-slot "
+                             "§VI day)")
+    parser.add_argument("--slots", type=int, default=None,
+                        help="number of slots (default: the whole trace)")
+    parser.add_argument("--out", type=str, default=None,
+                        help="write SlotTrace records to this JSONL file")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="process-pool size; per-worker collectors are "
+                             "merged at the barrier (default 1: serial)")
+    parser.add_argument("--level-method", type=str, default="auto",
+                        choices=["auto", "lp", "milp", "bigm", "greedy"])
+    parser.add_argument("--lp-method", type=str, default="simplex",
+                        choices=["highs", "simplex", "ipm"],
+                        help="LP backend (default 'simplex': warm-startable, "
+                             "so cross-slot hits show up in the traces)")
+    parser.add_argument("--iteration-budget", type=int, default=None,
+                        help="iteration/node cap for the primary solver; a "
+                             "tiny value forces failures so the fallback "
+                             "chain shows up in the traces")
+
+
+@register_subcommand(
+    "trace",
+    help_text="run a scenario with telemetry on and dump per-slot traces",
+    configure=_configure_trace,
+)
+def _cmd_trace(args: argparse.Namespace) -> int:
     from repro.core.optimizer import OptimizerConfig
     from repro.obs import InMemoryCollector, write_traces
 
-    if workers < 1:
+    if args.workers < 1:
         print(
-            f"error: --workers must be >= 1 (got {workers}); "
+            f"error: --workers must be >= 1 (got {args.workers}); "
             "use --workers 1 for a serial run",
             file=sys.stderr,
         )
         return 2
-    if iteration_budget is not None and iteration_budget < 1:
+    if args.iteration_budget is not None and args.iteration_budget < 1:
         print(
             f"error: --iteration-budget must be >= 1 (got "
-            f"{iteration_budget}); omit it for unbounded solves",
+            f"{args.iteration_budget}); omit it for unbounded solves",
             file=sys.stderr,
         )
         return 2
-    exp = _trace_experiment(scenario)
-    config = OptimizerConfig(level_method=level_method, lp_method=lp_method,
-                             solver_iteration_budget=iteration_budget)
+    exp = _trace_experiment(args.scenario)
+    config = OptimizerConfig(level_method=args.level_method,
+                             lp_method=args.lp_method,
+                             solver_iteration_budget=args.iteration_budget)
     collector = InMemoryCollector()
-    if workers == 1:
+    if args.workers == 1:
         from repro.sim.slotted import run_simulation
         run_simulation(
             exp.optimizer(config=config), exp.trace, exp.market,
-            num_slots=slots, collector=collector,
+            num_slots=args.slots, collector=collector,
         )
     else:
         from repro.sim.parallel import DispatcherSpec, parallel_run_simulation
         parallel_run_simulation(
             exp.topology, DispatcherSpec("optimized", {"config": config}),
             exp.trace, exp.market,
-            num_slots=slots, workers=workers, collector=collector,
+            num_slots=args.slots, workers=args.workers, collector=collector,
         )
 
     traces = collector.slot_traces
@@ -381,41 +380,40 @@ def _cmd_trace(
     if interesting:
         print("counters: "
               + ", ".join(f"{k}={v:g}" for k, v in interesting.items()))
-    if out is not None:
-        count = write_traces(traces, out)
-        print(f"wrote {count} trace records to {out}")
+    if args.out is not None:
+        count = write_traces(traces, args.out)
+        print(f"wrote {count} trace records to {args.out}")
     return 0
+
+
+# ------------------------------------------------- registry-driven wiring
+
+# Importing the subsystem CLI modules registers their subcommands
+# (lint, audit, bench, stream).  Order here is display order in --help.
+import repro.analysis.cli  # noqa: E402,F401  (registration side effect)
+import repro.analysis.model.cli  # noqa: E402,F401
+import repro.bench.cli  # noqa: E402,F401
+import repro.stream.cli  # noqa: E402,F401
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the top-level argument parser from the registry."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Profit-aware load balancing for distributed cloud data "
+            "centers (IPDPS-W 2013 reproduction)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    for command in registered_subcommands():
+        sub_parser = sub.add_parser(command.name, help=command.help_text)
+        if command.configure is not None:
+            command.configure(sub_parser)
+    return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
-    if args.command == "prices":
-        return _cmd_prices()
-    if args.command == "section5":
-        return _cmd_section5(args.regime)
-    if args.command == "section6":
-        return _cmd_section6(args.seed)
-    if args.command == "section7":
-        return _cmd_section7(args.seed, args.load_scale, args.capacity_scale)
-    if args.command == "validate":
-        return _cmd_validate(args.utilization, args.horizon)
-    if args.command == "sweep":
-        return _cmd_sweep(args.servers)
-    if args.command == "reproduce":
-        return _cmd_reproduce(args.out, args.skip_slow)
-    if args.command == "trace":
-        return _cmd_trace(
-            args.scenario, args.slots, args.out, args.workers,
-            args.level_method, args.lp_method, args.iteration_budget,
-        )
-    if args.command == "lint":
-        from repro.analysis.cli import run_lint
-        return run_lint(args)
-    if args.command == "audit":
-        from repro.analysis.model.cli import run_audit
-        return run_audit(args)
-    if args.command == "bench":
-        from repro.bench.cli import run_bench
-        return run_bench(args)
-    raise AssertionError(f"unhandled command {args.command!r}")
+    return get_subcommand(args.command).run(args)

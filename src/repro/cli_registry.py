@@ -1,0 +1,83 @@
+"""Subcommand registry for the ``repro`` CLI.
+
+Each subsystem registers its subcommand with
+:func:`register_subcommand` instead of being hand-wired into
+``repro.cli.build_parser`` — the parser and the dispatch table are both
+derived from the registry, so adding a command is one decorator in the
+owning module, not three edits in ``cli.py``.
+
+This module is import-light on purpose (stdlib only): subsystem CLI
+modules import it at module scope without dragging the scientific
+stack in, and ``repro.cli`` imports *them* for the registration side
+effect.  Registration is idempotent per function object, so repeated
+imports and repeated ``build_parser()`` calls are safe.
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+__all__ = [
+    "Subcommand",
+    "get_subcommand",
+    "register_subcommand",
+    "registered_subcommands",
+]
+
+RunFunc = Callable[[argparse.Namespace], int]
+ConfigureFunc = Callable[[argparse.ArgumentParser], None]
+
+
+@dataclass(frozen=True)
+class Subcommand:
+    """One registered ``repro <name>`` subcommand."""
+
+    name: str
+    help_text: str
+    run: RunFunc
+    #: Optional hook adding the subcommand's arguments to its subparser.
+    configure: Optional[ConfigureFunc] = None
+
+
+_REGISTRY: Dict[str, Subcommand] = {}
+
+
+def register_subcommand(
+    name: str,
+    help_text: str,
+    configure: Optional[ConfigureFunc] = None,
+) -> Callable[[RunFunc], RunFunc]:
+    """Register ``repro <name>``; decorates the run function.
+
+    The decorated function receives the parsed
+    :class:`argparse.Namespace` and returns a process exit code.
+    Re-registering the *same* function under the same name is a no-op
+    (idempotent across repeated imports); registering a different
+    function under a taken name raises ``ValueError``.
+    """
+
+    def wrap(run: RunFunc) -> RunFunc:
+        existing = _REGISTRY.get(name)
+        if existing is not None and existing.run is not run:
+            raise ValueError(
+                f"subcommand {name!r} is already registered "
+                f"(by {existing.run.__module__}.{existing.run.__qualname__})"
+            )
+        _REGISTRY[name] = Subcommand(
+            name=name, help_text=help_text, run=run, configure=configure
+        )
+        return run
+
+    return wrap
+
+
+def registered_subcommands() -> List[Subcommand]:
+    """All registered subcommands in registration order."""
+    return list(_REGISTRY.values())
+
+
+def get_subcommand(name: str) -> Subcommand:
+    """Look up one subcommand; raises ``KeyError`` when unknown."""
+    return _REGISTRY[name]

@@ -34,7 +34,7 @@ from repro.core.objective import NetProfitBreakdown, evaluate_plan
 from repro.core.config import OptimizerConfig
 from repro.core.optimizer import ProfitAwareOptimizer
 from repro.core.baselines import BalancedDispatcher, EvenSplitDispatcher
-from repro.core.controller import SlottedController
+from repro.core.controller import Dispatcher, SlotRecord, SlottedController
 from repro.core.rightsizing import consolidate_plan, powered_on_servers
 from repro.core.sensitivity import SlotSensitivity, slot_sensitivity
 
@@ -54,6 +54,8 @@ __all__ = [
     "ProfitAwareOptimizer",
     "BalancedDispatcher",
     "EvenSplitDispatcher",
+    "Dispatcher",
+    "SlotRecord",
     "SlottedController",
     "powered_on_servers",
     "consolidate_plan",

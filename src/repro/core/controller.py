@@ -11,7 +11,15 @@ optional predictor forecasts arrivals instead of using the oracle rates.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Iterator, List, Optional, Protocol
+from typing import (
+    Any,
+    Callable,
+    Iterator,
+    List,
+    Optional,
+    Protocol,
+    runtime_checkable,
+)
 
 import numpy as np
 
@@ -24,8 +32,37 @@ from repro.workload.traces import WorkloadTrace
 __all__ = ["Dispatcher", "SlotRecord", "SlottedController"]
 
 
+@runtime_checkable
 class Dispatcher(Protocol):
-    """Anything that can plan a slot (optimizer or baseline)."""
+    """The public planning interface every control loop drives.
+
+    A dispatcher turns one slot's inputs into a
+    :class:`~repro.core.plan.DispatchPlan`:
+
+    * ``arrivals`` — ``(K, S)`` class × front-end arrival rates to plan
+      for (slot averages in the slotted loop, admitted estimates in the
+      streaming loop);
+    * ``prices`` — ``(L,)`` per-data-center electricity prices;
+    * ``slot_duration`` — planning-horizon length in the trace's time
+      unit.
+
+    ``name`` labels results in comparisons and telemetry.  Shipped
+    implementations: :class:`~repro.core.optimizer.ProfitAwareOptimizer`
+    ("optimized"), :class:`~repro.core.baselines.BalancedDispatcher`
+    ("balanced") and :class:`~repro.core.baselines.EvenSplitDispatcher`
+    ("even_split").  Both :class:`SlottedController` and the streaming
+    :class:`~repro.stream.controller.StreamingController` accept any
+    conforming object — the protocol is ``runtime_checkable``, so
+    ``isinstance(obj, Dispatcher)`` verifies conformance (see
+    ``tests/test_dispatcher_protocol.py``).
+
+    Optional hooks controllers use when present (not part of the
+    protocol): ``reset_warm_state()`` clears cross-slot solver state at
+    the start of a run; ``last_stats`` exposes per-solve diagnostics;
+    ``collector`` receives telemetry; ``topology`` describes the
+    static system (the streaming loop derives admission capacity from
+    it).
+    """
 
     name: str
 

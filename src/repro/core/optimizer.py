@@ -23,7 +23,6 @@ time study since its size grows with the server count).
 from __future__ import annotations
 
 import time
-import warnings
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -125,19 +124,10 @@ def _explode_topology(topology: CloudTopology) -> CloudTopology:
     )
 
 
-#: Legacy flat keyword arguments accepted by the deprecation shim; each
-#: maps one-to-one onto an :class:`OptimizerConfig` field.
-_LEGACY_KWARGS = (
-    "level_method", "formulation", "lp_method", "milp_method",
-    "consolidate", "apply_pue", "use_spare_capacity",
-    "deadline_margin", "percentile_sla", "warm_start", "collector",
-)
-
-
 class ProfitAwareOptimizer:
     """Profit- and cost-aware slot optimizer (the paper's "Optimized").
 
-    The primary signature is::
+    The only constructor signature is::
 
         ProfitAwareOptimizer(topology, config=OptimizerConfig(...))
 
@@ -145,13 +135,9 @@ class ProfitAwareOptimizer:
     :class:`~repro.core.config.OptimizerConfig` (see its docstring for
     the full catalogue: solve path, formulation, backends, robustness
     margins, warm-starting, telemetry collector).  ``config=None``
-    means the all-defaults configuration.
-
-    The pre-config flat keywords (``level_method=...``, ``lp_method=...``
-    and friends) are still accepted: they are folded into an
-    ``OptimizerConfig`` behind a :class:`DeprecationWarning` (emitted
-    once per construction).  Passing both ``config`` and flat keywords
-    is an error.
+    means the all-defaults configuration.  Flat constructor keywords
+    (``level_method=...`` and friends, removed with the PR-2
+    deprecation shim) raise ``TypeError``.
 
     Per-slot diagnostics land on :attr:`last_stats`
     (:class:`SolveStats`); when ``config.collector`` is enabled, each
@@ -175,30 +161,8 @@ class ProfitAwareOptimizer:
         self,
         topology: CloudTopology,
         config: Optional[OptimizerConfig] = None,
-        **legacy_kwargs: object,
     ) -> None:
-        if legacy_kwargs:
-            unknown = sorted(set(legacy_kwargs) - set(_LEGACY_KWARGS))
-            if unknown:
-                raise TypeError(
-                    f"unexpected keyword argument(s) {unknown}; "
-                    f"valid OptimizerConfig fields are {_LEGACY_KWARGS}"
-                )
-            if config is not None:
-                raise TypeError(
-                    "pass either config=OptimizerConfig(...) or legacy "
-                    "keyword arguments, not both"
-                )
-            warnings.warn(
-                "passing flat keyword arguments to ProfitAwareOptimizer is "
-                "deprecated; use ProfitAwareOptimizer(topology, "
-                "config=OptimizerConfig("
-                + ", ".join(f"{k}=..." for k in sorted(legacy_kwargs)) + "))",
-                DeprecationWarning,
-                stacklevel=2,
-            )
-            config = OptimizerConfig(**legacy_kwargs)
-        elif config is None:
+        if config is None:
             config = OptimizerConfig()
         self.topology = topology
         self.config = config

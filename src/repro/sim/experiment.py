@@ -53,8 +53,8 @@ class ExperimentConfig:
         """Build the paper's "Optimized" dispatcher for this topology.
 
         Pass a ready :class:`OptimizerConfig`, or flat config-field
-        keywords which are folded into one (without going through the
-        optimizer's deprecation shim).
+        keywords which are folded into one (the optimizer itself only
+        accepts ``config=``).
         """
         if config is not None and kwargs:
             raise TypeError(

@@ -61,8 +61,7 @@ class DispatcherSpec:
     For ``kind="optimized"`` the ``kwargs`` either contain a single
     ``"config"`` key holding an :class:`OptimizerConfig`, or flat
     config-field values (``{"level_method": "milp"}``); both build the
-    optimizer through its config signature, so no deprecation warning
-    fires inside workers.
+    optimizer through its config-only signature.
     """
 
     kind: str

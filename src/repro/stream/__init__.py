@@ -1,0 +1,67 @@
+"""Online sub-slot control plane (streaming load balancing).
+
+The paper's controller is batch: one solve per hourly slot on the
+slot-average arrival rates (§III).  This package closes the gap to an
+online system: a :class:`StreamingController` ingests per-front-end
+arrival batches at sub-slot granularity, keeps online rate estimates
+(EWMA + sliding window with drift detection), and asks a pluggable
+:class:`ControlPolicy` *when* to act instead of acting on the wall
+clock.  Actions reuse the standing plan where possible — incremental
+:func:`repair_plan` re-dispatches only the delta along existing routes —
+and escalate to a full warm-started ``plan_slot`` solve only when the
+repair margin is exhausted.  Offered load beyond the fleet's
+deadline-safe capacity (the auditor's MD043 signal) is shed *before*
+planning, so the optimizer never sees an infeasible slot.
+
+Shipped policies:
+
+* :class:`PeriodicResolve` — resolve at every slot boundary; reproduces
+  the paper's slotted behaviour exactly (pinned by an equivalence test);
+* :class:`DriftTriggered` — resolve on estimator drift or plan
+  staleness, repair on small deviations, otherwise hold;
+* :class:`MarginTriggered` — resolve when the standing plan's SLA
+  margin decays below a floor.
+"""
+
+from repro.stream.admission import deadline_safe_capacity, shed_to_capacity
+from repro.stream.controller import StreamingController, StreamingResult
+from repro.stream.estimators import (
+    DriftDetector,
+    EWMAEstimator,
+    RateEstimatorBank,
+    SlidingWindowEstimator,
+)
+from repro.stream.events import ArrivalBatch, TraceEventSource
+from repro.stream.policy import (
+    ControlAction,
+    ControlContext,
+    ControlPolicy,
+    DriftTriggered,
+    MarginTriggered,
+    PeriodicResolve,
+    make_policy,
+)
+from repro.stream.repair import RepairOutcome, plan_margin, repair_plan
+
+__all__ = [
+    "ArrivalBatch",
+    "ControlAction",
+    "ControlContext",
+    "ControlPolicy",
+    "DriftDetector",
+    "DriftTriggered",
+    "EWMAEstimator",
+    "MarginTriggered",
+    "PeriodicResolve",
+    "RateEstimatorBank",
+    "RepairOutcome",
+    "SlidingWindowEstimator",
+    "StreamingController",
+    "StreamingResult",
+    "TraceEventSource",
+    "deadline_safe_capacity",
+    "make_policy",
+    "plan_margin",
+    "repair_plan",
+    "shed_to_capacity",
+]

@@ -1,0 +1,236 @@
+"""Online arrival-rate estimators for the streaming control plane.
+
+All estimators are vectorized over the ``(K, S)`` class × front-end
+grid: one logical estimator per stream, one ndarray per bank.  The
+:class:`RateEstimatorBank` pairs a reactive sliding-window mean (the
+planning estimate) with a slower EWMA baseline and flags *drift* when
+the two disagree persistently — the streaming analogue of "the slot
+average has moved, re-plan".
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "DriftDetector",
+    "EWMAEstimator",
+    "RateEstimatorBank",
+    "SlidingWindowEstimator",
+]
+
+#: Denominator floor for relative deviations, so an all-idle baseline
+#: (zero estimated rate everywhere) never divides by zero.
+_RATE_FLOOR = 1e-9
+
+
+class EWMAEstimator:
+    """Exponentially weighted moving average over ``(K, S)`` rates.
+
+    The first observation initialises the estimate directly (no bias
+    toward zero); afterwards ``est <- (1 - alpha) * est + alpha * obs``.
+    Small ``alpha`` → long memory → a slow baseline.
+    """
+
+    def __init__(self, alpha: float, shape: Tuple[int, int]) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"alpha must be in (0, 1] (got {alpha})")
+        self.alpha = float(alpha)
+        self.shape = shape
+        self._estimate: Optional[np.ndarray] = None
+
+    @property
+    def initialized(self) -> bool:
+        return self._estimate is not None
+
+    @property
+    def estimate(self) -> np.ndarray:
+        """Current ``(K, S)`` rate estimate (zeros before the first obs)."""
+        if self._estimate is None:
+            return np.zeros(self.shape)
+        return self._estimate.copy()
+
+    def observe(self, rates: np.ndarray) -> None:
+        rates = np.asarray(rates, dtype=float)
+        if rates.shape != self.shape:
+            raise ValueError(f"rates must have shape {self.shape}")
+        if self._estimate is None:
+            self._estimate = rates.copy()
+        else:
+            self._estimate += self.alpha * (rates - self._estimate)
+
+    def reset_to(self, rates: np.ndarray) -> None:
+        """Re-anchor the baseline (used after a confirmed drift)."""
+        rates = np.asarray(rates, dtype=float)
+        if rates.shape != self.shape:
+            raise ValueError(f"rates must have shape {self.shape}")
+        self._estimate = rates.copy()
+
+    def reset(self) -> None:
+        self._estimate = None
+
+
+class SlidingWindowEstimator:
+    """Mean of the last ``window`` observations per ``(K, S)`` stream."""
+
+    def __init__(self, window: int, shape: Tuple[int, int]) -> None:
+        if window < 1:
+            raise ValueError(f"window must be >= 1 (got {window})")
+        self.window = int(window)
+        self.shape = shape
+        self._buffer = np.zeros((self.window,) + shape)
+        self._count = 0
+        self._head = 0
+
+    @property
+    def num_samples(self) -> int:
+        return min(self._count, self.window)
+
+    @property
+    def estimate(self) -> np.ndarray:
+        """Mean over the filled part of the window (zeros when empty)."""
+        n = self.num_samples
+        if n == 0:
+            return np.zeros(self.shape)
+        return self._buffer[:n].mean(axis=0) if self._count <= self.window \
+            else self._buffer.mean(axis=0)
+
+    def observe(self, rates: np.ndarray) -> None:
+        rates = np.asarray(rates, dtype=float)
+        if rates.shape != self.shape:
+            raise ValueError(f"rates must have shape {self.shape}")
+        self._buffer[self._head] = rates
+        self._head = (self._head + 1) % self.window
+        self._count += 1
+
+    def reset(self) -> None:
+        self._buffer[:] = 0.0
+        self._count = 0
+        self._head = 0
+
+
+class DriftDetector:
+    """Persistence-gated drift flag on a scalar deviation signal.
+
+    Fires when the deviation stays above ``threshold`` for ``patience``
+    consecutive updates; a single noisy tick never triggers.  After
+    firing the streak resets, so the caller gets one event per episode
+    (provided it re-anchors the baseline, which
+    :class:`RateEstimatorBank` does).
+    """
+
+    def __init__(self, threshold: float, patience: int = 2) -> None:
+        if threshold <= 0.0:
+            raise ValueError(f"threshold must be > 0 (got {threshold})")
+        if patience < 1:
+            raise ValueError(f"patience must be >= 1 (got {patience})")
+        self.threshold = float(threshold)
+        self.patience = int(patience)
+        self._streak = 0
+        self.events = 0
+
+    def update(self, deviation: float) -> bool:
+        """Feed one deviation sample; return True when drift fires."""
+        if deviation > self.threshold:
+            self._streak += 1
+        else:
+            self._streak = 0
+        if self._streak >= self.patience:
+            self._streak = 0
+            self.events += 1
+            return True
+        return False
+
+    def reset(self) -> None:
+        self._streak = 0
+        self.events = 0
+
+
+class RateEstimatorBank:
+    """EWMA baseline + sliding-window estimate + drift detection.
+
+    ``observe`` feeds one tick of observed ``(K, S)`` rates into both
+    estimators, computes the aggregate relative L1 deviation between
+    the fast window mean and the slow EWMA baseline, and runs the
+    drift detector on it.  On a confirmed drift the EWMA baseline is
+    re-anchored to the window mean so the detector re-arms instead of
+    firing every subsequent tick.
+
+    Parameters
+    ----------
+    shape:
+        ``(K, S)`` stream grid.
+    alpha:
+        EWMA smoothing weight (slow baseline).
+    window:
+        Sliding-window length in ticks (fast estimate).
+    drift_threshold / drift_patience:
+        Relative-deviation trigger for the :class:`DriftDetector`.
+    """
+
+    def __init__(
+        self,
+        shape: Tuple[int, int],
+        *,
+        alpha: float = 0.2,
+        window: int = 6,
+        drift_threshold: float = 0.25,
+        drift_patience: int = 2,
+    ) -> None:
+        self.shape = shape
+        self.ewma = EWMAEstimator(alpha, shape)
+        self.window = SlidingWindowEstimator(window, shape)
+        self.detector = DriftDetector(drift_threshold, drift_patience)
+        self.ticks = 0
+        #: Relative L1 error of the *previous* planning estimate against
+        #: the most recent observation — the "estimator error" counter.
+        self.last_rel_error = 0.0
+
+    @property
+    def initialized(self) -> bool:
+        return self.ewma.initialized
+
+    @property
+    def rate(self) -> np.ndarray:
+        """Planning estimate: the reactive sliding-window mean."""
+        return self.window.estimate
+
+    @property
+    def baseline(self) -> np.ndarray:
+        """Slow EWMA baseline the drift signal compares against."""
+        return self.ewma.estimate
+
+    @property
+    def drift_events(self) -> int:
+        return self.detector.events
+
+    @staticmethod
+    def _rel_l1(a: np.ndarray, b: np.ndarray) -> float:
+        """Aggregate relative L1 deviation ``sum|a-b| / max(sum b, floor)``."""
+        return float(np.abs(a - b).sum() / max(float(np.abs(b).sum()),
+                                               _RATE_FLOOR))
+
+    def observe(self, rates: np.ndarray) -> bool:
+        """Feed one tick of observed rates; return True on drift."""
+        rates = np.asarray(rates, dtype=float)
+        if rates.shape != self.shape:
+            raise ValueError(f"rates must have shape {self.shape}")
+        if self.initialized:
+            self.last_rel_error = self._rel_l1(rates, self.rate)
+        self.ewma.observe(rates)
+        self.window.observe(rates)
+        self.ticks += 1
+        deviation = self._rel_l1(self.window.estimate, self.ewma.estimate)
+        drifted = self.detector.update(deviation)
+        if drifted:
+            self.ewma.reset_to(self.window.estimate)
+        return drifted
+
+    def reset(self) -> None:
+        self.ewma.reset()
+        self.window.reset()
+        self.detector.reset()
+        self.ticks = 0
+        self.last_rel_error = 0.0

@@ -1,0 +1,256 @@
+"""The pluggable ``ControlPolicy`` protocol and shipped policies.
+
+A policy answers one question per tick: given the current arrival
+estimate and the standing plan's health, should the controller **hold**
+the plan, **repair** it (re-dispatch the delta along existing routes),
+or **resolve** (full warm-started ``plan_slot``)?  The controller owns
+*how* each action is executed; policies only decide *when* — the
+acnportal ``BaseAlgorithm``/``OptimizationScheduler`` separation.
+
+Shipped policies:
+
+================== ====================================================
+:class:`PeriodicResolve`  resolve every ``period`` slots at the slot
+                          boundary; the paper's slotted behaviour.
+:class:`DriftTriggered`   resolve on estimator drift or plan staleness,
+                          repair on moderate deviation, else hold.
+:class:`MarginTriggered`  resolve when the standing plan's SLA margin
+                          decays below a floor, repair on deviation.
+================== ====================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Protocol, runtime_checkable
+
+import numpy as np
+
+__all__ = [
+    "ControlAction",
+    "ControlContext",
+    "ControlPolicy",
+    "DriftTriggered",
+    "MarginTriggered",
+    "PeriodicResolve",
+    "make_policy",
+]
+
+_ACTION_KINDS = ("hold", "repair", "resolve")
+
+
+@dataclass(frozen=True)
+class ControlAction:
+    """A policy's verdict for one tick."""
+
+    kind: str
+    reason: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in _ACTION_KINDS:
+            raise ValueError(
+                f"kind must be one of {_ACTION_KINDS} (got {self.kind!r})"
+            )
+
+    @classmethod
+    def hold(cls, reason: str = "") -> "ControlAction":
+        return cls("hold", reason)
+
+    @classmethod
+    def repair(cls, reason: str = "") -> "ControlAction":
+        return cls("repair", reason)
+
+    @classmethod
+    def resolve(cls, reason: str = "") -> "ControlAction":
+        return cls("resolve", reason)
+
+
+@dataclass(frozen=True)
+class ControlContext:
+    """Everything a policy may look at when deciding one tick.
+
+    Attributes
+    ----------
+    tick / slot / tick_in_slot / slot_start:
+        Position on the tick grid.
+    estimate:
+        Admitted ``(K, S)`` planning estimate for this tick.
+    planned:
+        The arrival grid the standing plan was last solved/repaired
+        for (``None`` before the first solve).
+    has_plan:
+        Whether a standing plan exists.
+    drift:
+        True when the estimator bank flagged drift on the previous
+        observation.
+    deviation:
+        Aggregate relative L1 deviation of ``estimate`` vs ``planned``
+        (``inf`` when there is no standing plan).
+    sla_margin:
+        Minimum relative deadline headroom of the standing plan under
+        ``estimate`` (see :func:`repro.stream.repair.plan_margin`);
+        1.0 when there is no load or no plan.
+    """
+
+    tick: int
+    slot: int
+    tick_in_slot: int
+    slot_start: bool
+    estimate: np.ndarray = field(repr=False)
+    planned: Optional[np.ndarray] = field(repr=False)
+    has_plan: bool = False
+    drift: bool = False
+    deviation: float = float("inf")
+    sla_margin: float = 1.0
+
+
+@runtime_checkable
+class ControlPolicy(Protocol):
+    """When-to-act strategy plugged into the streaming controller.
+
+    Implementations need a ``name``, a ``reset`` (called once per run),
+    and a pure ``decide`` mapping a :class:`ControlContext` to a
+    :class:`ControlAction`.  Policies must not execute actions
+    themselves — the controller owns solving, repairing, and scoring.
+    """
+
+    name: str
+
+    def reset(self) -> None:
+        ...
+
+    def decide(self, ctx: ControlContext) -> ControlAction:
+        ...
+
+
+class PeriodicResolve:
+    """Resolve at every ``period``-th slot boundary; hold in between.
+
+    With ``period=1`` this reproduces the paper's slotted controller
+    exactly (one solve per slot on the slot-average rates) — pinned by
+    the equivalence test in the bench suite.
+    """
+
+    def __init__(self, period: int = 1) -> None:
+        if period < 1:
+            raise ValueError(f"period must be >= 1 (got {period})")
+        self.period = int(period)
+        self.name = f"periodic[{self.period}]" if self.period != 1 \
+            else "periodic"
+
+    def reset(self) -> None:
+        return None
+
+    def decide(self, ctx: ControlContext) -> ControlAction:
+        if not ctx.has_plan:
+            return ControlAction.resolve("bootstrap")
+        if ctx.slot_start and ctx.slot % self.period == 0:
+            return ControlAction.resolve("slot boundary")
+        return ControlAction.hold()
+
+
+class DriftTriggered:
+    """Resolve on drift or staleness, repair on moderate deviation.
+
+    Parameters
+    ----------
+    resolve_deviation:
+        Relative L1 deviation of the estimate vs the planned arrivals
+        beyond which the standing plan is considered stale (full
+        re-solve).
+    repair_deviation:
+        Deviation beyond which the plan is re-scaled in place.  Below
+        it the plan holds untouched.
+    """
+
+    name = "drift"
+
+    def __init__(
+        self,
+        resolve_deviation: float = 0.15,
+        repair_deviation: float = 0.02,
+    ) -> None:
+        if resolve_deviation <= 0 or repair_deviation < 0:
+            raise ValueError("deviation thresholds must be positive")
+        if repair_deviation > resolve_deviation:
+            raise ValueError(
+                "repair_deviation must not exceed resolve_deviation"
+            )
+        self.resolve_deviation = float(resolve_deviation)
+        self.repair_deviation = float(repair_deviation)
+
+    def reset(self) -> None:
+        return None
+
+    def decide(self, ctx: ControlContext) -> ControlAction:
+        if not ctx.has_plan:
+            return ControlAction.resolve("bootstrap")
+        if ctx.drift:
+            return ControlAction.resolve("estimator drift")
+        if ctx.deviation > self.resolve_deviation:
+            return ControlAction.resolve(
+                f"plan stale (deviation {ctx.deviation:.3f})"
+            )
+        if ctx.deviation > self.repair_deviation:
+            return ControlAction.repair(
+                f"dispatch delta (deviation {ctx.deviation:.3f})"
+            )
+        return ControlAction.hold()
+
+
+class MarginTriggered:
+    """Resolve when the standing plan's SLA margin decays below a floor.
+
+    Watches :attr:`ControlContext.sla_margin` — the minimum relative
+    deadline headroom over loaded servers if the standing plan served
+    the current estimate.  Margin below ``margin_floor`` means some
+    server is within that fraction of its deadline-safe rate: re-solve
+    before the deadline is breached.  Moderate deviations without
+    margin pressure are handled by cheap repairs.
+    """
+
+    name = "margin"
+
+    def __init__(
+        self,
+        margin_floor: float = 0.2,
+        repair_deviation: float = 0.02,
+    ) -> None:
+        if not 0.0 <= margin_floor < 1.0:
+            raise ValueError(
+                f"margin_floor must be in [0, 1) (got {margin_floor})"
+            )
+        if repair_deviation < 0:
+            raise ValueError("repair_deviation must be >= 0")
+        self.margin_floor = float(margin_floor)
+        self.repair_deviation = float(repair_deviation)
+
+    def reset(self) -> None:
+        return None
+
+    def decide(self, ctx: ControlContext) -> ControlAction:
+        if not ctx.has_plan:
+            return ControlAction.resolve("bootstrap")
+        if ctx.sla_margin < self.margin_floor:
+            return ControlAction.resolve(
+                f"margin decay ({ctx.sla_margin:.3f} < "
+                f"{self.margin_floor:g})"
+            )
+        if ctx.deviation > self.repair_deviation:
+            return ControlAction.repair(
+                f"dispatch delta (deviation {ctx.deviation:.3f})"
+            )
+        return ControlAction.hold()
+
+
+def make_policy(name: str) -> ControlPolicy:
+    """Construct a shipped policy by CLI name."""
+    if name == "periodic":
+        return PeriodicResolve()
+    if name == "drift":
+        return DriftTriggered()
+    if name == "margin":
+        return MarginTriggered()
+    raise ValueError(
+        f"unknown policy {name!r}; expected periodic, drift, or margin"
+    )

@@ -40,6 +40,8 @@ REPO_ROOT = Path(__file__).resolve().parents[1]
 #: Trivial workloads per scenario so the full catalog runs in seconds.
 TINY_OVERRIDES = {
     "paper_scale": {"slots": 2, "repeats": 1, "warmup": 0},
+    "streaming_ingest": {"slots": 4, "ticks_per_slot": 2, "repeats": 1,
+                         "warmup": 0},
     "fleet_10x": {"slots": 1, "repeats": 1, "warmup": 0},
     "fleet_100x": {"slots": 1, "repeats": 1, "warmup": 0},
     "warm_vs_cold": {"slots": 2, "repeats": 1, "warmup": 0,
@@ -259,8 +261,8 @@ class TestScenarioDeterminism:
     def test_catalog_covers_scenario(self, name):
         assert name in available_scenarios()
 
-    @pytest.mark.parametrize("name", ["paper_scale", "warm_vs_cold",
-                                      "des_million"])
+    @pytest.mark.parametrize("name", ["paper_scale", "streaming_ingest",
+                                      "warm_vs_cold", "des_million"])
     def test_same_seed_identical_nontiming_fields(self, name):
         first = run_scenario(name, mode="smoke",
                              overrides=TINY_OVERRIDES[name])
@@ -301,6 +303,20 @@ class TestScenarioDeterminism:
         assert record["config"]["fleet_multiplier"] == 10
         assert record["config"]["num_servers"] == 180
         assert record["timing"]["per_phase_s"]  # SlotTrace breakdown
+
+    def test_streaming_ingest_tracks_solve_reduction(self):
+        record = run_scenario(
+            "streaming_ingest", mode="smoke",
+            overrides=TINY_OVERRIDES["streaming_ingest"],
+        )
+        det = record["determinism"]
+        assert det["drift_full_solves"] <= det["periodic_full_solves"]
+        assert det["equivalence_max_rel_diff"] < 1e-6
+        assert len(det["drift_profit_series"]) == det["num_slots"]
+        ratios = record["timing"]["ratios"]
+        assert ratios["resolve_reduction"] >= 1.0
+        assert ratios["profit_ratio"] == pytest.approx(1.0, rel=1e-6)
+        assert record["timing"]["throughput"]["ticks_per_s"] > 0
 
 
 class TestMedianDedupe:

@@ -55,8 +55,8 @@ class TestListAndRun:
     def test_list_prints_catalog(self, capsys):
         assert _bench("--list") == 0
         out = capsys.readouterr().out
-        for name in ("paper_scale", "fleet_10x", "fleet_100x",
-                     "warm_vs_cold", "des_million"):
+        for name in ("paper_scale", "streaming_ingest", "fleet_10x",
+                     "fleet_100x", "warm_vs_cold", "des_million"):
             assert name in out
 
     def test_smoke_run_writes_valid_record(self, tmp_path):

@@ -1,8 +1,61 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
+from repro.cli_registry import (
+    get_subcommand,
+    register_subcommand,
+    registered_subcommands,
+)
+
+
+class TestRegistry:
+    def test_all_commands_registered(self):
+        names = [sub.name for sub in registered_subcommands()]
+        assert len(set(names)) == len(names)
+        for expected in ("prices", "section5", "section6", "section7",
+                         "validate", "sweep", "reproduce", "trace",
+                         "lint", "audit", "bench", "stream"):
+            assert expected in names, expected
+
+    def test_duplicate_name_different_function_rejected(self):
+        existing = get_subcommand("prices")
+
+        with pytest.raises(ValueError, match="already registered"):
+            @register_subcommand("prices", help_text="imposter")
+            def other_run(args):
+                return 0
+
+        # Re-decorating the same function object is an idempotent no-op.
+        again = register_subcommand("prices", help_text=existing.help_text)(
+            existing.run
+        )
+        assert again is existing.run
+        assert get_subcommand("prices").run is existing.run
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            get_subcommand("does-not-exist")
+
+    def test_build_parser_idempotent(self):
+        first = build_parser().parse_args(["stream", "--slots", "3"])
+        second = build_parser().parse_args(["stream", "--slots", "3"])
+        assert first.slots == second.slots == 3
+
+    def test_stream_parse_defaults(self):
+        args = build_parser().parse_args(["stream"])
+        assert args.scenario == "section6"
+        assert args.policy == "drift"
+        assert args.ticks_per_slot == 12
+        assert args.synthesis == "fluid"
+        assert args.estimation == "oracle"
+
+    def test_stream_rejects_unknown_policy(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["stream", "--policy", "chaotic"])
 
 
 class TestParser:
@@ -88,6 +141,22 @@ class TestCommands:
         assert main(["trace", "--workers", "0"]) == 2
         err = capsys.readouterr().err
         assert "--workers must be >= 1" in err
+
+    def test_stream_runs_and_writes_json(self, capsys, tmp_path):
+        out = tmp_path / "stream.json"
+        assert main(["stream", "--scenario", "section6", "--slots", "4",
+                     "--ticks-per-slot", "4", "--policy", "drift",
+                     "--json", str(out)]) == 0
+        stdout = capsys.readouterr().out
+        assert "drift policy" in stdout and "full_solves=" in stdout
+        summary = json.loads(out.read_text())
+        assert summary["policy"] == "drift"
+        assert summary["slots"] == 4
+        assert summary["full_solves"] >= 1
+
+    def test_stream_rejects_bad_ticks(self, capsys):
+        assert main(["stream", "--ticks-per-slot", "0"]) == 2
+        assert "ticks-per-slot" in capsys.readouterr().err
 
     def test_reproduce_writes_series(self, capsys, tmp_path):
         out = tmp_path / "results"

@@ -1,0 +1,108 @@
+"""Conformance tests for the public ``Dispatcher`` protocol.
+
+Every shipped dispatcher — the optimizer and both baselines — must
+satisfy the protocol both structurally (``isinstance`` against the
+``runtime_checkable`` protocol) and behaviourally (``plan_slot`` on
+valid inputs returns a consistent :class:`DispatchPlan`).
+"""
+
+import numpy as np
+import pytest
+
+from repro import Dispatcher
+from repro.core.baselines import BalancedDispatcher, EvenSplitDispatcher
+from repro.core.controller import SlottedController
+from repro.core.optimizer import ProfitAwareOptimizer
+from repro.core.plan import DispatchPlan
+
+
+def shipped_dispatchers(topology):
+    return [
+        ProfitAwareOptimizer(topology),
+        BalancedDispatcher(topology),
+        EvenSplitDispatcher(topology),
+    ]
+
+
+class TestProtocolConformance:
+    def test_every_shipped_dispatcher_conforms(self, small_topology):
+        for dispatcher in shipped_dispatchers(small_topology):
+            assert isinstance(dispatcher, Dispatcher), dispatcher
+            assert isinstance(dispatcher.name, str) and dispatcher.name
+
+    def test_names_are_distinct(self, small_topology):
+        names = [d.name for d in shipped_dispatchers(small_topology)]
+        assert len(set(names)) == len(names)
+        assert set(names) == {"optimized", "balanced", "even_split"}
+
+    def test_non_dispatcher_rejected_by_isinstance(self):
+        class NotADispatcher:
+            pass
+
+        assert not isinstance(NotADispatcher(), Dispatcher)
+
+    def test_plan_slot_contract(self, small_topology):
+        arrivals = np.full((2, 2), 40.0)
+        prices = np.array([0.06, 0.10])
+        for dispatcher in shipped_dispatchers(small_topology):
+            plan = dispatcher.plan_slot(arrivals, prices, slot_duration=1.0)
+            assert isinstance(plan, DispatchPlan)
+            assert plan.rates.shape == (2, 2, small_topology.num_servers)
+            # Never dispatch more than offered (small numerical slack).
+            dispatched = plan.rates.sum(axis=2)
+            assert np.all(dispatched <= arrivals * (1.0 + 1e-6))
+
+    def test_slotted_controller_accepts_any_dispatcher(
+        self, small_topology
+    ):
+        from repro.market.market import MultiElectricityMarket
+        from repro.market.prices import PriceTrace
+        from repro.workload.traces import WorkloadTrace
+
+        trace = WorkloadTrace(np.full((2, 2, 3), 30.0))
+        market = MultiElectricityMarket([
+            PriceTrace("a", np.full(3, 0.06)),
+            PriceTrace("b", np.full(3, 0.10)),
+        ])
+        for dispatcher in shipped_dispatchers(small_topology):
+            records = SlottedController(dispatcher, trace, market).run()
+            assert len(records) == 3
+
+    def test_streaming_controller_checks_protocol(self, small_topology):
+        """The streaming loop drives the same protocol seam."""
+        from repro.stream import PeriodicResolve, StreamingController
+        from repro.market.market import MultiElectricityMarket
+        from repro.market.prices import PriceTrace
+        from repro.workload.traces import WorkloadTrace
+
+        trace = WorkloadTrace(np.full((2, 2, 2), 30.0))
+        market = MultiElectricityMarket([
+            PriceTrace("a", np.full(2, 0.06)),
+            PriceTrace("b", np.full(2, 0.10)),
+        ])
+        for dispatcher in shipped_dispatchers(small_topology):
+            assert isinstance(dispatcher, Dispatcher)
+            result = StreamingController(
+                dispatcher, trace, market, PeriodicResolve(),
+                ticks_per_slot=2,
+            ).run()
+            assert result.num_slots == 2
+
+
+class TestProtocolShape:
+    def test_protocol_is_runtime_checkable(self):
+        # A structural object with the right surface conforms without
+        # inheriting anything.
+        class Minimal:
+            name = "minimal"
+
+            def plan_slot(self, arrivals, prices, slot_duration=1.0):
+                raise NotImplementedError
+
+        assert isinstance(Minimal(), Dispatcher)
+
+    def test_missing_plan_slot_fails(self):
+        class NameOnly:
+            name = "name-only"
+
+        assert not isinstance(NameOnly(), Dispatcher)

@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 
 from repro.core.objective import evaluate_plan
-from repro.core.optimizer import ProfitAwareOptimizer
+from repro.core.optimizer import OptimizerConfig, ProfitAwareOptimizer
 from repro.core.rightsizing import consolidate_plan
 
 
@@ -71,9 +71,7 @@ class TestIdlePowerMakesConsolidationPay:
         topo = with_idle(small_topology, idle_kw=0.4)
         arrivals = np.full((2, 2), 10.0)  # light load, spread plan
         prices = np.array([0.10, 0.15])
-        spread = ProfitAwareOptimizer(
-            topo, consolidate=False, use_spare_capacity=False
-        ).plan_slot(arrivals, prices)
+        spread = ProfitAwareOptimizer(topo, config=OptimizerConfig(consolidate=False, use_spare_capacity=False)).plan_slot(arrivals, prices)
         packed = consolidate_plan(spread)
         profit_spread = evaluate_plan(spread, arrivals, prices).net_profit
         profit_packed = evaluate_plan(packed, arrivals, prices).net_profit
@@ -86,9 +84,7 @@ class TestIdlePowerMakesConsolidationPay:
         gains = []
         for idle in (0.2, 0.8):
             topo = with_idle(small_topology, idle)
-            spread = ProfitAwareOptimizer(
-                topo, consolidate=False, use_spare_capacity=False
-            ).plan_slot(arrivals, prices)
+            spread = ProfitAwareOptimizer(topo, config=OptimizerConfig(consolidate=False, use_spare_capacity=False)).plan_slot(arrivals, prices)
             packed = consolidate_plan(spread)
             gains.append(
                 evaluate_plan(packed, arrivals, prices).net_profit

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core.optimizer import ProfitAwareOptimizer, SolveStats
+from repro.core.optimizer import OptimizerConfig, ProfitAwareOptimizer, SolveStats
 from repro.core.plan import DispatchPlan
 from repro.des.engine import Engine
 from repro.solvers.base import SolverError
@@ -108,9 +108,7 @@ class TestOptimizerEdges:
         prices = np.array([0.07])
         full = ProfitAwareOptimizer(single_class_topology).plan_slot(
             arrivals, prices)
-        tight = ProfitAwareOptimizer(
-            single_class_topology, deadline_margin=0.5
-        ).plan_slot(arrivals, prices)
+        tight = ProfitAwareOptimizer(single_class_topology, config=OptimizerConfig(deadline_margin=0.5)).plan_slot(arrivals, prices)
         assert tight.served_rates()[0] < full.served_rates()[0]
 
 

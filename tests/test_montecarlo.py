@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core.objective import evaluate_plan
-from repro.core.optimizer import ProfitAwareOptimizer
+from repro.core.optimizer import OptimizerConfig, ProfitAwareOptimizer
 from repro.sim.montecarlo import ProfitDistribution, monte_carlo_profit
 
 
@@ -65,9 +65,7 @@ class TestMonteCarloProfit:
         prices = np.array([0.05, 0.12])
         tight_plan = ProfitAwareOptimizer(small_topology).plan_slot(
             arrivals, prices)
-        margin_plan = ProfitAwareOptimizer(
-            small_topology, deadline_margin=0.8
-        ).plan_slot(arrivals, prices)
+        margin_plan = ProfitAwareOptimizer(small_topology, config=OptimizerConfig(deadline_margin=0.8)).plan_slot(arrivals, prices)
         tight = monte_carlo_profit(tight_plan, arrivals, prices,
                                    noise=0.1, draws=200, seed=4)
         margin = monte_carlo_profit(margin_plan, arrivals, prices,

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core.objective import evaluate_plan
-from repro.core.optimizer import ProfitAwareOptimizer, _explode_topology
+from repro.core.optimizer import OptimizerConfig, ProfitAwareOptimizer, _explode_topology
 
 
 def profits(topology, optimizer, arrivals, prices):
@@ -15,14 +15,14 @@ def profits(topology, optimizer, arrivals, prices):
 class TestConstruction:
     def test_rejects_unknown_method(self, small_topology):
         with pytest.raises(ValueError, match="level_method"):
-            ProfitAwareOptimizer(small_topology, level_method="magic")
+            ProfitAwareOptimizer(small_topology, config=OptimizerConfig(level_method="magic"))
 
     def test_rejects_unknown_formulation(self, small_topology):
         with pytest.raises(ValueError, match="formulation"):
-            ProfitAwareOptimizer(small_topology, formulation="magic")
+            ProfitAwareOptimizer(small_topology, config=OptimizerConfig(formulation="magic"))
 
     def test_lp_refused_for_multilevel(self, multilevel_topology):
-        opt = ProfitAwareOptimizer(multilevel_topology, level_method="lp")
+        opt = ProfitAwareOptimizer(multilevel_topology, config=OptimizerConfig(level_method="lp"))
         with pytest.raises(ValueError, match="one-level"):
             opt.plan_slot(np.array([[100.0], [100.0]]), np.array([0.1, 0.1]))
 
@@ -54,8 +54,7 @@ class TestOneLevelPaths:
         )
         value = profits(
             small_topology,
-            ProfitAwareOptimizer(small_topology, formulation=formulation,
-                                 lp_method=lp_method),
+            ProfitAwareOptimizer(small_topology, config=OptimizerConfig(formulation=formulation, lp_method=lp_method)),
             arrivals, prices,
         )
         assert value == pytest.approx(reference, rel=1e-6)
@@ -90,16 +89,16 @@ class TestMultiLevelPaths:
 
     def test_milp_bb_matches_highs(self, setup):
         topo, arrivals, prices = setup
-        a = profits(topo, ProfitAwareOptimizer(topo, milp_method="highs"),
+        a = profits(topo, ProfitAwareOptimizer(topo, config=OptimizerConfig(milp_method="highs")),
                     arrivals, prices)
-        b = profits(topo, ProfitAwareOptimizer(topo, milp_method="bb"),
+        b = profits(topo, ProfitAwareOptimizer(topo, config=OptimizerConfig(milp_method="bb")),
                     arrivals, prices)
         assert a == pytest.approx(b, rel=1e-6)
 
     def test_greedy_close_to_milp(self, setup):
         topo, arrivals, prices = setup
         exact = profits(topo, ProfitAwareOptimizer(topo), arrivals, prices)
-        greedy = profits(topo, ProfitAwareOptimizer(topo, level_method="greedy"),
+        greedy = profits(topo, ProfitAwareOptimizer(topo, config=OptimizerConfig(level_method="greedy")),
                          arrivals, prices)
         assert greedy >= 0.9 * exact
         assert greedy <= exact + 1e-6
@@ -107,7 +106,7 @@ class TestMultiLevelPaths:
     def test_bigm_close_to_milp(self, setup):
         topo, arrivals, prices = setup
         exact = profits(topo, ProfitAwareOptimizer(topo), arrivals, prices)
-        bigm = profits(topo, ProfitAwareOptimizer(topo, level_method="bigm"),
+        bigm = profits(topo, ProfitAwareOptimizer(topo, config=OptimizerConfig(level_method="bigm")),
                        arrivals, prices)
         assert bigm >= 0.8 * exact
 
@@ -118,7 +117,7 @@ class TestMultiLevelPaths:
         topo, arrivals, prices = setup
         agg = profits(topo, ProfitAwareOptimizer(topo), arrivals, prices)
         per = profits(
-            topo, ProfitAwareOptimizer(topo, formulation="per_server"),
+            topo, ProfitAwareOptimizer(topo, config=OptimizerConfig(formulation="per_server")),
             arrivals, prices,
         )
         assert per >= agg - 1e-6
@@ -126,7 +125,7 @@ class TestMultiLevelPaths:
 
     def test_greedy_stats_expose_lp_evaluations(self, setup):
         topo, arrivals, prices = setup
-        opt = ProfitAwareOptimizer(topo, level_method="greedy")
+        opt = ProfitAwareOptimizer(topo, config=OptimizerConfig(level_method="greedy"))
         opt.plan_slot(arrivals, prices)
         assert opt.last_stats.lp_evaluations >= 1
 
@@ -135,8 +134,8 @@ class TestConsolidation:
     def test_consolidated_plan_uses_fewer_servers(self, small_topology):
         arrivals = np.full((2, 2), 10.0)  # light load
         prices = np.array([0.05, 0.12])
-        spread = ProfitAwareOptimizer(small_topology, consolidate=False)
-        packed = ProfitAwareOptimizer(small_topology, consolidate=True)
+        spread = ProfitAwareOptimizer(small_topology, config=OptimizerConfig(consolidate=False))
+        packed = ProfitAwareOptimizer(small_topology, config=OptimizerConfig(consolidate=True))
         plan_spread = spread.plan_slot(arrivals, prices)
         plan_packed = packed.plan_slot(arrivals, prices)
         assert (plan_packed.powered_on_per_dc().sum()

@@ -1,4 +1,4 @@
-"""Tests for OptimizerConfig and the optimizer's config/legacy API."""
+"""Tests for OptimizerConfig and the optimizer's config-only API."""
 
 import pickle
 import warnings
@@ -81,42 +81,24 @@ class TestOptimizerSignature:
         assert opt.config.deadline_margin == 0.9
         assert opt.plan_slot(arrivals, prices) is not None
 
-    def test_legacy_kwargs_warn_exactly_once(self, small_topology):
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
-            opt = ProfitAwareOptimizer(small_topology, deadline_margin=0.9)
-        deprecations = [w for w in caught
-                        if issubclass(w.category, DeprecationWarning)]
-        assert len(deprecations) == 1
-        assert "OptimizerConfig" in str(deprecations[0].message)
-        assert opt.deadline_margin == 0.9
+    def test_flat_kwargs_rejected(self, small_topology):
+        """The PR-2 deprecation shim is gone: flat knobs are TypeErrors."""
+        with pytest.raises(TypeError):
+            ProfitAwareOptimizer(small_topology, deadline_margin=0.9)
+        with pytest.raises(TypeError):
+            ProfitAwareOptimizer(
+                small_topology, lp_method="simplex", warm_start=True
+            )
 
     def test_config_plus_kwargs_rejected(self, small_topology):
-        with pytest.raises(TypeError, match="not both"):
+        with pytest.raises(TypeError):
             ProfitAwareOptimizer(
                 small_topology, config=OptimizerConfig(), warm_start=False
             )
 
     def test_unknown_kwarg_rejected(self, small_topology):
-        with pytest.raises(TypeError, match="unexpected keyword"):
+        with pytest.raises(TypeError):
             ProfitAwareOptimizer(small_topology, wram_start=False)
-
-    def test_config_and_legacy_produce_identical_plans(self, slot):
-        topo, arrivals, prices = slot
-        cfg_opt = ProfitAwareOptimizer(topo, config=OptimizerConfig(
-            lp_method="simplex", deadline_margin=0.95, consolidate=True,
-        ))
-        with pytest.warns(DeprecationWarning):
-            legacy_opt = ProfitAwareOptimizer(
-                topo, lp_method="simplex", deadline_margin=0.95,
-                consolidate=True,
-            )
-        plan_a = cfg_opt.plan_slot(arrivals, prices)
-        plan_b = legacy_opt.plan_slot(arrivals, prices)
-        np.testing.assert_allclose(plan_a.rates, plan_b.rates)
-        np.testing.assert_allclose(plan_a.shares, plan_b.shares)
-        assert cfg_opt.last_stats.objective == \
-            pytest.approx(legacy_opt.last_stats.objective)
 
     def test_slot_duration_validated(self, slot):
         topo, arrivals, prices = slot

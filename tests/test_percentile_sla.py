@@ -3,7 +3,8 @@
 import numpy as np
 import pytest
 
-from repro.core.optimizer import ProfitAwareOptimizer
+from repro.core.optimizer import (OptimizerConfig,
+                                  ProfitAwareOptimizer)
 from repro.queueing.mm1 import MM1Queue
 
 
@@ -15,30 +16,26 @@ def inputs(small_topology):
 class TestPercentileSLA:
     def test_validation(self, small_topology):
         with pytest.raises(ValueError):
-            ProfitAwareOptimizer(small_topology, percentile_sla=0.0)
+            ProfitAwareOptimizer(small_topology, config=OptimizerConfig(percentile_sla=0.0))
         with pytest.raises(ValueError):
-            ProfitAwareOptimizer(small_topology, percentile_sla=1.0)
+            ProfitAwareOptimizer(small_topology, config=OptimizerConfig(percentile_sla=1.0))
 
     def test_none_reproduces_paper(self, inputs):
         topo, arrivals, prices = inputs
         base = ProfitAwareOptimizer(topo).plan_slot(arrivals, prices)
-        explicit = ProfitAwareOptimizer(
-            topo, percentile_sla=None
-        ).plan_slot(arrivals, prices)
+        explicit = ProfitAwareOptimizer(topo, config=OptimizerConfig(percentile_sla=None)).plan_slot(arrivals, prices)
         assert np.allclose(base.rates, explicit.rates)
 
     def test_weak_eps_floors_at_mean_constraint(self, inputs):
         # eps > 1/e would relax below the mean-delay SLA; it must floor.
         topo, arrivals, prices = inputs
-        opt = ProfitAwareOptimizer(topo, percentile_sla=0.9)
+        opt = ProfitAwareOptimizer(topo, config=OptimizerConfig(percentile_sla=0.9))
         assert opt._delay_factor == 1.0
 
     def test_analytic_violation_probability_met(self, inputs):
         topo, arrivals, prices = inputs
         eps = 0.05
-        plan = ProfitAwareOptimizer(
-            topo, percentile_sla=eps, use_spare_capacity=False
-        ).plan_slot(arrivals, prices)
+        plan = ProfitAwareOptimizer(topo, config=OptimizerConfig(percentile_sla=eps, use_spare_capacity=False)).plan_slot(arrivals, prices)
         loads = plan.server_loads()
         effective = plan.shares * plan.server_service_rates()
         for k, rc in enumerate(topo.request_classes):
@@ -55,9 +52,7 @@ class TestPercentileSLA:
         prices = np.array([0.05, 0.12])
         mean_plan = ProfitAwareOptimizer(small_topology).plan_slot(
             arrivals, prices)
-        tail_plan = ProfitAwareOptimizer(
-            small_topology, percentile_sla=0.05
-        ).plan_slot(arrivals, prices)
+        tail_plan = ProfitAwareOptimizer(small_topology, config=OptimizerConfig(percentile_sla=0.05)).plan_slot(arrivals, prices)
         assert (tail_plan.served_rates().sum()
                 < mean_plan.served_rates().sum())
 
@@ -71,9 +66,7 @@ class TestPercentileSLA:
 
         topo, arrivals, prices = inputs
         eps = 0.1
-        plan = ProfitAwareOptimizer(
-            topo, percentile_sla=eps, use_spare_capacity=False
-        ).plan_slot(arrivals, prices)
+        plan = ProfitAwareOptimizer(topo, config=OptimizerConfig(percentile_sla=eps, use_spare_capacity=False)).plan_slot(arrivals, prices)
         loads = plan.server_loads()
         effective = plan.shares * plan.server_service_rates()
         k, n = np.unravel_index(np.argmax(loads), loads.shape)
@@ -97,9 +90,7 @@ class TestPercentileSLA:
     def test_mean_sla_violates_tail_that_percentile_fixes(self, inputs):
         # Contrast: the paper's mean-delay plan leaves a heavy tail.
         topo, arrivals, prices = inputs
-        mean_plan = ProfitAwareOptimizer(
-            topo, use_spare_capacity=False
-        ).plan_slot(arrivals, prices)
+        mean_plan = ProfitAwareOptimizer(topo, config=OptimizerConfig(use_spare_capacity=False)).plan_slot(arrivals, prices)
         loads = mean_plan.server_loads()
         effective = mean_plan.shares * mean_plan.server_service_rates()
         worst = 0.0

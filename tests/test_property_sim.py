@@ -14,7 +14,7 @@ fixture_ok = settings(
 )
 
 from repro.core.baselines import BalancedDispatcher
-from repro.core.optimizer import ProfitAwareOptimizer
+from repro.core.optimizer import OptimizerConfig, ProfitAwareOptimizer
 from repro.core.rightsizing import consolidate_plan
 from repro.market.green import GreenEnergyProfile, apply_green_energy
 from repro.market.market import MultiElectricityMarket
@@ -94,9 +94,7 @@ class TestConsolidationProperties:
         self, small_topology, arrivals, p1, p2
     ):
         prices = np.array([p1, p2])
-        plan = ProfitAwareOptimizer(
-            small_topology, use_spare_capacity=False
-        ).plan_slot(arrivals, prices)
+        plan = ProfitAwareOptimizer(small_topology, config=OptimizerConfig(use_spare_capacity=False)).plan_slot(arrivals, prices)
         packed = consolidate_plan(plan)
         assert (packed.powered_on_per_dc().sum()
                 <= plan.powered_on_per_dc().sum())

@@ -88,4 +88,10 @@ class TestBranchBoundProperties:
         milp_sol = solve_milp(mip, "bb")
         lp_sol = solve_lp(lp, "highs")
         assert milp_sol.ok and lp_sol.ok
-        assert milp_sol.objective >= lp_sol.objective - 1e-8
+        # Same tolerance as the bb-vs-highs comparison above: objective
+        # coefficients below the backends' dual-feasibility tolerance
+        # (~1e-7) leave both solvers free to park on any optimal-within-
+        # tolerance vertex, so an absolute 1e-8 bound is unattainable.
+        assert milp_sol.objective >= lp_sol.objective - 1e-5 * (
+            1.0 + abs(lp_sol.objective)
+        )

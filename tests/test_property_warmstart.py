@@ -22,7 +22,8 @@ from repro.core.formulation import (
     fixed_level_lp,
     multilevel_milp,
 )
-from repro.core.optimizer import ProfitAwareOptimizer
+from repro.core.optimizer import (OptimizerConfig,
+                                  ProfitAwareOptimizer)
 from repro.core.request import RequestClass
 from repro.core.tuf import ConstantTUF, StepDownwardTUF
 from repro.solvers.base import LinearProgram
@@ -164,10 +165,8 @@ class TestPipelineEquivalence:
     def test_lp_pipeline(self, data):
         topology = data.draw(random_topologies(max_levels=1))
         slots = data.draw(slot_sequences(topology))
-        warm = ProfitAwareOptimizer(topology, lp_method="simplex",
-                                    warm_start=True)
-        cold = ProfitAwareOptimizer(topology, lp_method="simplex",
-                                    warm_start=False)
+        warm = ProfitAwareOptimizer(topology, config=OptimizerConfig(lp_method="simplex", warm_start=True))
+        cold = ProfitAwareOptimizer(topology, config=OptimizerConfig(lp_method="simplex", warm_start=False))
         for arrivals, prices in slots:
             wp = warm.plan_slot(arrivals, prices)
             w_obj = warm.last_stats.objective
@@ -181,10 +180,8 @@ class TestPipelineEquivalence:
     def test_milp_pipeline(self, data):
         topology = data.draw(random_topologies(max_levels=3))
         slots = data.draw(slot_sequences(topology))
-        warm = ProfitAwareOptimizer(topology, level_method="milp",
-                                    milp_method="bb", warm_start=True)
-        cold = ProfitAwareOptimizer(topology, level_method="milp",
-                                    milp_method="bb", warm_start=False)
+        warm = ProfitAwareOptimizer(topology, config=OptimizerConfig(level_method="milp", milp_method="bb", warm_start=True))
+        cold = ProfitAwareOptimizer(topology, config=OptimizerConfig(level_method="milp", milp_method="bb", warm_start=False))
         for arrivals, prices in slots:
             warm.plan_slot(arrivals, prices)
             cold.plan_slot(arrivals, prices)

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core.objective import evaluate_plan
-from repro.core.optimizer import ProfitAwareOptimizer
+from repro.core.optimizer import OptimizerConfig, ProfitAwareOptimizer
 from repro.core.plan import DispatchPlan
 
 
@@ -34,9 +34,7 @@ class TestWithSpareCapacityDistributed:
     def test_delays_strictly_improve(self, small_topology):
         arrivals = np.full((2, 2), 40.0)
         prices = np.array([0.05, 0.12])
-        raw = ProfitAwareOptimizer(
-            small_topology, use_spare_capacity=False
-        ).plan_slot(arrivals, prices)
+        raw = ProfitAwareOptimizer(small_topology, config=OptimizerConfig(use_spare_capacity=False)).plan_slot(arrivals, prices)
         boosted = raw.with_spare_capacity_distributed()
         d_raw, d_boost = raw.delays(), boosted.delays()
         mask = ~np.isnan(d_raw)
@@ -46,9 +44,7 @@ class TestWithSpareCapacityDistributed:
     def test_profit_never_decreases(self, small_topology):
         arrivals = np.full((2, 2), 40.0)
         prices = np.array([0.05, 0.12])
-        raw = ProfitAwareOptimizer(
-            small_topology, use_spare_capacity=False
-        ).plan_slot(arrivals, prices)
+        raw = ProfitAwareOptimizer(small_topology, config=OptimizerConfig(use_spare_capacity=False)).plan_slot(arrivals, prices)
         base = evaluate_plan(raw, arrivals, prices).net_profit
         boosted = evaluate_plan(
             raw.with_spare_capacity_distributed(), arrivals, prices
@@ -58,9 +54,7 @@ class TestWithSpareCapacityDistributed:
     def test_rates_unchanged(self, small_topology):
         arrivals = np.full((2, 2), 40.0)
         prices = np.array([0.05, 0.12])
-        plan = ProfitAwareOptimizer(
-            small_topology, use_spare_capacity=False
-        ).plan_slot(arrivals, prices)
+        plan = ProfitAwareOptimizer(small_topology, config=OptimizerConfig(use_spare_capacity=False)).plan_slot(arrivals, prices)
         boosted = plan.with_spare_capacity_distributed()
         assert np.array_equal(boosted.rates, plan.rates)
 

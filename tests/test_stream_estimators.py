@@ -1,0 +1,185 @@
+"""Tests for the online rate estimators (repro.stream.estimators)."""
+
+import numpy as np
+import pytest
+
+from repro.stream.estimators import (
+    DriftDetector,
+    EWMAEstimator,
+    RateEstimatorBank,
+    SlidingWindowEstimator,
+)
+from repro.utils.rng import as_generator
+
+SHAPE = (2, 3)
+
+
+def poisson_rate_stream(true_rates, duration, ticks, seed):
+    """Observed-rate samples: Poisson counts over `duration`, as rates."""
+    rng = as_generator(seed)
+    for _ in range(ticks):
+        yield rng.poisson(true_rates * duration) / duration
+
+
+class TestEWMA:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EWMAEstimator(0.0, SHAPE)
+        with pytest.raises(ValueError):
+            EWMAEstimator(1.5, SHAPE)
+
+    def test_first_observation_initializes_directly(self):
+        est = EWMAEstimator(0.1, SHAPE)
+        assert not est.initialized
+        first = np.full(SHAPE, 42.0)
+        est.observe(first)
+        np.testing.assert_allclose(est.estimate, first)
+
+    def test_converges_on_stationary_arrivals(self):
+        true = np.array([[200.0, 50.0, 10.0], [80.0, 300.0, 5.0]])
+        est = EWMAEstimator(0.05, SHAPE)
+        for obs in poisson_rate_stream(true, duration=1.0, ticks=400,
+                                       seed=7):
+            est.observe(obs)
+        rel = np.abs(est.estimate - true) / true
+        assert float(rel.max()) < 0.2
+        assert float(rel.mean()) < 0.1
+
+    def test_shape_mismatch_rejected(self):
+        est = EWMAEstimator(0.5, SHAPE)
+        with pytest.raises(ValueError):
+            est.observe(np.zeros((3, 2)))
+
+
+class TestSlidingWindow:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SlidingWindowEstimator(0, SHAPE)
+
+    def test_mean_over_partial_and_full_window(self):
+        est = SlidingWindowEstimator(3, SHAPE)
+        np.testing.assert_allclose(est.estimate, np.zeros(SHAPE))
+        est.observe(np.full(SHAPE, 1.0))
+        np.testing.assert_allclose(est.estimate, np.full(SHAPE, 1.0))
+        est.observe(np.full(SHAPE, 3.0))
+        np.testing.assert_allclose(est.estimate, np.full(SHAPE, 2.0))
+        for v in (5.0, 7.0, 9.0):
+            est.observe(np.full(SHAPE, v))
+        # Window now holds [5, 7, 9].
+        np.testing.assert_allclose(est.estimate, np.full(SHAPE, 7.0))
+
+    def test_converges_on_stationary_arrivals(self):
+        true = np.array([[150.0, 40.0, 25.0], [60.0, 90.0, 12.0]])
+        est = SlidingWindowEstimator(64, SHAPE)
+        for obs in poisson_rate_stream(true, duration=2.0, ticks=64,
+                                       seed=11):
+            est.observe(obs)
+        rel = np.abs(est.estimate - true) / true
+        assert float(rel.max()) < 0.25
+        assert float(rel.mean()) < 0.1
+
+
+class TestStepTracking:
+    def test_step_change_tracked_within_bounded_lag(self):
+        """After a 2x step, the window estimate must be within 5% of the
+        new level in at most `window` ticks (fluid observations)."""
+        window = 6
+        bank = RateEstimatorBank(SHAPE, window=window, alpha=0.2)
+        low = np.full(SHAPE, 100.0)
+        high = np.full(SHAPE, 200.0)
+        for _ in range(20):
+            bank.observe(low)
+        lag = None
+        for i in range(1, 3 * window + 1):
+            bank.observe(high)
+            if np.all(np.abs(bank.rate - high) <= 0.05 * high):
+                lag = i
+                break
+        assert lag is not None and lag <= window, lag
+
+    def test_ewma_lags_behind_window(self):
+        bank = RateEstimatorBank(SHAPE, window=4, alpha=0.1)
+        low, high = np.full(SHAPE, 100.0), np.full(SHAPE, 300.0)
+        for _ in range(30):
+            bank.observe(low)
+        for _ in range(4):
+            bank.observe(high)
+        # The fast window has fully switched; the slow EWMA has not.
+        assert float(bank.rate.mean()) == pytest.approx(300.0)
+        assert float(bank.baseline.mean()) < 300.0
+
+
+class TestDriftDetection:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DriftDetector(0.0)
+        with pytest.raises(ValueError):
+            DriftDetector(0.1, patience=0)
+
+    def test_patience_gates_single_spikes(self):
+        det = DriftDetector(0.5, patience=2)
+        assert det.update(0.9) is False  # first over-threshold tick
+        assert det.update(0.1) is False  # streak broken
+        assert det.update(0.9) is False
+        assert det.update(0.9) is True   # two consecutive -> fire
+        assert det.events == 1
+
+    def test_step_change_fires_drift_and_rearms(self):
+        bank = RateEstimatorBank(SHAPE, window=4, alpha=0.05,
+                                 drift_threshold=0.25, drift_patience=2)
+        low, high = np.full(SHAPE, 100.0), np.full(SHAPE, 400.0)
+        for _ in range(40):
+            bank.observe(low)
+        assert bank.drift_events == 0
+        fired = [bank.observe(high) for _ in range(10)]
+        assert any(fired)
+        # Re-anchoring keeps it to few events, not one per tick.
+        assert 1 <= bank.drift_events <= 2
+
+    def test_pinned_false_positive_behavior_under_fixed_seed(self):
+        """Stationary Poisson arrivals, fixed seed: the default-tuned
+        bank must report exactly zero drift events over 500 ticks."""
+        true = np.array([[220.0, 80.0, 35.0], [140.0, 60.0, 18.0]])
+        bank = RateEstimatorBank(SHAPE, window=6, alpha=0.2,
+                                 drift_threshold=0.25, drift_patience=2)
+        events = 0
+        for obs in poisson_rate_stream(true, duration=1.0, ticks=500,
+                                       seed=1998):
+            events += bool(bank.observe(obs))
+        assert events == 0
+        assert bank.drift_events == 0
+
+    def test_pinned_event_count_with_tight_threshold(self):
+        """Same stream, deliberately over-sensitive threshold: the event
+        count is deterministic under the fixed seed (pinned so any
+        behavioural change to the detector is visible)."""
+        true = np.array([[220.0, 80.0, 35.0], [140.0, 60.0, 18.0]])
+        bank = RateEstimatorBank(SHAPE, window=6, alpha=0.2,
+                                 drift_threshold=0.02, drift_patience=2)
+        events = 0
+        for obs in poisson_rate_stream(true, duration=1.0, ticks=500,
+                                       seed=1998):
+            events += bool(bank.observe(obs))
+        assert events == bank.drift_events
+        assert events == 18
+
+
+class TestBankBookkeeping:
+    def test_estimator_error_tracks_prediction_quality(self):
+        bank = RateEstimatorBank(SHAPE, window=4)
+        bank.observe(np.full(SHAPE, 100.0))
+        assert bank.last_rel_error == 0.0  # no estimate existed yet
+        bank.observe(np.full(SHAPE, 100.0))
+        assert bank.last_rel_error == pytest.approx(0.0)
+        bank.observe(np.full(SHAPE, 150.0))
+        assert bank.last_rel_error == pytest.approx(0.5)
+
+    def test_reset_clears_everything(self):
+        bank = RateEstimatorBank(SHAPE)
+        for _ in range(5):
+            bank.observe(np.full(SHAPE, 10.0))
+        bank.reset()
+        assert not bank.initialized
+        assert bank.ticks == 0
+        assert bank.drift_events == 0
+        np.testing.assert_allclose(bank.rate, np.zeros(SHAPE))

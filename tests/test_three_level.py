@@ -15,7 +15,8 @@ from repro.cloud.frontend import FrontEnd
 from repro.cloud.topology import CloudTopology
 from repro.core.formulation import SlotInputs, fixed_level_lp, multilevel_milp
 from repro.core.objective import evaluate_plan
-from repro.core.optimizer import ProfitAwareOptimizer
+from repro.core.optimizer import (OptimizerConfig,
+                                  ProfitAwareOptimizer)
 from repro.core.request import RequestClass
 from repro.core.tuf import StepDownwardTUF
 from repro.solvers.branch_bound import solve_milp
@@ -99,7 +100,8 @@ class TestThreeLevelSolverPaths:
         profit_exact = evaluate_plan(
             plan_exact, slot.arrivals, slot.prices
         ).net_profit
-        opt = ProfitAwareOptimizer(three_level_topology, **kwargs)
+        opt = ProfitAwareOptimizer(three_level_topology,
+                                   config=OptimizerConfig(**kwargs))
         plan = opt.plan_slot(slot.arrivals, slot.prices)
         profit = evaluate_plan(plan, slot.arrivals, slot.prices).net_profit
         if kwargs.get("level_method") == "milp":
@@ -108,7 +110,7 @@ class TestThreeLevelSolverPaths:
             assert profit >= 0.9 * profit_exact
 
     def test_bigm_path_runs(self, three_level_topology, slot):
-        opt = ProfitAwareOptimizer(three_level_topology, level_method="bigm")
+        opt = ProfitAwareOptimizer(three_level_topology, config=OptimizerConfig(level_method="bigm"))
         plan = opt.plan_slot(slot.arrivals, slot.prices)
         exact = evaluate_plan(
             ProfitAwareOptimizer(three_level_topology).plan_slot(

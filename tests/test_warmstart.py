@@ -17,7 +17,7 @@ from repro.core.formulation import (
     fixed_level_lp,
     multilevel_milp,
 )
-from repro.core.optimizer import ProfitAwareOptimizer
+from repro.core.optimizer import OptimizerConfig, ProfitAwareOptimizer
 from repro.market.market import MultiElectricityMarket
 from repro.market.prices import PriceTrace
 from repro.sim.slotted import run_simulation
@@ -40,7 +40,7 @@ def _scenario(topology, num_slots=6, seed=7, low=10.0, high=60.0):
 
 
 def _profits(topology, trace, market, **kwargs):
-    dispatcher = ProfitAwareOptimizer(topology, **kwargs)
+    dispatcher = ProfitAwareOptimizer(topology, config=OptimizerConfig(**kwargs))
     result = run_simulation(dispatcher, trace, market)
     return result.net_profit_series, dispatcher
 
@@ -111,10 +111,8 @@ class TestGreedyWarmStart:
     def test_warm_uses_fewer_lp_evaluations(self, multilevel_topology):
         trace, market = _scenario(multilevel_topology, num_slots=4,
                                   low=500.0, high=4000.0)
-        warm = ProfitAwareOptimizer(multilevel_topology,
-                                    level_method="greedy", warm_start=True)
-        cold = ProfitAwareOptimizer(multilevel_topology,
-                                    level_method="greedy", warm_start=False)
+        warm = ProfitAwareOptimizer(multilevel_topology, config=OptimizerConfig(level_method="greedy", warm_start=True))
+        cold = ProfitAwareOptimizer(multilevel_topology, config=OptimizerConfig(level_method="greedy", warm_start=False))
         warm_evals = cold_evals = 0
         for t in range(trace.num_slots):
             warm.plan_slot(trace.arrivals_at(t), market.prices_at(t))
@@ -193,9 +191,7 @@ class TestFormulationCache:
 class TestWarmStateLifecycle:
     def test_warm_started_flag(self, small_topology):
         trace, market = _scenario(small_topology, num_slots=3)
-        dispatcher = ProfitAwareOptimizer(small_topology,
-                                          lp_method="simplex",
-                                          warm_start=True)
+        dispatcher = ProfitAwareOptimizer(small_topology, config=OptimizerConfig(lp_method="simplex", warm_start=True))
         flags = []
         for t in range(3):
             dispatcher.plan_slot(trace.arrivals_at(t), market.prices_at(t))
@@ -204,18 +200,14 @@ class TestWarmStateLifecycle:
 
     def test_cold_never_flags(self, small_topology):
         trace, market = _scenario(small_topology, num_slots=2)
-        dispatcher = ProfitAwareOptimizer(small_topology,
-                                          lp_method="simplex",
-                                          warm_start=False)
+        dispatcher = ProfitAwareOptimizer(small_topology, config=OptimizerConfig(lp_method="simplex", warm_start=False))
         for t in range(2):
             dispatcher.plan_slot(trace.arrivals_at(t), market.prices_at(t))
             assert dispatcher.last_stats.warm_started is False
 
     def test_reset_warm_state_restores_reproducibility(self, small_topology):
         trace, market = _scenario(small_topology)
-        dispatcher = ProfitAwareOptimizer(small_topology,
-                                          lp_method="simplex",
-                                          warm_start=True)
+        dispatcher = ProfitAwareOptimizer(small_topology, config=OptimizerConfig(lp_method="simplex", warm_start=True))
         first = run_simulation(dispatcher, trace, market).net_profit_series
         # run_simulation resets the dispatcher itself; a second run must
         # reproduce the first bit for bit.
