@@ -51,7 +51,9 @@ class DataCenter:
     name:
         Identifier, e.g. ``"datacenter1"``.
     num_servers:
-        ``M_l``, the number of (homogeneous) servers.
+        ``M_l``, the number of (homogeneous) servers.  Zero is allowed
+        (a fully failed data center, cf. :mod:`repro.sim.failures`):
+        the formulations then force its load to zero.
     service_rates:
         Shape ``(K,)``; ``service_rates[k]`` is ``mu_{k,l}``, the rate at
         which one full server processes type-``k`` requests (requests per
@@ -89,8 +91,8 @@ class DataCenter:
     def __post_init__(self) -> None:
         if not self.name:
             raise ValueError("name must be non-empty")
-        if self.num_servers < 1:
-            raise ValueError("num_servers must be >= 1")
+        if self.num_servers < 0:
+            raise ValueError("num_servers must be >= 0")
         rates = check_positive(self.service_rates, "service_rates")
         energy = check_nonnegative(self.energy_per_request, "energy_per_request")
         if rates.ndim != 1 or energy.ndim != 1:

@@ -32,6 +32,7 @@ from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Tuple
 
 import numpy as np
+from scipy import sparse as _sp
 
 from repro.cloud.topology import CloudTopology
 from repro.core.plan import DispatchPlan
@@ -184,6 +185,10 @@ def _require_feasible(
     topology: CloudTopology, deadline_scale: float = 1.0
 ) -> None:
     margin = feasibility_margin(topology, deadline_scale)
+    # A data center with zero available servers hosts nothing: its delay
+    # rows degenerate to ``lambda <= 0`` and its share budget to 0, so
+    # the reserve requirement is vacuous and must not block the slot.
+    margin = np.where(topology.servers_per_datacenter > 0, margin, 1.0)
     if np.any(margin < 0):
         bad = int(np.argmin(margin))
         raise ValueError(
@@ -198,6 +203,82 @@ def _require_feasible(
 # ---------------------------------------------------------------------------
 # Fixed-level LP (one-level TUFs, or any chosen level assignment)
 # ---------------------------------------------------------------------------
+
+def _aggregated_csr(
+    K: int, S: int, L: int, mu: np.ndarray, cap: np.ndarray
+) -> "_sp.csr_matrix":
+    """CSR constraint matrix of the aggregated layout, built vectorized.
+
+    Identical coefficients to the dense loops in
+    :meth:`FixedLevelLPCache._build_aggregated_structure`; row nonzero
+    counts are fixed (delay: S+1, share: K, arrival: L), so the whole
+    matrix assembles from index arithmetic with no Python-level loop.
+    """
+    n_lam = K * S * L
+    n_vars = n_lam + K * L
+    k = np.repeat(np.arange(K), L)  # delay-row class index, row-major
+    l = np.tile(np.arange(L), K)
+    lam_cols = (k[:, None] * S + np.arange(S)[None, :]) * L + l[:, None]
+    phi_cols = (n_lam + k * L + l)[:, None]
+    delay_cols = np.concatenate([lam_cols, phi_cols], axis=1)
+    delay_data = np.concatenate(
+        [np.ones((K * L, S)), -(cap[l] * mu[k, l])[:, None]], axis=1
+    )
+    share_cols = n_lam + (np.arange(K)[None, :] * L + np.arange(L)[:, None])
+    arr_cols = np.arange(K * S)[:, None] * L + np.arange(L)[None, :]
+    indices = np.concatenate(
+        [delay_cols.ravel(), share_cols.ravel(), arr_cols.ravel()]
+    )
+    data = np.concatenate(
+        [delay_data.ravel(), np.ones(L * K), np.ones(K * S * L)]
+    )
+    counts = np.concatenate(
+        [np.full(K * L, S + 1), np.full(L, K), np.full(K * S, L)]
+    )
+    indptr = np.concatenate([[0], np.cumsum(counts)])
+    return _sp.csr_matrix(
+        (data, indices, indptr), shape=(K * L + L + K * S, n_vars)
+    )
+
+
+def _per_server_csr(
+    K: int, S: int, N: int, dc_of: np.ndarray,
+    mu: np.ndarray, cap: np.ndarray,
+) -> "_sp.csr_matrix":
+    """CSR constraint matrix of the per-server layout, built vectorized.
+
+    The dense per-server matrix is ``O((K*N + N + K*S) * (K*S*N + K*N))``
+    — roughly a gigabyte at 1800 servers — while its nonzero count is
+    only ``K*N*(S+1) + N*K + K*S*N``; this builder never materializes
+    the zeros.
+    """
+    n_lam = K * S * N
+    n_vars = n_lam + K * N
+    k = np.repeat(np.arange(K), N)  # delay-row class index, row-major
+    n = np.tile(np.arange(N), K)
+    lam_cols = (k[:, None] * S + np.arange(S)[None, :]) * N + n[:, None]
+    phi_cols = (n_lam + k * N + n)[:, None]
+    delay_cols = np.concatenate([lam_cols, phi_cols], axis=1)
+    coeff = -(cap[dc_of[n]] * mu[k, dc_of[n]])
+    delay_data = np.concatenate(
+        [np.ones((K * N, S)), coeff[:, None]], axis=1
+    )
+    share_cols = n_lam + (np.arange(K)[None, :] * N + np.arange(N)[:, None])
+    arr_cols = np.arange(K * S)[:, None] * N + np.arange(N)[None, :]
+    indices = np.concatenate(
+        [delay_cols.ravel(), share_cols.ravel(), arr_cols.ravel()]
+    )
+    data = np.concatenate(
+        [delay_data.ravel(), np.ones(N * K), np.ones(K * S * N)]
+    )
+    counts = np.concatenate(
+        [np.full(K * N, S + 1), np.full(N, K), np.full(K * S, N)]
+    )
+    indptr = np.concatenate([[0], np.cumsum(counts)])
+    return _sp.csr_matrix(
+        (data, indices, indptr), shape=(K * N + N + K * S, n_vars)
+    )
+
 
 def _level_tables(
     topology: CloudTopology,
@@ -250,11 +331,23 @@ class FixedLevelLPCache:
 
     Row layout (relied upon by :mod:`repro.core.sensitivity`): delay
     rows (class-major), then share-budget rows, then arrival-cap rows.
+
+    With ``sparse=True`` the constraint matrix is built directly as a
+    ``scipy.sparse`` CSR matrix (same coefficients, same layout, never
+    densified) — the representation the sparse solve path of
+    :mod:`repro.solvers.sparse` rides.  Dense remains the default and
+    serves as the equivalence oracle in tests.
     """
 
-    def __init__(self, topology: CloudTopology, per_server: bool = False) -> None:
+    def __init__(
+        self,
+        topology: CloudTopology,
+        per_server: bool = False,
+        sparse: bool = False,
+    ) -> None:
         self.topology = topology
         self.per_server = bool(per_server)
+        self.sparse = bool(sparse)
         if self.per_server:
             self._build_per_server_structure()
         else:
@@ -274,30 +367,33 @@ class FixedLevelLPCache:
         self._n_vars = n_vars
         self._M = M
 
-        a = np.zeros((K * L + L + K * S, n_vars))
-        # (1) Delay: sum_s lam - Phi*C*mu <= -M_l / D_{k,l-level}
-        for k in range(K):
-            for l in range(L):
-                r = k * L + l
-                for s in range(S):
-                    a[r, (k * S + s) * L + l] = 1.0
-                a[r, n_lam + k * L + l] = -cap[l] * mu[k, l]
-        # (2) Shares: sum_k Phi_{k,l} <= M_l
-        for l in range(L):
+        if self.sparse:
+            self._a_ub = _aggregated_csr(K, S, L, mu, cap)
+        else:
+            a = np.zeros((K * L + L + K * S, n_vars))
+            # (1) Delay: sum_s lam - Phi*C*mu <= -M_l / D_{k,l-level}
             for k in range(K):
-                a[K * L + l, n_lam + k * L + l] = 1.0
-        # (3) Arrivals: sum_l lam <= lambda_{k,s}
-        for k in range(K):
-            for s in range(S):
-                r = K * L + L + k * S + s
-                a[r, (k * S + s) * L:(k * S + s) * L + L] = 1.0
-        self._a_ub = a
+                for l in range(L):
+                    r = k * L + l
+                    for s in range(S):
+                        a[r, (k * S + s) * L + l] = 1.0
+                    a[r, n_lam + k * L + l] = -cap[l] * mu[k, l]
+            # (2) Shares: sum_k Phi_{k,l} <= M_l
+            for l in range(L):
+                for k in range(K):
+                    a[K * L + l, n_lam + k * L + l] = 1.0
+            # (3) Arrivals: sum_l lam <= lambda_{k,s}
+            for k in range(K):
+                for s in range(S):
+                    r = K * L + L + k * S + s
+                    a[r, (k * S + s) * L:(k * S + s) * L + L] = 1.0
+            self._a_ub = a
 
         upper = np.full(n_vars, np.inf)
         upper[n_lam:] = np.tile(M, K)
         self._upper = upper
 
-        b = np.empty(a.shape[0])
+        b = np.empty(self._a_ub.shape[0])
         b[K * L:K * L + L] = M
         self._b_template = b
 
@@ -324,31 +420,34 @@ class FixedLevelLPCache:
         self._n_vars = n_vars
         self._dc_of = dc_of
 
-        a = np.zeros((K * N + N + K * S, n_vars))
-        # (1) Delay per (k, n): sum_s lam - phi*C*mu <= -1/D
-        for k in range(K):
-            for n in range(N):
-                r = k * N + n
-                for s in range(S):
-                    a[r, (k * S + s) * N + n] = 1.0
-                l = dc_of[n]
-                a[r, n_lam + k * N + n] = -cap[l] * mu[k, l]
-        # (2) Shares per server: sum_k phi <= 1
-        for n in range(N):
+        if self.sparse:
+            self._a_ub = _per_server_csr(K, S, N, dc_of, mu, cap)
+        else:
+            a = np.zeros((K * N + N + K * S, n_vars))
+            # (1) Delay per (k, n): sum_s lam - phi*C*mu <= -1/D
             for k in range(K):
-                a[K * N + n, n_lam + k * N + n] = 1.0
-        # (3) Arrivals: sum_n lam <= lambda_{k,s}
-        for k in range(K):
-            for s in range(S):
-                r = K * N + N + k * S + s
-                a[r, (k * S + s) * N:(k * S + s) * N + N] = 1.0
-        self._a_ub = a
+                for n in range(N):
+                    r = k * N + n
+                    for s in range(S):
+                        a[r, (k * S + s) * N + n] = 1.0
+                    l = dc_of[n]
+                    a[r, n_lam + k * N + n] = -cap[l] * mu[k, l]
+            # (2) Shares per server: sum_k phi <= 1
+            for n in range(N):
+                for k in range(K):
+                    a[K * N + n, n_lam + k * N + n] = 1.0
+            # (3) Arrivals: sum_n lam <= lambda_{k,s}
+            for k in range(K):
+                for s in range(S):
+                    r = K * N + N + k * S + s
+                    a[r, (k * S + s) * N:(k * S + s) * N + N] = 1.0
+            self._a_ub = a
 
         upper = np.full(n_vars, np.inf)
         upper[n_lam:] = 1.0
         self._upper = upper
 
-        b = np.empty(a.shape[0])
+        b = np.empty(self._a_ub.shape[0])
         b[K * N:K * N + N] = 1.0
         self._b_template = b
 
@@ -409,6 +508,7 @@ def fixed_level_lp(
     inputs: SlotInputs,
     levels: Optional[np.ndarray] = None,
     per_server: bool = False,
+    sparse: bool = False,
 ) -> Tuple[LinearProgram, Decoder]:
     """Build the slot LP for a fixed TUF-level assignment.
 
@@ -427,6 +527,9 @@ def fixed_level_lp(
     per_server:
         Use the paper-faithful per-server variable layout instead of the
         aggregated one.
+    sparse:
+        Build the constraint matrix as a ``scipy.sparse`` CSR matrix
+        (same coefficients, same layout) instead of a dense ndarray.
 
     Returns
     -------
@@ -434,7 +537,9 @@ def fixed_level_lp(
         ``lp`` minimizes *negative* net profit; ``decoder`` maps an LP
         solution vector to a :class:`DispatchPlan`.
     """
-    cache = FixedLevelLPCache(inputs.topology, per_server=per_server)
+    cache = FixedLevelLPCache(
+        inputs.topology, per_server=per_server, sparse=sparse
+    )
     return cache.build(inputs, levels=levels)
 
 
@@ -458,10 +563,23 @@ class MultilevelMILPCache:
     The structure depends on ``deadline_scale``/``delay_factor`` (they
     scale the delay rows' ``z`` coefficients); the cache transparently
     rebuilds if those change between calls.
+
+    ``tight_bounds`` (default on) replaces the raw McCormick cap
+    ``Lambda_max = min(offered, M*C*mu)`` with the per-*level*
+    deadline-aware bound ``min(offered, M*(C*mu - 1/D_q))``: whenever
+    ``z_q = 1`` the delay row already forces
+    ``Lambda <= Phi*C*mu - M/D_q <= M*(C*mu - 1/D_q)``, so the tighter
+    cap cuts no integer-feasible point — it only strengthens every
+    branch-and-bound node's LP relaxation (the §VII audit's MD010/MD012
+    looseness findings are about exactly this slack).  Pass
+    ``tight_bounds=False`` to reproduce the historical envelope.
     """
 
-    def __init__(self, topology: CloudTopology) -> None:
+    def __init__(
+        self, topology: CloudTopology, tight_bounds: bool = True
+    ) -> None:
         self.topology = topology
+        self.tight_bounds = bool(tight_bounds)
         self._key: Optional[Tuple[float, float]] = None
 
     # --------------------------------------------------------- structure
@@ -519,6 +637,7 @@ class MultilevelMILPCache:
         mc_cols: List[int] = []
         mc_k: List[int] = []
         mc_l: List[int] = []
+        mc_caps: List[float] = []
         y_cols: List[int] = []
         y_k: List[int] = []
         y_l: List[int] = []
@@ -565,6 +684,16 @@ class MultilevelMILPCache:
                     mc_cols.append(z_idx(k, l, q))
                     mc_k.append(k)
                     mc_l.append(l)
+                    # Static half of the per-level tight cap
+                    # M*(C*mu - 1/D_q): the 1/D_q term reuses the delay
+                    # row's exact z coefficient so both constraints
+                    # agree to the last bit.
+                    mc_caps.append(
+                        M[l] * cap[l] * mu[k, l] - M[l] / float(
+                            subdeadlines[q] * deadline_scale
+                            * (1.0 - DEADLINE_SAFETY) / delay_factor
+                        )
+                    )
                     y_cols.append(y_idx(k, l, q))
                     y_k.append(k)
                     y_l.append(l)
@@ -597,6 +726,7 @@ class MultilevelMILPCache:
         self._mc_cols = np.array(mc_cols, dtype=int)
         self._mc_k = np.array(mc_k, dtype=int)
         self._mc_l = np.array(mc_l, dtype=int)
+        self._mc_caps = np.array(mc_caps, dtype=float)
         self._y_cols = np.array(y_cols, dtype=int)
         self._y_k = np.array(y_k, dtype=int)
         self._y_l = np.array(y_l, dtype=int)
@@ -642,12 +772,11 @@ class MultilevelMILPCache:
             self._build_structure(key)
 
         lam_max = inputs.lambda_max()  # (K, L)
-        self._a_ub[self._mc_rows, self._mc_cols] = -np.maximum(
-            lam_max[self._mc_k, self._mc_l], 1e-12
-        )
-        self._upper[self._y_cols] = np.maximum(
-            lam_max[self._y_k, self._y_l], 0.0
-        )
+        bound = lam_max[self._mc_k, self._mc_l]
+        if self.tight_bounds:
+            bound = np.minimum(bound, np.maximum(self._mc_caps, 0.0))
+        self._a_ub[self._mc_rows, self._mc_cols] = -np.maximum(bound, 1e-12)
+        self._upper[self._y_cols] = np.maximum(bound, 0.0)
 
         T = inputs.slot_duration
         c = self._c_unit * T  # revenue via y
@@ -666,11 +795,15 @@ class MultilevelMILPCache:
         return mip, self._decoder
 
 
-def multilevel_milp(inputs: SlotInputs) -> Tuple[MixedIntegerProgram, Decoder]:
+def multilevel_milp(
+    inputs: SlotInputs, tight_bounds: bool = True
+) -> Tuple[MixedIntegerProgram, Decoder]:
     """Build the multi-level-TUF slot MILP (aggregated formulation).
 
     One-shot wrapper over :class:`MultilevelMILPCache`; callers planning
     many slots on one topology should hold a cache instead.
+    ``tight_bounds`` selects the deadline-aware per-level McCormick caps
+    (see :class:`MultilevelMILPCache`).
 
     Variables per data center ``l`` and class ``k`` with ``Q_k`` levels:
 
@@ -683,7 +816,7 @@ def multilevel_milp(inputs: SlotInputs) -> Tuple[MixedIntegerProgram, Decoder]:
     arrival caps, level selection, and the exact linearization
     ``sum_q y = Lambda``, ``y_q <= Lambda_max * z_q``.
     """
-    cache = MultilevelMILPCache(inputs.topology)
+    cache = MultilevelMILPCache(inputs.topology, tight_bounds=tight_bounds)
     return cache.build(inputs)
 
 
@@ -712,6 +845,10 @@ def _expand_symmetric(
     offsets = topo.server_offsets()
     for l, dc in enumerate(topo.datacenters):
         m = dc.num_servers
+        if m == 0:
+            # Zero-server data centers contribute no columns; their
+            # aggregated load is forced to 0 by the delay rows.
+            continue
         sl = slice(offsets[l], offsets[l + 1])
         rates[:, :, sl] = lam[:, :, l][:, :, None] / m
         shares[:, sl] = phi_total[:, l][:, None] / m

@@ -98,9 +98,9 @@ def degraded_topology(
         raise ValueError("one availability count per data center required")
     datacenters = []
     for dc, count in zip(topology.datacenters, available):
-        if not 1 <= count <= dc.num_servers:
+        if not 0 <= count <= dc.num_servers:
             raise ValueError(
-                f"available count {count} out of range [1, {dc.num_servers}] "
+                f"available count {count} out of range [0, {dc.num_servers}] "
                 f"for {dc.name!r}"
             )
         datacenters.append(dc.with_servers(count))

@@ -30,7 +30,7 @@ import warnings
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, TypeVar
 
 import numpy as np
 
@@ -45,7 +45,46 @@ from repro.sim.accounting import ProfitLedger
 from repro.sim.slotted import SimulationResult
 from repro.workload.traces import WorkloadTrace
 
-__all__ = ["DispatcherSpec", "parallel_run_simulation"]
+__all__ = ["DispatcherSpec", "parallel_map", "parallel_run_simulation"]
+
+_T = TypeVar("_T")
+_R = TypeVar("_R")
+
+
+def parallel_map(
+    fn: Callable[[_T], _R],
+    items: Sequence[_T],
+    workers: Optional[int] = None,
+) -> List[_R]:
+    """Order-preserving map over ``items``, optionally across processes.
+
+    The generic fan-out primitive behind the decomposed sparse solve
+    (:func:`repro.solvers.sparse.solve_decomposed`): independent block
+    subproblems are mapped over the same process pool this module uses
+    for slot-level parallelism.  ``fn`` and every item must be picklable
+    when ``workers > 1``.
+
+    ``workers=None`` or ``workers <= 1`` — or a single item, where pool
+    overhead can only lose — runs serially in-process.  A broken pool
+    (e.g. a worker killed by the OS) falls back to the serial path
+    rather than losing the computation; exceptions raised by ``fn``
+    itself propagate unchanged in both modes.
+    """
+    items = list(items)
+    if workers is not None and workers < 1:
+        raise ValueError(f"workers must be >= 1 (got {workers})")
+    if workers is None or workers <= 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    workers = min(int(workers), len(items))
+    try:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(fn, items))
+    except BrokenProcessPool:
+        warnings.warn(
+            "process pool died during parallel_map; re-running serially",
+            RuntimeWarning,
+        )
+        return [fn(item) for item in items]
 
 _KINDS = {
     "optimized": ProfitAwareOptimizer,

@@ -1,0 +1,590 @@
+"""Sparse solver core: boxed-variable dual simplex plus decomposition.
+
+This module is the fleet-scale solve path of the reproduction (the
+paper's Fig. 11 computation-time claim at 10-100x its sizes).  It
+provides three pieces that ride the CSR constraint matrices built by
+:class:`repro.core.formulation.FixedLevelLPCache` with ``sparse=True``:
+
+* :func:`solve_sparse_lp` — an in-house **bounded-variable dual
+  simplex** whose tableau never densifies: the constraint matrix stays
+  CSR/CSC, only the small ``m x m`` basis inverse is dense.  Slot LPs
+  are *boxable* (every variable gets a finite upper bound, either given
+  or implied by a nonnegative row such as the arrival caps), which makes
+  the all-slack basis dual feasible for free — no phase-1.  Problems
+  the direct solver does not cover (equality rows, unboxable variables,
+  very tall programs) fall back to HiGHS fed with the sparse matrix.
+* an **RHS-only dual re-solve fast path** — between the controller's
+  slots only prices (objective) and arrivals (right-hand side) change.
+  When the objective is bit-identical to the previous slot's, the saved
+  optimal basis is still dual feasible and the dual simplex restarts
+  from it directly; when the objective changed, nonbasic variables are
+  flipped to their dual-feasible bound first.  Both ride the standard
+  :class:`~repro.solvers.base.SolverState` token.
+* :func:`solve_decomposed` — per-class block decomposition: request
+  classes couple only through the share-budget rows, so dropping those
+  rows splits the slot LP into independent blocks that solve separately
+  (optionally across the :func:`repro.sim.parallel.parallel_map`
+  process pool).  If the recombined point satisfies the dropped
+  coupling rows, the relaxation optimum is feasible and hence globally
+  optimal; otherwise the caller joint-solves (the optimistic check —
+  over-provisioned fleets virtually never trip it).
+
+Dense solvers remain untouched and serve as the equivalence oracle in
+the property-based test harness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy import sparse as sp
+
+from repro.obs.collectors import NULL_COLLECTOR, Collector
+from repro.solvers.base import (
+    LinearProgram,
+    Solution,
+    SolverState,
+    SolveStatus,
+    problem_signature,
+)
+from repro.solvers.linprog import solve_lp
+
+__all__ = [
+    "SPARSE_DIRECT_ROW_LIMIT",
+    "solve_sparse_lp",
+    "implied_upper_bounds",
+    "BlockPlan",
+    "class_blocks",
+    "validate_block_plan",
+    "DecomposedSolution",
+    "solve_decomposed",
+]
+
+#: Above this many inequality rows the dense ``m x m`` basis inverse of
+#: the direct dual simplex stops being cheap; taller programs route to
+#: HiGHS (which consumes the sparse matrix natively).
+SPARSE_DIRECT_ROW_LIMIT = 600
+
+_TOL = 1e-9
+_PIVOT_TOL = 1e-10
+
+# Nonbasic-at-lower / nonbasic-at-upper / basic variable statuses.
+_AT_LOWER, _AT_UPPER, _BASIC = 0, 1, 2
+
+
+def _count(collector: Optional[Collector], name: str, value: int = 1) -> None:
+    (collector if collector is not None else NULL_COLLECTOR).increment(
+        name, value
+    )
+
+
+def _as_csr(a: object) -> "sp.csr_matrix":
+    if sp.issparse(a):
+        return a.tocsr()
+    return sp.csr_matrix(np.asarray(a, dtype=float))
+
+
+# ---------------------------------------------------------------------------
+# Boxing: finite upper bounds implied by nonnegative rows
+# ---------------------------------------------------------------------------
+
+def implied_upper_bounds(lp: LinearProgram) -> Optional[np.ndarray]:
+    """Finite upper bounds (float64) per variable, or ``None`` if impossible.
+
+    For an inequality row ``r`` whose coefficients are all nonnegative
+    and whose variables all have finite lower bounds,
+
+        ``a_rj * x_j <= b_r - sum_{i != j} a_ri * l_i``
+
+    is a valid (redundant) upper bound on ``x_j``.  In the slot LPs the
+    arrival-cap rows box every dispatch variable this way and the share
+    variables carry explicit bounds, so the whole program is boxable.
+    The feasible set is unchanged — only variables whose objective
+    coefficient is negative *need* a finite box (they start nonbasic at
+    their upper bound); ``None`` is returned when one of those cannot be
+    boxed (the caller falls back to HiGHS, which also catches genuinely
+    unbounded programs).
+    """
+    if lp.a_ub is None or lp.b_ub is None:
+        return None
+    if not np.all(np.isfinite(lp.lower)):
+        return None
+    a = _as_csr(lp.a_ub)
+    m, n = a.shape
+    data, indices, indptr = a.data, a.indices, a.indptr
+    entry_row = np.repeat(np.arange(m), np.diff(indptr))
+    # Row-wise minimum coefficient (rows with any negative entry give no
+    # implied bound) and activity at the lower bounds.
+    row_min = np.full(m, np.inf)
+    np.minimum.at(row_min, entry_row, data)
+    row_act = np.zeros(m)
+    np.add.at(row_act, entry_row, data * lp.lower[indices])
+    row_ok = row_min >= 0.0
+    valid = row_ok[entry_row] & (data > _TOL)
+    with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+        implied = (
+            (lp.b_ub[entry_row] - row_act[entry_row]) / data
+            + lp.lower[indices]
+        )
+    cand = np.full(n, np.inf)
+    ok = valid & np.isfinite(implied)
+    np.minimum.at(cand, indices[ok], implied[ok])
+    upper = np.minimum(lp.upper, np.maximum(cand, lp.lower))
+    need = (lp.c < 0) & ~np.isfinite(upper)
+    if np.any(need):
+        return None
+    return upper
+
+
+# ---------------------------------------------------------------------------
+# Bounded-variable dual simplex with a dense basis inverse
+# ---------------------------------------------------------------------------
+
+def _basis_inverse(
+    ac: "sp.csc_matrix", basis: np.ndarray, n: int, m: int
+) -> Optional[np.ndarray]:
+    """Inverse of the basis matrix ``[A | I][:, basis]``, or ``None``."""
+    b_mat = np.zeros((m, m))
+    for col, var in enumerate(basis):
+        if var < n:
+            start, end = ac.indptr[var], ac.indptr[var + 1]
+            b_mat[ac.indices[start:end], col] = ac.data[start:end]
+        else:
+            b_mat[var - n, col] = 1.0
+    try:
+        inv = np.linalg.inv(b_mat)
+    except np.linalg.LinAlgError:
+        return None
+    if not np.all(np.isfinite(inv)):
+        return None
+    return inv
+
+
+def _restore_state(
+    state: Optional[SolverState],
+    lp: LinearProgram,
+    n: int,
+    m: int,
+    upper: np.ndarray,
+) -> Optional[Tuple[np.ndarray, np.ndarray, bool]]:
+    """Validate a warm-start token; return (basis, vstat, rhs_only)."""
+    if (
+        state is None
+        or state.method != "sparse"
+        or not state.matches(lp)
+        or state.basis is None
+        or state.slack is None
+    ):
+        return None
+    basis = np.asarray(state.basis, dtype=int)
+    vstat = np.asarray(state.slack, dtype=int)
+    if basis.shape != (m,) or vstat.shape != (n + m,):
+        return None
+    if basis.min(initial=0) < 0 or basis.max(initial=0) >= n + m:
+        return None
+    if int((vstat == _BASIC).sum()) != m or not np.all(vstat[basis] == _BASIC):
+        return None
+    # A nonbasic-at-upper variable needs a finite bound to sit on.
+    at_upper = vstat[:n] == _AT_UPPER
+    if np.any(at_upper & ~np.isfinite(upper[:n])):
+        return None
+    rhs_only = (
+        state.dual is not None
+        and np.asarray(state.dual).shape == lp.c.shape
+        and bool(np.array_equal(state.dual, lp.c))
+    )
+    return basis.copy(), vstat.copy(), rhs_only
+
+
+def _dual_simplex(
+    lp: LinearProgram,
+    boxed_upper: np.ndarray,
+    state: Optional[SolverState],
+    max_iterations: Optional[int],
+) -> Solution:
+    """Bounded-variable dual simplex on ``A x + s = b`` (minimization)."""
+    a = _as_csr(lp.a_ub)
+    ac = a.tocsc()
+    m, n = a.shape
+    total = n + m
+    c_ext = np.concatenate([lp.c, np.zeros(m)])
+    lower = np.concatenate([lp.lower, np.zeros(m)])
+    upper = np.concatenate([boxed_upper, np.full(m, np.inf)])
+    fixed = upper - lower <= _TOL
+    limit = (
+        int(max_iterations) if max_iterations is not None
+        else 200 + 50 * (m + n)
+    )
+
+    warm_used = False
+    basis: np.ndarray
+    vstat: np.ndarray
+    binv: Optional[np.ndarray] = None
+    restored = _restore_state(state, lp, n, m, upper)
+    if restored is not None:
+        basis, vstat, rhs_only = restored
+        binv = _basis_inverse(ac, basis, n, m)
+        if binv is not None:
+            warm_used = True
+            if not rhs_only:
+                # Objective changed: re-establish dual feasibility by
+                # flipping nonbasic variables onto the bound their new
+                # reduced cost prefers (a bound flip moves no basis).
+                y = c_ext[basis] @ binv
+                d = c_ext.copy()
+                d[:n] -= y @ a
+                d[n:] -= y
+                flip_up = (vstat == _AT_LOWER) & (d < -_TOL)
+                flip_down = (vstat == _AT_UPPER) & (d > _TOL)
+                if np.any(flip_up & ~np.isfinite(upper)) or np.any(
+                    flip_down & ~np.isfinite(lower)
+                ):
+                    binv = None
+                    warm_used = False
+                else:
+                    vstat[flip_up] = _AT_UPPER
+                    vstat[flip_down] = _AT_LOWER
+    if binv is None:
+        # Cold start: all-slack basis, nonbasics at their dual-feasible
+        # bound.  Boxing guarantees the c<0 variables have one.
+        basis = n + np.arange(m)
+        vstat = np.full(total, _AT_LOWER, dtype=int)
+        vstat[:n][(lp.c < 0) & np.isfinite(upper[:n])] = _AT_UPPER
+        vstat[basis] = _BASIC
+        binv = np.eye(m)
+        warm_used = False
+
+    iterations = 0
+    since_refactor = 0
+    while True:
+        # Primal point at the current basis/statuses.
+        x = np.where(vstat == _AT_UPPER, upper, lower)
+        x[~np.isfinite(x)] = 0.0
+        x[basis] = 0.0
+        rhs_eff = lp.b_ub - a @ x[:n]
+        x[basis] = binv @ rhs_eff
+
+        viol_low = lower[basis] - x[basis]
+        viol_up = x[basis] - upper[basis]
+        viol = np.maximum(viol_low, viol_up)
+        worst = float(viol.max(initial=0.0))
+        if not np.isfinite(worst):
+            return Solution(
+                status=SolveStatus.NUMERICAL_ERROR,
+                message="non-finite basic solution",
+                iterations=iterations,
+                warm_start_used=warm_used,
+            )
+        if worst <= 1e-8:
+            x_struct = x[:n].copy()
+            np.clip(x_struct, lp.lower, lp.upper, out=x_struct)
+            if not lp.is_feasible(x_struct, tol=1e-6):
+                return Solution(
+                    status=SolveStatus.NUMERICAL_ERROR,
+                    message="terminal point failed feasibility check",
+                    iterations=iterations,
+                    warm_start_used=warm_used,
+                )
+            y = c_ext[basis] @ binv
+            out_state = SolverState(
+                method="sparse",
+                signature=problem_signature(lp),
+                basis=basis.copy(),
+                slack=vstat.astype(float),
+                dual=lp.c.copy(),
+                point=x_struct.copy(),
+            )
+            return Solution(
+                status=SolveStatus.OPTIMAL,
+                x=x_struct,
+                objective=float(lp.c @ x_struct),
+                iterations=iterations,
+                ineq_marginals=y.copy(),
+                state=out_state,
+                warm_start_used=warm_used,
+            )
+        if iterations >= limit:
+            return Solution(
+                status=SolveStatus.ITERATION_LIMIT,
+                message=f"dual simplex hit {limit} iterations",
+                iterations=iterations,
+                warm_start_used=warm_used,
+            )
+
+        i = int(np.argmax(viol))
+        below = viol_low[i] >= viol_up[i]
+        rho = binv[i]
+        alpha = np.empty(total)
+        alpha[:n] = rho @ a
+        alpha[n:] = rho
+        y = c_ext[basis] @ binv
+        d = c_ext.copy()
+        d[:n] -= y @ a
+        d[n:] -= y
+
+        abar = alpha if below else -alpha
+        eligible = ~fixed & (
+            ((vstat == _AT_LOWER) & (abar < -_TOL))
+            | ((vstat == _AT_UPPER) & (abar > _TOL))
+        )
+        eligible[basis] = False
+        if not np.any(eligible):
+            return Solution(
+                status=SolveStatus.INFEASIBLE,
+                message="dual simplex: no entering column (primal infeasible)",
+                iterations=iterations,
+                warm_start_used=warm_used,
+            )
+        idx = np.flatnonzero(eligible)
+        ratios = d[idx] / -abar[idx]
+        ratios = np.maximum(ratios, 0.0)  # clamp dual-feasibility roundoff
+        best = float(ratios.min())
+        near = idx[ratios <= best + _TOL]
+        q = int(near[np.argmax(np.abs(abar[near]))])
+
+        if q < n:
+            start, end = ac.indptr[q], ac.indptr[q + 1]
+            u = binv[:, ac.indices[start:end]] @ ac.data[start:end]
+        else:
+            u = binv[:, q - n].copy()
+        if abs(u[i]) < _PIVOT_TOL:
+            return Solution(
+                status=SolveStatus.NUMERICAL_ERROR,
+                message="vanishing pivot",
+                iterations=iterations,
+                warm_start_used=warm_used,
+            )
+        leaving = int(basis[i])
+        vstat[leaving] = _AT_LOWER if below else _AT_UPPER
+        vstat[q] = _BASIC
+        basis[i] = q
+        binv[i, :] /= u[i]
+        col = u.copy()
+        col[i] = 0.0
+        binv -= np.outer(col, binv[i])
+        iterations += 1
+        since_refactor += 1
+        if since_refactor >= 100:
+            fresh = _basis_inverse(ac, basis, n, m)
+            if fresh is None:
+                return Solution(
+                    status=SolveStatus.NUMERICAL_ERROR,
+                    message="singular basis at refactorization",
+                    iterations=iterations,
+                    warm_start_used=warm_used,
+                )
+            binv = fresh
+            since_refactor = 0
+
+
+def solve_sparse_lp(
+    lp: LinearProgram,
+    state: Optional[SolverState] = None,
+    collector: Optional[Collector] = None,
+    max_iterations: Optional[int] = None,
+) -> Solution:
+    """Solve ``lp`` on the sparse path (direct dual simplex or HiGHS).
+
+    The direct bounded-variable dual simplex handles the common slot-LP
+    shape: inequality rows only, boxable variables, at most
+    :data:`SPARSE_DIRECT_ROW_LIMIT` rows.  Everything else — and any
+    numerical failure or infeasibility claim of the direct solver — is
+    delegated to HiGHS, which consumes the sparse matrix without
+    densifying.  ``state`` tokens produced here (``method="sparse"``)
+    enable the RHS-only dual re-solve fast path across slots.
+    """
+    direct_ok = (
+        lp.a_ub is not None
+        and lp.a_eq is None
+        and lp.a_ub.shape[0] <= SPARSE_DIRECT_ROW_LIMIT
+    )
+    boxed: Optional[np.ndarray] = None
+    if direct_ok:
+        boxed = implied_upper_bounds(lp)
+        if boxed is None:
+            _count(collector, "sparse.box_fallbacks")
+    if boxed is not None:
+        solution = _dual_simplex(lp, boxed, state, max_iterations)
+        if solution.status is SolveStatus.OPTIMAL:
+            _count(
+                collector,
+                "sparse.warm_hits" if solution.warm_start_used
+                else "sparse.cold_solves",
+            )
+            _count(collector, "sparse.iterations", solution.iterations)
+            return solution
+        if solution.status is SolveStatus.ITERATION_LIMIT:
+            return solution
+        _count(collector, "sparse.highs_fallbacks")
+    return solve_lp(
+        lp, "highs", collector=collector, max_iterations=max_iterations
+    )
+
+
+# ---------------------------------------------------------------------------
+# Per-class block decomposition
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class BlockPlan:
+    """Static index plan of one independent block of a structured LP."""
+
+    var_idx: np.ndarray
+    row_idx: np.ndarray
+
+
+def class_blocks(
+    K: int, S: int, L: int
+) -> Tuple[List[BlockPlan], np.ndarray]:
+    """Per-class blocks of the aggregated slot-LP layout.
+
+    Variables ``lam_{k,s,l}`` / ``Phi_{k,l}`` and the delay/arrival rows
+    of class ``k`` form block ``k``; the L share-budget rows (the only
+    rows mixing classes) are the coupling rows, returned as an index
+    array of dtype intp.  Index layout mirrors
+    :meth:`FixedLevelLPCache._build_aggregated_structure`.
+    """
+    n_lam = K * S * L
+    blocks: List[BlockPlan] = []
+    for k in range(K):
+        var_idx = np.concatenate([
+            np.arange(k * S * L, (k + 1) * S * L),
+            np.arange(n_lam + k * L, n_lam + (k + 1) * L),
+        ])
+        row_idx = np.concatenate([
+            np.arange(k * L, (k + 1) * L),
+            np.arange(K * L + L + k * S, K * L + L + (k + 1) * S),
+        ])
+        blocks.append(BlockPlan(var_idx=var_idx, row_idx=row_idx))
+    coupling = np.arange(K * L, K * L + L)
+    return blocks, coupling
+
+
+def validate_block_plan(
+    lp: LinearProgram,
+    blocks: Sequence[BlockPlan],
+    coupling_rows: np.ndarray,
+) -> None:
+    """Check that ``blocks`` really decompose ``lp`` (raise otherwise).
+
+    Blocks must partition every column and every non-coupling row, and
+    each block's rows may only touch that block's columns — otherwise
+    dropping the coupling rows would silently change the problem.
+    """
+    if lp.a_ub is None:
+        raise ValueError("block decomposition needs inequality rows")
+    a = _as_csr(lp.a_ub)
+    m, n = a.shape
+    col_owner = np.full(n, -1)
+    row_owner = np.full(m, -1)
+    row_owner[coupling_rows] = -2
+    for b, blk in enumerate(blocks):
+        if np.any(col_owner[blk.var_idx] != -1):
+            raise ValueError("block variable sets overlap")
+        if np.any(row_owner[blk.row_idx] != -1):
+            raise ValueError("block row sets overlap coupling or each other")
+        col_owner[blk.var_idx] = b
+        row_owner[blk.row_idx] = b
+    if np.any(col_owner == -1) or np.any(row_owner == -1):
+        raise ValueError("blocks must partition all columns and rows")
+    entry_row = np.repeat(np.arange(m), np.diff(a.indptr))
+    in_block = row_owner[entry_row] >= 0
+    if np.any(
+        col_owner[a.indices[in_block]] != row_owner[entry_row[in_block]]
+    ):
+        raise ValueError("a non-coupling row touches a foreign block's column")
+
+
+@dataclass
+class DecomposedSolution:
+    """Recombined block solve: the joint solution plus per-block states."""
+
+    solution: Solution
+    states: List[Optional[SolverState]]
+    num_blocks: int
+
+
+def _solve_block_task(
+    args: Tuple[LinearProgram, Optional[SolverState], Optional[int]],
+) -> Solution:
+    """Top-level (picklable) single-block solve for the process pool."""
+    block_lp, block_state, max_iterations = args
+    return solve_sparse_lp(
+        block_lp, state=block_state, max_iterations=max_iterations
+    )
+
+
+def solve_decomposed(  # reprolint: disable=RP004
+    lp: LinearProgram,
+    blocks: Sequence[BlockPlan],
+    coupling_rows: np.ndarray,
+    states: Optional[Sequence[Optional[SolverState]]] = None,
+    collector: Optional[Collector] = None,
+    max_iterations: Optional[int] = None,
+    workers: Optional[int] = None,
+) -> Optional[DecomposedSolution]:
+    """Optimistically solve ``lp`` block by block; ``None`` on failure.
+
+    Drops the coupling rows, solves every block independently (each with
+    its own warm-start token; ``workers > 1`` fans the blocks out over
+    :func:`repro.sim.parallel.parallel_map`), and recombines.  When the
+    recombined point satisfies the dropped rows, the relaxation optimum
+    is feasible for the full program and therefore globally optimal.
+    Returns ``None`` — caller joint-solves — when a block fails or a
+    coupling row is violated.
+    """
+    if lp.a_ub is None or lp.b_ub is None:
+        return None
+    a = _as_csr(lp.a_ub)
+    subs: List[LinearProgram] = []
+    for blk in blocks:
+        sub_a = a[blk.row_idx][:, blk.var_idx]
+        subs.append(LinearProgram(
+            c=lp.c[blk.var_idx],
+            a_ub=sub_a,
+            b_ub=lp.b_ub[blk.row_idx],
+            lower=lp.lower[blk.var_idx],
+            upper=lp.upper[blk.var_idx],
+        ))
+    block_states: List[Optional[SolverState]] = (
+        list(states) if states is not None and len(states) == len(subs)
+        else [None] * len(subs)
+    )
+    tasks = [
+        (sub, block_state, max_iterations)
+        for sub, block_state in zip(subs, block_states)
+    ]
+    if workers is not None and workers > 1 and len(tasks) > 1:
+        from repro.sim.parallel import parallel_map
+
+        results = parallel_map(_solve_block_task, tasks, workers=workers)
+    else:
+        results = [_solve_block_task(task) for task in tasks]
+    if any(not r.ok for r in results):
+        _count(collector, "sparse.block_failures")
+        return None
+    x = np.zeros(lp.num_variables)
+    for blk, res in zip(blocks, results):
+        assert res.x is not None
+        x[blk.var_idx] = res.x
+    slack = lp.b_ub[coupling_rows] - a[coupling_rows] @ x
+    scale = np.maximum(1.0, np.abs(lp.b_ub[coupling_rows]))
+    if np.any(slack < -1e-9 * scale):
+        _count(collector, "sparse.coupling_rejects")
+        return None
+    solution = Solution(
+        status=SolveStatus.OPTIMAL,
+        x=x,
+        objective=float(lp.c @ x),
+        iterations=sum(r.iterations for r in results),
+        warm_start_used=any(r.warm_start_used for r in results),
+        message=f"decomposed into {len(blocks)} blocks",
+    )
+    _count(collector, "sparse.decomposed_solves")
+    return DecomposedSolution(
+        solution=solution,
+        states=[r.state for r in results],
+        num_blocks=len(blocks),
+    )

@@ -54,9 +54,17 @@ class TestDataCenter:
         with pytest.raises(ValueError, match="agree"):
             self._dc(energy_per_request=np.array([1e-4]))
 
-    def test_rejects_zero_servers(self):
+    def test_allows_zero_servers(self):
+        # A fully failed data center (zero available servers) is a valid
+        # degraded state; the formulations force its load to zero.
+        dc = self._dc(num_servers=0)
+        assert dc.num_servers == 0
+        assert list(dc.servers()) == []
+        assert dc.total_max_rate(0) == 0.0
+
+    def test_rejects_negative_servers(self):
         with pytest.raises(ValueError):
-            self._dc(num_servers=0)
+            self._dc(num_servers=-1)
 
     def test_rejects_pue_below_one(self):
         with pytest.raises(ValueError, match="pue"):

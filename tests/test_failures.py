@@ -74,11 +74,15 @@ class TestDegradedTopology:
 
     def test_validates_range(self, small_topology):
         with pytest.raises(ValueError):
-            degraded_topology(small_topology, [0, 2])
+            degraded_topology(small_topology, [-1, 2])
         with pytest.raises(ValueError):
             degraded_topology(small_topology, [4, 2])
         with pytest.raises(ValueError):
             degraded_topology(small_topology, [2])
+
+    def test_allows_fully_failed_datacenter(self, small_topology):
+        degraded = degraded_topology(small_topology, [0, 2])
+        assert degraded.servers_per_datacenter.tolist() == [0, 2]
 
 
 class TestExpandDegradedPlan:

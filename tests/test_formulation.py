@@ -195,6 +195,38 @@ class TestMultilevelMILP:
         milp_obj = solve_milp(mip, "highs").require_ok().objective
         assert milp_obj == pytest.approx(best, rel=1e-7)
 
+    def test_tight_bounds_equals_historical_envelope(
+        self, multilevel_topology
+    ):
+        # The deadline-aware per-level McCormick caps (tight_bounds,
+        # now the default) strengthen the B&B node relaxations but must
+        # not cut any integer-feasible point: both MILPs reach the same
+        # optimum, on both backends.
+        inputs = SlotInputs(
+            multilevel_topology,
+            arrivals=np.array([[9000.0], [8000.0]]),
+            prices=np.array([0.05, 0.09]),
+        )
+        mip_tight, _ = multilevel_milp(inputs)
+        mip_loose, _ = multilevel_milp(inputs, tight_bounds=False)
+        for method in ("highs", "bb"):
+            obj_tight = solve_milp(mip_tight, method).require_ok().objective
+            obj_loose = solve_milp(mip_loose, method).require_ok().objective
+            assert obj_tight == pytest.approx(obj_loose, rel=1e-7)
+
+    def test_tight_bounds_strengthens_relaxation(self, multilevel_topology):
+        # The tight caps must never *loosen* the model: every variable
+        # upper bound and every McCormick row coefficient is at least as
+        # restrictive as the historical envelope's.
+        inputs = SlotInputs(
+            multilevel_topology,
+            arrivals=np.array([[9000.0], [8000.0]]),
+            prices=np.array([0.05, 0.09]),
+        )
+        mip_tight, _ = multilevel_milp(inputs)
+        mip_loose, _ = multilevel_milp(inputs, tight_bounds=False)
+        assert np.all(mip_tight.lp.upper <= mip_loose.lp.upper + 1e-12)
+
     def test_bb_and_highs_agree(self, multilevel_topology):
         inputs = SlotInputs(
             multilevel_topology,
