@@ -13,13 +13,22 @@ reused — baselines and suppression comments outlive rules):
 * ``RP006`` bare or swallowed ``except`` in solver/fallback code;
 * ``RP007`` mutable default argument values (shared-state bug);
 * ``RP008`` public ndarray-returning functions in ``core``/``solvers``
-  without a documented dtype contract (float64 coercion risk).
+  without a documented dtype contract (float64 coercion risk);
+* ``RP009`` hardcoded tolerance literals in ``solvers``/``core``
+  compared or added outside :mod:`repro.solvers.tolerances`;
+* ``RP010`` unguarded division by possibly-zero modeled quantities
+  (arrival rates, server counts, capacities) in
+  ``core``/``stream``/``queueing``.
 """
 
 from repro.analysis.rules.contracts import (
     PoolPicklabilityRule,
     SolverContractRule,
     SwallowedExceptionRule,
+)
+from repro.analysis.rules.guards import (
+    ToleranceLiteralRule,
+    UnguardedDivisionRule,
 )
 from repro.analysis.rules.hygiene import (
     ArrayDtypeContractRule,
@@ -40,4 +49,6 @@ __all__ = [
     "SwallowedExceptionRule",
     "MutableDefaultRule",
     "ArrayDtypeContractRule",
+    "ToleranceLiteralRule",
+    "UnguardedDivisionRule",
 ]

@@ -3,7 +3,9 @@
 Six tracked scenarios, each emitting one ``BENCH_<name>.json``:
 
 * ``paper_scale``   — the §VI World-Cup day end to end (24 hourly slots,
-  18 servers), the paper-faithful workload;
+  18 servers), the paper-faithful workload; also times the plan loop
+  with the optimality certifier off vs on and tracks certify-on
+  overhead as the ``certify_efficiency`` ratio;
 * ``streaming_ingest`` — the streaming control plane over a blockified
   (bursty) §VI day: the drift-triggered policy is timed and its solve
   reduction vs per-slot re-planning tracked as ratios, alongside the
@@ -181,6 +183,7 @@ def _slot_pipeline_scenario(
     full_slots: int,
     smoke_slots: int,
     sparse_ratio: bool = False,
+    certify_ratio: bool = False,
 ) -> ScenarioResult:
     """§VI day at ``multiplier``× fleet size through ``run_simulation``.
 
@@ -191,6 +194,14 @@ def _slot_pipeline_scenario(
     where symmetry collapse makes thousand-server fleets tractable.
     That win lands in ``ratios.sparse_speedup`` and the dense-vs-sparse
     objectives are pinned in the ``determinism`` section.
+
+    With ``certify_ratio`` (the paper-scale scenario) a second
+    measurement times the same plan loop with the optimality
+    certifier off vs on (``certify="warn"``).  The dimensionless
+    ``ratios.certify_efficiency`` — plain time over certified time —
+    is the fraction of plain throughput retained with certification
+    active (≤ ~1; a drop means verification got more expensive), so
+    the CI ratio gate tracks certify-on overhead across machines.
     """
     from repro.core.optimizer import OptimizerConfig, ProfitAwareOptimizer
     from repro.experiments.section6 import SERVERS_PER_DC, section6_experiment
@@ -288,6 +299,46 @@ def _slot_pipeline_scenario(
             ),
         })
 
+    if certify_ratio:
+        certify_slots = request.param("certify_slots", 2 if smoke else 8)
+        certify_repeats = request.param("certify_repeats", 3)
+        certify_slots = min(certify_slots, exp.trace.num_slots)
+
+        def certify_loop(certify: str) -> Dict[str, int]:
+            collector = InMemoryCollector()
+            optimizer = ProfitAwareOptimizer(topology, config=OptimizerConfig(
+                sparse=sparse_ratio, certify=certify, collector=collector,
+            ))
+            for t in range(certify_slots):
+                optimizer.plan_slot(
+                    exp.trace.arrivals_at(t), exp.market.prices_at(t),
+                    slot_duration=exp.trace.slot_duration,
+                )
+            return {
+                "certified": int(collector.counters.get(
+                    "optimizer.certifies", 0)),
+                "errors": int(collector.counters.get(
+                    "optimizer.certify_errors", 0)),
+            }
+
+        plain_timing, _ = time_callable(
+            lambda: certify_loop("off"), repeats=certify_repeats, warmup=0
+        )
+        certified_timing, certify_counts = time_callable(
+            lambda: certify_loop("warn"), repeats=certify_repeats, warmup=0
+        )
+        ratios["certify_efficiency"] = (
+            plain_timing.median_s / certified_timing.median_s
+        )
+        config.update({
+            "certify_slots": certify_slots,
+            "certify_repeats": certify_repeats,
+        })
+        determinism.update({
+            "certified_solves": certify_counts["certified"],
+            "certify_error_findings": certify_counts["errors"],
+        })
+
     return ScenarioResult(
         seed=seed,
         config=config,
@@ -308,11 +359,13 @@ def _slot_pipeline_scenario(
 
 @register_scenario(
     "paper_scale",
-    "§VI World-Cup day, paper-faithful scale (24 slots, 18 servers)",
+    "§VI World-Cup day, paper-faithful scale (24 slots, 18 servers), "
+    "plus the certify-off-vs-on certify_efficiency ratio",
 )
 def _paper_scale(request: ScenarioRequest) -> ScenarioResult:
     return _slot_pipeline_scenario(request, multiplier=1,
-                                   full_slots=24, smoke_slots=6)
+                                   full_slots=24, smoke_slots=6,
+                                   certify_ratio=True)
 
 
 @register_scenario(

@@ -392,6 +392,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 # (lint, audit, bench, stream).  Order here is display order in --help.
 import repro.analysis.cli  # noqa: E402,F401  (registration side effect)
 import repro.analysis.model.cli  # noqa: E402,F401
+import repro.analysis.certify.cli  # noqa: E402,F401
 import repro.bench.cli  # noqa: E402,F401
 import repro.stream.cli  # noqa: E402,F401
 

@@ -129,7 +129,11 @@ class BalancedDispatcher:
         offsets = topo.server_offsets()
         for l, dc in enumerate(topo.datacenters):
             sl = slice(offsets[l], offsets[l + 1])
-            rates[:, :, sl] = assigned[:, :, l][:, :, None] / dc.num_servers
+            # A right-sized DC can hold zero servers; its slice is then
+            # empty, so the max() floor never changes a written value.
+            rates[:, :, sl] = (
+                assigned[:, :, l][:, :, None] / max(dc.num_servers, 1)
+            )
         return DispatchPlan(topology=topo, rates=rates, shares=shares)
 
 

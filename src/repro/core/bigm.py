@@ -36,6 +36,7 @@ from repro.core.tuf import StepDownwardTUF
 from repro.solvers.base import SolverError
 from repro.solvers.linprog import solve_lp
 from repro.solvers.penalty import NonlinearProgram, PenaltySolver
+from repro.solvers.tolerances import STRICT_TOL, ZERO_TOL
 
 __all__ = [
     "DEFAULT_BIG",
@@ -127,7 +128,7 @@ def check_series_selects_level(
     series = bigm_constraint_series(tuf.values, tuf.deadlines, big=big, delta=delta)
     # Satisfied constraints evaluate to <= delta; violations are at least
     # the width of a time band or big*(level gap)^2 — far above this.
-    tol = 10.0 * delta + 1e-9
+    tol = 10.0 * delta + ZERO_TOL
     feasible = []
     for q, u in enumerate(tuf.values):
         if all(con(delay, float(u)) <= tol for con in series):
@@ -264,8 +265,11 @@ def solve_slot_bigm(
         lam = layout.lam(x).sum(axis=1)  # (K, L)
         phi = layout.phi(x)
         headroom = phi * cap[None, :] * mu - lam  # (K, L)
-        return np.where(headroom > 1e-12, M[None, :] / np.maximum(headroom, 1e-12),
-                        1e6)
+        return np.where(
+            headroom > STRICT_TOL,
+            M[None, :] / np.maximum(headroom, STRICT_TOL),
+            1e6,
+        )
 
     def objective(x: np.ndarray) -> float:
         lam = layout.lam(x)

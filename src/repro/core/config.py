@@ -30,6 +30,7 @@ FORMULATIONS = ("aggregated", "per_server")
 LP_METHODS = ("highs", "simplex", "ipm")
 MILP_METHODS = ("highs", "bb")
 AUDIT_MODES = ("off", "warn", "error")
+CERTIFY_MODES = ("off", "warn", "error")
 
 
 @dataclass(frozen=True)
@@ -113,6 +114,18 @@ class OptimizerConfig:
         :class:`~repro.solvers.base.SolverError` when the audit reports
         an error-severity finding (statically infeasible or mis-scaled
         slot problem), before any solver time is spent.
+    certify:
+        Run the optimality-certificate verifier
+        (:func:`repro.analysis.certify.certify_solution`) on every
+        successful solve.  ``"off"`` (default) skips it; ``"warn"``
+        records the findings on the emitted
+        :class:`~repro.obs.trace.SlotTrace` and the collector's
+        ``optimizer.certify_*`` counters but never blocks the plan;
+        ``"error"`` additionally raises
+        :class:`~repro.solvers.base.SolverError` when a certificate
+        check reports an error-severity finding (the claimed-optimal
+        solution fails an independent recomputation), before the plan
+        is returned.
     """
 
     level_method: str = "auto"
@@ -133,12 +146,18 @@ class OptimizerConfig:
     solver_iteration_budget: Optional[int] = None
     fallback_time_budget: Optional[float] = None
     audit: str = "off"
+    certify: str = "off"
 
     def __post_init__(self) -> None:
         if self.audit not in AUDIT_MODES:
             raise ValueError(
                 f"unknown audit mode {self.audit!r}; "
                 f"choose from {AUDIT_MODES}"
+            )
+        if self.certify not in CERTIFY_MODES:
+            raise ValueError(
+                f"unknown certify mode {self.certify!r}; "
+                f"choose from {CERTIFY_MODES}"
             )
         if self.level_method not in LEVEL_METHODS:
             raise ValueError(

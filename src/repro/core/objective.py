@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.cloud.energy import EnergyModel
 from repro.core.plan import DispatchPlan
+from repro.solvers.tolerances import FEASIBILITY_TOL
 from repro.utils.validation import check_nonnegative, check_positive
 
 __all__ = ["NetProfitBreakdown", "evaluate_plan"]
@@ -107,7 +108,7 @@ def evaluate_plan(
         )
     dispatched_per_source = plan.rates.sum(axis=2)  # (K, S)
     excess = dispatched_per_source - arrivals
-    if np.any(excess > 1e-6 * np.maximum(1.0, arrivals)):
+    if np.any(excess > FEASIBILITY_TOL * np.maximum(1.0, arrivals)):
         raise ValueError("plan dispatches more than the offered arrivals")
 
     # Revenue from realized delays: utility is per request, earned at the

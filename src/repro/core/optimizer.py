@@ -49,6 +49,7 @@ from repro.obs.trace import SlotTrace
 from repro.solvers.base import (
     LinearProgram,
     MixedIntegerProgram,
+    Solution,
     SolverError,
     SolverState,
 )
@@ -62,6 +63,7 @@ from repro.solvers.sparse import (
     solve_sparse_lp,
     validate_block_plan,
 )
+from repro.solvers.tolerances import ZERO_TOL
 
 __all__ = ["OptimizerConfig", "ProfitAwareOptimizer", "SolveStats"]
 
@@ -273,6 +275,8 @@ class ProfitAwareOptimizer:
                 budget=self.config.solver_iteration_budget,
             )
             fallback_level, fallback_stage, failure = 0, method, ""
+        certificates = self._certify_solution(stats.pop("certify", None),
+                                              inputs)
         post_start = time.perf_counter()
         if self.consolidate:
             plan = consolidate_plan(plan)
@@ -344,6 +348,7 @@ class ProfitAwareOptimizer:
                 fallback=fallback_level,
                 failure=failure,
                 audit=audit_findings,
+                certificates=certificates,
             ))
         return plan
 
@@ -374,6 +379,54 @@ class ProfitAwareOptimizer:
             first = report.errors[0]
             raise SolverError(
                 f"formulation audit failed with {len(report.errors)} "
+                f"error(s); first: {first.code} [{first.component}] "
+                f"{first.message}"
+            )
+        return [finding.to_dict() for finding in report.findings]
+
+    def _certify_solution(
+        self, payload: Optional[Dict], inputs: SlotInputs
+    ) -> List[Dict]:
+        """Run the optimality certifier per ``config.certify``.
+
+        ``payload`` is the winning solve stage's ``{"problem",
+        "solution", "plan", "coupling_rows"?}`` capture (stages that
+        produce no certifiable LP — big-M, the balanced baseline — stash
+        nothing, which counts as a skip).  Returns the findings as plain
+        dicts (for the slot trace); raises :class:`SolverError` in
+        ``"error"`` mode when a certificate check reports an
+        error-severity finding, *before* the plan is returned.
+        """
+        if self.config.certify == "off":
+            return []
+        collector = self.collector
+        if payload is None:
+            if collector.enabled:
+                collector.increment("optimizer.certify_skipped")
+            return []
+        from repro.analysis.certify import certify_solution
+
+        report = certify_solution(
+            payload["problem"],
+            payload["solution"],
+            inputs=inputs,
+            plan=payload.get("plan"),
+            coupling_rows=payload.get("coupling_rows"),
+        )
+        if collector.enabled:
+            collector.increment("optimizer.certifies")
+            if report.findings:
+                collector.increment(
+                    "optimizer.certify_findings", len(report.findings)
+                )
+            if report.errors:
+                collector.increment(
+                    "optimizer.certify_errors", len(report.errors)
+                )
+        if self.config.certify == "error" and not report.clean:
+            first = report.errors[0]
+            raise SolverError(
+                f"optimality certificate failed with {len(report.errors)} "
                 f"error(s); first: {first.code} [{first.component}] "
                 f"{first.message}"
             )
@@ -582,7 +635,12 @@ class ProfitAwareOptimizer:
         }
         if self.collector.enabled:
             stats["residuals"] = lp.residuals(solution.x)
-        return decoder(solution.x), stats
+        plan = decoder(solution.x)
+        if self.config.certify != "off":
+            stats["certify"] = {
+                "problem": lp, "solution": solution, "plan": plan,
+            }
+        return plan, stats
 
     def _solve_lp_sparse(
         self,
@@ -659,7 +717,7 @@ class ProfitAwareOptimizer:
         # Integer server counts implied by the aggregate share mass.
         n_lam = K * S * L
         dc_shares = solution.x[n_lam:n_lam + K * L].reshape(K, L).sum(axis=0)
-        active_servers = int(np.ceil(np.maximum(dc_shares, 0.0) - 1e-9).sum())
+        active_servers = int(np.ceil(np.maximum(dc_shares, 0.0) - ZERO_TOL).sum())
         extra_phases = {"decompose": t2 - t1, "expand": expand_time}
         if self.formulation == "per_server":
             build_time, extra_phases["collapse"] = 0.0, t1 - t0
@@ -679,6 +737,11 @@ class ProfitAwareOptimizer:
         }
         if self.collector.enabled:
             stats["residuals"] = lp.residuals(solution.x)
+        if self.config.certify != "off":
+            stats["certify"] = {
+                "problem": lp, "solution": solution, "plan": plan,
+                "coupling_rows": self._sparse_coupling,
+            }
         return plan, stats
 
     def _build_milp(
@@ -749,6 +812,14 @@ class ProfitAwareOptimizer:
         }
         if self.collector.enabled:
             stats["residuals"] = mip.lp.residuals(solution.x)
+        if self.config.certify != "off":
+            # ``plan`` is re-wrapped on the original topology, so the
+            # CT051 profit identity scores it against the original slot
+            # inputs; the MILP itself certifies in its own (possibly
+            # exploded) space.
+            stats["certify"] = {
+                "problem": mip, "solution": solution, "plan": plan,
+            }
         return plan, stats
 
     def _solve_greedy(
@@ -768,6 +839,7 @@ class ProfitAwareOptimizer:
             sizes.extend([q] * L)
 
         best_plan: Dict[Tuple[int, ...], DispatchPlan] = {}
+        best_solution: Dict[Tuple[int, ...], Solution] = {}
 
         def evaluate(levels_flat: Tuple[int, ...]) -> float:
             levels = np.asarray(levels_flat, dtype=int).reshape(K, L)
@@ -791,6 +863,7 @@ class ProfitAwareOptimizer:
                 self._greedy_lp_states[levels_flat] = solution.state
                 self._greedy_last_state = solution.state
             best_plan[levels_flat] = decoder(solution.x)
+            best_solution[levels_flat] = solution
             return -solution.objective
 
         t0 = time.perf_counter()
@@ -812,10 +885,23 @@ class ProfitAwareOptimizer:
             raise SolverError("greedy level search found no feasible assignment")
         if use_warm:
             self._greedy_levels = vector
-        return best_plan[vector], {
+        stats = {
             "lp_evaluations": evaluations,
             "objective": value,
             "warm_offered": initial is not None,
             "warm_used": warm_used,
             "solve_time": time.perf_counter() - t0,
         }
+        if self.config.certify != "off":
+            # The warm-start cache refills one shared LP object in
+            # place, so whatever ``evaluate`` last built may not be the
+            # winner's problem — rebuild the winning level vector's LP
+            # for the certificate.
+            winner_levels = np.asarray(vector, dtype=int).reshape(K, L)
+            winner_lp, _ = self._build_lp(inputs, levels=winner_levels)
+            stats["certify"] = {
+                "problem": winner_lp,
+                "solution": best_solution[vector],
+                "plan": best_plan[vector],
+            }
+        return best_plan[vector], stats

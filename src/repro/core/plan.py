@@ -16,11 +16,12 @@ import numpy as np
 
 from repro.cloud.topology import CloudTopology
 from repro.queueing.mm1 import mm1_mean_delay
+from repro.solvers.tolerances import FEASIBILITY_TOL, ZERO_TOL
 from repro.utils.validation import check_nonnegative
 
 __all__ = ["DispatchPlan"]
 
-_LOAD_TOL = 1e-9
+_LOAD_TOL = ZERO_TOL
 
 
 @dataclass(frozen=True)
@@ -52,7 +53,7 @@ class DispatchPlan:
             raise ValueError(f"rates must have shape {(k, s, n)}, got {rates.shape}")
         if shares.shape != (k, n):
             raise ValueError(f"shares must have shape {(k, n)}, got {shares.shape}")
-        if np.any(shares.sum(axis=0) > 1.0 + 1e-6):
+        if np.any(shares.sum(axis=0) > 1.0 + FEASIBILITY_TOL):
             worst = float(shares.sum(axis=0).max())
             raise ValueError(f"CPU shares exceed 1 on some server (max {worst:.6f})")
         object.__setattr__(self, "rates", rates)
@@ -152,7 +153,7 @@ class DispatchPlan:
             shares=shares * scale[None, :],
         )
 
-    def meets_deadlines(self, tol: float = 1e-6) -> bool:
+    def meets_deadlines(self, tol: float = FEASIBILITY_TOL) -> bool:
         """True if every loaded (class, server) delay is within ``D_k``."""
         delays = self.delays()
         for k, rc in enumerate(self.topology.request_classes):

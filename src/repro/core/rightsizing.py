@@ -19,6 +19,7 @@ from typing import Optional
 import numpy as np
 
 from repro.core.plan import DispatchPlan
+from repro.solvers.tolerances import STRICT_TOL
 
 __all__ = ["powered_on_servers", "minimum_servers_for_load", "consolidate_plan"]
 
@@ -46,7 +47,7 @@ def minimum_servers_for_load(
     loads = np.asarray(loads, dtype=float)
     mu = np.asarray(service_rates, dtype=float)
     deadlines = np.asarray(deadlines, dtype=float)
-    active = loads > 1e-12
+    active = loads > STRICT_TOL
     if not np.any(active):
         return 0
     # Fixed per-server overhead of active classes: sum_k 1/(D_k C mu_k).
@@ -55,7 +56,7 @@ def minimum_servers_for_load(
     variable = float(np.sum(loads[active] / (capacity * mu[active])))
     if fixed >= 1.0:
         return None
-    m = int(np.ceil(variable / (1.0 - fixed) - 1e-12))
+    m = int(np.ceil(variable / (1.0 - fixed) - STRICT_TOL))
     m = max(m, 1)
     if m > max_servers:
         return None
@@ -90,7 +91,7 @@ def consolidate_plan(plan: DispatchPlan, safety: float = 0.999) -> DispatchPlan:
         for k, rc in enumerate(topo.request_classes):
             dc_delays = delays[k, sl]
             loaded = ~np.isnan(dc_delays)
-            if loads[k] <= 1e-12 or not np.any(loaded):
+            if loads[k] <= STRICT_TOL or not np.any(loaded):
                 deadlines[k] = rc.deadline
                 continue
             worst = float(np.max(dc_delays[loaded]))
@@ -117,7 +118,7 @@ def consolidate_plan(plan: DispatchPlan, safety: float = 0.999) -> DispatchPlan:
         active = slice(offsets[l], offsets[l] + m)
         new_rates[:, :, active] = dc_rates[:, :, l][:, :, None] / m
         for k in range(K):
-            if loads[k] <= 1e-12:
+            if loads[k] <= STRICT_TOL:
                 continue
             required = (loads[k] / m + 1.0 / (deadlines[k] * safety)) / (
                 dc.server_capacity * dc.service_rates[k]

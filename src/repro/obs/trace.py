@@ -60,6 +60,13 @@ class SlotTrace:
     ``repro.analysis.model.ModelFinding.to_dict`` (code, severity,
     component, message, data).  Empty when auditing is off or the slot
     audited clean; defaults so older trace files still round-trip.
+
+    ``certificates`` carries the optimality certifier's findings for
+    the slot when ``OptimizerConfig(certify="warn"|"error")`` is
+    active: one dict per finding, as produced by
+    ``repro.analysis.certify.CertFinding.to_dict`` (code, severity,
+    component, message, data).  Empty when certification is off or the
+    solve certified clean; defaults so older trace files round-trip.
     """
 
     slot: int
@@ -78,6 +85,7 @@ class SlotTrace:
     fallback: int = 0
     failure: str = ""
     audit: List[Dict] = field(default_factory=list)
+    certificates: List[Dict] = field(default_factory=list)
 
     def __post_init__(self) -> None:
         if self.warm_start not in WARM_OUTCOMES:
@@ -98,6 +106,9 @@ class SlotTrace:
             {str(k): float(v) for k, v in dict(self.residuals).items()},
         )
         object.__setattr__(self, "audit", [dict(f) for f in self.audit])
+        object.__setattr__(
+            self, "certificates", [dict(f) for f in self.certificates]
+        )
 
     @property
     def phase_time_total(self) -> float:

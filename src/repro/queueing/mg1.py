@@ -48,14 +48,18 @@ def mg1_mean_delay(
     mu = np.asarray(service_rate, dtype=float)
     lam = np.asarray(arrival_rate, dtype=float)
     scv_arr = check_nonnegative(scv, "scv")
-    rho = lam / mu
-    with np.errstate(divide="ignore", invalid="ignore"):
+    # A zero-rate server serves nothing: unstable (infinite delay) for
+    # any load, so substitute 1 in the lanes the np.where selects away.
+    safe_mu = np.where(mu > 0.0, mu, 1.0)
+    rho = np.where(mu > 0.0, lam / safe_mu, np.inf)
+    with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
         wait = np.where(
             rho < 1.0,
-            rho / np.maximum(1.0 - rho, 1e-300) * (1.0 + scv_arr) / 2.0 / mu,
+            rho / np.maximum(1.0 - rho, 1e-300)
+            * (1.0 + scv_arr) / 2.0 / safe_mu,
             np.inf,
         )
-    out = wait + 1.0 / mu
+    out = wait + 1.0 / safe_mu
     out = np.where(rho < 1.0, out, np.inf)
     if np.isscalar(service_rate) and np.isscalar(arrival_rate):
         return float(out)

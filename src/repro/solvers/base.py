@@ -14,6 +14,8 @@ from typing import Optional, Tuple
 import numpy as np
 from scipy import sparse as _sp
 
+from repro.solvers.tolerances import FEASIBILITY_TOL
+
 __all__ = [
     "SolveStatus",
     "SolverError",
@@ -143,7 +145,7 @@ class LinearProgram:
             out["eq"] = 0.0
         return out
 
-    def is_feasible(self, x: np.ndarray, tol: float = 1e-6) -> bool:
+    def is_feasible(self, x: np.ndarray, tol: float = FEASIBILITY_TOL) -> bool:
         """True if ``x`` satisfies all constraints within ``tol``."""
         res = self.residuals(x)
         return all(v <= tol for v in res.values())

@@ -29,6 +29,12 @@ from repro.solvers.base import (
     problem_signature,
 )
 from repro.solvers.linprog import solve_lp
+from repro.solvers.tolerances import (
+    FEASIBILITY_TOL,
+    INTEGRALITY_TOL,
+    STRICT_TOL,
+    ZERO_TOL,
+)
 
 __all__ = ["BranchAndBoundSolver", "solve_milp"]
 
@@ -62,7 +68,7 @@ class BranchAndBoundSolver:
         self,
         lp_method: str = "highs",
         max_nodes: int = 100_000,
-        int_tol: float = 1e-6,
+        int_tol: float = INTEGRALITY_TOL,
         rel_gap: float = 0.0,
     ) -> None:
         self.lp_method = lp_method
@@ -97,8 +103,8 @@ class BranchAndBoundSolver:
         if prev.shape != (lp.num_variables,):
             return None, np.inf, 0
         vals = np.round(prev[mask])
-        if np.any(vals < lp.lower[mask] - 1e-9) \
-                or np.any(vals > lp.upper[mask] + 1e-9):
+        if np.any(vals < lp.lower[mask] - ZERO_TOL) \
+                or np.any(vals > lp.upper[mask] + ZERO_TOL):
             return None, np.inf, 0
         lower = lp.lower.copy()
         upper = lp.upper.copy()
@@ -114,7 +120,7 @@ class BranchAndBoundSolver:
             return None, np.inf, sol.iterations
         x = sol.x.copy()
         x[mask] = np.round(x[mask])
-        if not lp.is_feasible(x, tol=1e-6):
+        if not lp.is_feasible(x, tol=FEASIBILITY_TOL):
             return None, np.inf, sol.iterations
         return x, float(lp.c @ x), sol.iterations
 
@@ -248,8 +254,8 @@ class BranchAndBoundSolver:
 
     def _gap_slack(self, incumbent_obj: float) -> float:
         if not np.isfinite(incumbent_obj) or self.rel_gap <= 0.0:
-            return 1e-12
-        return self.rel_gap * abs(incumbent_obj) + 1e-12
+            return STRICT_TOL
+        return self.rel_gap * abs(incumbent_obj) + STRICT_TOL
 
 
 def solve_milp(
@@ -295,8 +301,8 @@ def solve_milp(
     lower = lp.lower.copy()
     upper = lp.upper.copy()
     mask = mip.integer_mask
-    lower[mask] = np.ceil(lower[mask] - 1e-9)
-    upper[mask] = np.floor(upper[mask] + 1e-9)
+    lower[mask] = np.ceil(lower[mask] - ZERO_TOL)
+    upper[mask] = np.floor(upper[mask] + ZERO_TOL)
     if np.any(lower > upper):
         return Solution(status=SolveStatus.INFEASIBLE,
                         message="no integral point within bounds")

@@ -31,6 +31,7 @@ from repro.solvers.base import (
     problem_signature,
 )
 from repro.solvers.simplex import _to_standard_form
+from repro.solvers.tolerances import OPTIMALITY_TOL, PIVOT_TOL, STRICT_TOL
 
 __all__ = ["InteriorPointSolver"]
 
@@ -46,7 +47,9 @@ class InteriorPointSolver:
         Convergence tolerance on scaled residuals and duality gap.
     """
 
-    def __init__(self, max_iterations: int = 100, tol: float = 1e-8) -> None:
+    def __init__(
+        self, max_iterations: int = 100, tol: float = OPTIMALITY_TOL
+    ) -> None:
         if max_iterations < 1:
             raise ValueError("max_iterations must be >= 1")
         self.max_iterations = int(max_iterations)
@@ -128,7 +131,7 @@ class InteriorPointSolver:
             # Normal equations: (A D A') dlam = rhs, D = X S^{-1}.
             d = x / s
             adat = (a * d) @ a.T
-            adat[np.diag_indices_from(adat)] += 1e-12
+            adat[np.diag_indices_from(adat)] += STRICT_TOL
             try:
                 chol = np.linalg.cholesky(adat)
             except np.linalg.LinAlgError:
@@ -208,7 +211,7 @@ class InteriorPointSolver:
         _, r_piv, piv = _qr_column_pivot(a.T)
         diag = np.abs(np.diag(r_piv))
         scale = diag.max(initial=0.0)
-        rank = int(np.sum(diag > 1e-10 * max(scale, 1.0)))
+        rank = int(np.sum(diag > PIVOT_TOL * max(scale, 1.0)))
         if rank < m:
             rows = np.sort(piv[:rank])
             a_red, b_red = a[rows], b[rows]

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from typing import Callable, List, Optional, Sequence, Tuple
 
+from repro.solvers.tolerances import STRICT_TOL
 
 __all__ = ["coordinate_descent_levels"]
 
@@ -72,7 +73,7 @@ def coordinate_descent_levels(
                 current[p] = candidate
                 value = evaluate(tuple(current))
                 evaluations += 1
-                if value > best_value + 1e-12:
+                if value > best_value + STRICT_TOL:
                     best_value = value
                     original = candidate
                     improved = True

@@ -30,6 +30,7 @@ from repro.solvers.base import (
     SolverState,
     SolveStatus,
 )
+from repro.solvers.tolerances import STRICT_TOL, ZERO_TOL
 
 __all__ = ["PresolveResult", "presolve", "solve_with_presolve"]
 
@@ -52,7 +53,7 @@ class PresolveResult:
 
 def presolve(
     lp: LinearProgram,
-    tol: float = 1e-12,
+    tol: float = STRICT_TOL,
     collector: Optional[Collector] = None,
 ) -> PresolveResult:
     """Apply the reductions to ``lp``.
@@ -113,7 +114,7 @@ def _reduce(lp: LinearProgram, tol: float) -> PresolveResult:
         lo = lp.lower[free_idx]
         hi = lp.upper[free_idx]
         empty = row_nnz == 0
-        if np.any(empty & (b_ub_adj < -1e-9)):
+        if np.any(empty & (b_ub_adj < -ZERO_TOL)):
             return PresolveResult(
                 reduced=None, restore=restore, objective_offset=offset,
                 verdict=SolveStatus.INFEASIBLE,
@@ -123,7 +124,9 @@ def _reduce(lp: LinearProgram, tol: float) -> PresolveResult:
         neg = a_ub_red.minimum(0.0)
         with np.errstate(invalid="ignore"):
             worst = np.asarray(pos @ hi + neg @ lo).ravel()
-        redundant = (~empty) & np.isfinite(worst) & (worst <= b_ub_adj + 1e-12)
+        redundant = (
+            (~empty) & np.isfinite(worst) & (worst <= b_ub_adj + STRICT_TOL)
+        )
         keep_mask = ~(empty | redundant)
         dropped += int(empty.sum() + redundant.sum())
         if np.any(keep_mask):
@@ -138,7 +141,7 @@ def _reduce(lp: LinearProgram, tol: float) -> PresolveResult:
         for r in range(a_ub_red.shape[0]):
             row = a_ub_red[r]
             if not np.any(np.abs(row) > tol):
-                if b_ub_adj[r] < -1e-9:
+                if b_ub_adj[r] < -ZERO_TOL:
                     return PresolveResult(
                         reduced=None, restore=restore,
                         objective_offset=offset,
@@ -150,7 +153,7 @@ def _reduce(lp: LinearProgram, tol: float) -> PresolveResult:
             # Interval arithmetic: max achievable lhs <= rhs => redundant.
             with np.errstate(invalid="ignore"):
                 worst = np.sum(np.where(row > 0, row * hi, row * lo))
-            if np.isfinite(worst) and worst <= b_ub_adj[r] + 1e-12:
+            if np.isfinite(worst) and worst <= b_ub_adj[r] + STRICT_TOL:
                 dropped += 1
                 continue
             keep.append(r)
@@ -161,7 +164,7 @@ def _reduce(lp: LinearProgram, tol: float) -> PresolveResult:
         b_eq_adj = np.asarray(lp.b_eq - lp.a_eq @ fixed_values).ravel()
         a_eq_red, row_nnz = _sparse_rows(lp.a_eq, free_idx, tol)
         empty = row_nnz == 0
-        if np.any(empty & (np.abs(b_eq_adj) > 1e-9)):
+        if np.any(empty & (np.abs(b_eq_adj) > ZERO_TOL)):
             return PresolveResult(
                 reduced=None, restore=restore, objective_offset=offset,
                 verdict=SolveStatus.INFEASIBLE,
@@ -177,7 +180,7 @@ def _reduce(lp: LinearProgram, tol: float) -> PresolveResult:
         keep = []
         for r in range(a_eq_red.shape[0]):
             if not np.any(np.abs(a_eq_red[r]) > tol):
-                if abs(b_eq_adj[r]) > 1e-9:
+                if abs(b_eq_adj[r]) > ZERO_TOL:
                     return PresolveResult(
                         reduced=None, restore=restore,
                         objective_offset=offset,

@@ -31,10 +31,23 @@ from repro.solvers.base import (
     SolveStatus,
     problem_signature,
 )
+from repro.solvers.tolerances import (
+    FEASIBILITY_TOL,
+    OPTIMALITY_TOL,
+    WARM_BASIS_TOL,
+    ZERO_TOL,
+)
 
 __all__ = ["SimplexSolver"]
 
-_TOL = 1e-9
+_TOL = ZERO_TOL
+
+#: Consecutive degenerate pivots before the cycling-suspicion counter
+#: trips.  Bland's rule guarantees termination, so this is telemetry
+#: (``simplex.cycling_guard_trips``), not a correctness guard — but a
+#: trip means the solver is grinding through a degenerate vertex and a
+#: perturbation or presolve pass would likely pay off.
+_CYCLING_STREAK_LIMIT = 1000
 
 
 @dataclass
@@ -153,7 +166,9 @@ class SimplexSolver:
         Numerical tolerance for reduced costs / feasibility.
     """
 
-    def __init__(self, max_iterations: int = 20_000, tol: float = 1e-8) -> None:
+    def __init__(
+        self, max_iterations: int = 20_000, tol: float = OPTIMALITY_TOL
+    ) -> None:
         if max_iterations < 1:
             raise ValueError("max_iterations must be >= 1")
         self.max_iterations = int(max_iterations)
@@ -170,22 +185,38 @@ class SimplexSolver:
         basis[row] = col
 
     def _iterate(
-        self, tableau: np.ndarray, basis: np.ndarray, budget: int
+        self,
+        tableau: np.ndarray,
+        basis: np.ndarray,
+        budget: int,
+        collector: Collector = NULL_COLLECTOR,
     ) -> Tuple[str, int]:
-        """Run pivots until optimal/unbounded/budget; returns (status, used)."""
+        """Run pivots until optimal/unbounded/budget; returns (status, used).
+
+        Sanitizer telemetry: every pivot with a (near-)zero ratio is a
+        *degenerate* step — the objective does not move — counted under
+        ``simplex.degenerate_pivots``; a run of
+        :data:`_CYCLING_STREAK_LIMIT` consecutive degenerate pivots
+        increments ``simplex.cycling_guard_trips`` (Bland's rule still
+        terminates, but the solver is stalling on a degenerate vertex).
+        """
         m = tableau.shape[0] - 1
         used = 0
+        degenerate = 0
+        streak = 0
         while used < budget:
             cost_row = tableau[-1, :-1]
             # Bland: smallest index with a negative reduced cost.
             entering_candidates = np.nonzero(cost_row < -self.tol)[0]
             if entering_candidates.size == 0:
-                return "optimal", used
+                break
             col = int(entering_candidates[0])
             column = tableau[:m, col]
             rhs = tableau[:m, -1]
             positive = column > self.tol
             if not np.any(positive):
+                if degenerate and collector.enabled:
+                    collector.increment("simplex.degenerate_pivots", degenerate)
                 return "unbounded", used
             ratios = np.full(m, np.inf)
             ratios[positive] = rhs[positive] / column[positive]
@@ -195,7 +226,20 @@ class SimplexSolver:
             row = int(tie_rows[np.argmin(basis[tie_rows])])
             self._pivot(tableau, basis, row, col)
             used += 1
-        return "iteration_limit", used
+            if min_ratio <= _TOL:
+                degenerate += 1
+                streak += 1
+                if streak == _CYCLING_STREAK_LIMIT and collector.enabled:
+                    collector.increment("simplex.cycling_guard_trips")
+            else:
+                streak = 0
+        else:
+            if degenerate and collector.enabled:
+                collector.increment("simplex.degenerate_pivots", degenerate)
+            return "iteration_limit", used
+        if degenerate and collector.enabled:
+            collector.increment("simplex.degenerate_pivots", degenerate)
+        return "optimal", used
 
     # ---------------------------------------------------------- warm start
 
@@ -227,7 +271,7 @@ class SimplexSolver:
         xb = binv @ b
         if not (np.all(np.isfinite(binv_a)) and np.all(np.isfinite(xb))):
             return None
-        if xb.min(initial=0.0) < -1e-7:
+        if xb.min(initial=0.0) < -WARM_BASIS_TOL:
             return None  # basis primal-infeasible at the new rhs
         xb = np.clip(xb, 0.0, None)
         tableau = np.zeros((m + 1, ncols + 1))
@@ -277,7 +321,8 @@ class SimplexSolver:
                 tableau, basis = warm
                 with collector.timer("simplex.warm_iterate"):
                     status, used = self._iterate(
-                        tableau, basis, self.max_iterations
+                        tableau, basis, self.max_iterations,
+                        collector=collector,
                     )
                 collector.increment("simplex.pivots", used)
                 if status == "optimal":
@@ -318,21 +363,25 @@ class SimplexSolver:
         tableau[-1] -= tableau[:m].sum(axis=0)
 
         with collector.timer("simplex.phase1"):
-            status, used = self._iterate(tableau, basis, self.max_iterations)
+            status, used = self._iterate(
+                tableau, basis, self.max_iterations, collector=collector
+            )
         collector.increment("simplex.pivots", used)
         total_iters = used
         if status == "iteration_limit":
             return Solution(status=SolveStatus.ITERATION_LIMIT, iterations=total_iters,
                             message="phase 1 budget exhausted")
         phase1_obj = -tableau[-1, -1]
-        if phase1_obj > 1e-6:
+        if phase1_obj > FEASIBILITY_TOL:
             return Solution(status=SolveStatus.INFEASIBLE, iterations=total_iters,
                             message=f"phase-1 optimum {phase1_obj:.3e} > 0")
 
         # Drive artificials out of the basis where possible.
         for r in range(m):
             if basis[r] >= ncols:
-                pivot_cols = np.nonzero(np.abs(tableau[r, :ncols]) > 1e-7)[0]
+                pivot_cols = np.nonzero(
+                    np.abs(tableau[r, :ncols]) > WARM_BASIS_TOL
+                )[0]
                 if pivot_cols.size:
                     self._pivot(tableau, basis, r, int(pivot_cols[0]))
                     total_iters += 1
@@ -351,7 +400,8 @@ class SimplexSolver:
 
         with collector.timer("simplex.phase2"):
             status, used = self._iterate(
-                tableau, basis, self.max_iterations - total_iters
+                tableau, basis, self.max_iterations - total_iters,
+                collector=collector,
             )
         collector.increment("simplex.pivots", used)
         total_iters += used

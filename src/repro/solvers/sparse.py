@@ -50,6 +50,12 @@ from repro.solvers.base import (
     problem_signature,
 )
 from repro.solvers.linprog import solve_lp
+from repro.solvers.tolerances import (
+    FEASIBILITY_TOL,
+    OPTIMALITY_TOL,
+    PIVOT_TOL,
+    ZERO_TOL,
+)
 
 __all__ = [
     "SPARSE_DIRECT_ROW_LIMIT",
@@ -67,8 +73,14 @@ __all__ = [
 #: HiGHS (which consumes the sparse matrix natively).
 SPARSE_DIRECT_ROW_LIMIT = 600
 
-_TOL = 1e-9
-_PIVOT_TOL = 1e-10
+_TOL = ZERO_TOL
+_PIVOT_TOL = PIVOT_TOL
+
+#: 1-norm condition estimate above which a refactorized basis counts as
+#: ill-conditioned (``sparse.ill_conditioned_bases``).  Telemetry only:
+#: the eta-update NaN/inf guard and the terminal feasibility re-check
+#: are what actually reject a numerically broken solve.
+_CONDITION_LIMIT = 1e12
 
 # Nonbasic-at-lower / nonbasic-at-upper / basic variable statuses.
 _AT_LOWER, _AT_UPPER, _BASIC = 0, 1, 2
@@ -162,6 +174,27 @@ def _basis_inverse(
     return inv
 
 
+def _basis_norm1(
+    ac: "sp.csc_matrix", basis: np.ndarray, n: int
+) -> float:
+    """1-norm (max column abs-sum) of the basis matrix ``[A | I][:, basis]``.
+
+    Built column-by-column from the CSC data so the sanitizer's
+    condition estimate (``norm1(B) * norm1(B^{-1})``) never assembles
+    the dense basis matrix a second time.
+    """
+    worst = 0.0
+    for var in basis:
+        if var < n:
+            start, end = ac.indptr[var], ac.indptr[var + 1]
+            col_sum = float(np.abs(ac.data[start:end]).sum())
+        else:
+            col_sum = 1.0
+        if col_sum > worst:
+            worst = col_sum
+    return worst
+
+
 def _restore_state(
     state: Optional[SolverState],
     lp: LinearProgram,
@@ -203,8 +236,18 @@ def _dual_simplex(
     boxed_upper: np.ndarray,
     state: Optional[SolverState],
     max_iterations: Optional[int],
+    collector: Optional[Collector] = None,
 ) -> Solution:
-    """Bounded-variable dual simplex on ``A x + s = b`` (minimization)."""
+    """Bounded-variable dual simplex on ``A x + s = b`` (minimization).
+
+    ``collector`` receives the numerical-sanitizer telemetry: NaN/inf
+    guard trips at the eta update (``sparse.nonfinite_guard_trips`` —
+    the iteration recovers through an early refactorization when the
+    fresh inverse is finite), 1-norm basis condition estimates at every
+    refactorization point (histogram ``sparse.basis_condition``), and
+    ill-conditioned bases above :data:`_CONDITION_LIMIT`
+    (``sparse.ill_conditioned_bases``).
+    """
     a = _as_csr(lp.a_ub)
     ac = a.tocsc()
     m, n = a.shape
@@ -277,10 +320,10 @@ def _dual_simplex(
                 iterations=iterations,
                 warm_start_used=warm_used,
             )
-        if worst <= 1e-8:
+        if worst <= OPTIMALITY_TOL:
             x_struct = x[:n].copy()
             np.clip(x_struct, lp.lower, lp.upper, out=x_struct)
-            if not lp.is_feasible(x_struct, tol=1e-6):
+            if not lp.is_feasible(x_struct, tol=FEASIBILITY_TOL):
                 return Solution(
                     status=SolveStatus.NUMERICAL_ERROR,
                     message="terminal point failed feasibility check",
@@ -296,12 +339,31 @@ def _dual_simplex(
                 dual=lp.c.copy(),
                 point=x_struct.copy(),
             )
+            # The duals certify the *boxed* problem.  They transfer to
+            # the original LP unless a structural variable ends nonbasic
+            # at an artificial box (original upper infinite) with a
+            # meaningfully negative reduced cost — the box is redundant
+            # for the feasible set (so x stays optimal), but its
+            # multiplier belongs to the rows implying the bound, and
+            # emitting it as-is would fail an independent reduced-cost
+            # certificate.  Degrade to primal-only in that case.
+            marginals: Optional[np.ndarray] = y.copy()
+            at_box = (
+                (vstat[:n] == _AT_UPPER) & ~np.isfinite(lp.upper)
+            )
+            if np.any(at_box):
+                d_box = lp.c[at_box] - y @ a[:, np.flatnonzero(at_box)]
+                tol_box = OPTIMALITY_TOL * max(
+                    1.0, float(np.abs(lp.c).max(initial=0.0))
+                )
+                if np.any(d_box < -tol_box):
+                    marginals = None
             return Solution(
                 status=SolveStatus.OPTIMAL,
                 x=x_struct,
                 objective=float(lp.c @ x_struct),
                 iterations=iterations,
-                ineq_marginals=y.copy(),
+                ineq_marginals=marginals,
                 state=out_state,
                 warm_start_used=warm_used,
             )
@@ -366,6 +428,22 @@ def _dual_simplex(
         binv -= np.outer(col, binv[i])
         iterations += 1
         since_refactor += 1
+        if not np.all(np.isfinite(binv)):
+            # Sanitizer: the eta update blew up (overflow/NaN through a
+            # tiny pivot).  Refactorize from scratch immediately — the
+            # product-form error is discarded — and only give up when
+            # the basis itself is singular or non-finite.
+            _count(collector, "sparse.nonfinite_guard_trips")
+            fresh = _basis_inverse(ac, basis, n, m)
+            if fresh is None:
+                return Solution(
+                    status=SolveStatus.NUMERICAL_ERROR,
+                    message="non-finite basis inverse after eta update",
+                    iterations=iterations,
+                    warm_start_used=warm_used,
+                )
+            binv = fresh
+            since_refactor = 0
         if since_refactor >= 100:
             fresh = _basis_inverse(ac, basis, n, m)
             if fresh is None:
@@ -375,6 +453,16 @@ def _dual_simplex(
                     iterations=iterations,
                     warm_start_used=warm_used,
                 )
+            if collector is not None and collector.enabled:
+                # Condition estimate at the refactorization point: the
+                # drifted eta-product inverse is being replaced anyway,
+                # so one extra norm is the cheapest honest health check.
+                cond = _basis_norm1(ac, basis, n) * float(
+                    np.abs(fresh).sum(axis=0).max(initial=0.0)
+                )
+                collector.observe("sparse.basis_condition", cond)
+                if cond > _CONDITION_LIMIT:
+                    collector.increment("sparse.ill_conditioned_bases")
             binv = fresh
             since_refactor = 0
 
@@ -406,7 +494,9 @@ def solve_sparse_lp(
         if boxed is None:
             _count(collector, "sparse.box_fallbacks")
     if boxed is not None:
-        solution = _dual_simplex(lp, boxed, state, max_iterations)
+        solution = _dual_simplex(
+            lp, boxed, state, max_iterations, collector=collector
+        )
         if solution.status is SolveStatus.OPTIMAL:
             _count(
                 collector,
@@ -556,12 +646,27 @@ def solve_decomposed(  # reprolint: disable=RP004
         (sub, block_state, max_iterations)
         for sub, block_state in zip(subs, block_states)
     ]
+    # Blocks are per-class (see class_blocks), so label worker failures
+    # with the originating block's class index — a crash inside one
+    # block solve must not surface as an anonymous pool error.
+    labels = [f"block[class={k}]" for k in range(len(tasks))]
     if workers is not None and workers > 1 and len(tasks) > 1:
         from repro.sim.parallel import parallel_map
 
-        results = parallel_map(_solve_block_task, tasks, workers=workers)
+        results = parallel_map(
+            _solve_block_task, tasks, workers=workers, labels=labels
+        )
     else:
-        results = [_solve_block_task(task) for task in tasks]
+        from repro.sim.parallel import WorkerError
+
+        results = []
+        for label, task in zip(labels, tasks):
+            try:
+                results.append(_solve_block_task(task))
+            except Exception as exc:
+                raise WorkerError(
+                    f"{label}: {type(exc).__name__}: {exc}"
+                ) from exc
     if any(not r.ok for r in results):
         _count(collector, "sparse.block_failures")
         return None
@@ -571,7 +676,7 @@ def solve_decomposed(  # reprolint: disable=RP004
         x[blk.var_idx] = res.x
     slack = lp.b_ub[coupling_rows] - a[coupling_rows] @ x
     scale = np.maximum(1.0, np.abs(lp.b_ub[coupling_rows]))
-    if np.any(slack < -1e-9 * scale):
+    if np.any(slack < -ZERO_TOL * scale):
         _count(collector, "sparse.coupling_rejects")
         return None
     solution = Solution(

@@ -80,7 +80,9 @@ def shed_to_capacity(
     if not bool(over.any()):
         return arrivals, np.zeros_like(totals)
     scale = np.ones_like(totals)
-    scale[over] = capacity[over] / totals[over]
+    # Lanes in ``over`` have totals > capacity >= 0 (the MD043 bound is
+    # clipped at zero), so the clamp below is inert for valid inputs.
+    scale[over] = capacity[over] / np.maximum(totals[over], 1e-300)
     admitted = arrivals * scale[:, None]
     shed = np.clip(totals - capacity, 0.0, None) * over
     return admitted, shed

@@ -85,3 +85,25 @@ def formulation_audit():
     from repro.analysis.model import audit_slot
 
     return audit_slot
+
+
+@pytest.fixture(scope="session")
+def certify():
+    """The optimality certifier as a fixture: verify one solve.
+
+    ``certify(problem, solution, **kwargs)`` recomputes every CT0xx
+    certificate (primal/dual feasibility, complementary slackness,
+    duality gap, integrality) from the problem data and fails the test
+    with the rendered report on any error-severity finding.  Returns
+    the :class:`~repro.analysis.certify.CertifyReport` so tests can
+    additionally assert on coverage or warnings.  Session-scoped (the
+    helper is stateless) so hypothesis tests may use it freely.
+    """
+    from repro.analysis.certify import certify_solution
+
+    def _certify(problem, solution, **kwargs):
+        report = certify_solution(problem, solution, **kwargs)
+        assert not report.errors, "\n" + report.render_text()
+        return report
+
+    return _certify

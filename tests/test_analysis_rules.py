@@ -23,10 +23,10 @@ def run_rule(code, source, path="src/repro/module.py"):
 
 
 class TestRegistry:
-    def test_all_eight_domain_rules_registered(self):
+    def test_all_ten_domain_rules_registered(self):
         registered = {rule.code for rule in all_rules()}
         assert {"RP001", "RP002", "RP003", "RP004", "RP005",
-                "RP006", "RP007", "RP008"} <= registered
+                "RP006", "RP007", "RP008", "RP009", "RP010"} <= registered
 
     def test_rules_carry_metadata(self):
         for rule in all_rules():
@@ -448,6 +448,183 @@ class TestRP008ArrayDtypeContract:
         )
         report = run_rule("RP008", src, path="src/repro/core/x.py")
         assert report.clean
+
+
+class TestRP009ToleranceLiteral:
+    def test_fires_on_comparison(self):
+        report = run_rule(
+            "RP009", "if gap <= 1e-06:\n    pass\n",
+            path="src/repro/solvers/x.py",
+        )
+        assert codes(report) == ["RP009"]
+
+    def test_fires_on_additive_nudge(self):
+        report = run_rule(
+            "RP009", "bound = b + 1e-08\n", path="src/repro/core/x.py"
+        )
+        assert codes(report) == ["RP009"]
+
+    def test_fires_on_augmented_assignment(self):
+        report = run_rule(
+            "RP009", "slack -= 1e-09\n", path="src/repro/solvers/x.py"
+        )
+        assert codes(report) == ["RP009"]
+
+    def test_fires_on_negative_literal(self):
+        report = run_rule(
+            "RP009", "if r < -1e-06:\n    pass\n",
+            path="src/repro/solvers/x.py",
+        )
+        assert codes(report) == ["RP009"]
+
+    def test_nested_literal_reported_once(self):
+        # The 1e-9 sits in both the Add and the enclosing Compare;
+        # dedup by position keeps one finding.
+        report = run_rule(
+            "RP009", "if x <= base + 1e-09:\n    pass\n",
+            path="src/repro/solvers/x.py",
+        )
+        assert codes(report) == ["RP009"]
+
+    def test_silent_on_model_scale_constant(self):
+        report = run_rule(
+            "RP009", "if load > 0.5:\n    pass\n",
+            path="src/repro/core/x.py",
+        )
+        assert report.clean
+
+    def test_silent_on_multiplicative_scaling(self):
+        # 1e-6 as a scale factor is unit conversion, not a threshold.
+        report = run_rule(
+            "RP009", "atol = 1e-06 * scale\n", path="src/repro/solvers/x.py"
+        )
+        assert report.clean
+
+    def test_silent_in_tolerance_home(self):
+        report = run_rule(
+            "RP009", "STRICT = 1e-12\nLOOSE = STRICT + 1e-06\n",
+            path="src/repro/solvers/tolerances.py",
+        )
+        assert report.clean
+
+    def test_silent_outside_numerical_packages(self):
+        report = run_rule(
+            "RP009", "if gap <= 1e-06:\n    pass\n",
+            path="src/repro/market/x.py",
+        )
+        assert report.clean
+
+    def test_suppression_honored(self):
+        src = "if gap <= 1e-06:  # reprolint: disable=RP009\n    pass\n"
+        report = run_rule("RP009", src, path="src/repro/solvers/x.py")
+        assert report.clean
+        assert report.suppressed == 1
+
+
+DIV_PATH = "src/repro/core/x.py"
+
+
+class TestRP010UnguardedDivision:
+    def test_fires_on_bare_risky_name(self):
+        report = run_rule("RP010", "y = x / rate\n", path=DIV_PATH)
+        assert codes(report) == ["RP010"]
+
+    def test_fires_on_attribute_and_subscript(self):
+        report = run_rule(
+            "RP010",
+            "a = q / self.num_servers\nb = x / arrivals[k]\n",
+            path=DIV_PATH,
+        )
+        assert codes(report) == ["RP010", "RP010"]
+
+    def test_fires_in_queueing_and_stream(self):
+        for path in ("src/repro/queueing/x.py", "src/repro/stream/x.py"):
+            report = run_rule("RP010", "y = x / total_load\n", path=path)
+            assert codes(report) == ["RP010"], path
+
+    def test_silent_on_clamped_denominator(self):
+        src = (
+            "a = x / max(rate, 1e-9)\n"
+            "b = x / np.maximum(capacity, eps)\n"
+            "c = x / (rate + 1e-9)\n"
+        )
+        assert run_rule("RP010", src, path=DIV_PATH).clean
+
+    def test_silent_under_positive_branch(self):
+        src = "if rate > 0:\n    y = x / rate\n"
+        assert run_rule("RP010", src, path=DIV_PATH).clean
+
+    def test_silent_after_early_return_guard(self):
+        src = (
+            "def f(rate):\n"
+            "    if rate == 0:\n"
+            "        return 0.0\n"
+            "    return x / rate\n"
+        )
+        assert run_rule("RP010", src, path=DIV_PATH).clean
+
+    def test_silent_inside_np_where_select(self):
+        src = "y = np.where(rate > 0, x / rate, 0.0)\n"
+        assert run_rule("RP010", src, path=DIV_PATH).clean
+
+    def test_silent_after_assert(self):
+        src = "assert rate > 0\ny = x / rate\n"
+        assert run_rule("RP010", src, path=DIV_PATH).clean
+
+    def test_silent_in_guarded_ifexp(self):
+        src = "y = x / rate if rate else 0.0\n"
+        assert run_rule("RP010", src, path=DIV_PATH).clean
+
+    def test_check_positive_validates(self):
+        src = (
+            "def f(rate):\n"
+            '    mu = check_positive(rate, "rate")\n'
+            "    return x / mu + y / rate\n"
+        )
+        assert run_rule("RP010", src, path=DIV_PATH).clean
+
+    def test_post_init_invariant_covers_methods(self):
+        src = (
+            "class Q:\n"
+            "    def __post_init__(self):\n"
+            '        check_positive(self.service_rate, "service_rate")\n'
+            "        if self.num_servers < 1:\n"
+            "            raise ValueError\n"
+            "    @property\n"
+            "    def rho(self):\n"
+            "        return self.arrival / self.service_rate\n"
+            "    @property\n"
+            "    def per_server(self):\n"
+            "        return self.rho / self.num_servers\n"
+        )
+        assert run_rule("RP010", src, path="src/repro/queueing/x.py").clean
+
+    def test_guard_does_not_leak_into_other_function(self):
+        src = (
+            "def f(rate):\n"
+            "    assert rate > 0\n"
+            "    return x / rate\n"
+            "def g(rate):\n"
+            "    return x / rate\n"
+        )
+        report = run_rule("RP010", src, path=DIV_PATH)
+        assert codes(report) == ["RP010"]
+        assert report.findings[0].line == 5
+
+    def test_silent_on_unrecognized_name(self):
+        assert run_rule("RP010", "y = x / weight\n", path=DIV_PATH).clean
+
+    def test_silent_outside_scoped_packages(self):
+        report = run_rule(
+            "RP010", "y = x / rate\n", path="src/repro/solvers/x.py"
+        )
+        assert report.clean
+
+    def test_suppression_honored(self):
+        src = "y = x / rate  # reprolint: disable=RP010\n"
+        report = run_rule("RP010", src, path=DIV_PATH)
+        assert report.clean
+        assert report.suppressed == 1
 
 
 class TestSuppression:

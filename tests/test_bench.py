@@ -289,6 +289,17 @@ class TestScenarioDeterminism:
         assert base["seed"] == 1998 and other["seed"] == 2024
         assert base["determinism"] != other["determinism"]
 
+    def test_paper_scale_tracks_certify_overhead(self):
+        record = run_scenario("paper_scale", mode="smoke",
+                              overrides=TINY_OVERRIDES["paper_scale"])
+        # The certify-off-vs-on ratio is the CI gate for verification
+        # overhead; every certified solve in the loop must come back
+        # clean or the ratio is measuring a broken verifier.
+        assert record["timing"]["ratios"]["certify_efficiency"] > 0.0
+        det = record["determinism"]
+        assert det["certified_solves"] == record["config"]["certify_slots"]
+        assert det["certify_error_findings"] == 0
+
     def test_des_million_reference_engine_agrees(self):
         record = run_scenario("des_million", mode="smoke",
                               overrides=TINY_OVERRIDES["des_million"])

@@ -39,10 +39,11 @@ class TestSimplexProperties:
 
     @given(lp=bounded_lps())
     @settings(max_examples=50, deadline=None)
-    def test_simplex_solution_feasible(self, lp):
+    def test_simplex_solution_feasible(self, lp, certify):
         sol = solve_lp(lp, "simplex")
         assert sol.ok
         assert lp.is_feasible(sol.x, tol=1e-6)
+        certify(lp, sol)
 
     @given(lp=bounded_lps())
     @settings(max_examples=30, deadline=None)
@@ -72,13 +73,14 @@ class TestBranchBoundProperties:
 
     @given(lp=bounded_lps(max_vars=5, max_rows=3))
     @settings(max_examples=30, deadline=None)
-    def test_bb_integrality_and_feasibility(self, lp):
+    def test_bb_integrality_and_feasibility(self, lp, certify):
         mask = [True] * lp.num_variables
         mip = MixedIntegerProgram(lp, integer_mask=mask)
         sol = solve_milp(mip, "bb")
         assert sol.ok
         assert np.allclose(sol.x, np.round(sol.x), atol=1e-6)
         assert lp.is_feasible(sol.x, tol=1e-6)
+        certify(mip, sol)
 
     @given(lp=bounded_lps(max_vars=5, max_rows=3))
     @settings(max_examples=20, deadline=None)

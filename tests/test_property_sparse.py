@@ -156,7 +156,7 @@ class TestSparseMatrixEquivalence:
 class TestSparseSolverEquivalence:
     @given(pair=boxable_lp_pairs())
     @settings(max_examples=50, deadline=None)
-    def test_cold_and_warm_match_highs(self, pair):
+    def test_cold_and_warm_match_highs(self, pair, certify):
         first, second = pair
         cold1 = solve_sparse_lp(first)
         ref1 = solve_lp(first, "highs")
@@ -165,6 +165,7 @@ class TestSparseSolverEquivalence:
             return
         assert _close(cold1.objective, ref1.objective)
         assert first.is_feasible(cold1.x, tol=1e-6)
+        certify(first, cold1)
         # Warm re-solve of the perturbation (new c AND new b).
         warm = solve_sparse_lp(second, state=cold1.state)
         ref2 = solve_lp(second, "highs")
@@ -172,10 +173,11 @@ class TestSparseSolverEquivalence:
         if ref2.ok:
             assert _close(warm.objective, ref2.objective)
             assert second.is_feasible(warm.x, tol=1e-6)
+            certify(second, warm)
 
     @given(pair=boxable_lp_pairs())
     @settings(max_examples=40, deadline=None)
-    def test_presolved_sparse_matches_highs(self, pair):
+    def test_presolved_sparse_matches_highs(self, pair, certify):
         lp, _ = pair
         result = presolve(lp)
         ref = solve_lp(lp, "highs")
@@ -192,12 +194,13 @@ class TestSparseSolverEquivalence:
                 inner.objective + result.objective_offset, ref.objective
             )
             assert lp.is_feasible(restored, tol=1e-6)
+            certify(result.reduced, inner)
 
 
 class TestDecompositionEquivalence:
     @given(data=st.data())
     @settings(max_examples=30, deadline=None)
-    def test_accepted_decomposition_is_optimal(self, data):
+    def test_accepted_decomposition_is_optimal(self, data, certify):
         topology = data.draw(random_topologies())
         slots = data.draw(slot_sequences(topology))
         K, S, L = (topology.num_classes, topology.num_frontends,
@@ -217,6 +220,7 @@ class TestDecompositionEquivalence:
             states = result.states
             assert _close(result.solution.objective, ref.objective)
             assert lp.is_feasible(result.solution.x, tol=1e-6)
+            certify(lp, result.solution, coupling_rows=coupling)
 
 
 class TestOptimizerSparseEquivalence:

@@ -136,7 +136,7 @@ def slot_sequences(draw, topology, num_slots=2):
 class TestSolverLevelEquivalence:
     @given(pair=lp_pairs())
     @settings(max_examples=50, deadline=None)
-    def test_simplex_warm_equals_cold(self, pair):
+    def test_simplex_warm_equals_cold(self, pair, certify):
         first, second = pair
         solver = SimplexSolver()
         state = solver.solve(first).state
@@ -145,10 +145,12 @@ class TestSolverLevelEquivalence:
         assert warm.ok and cold.ok
         assert _close(warm.objective, cold.objective)
         assert second.is_feasible(warm.x, tol=1e-6)
+        certify(second, warm)
+        certify(second, cold)
 
     @given(pair=lp_pairs())
     @settings(max_examples=30, deadline=None)
-    def test_ipm_warm_equals_cold(self, pair):
+    def test_ipm_warm_equals_cold(self, pair, certify):
         first, second = pair
         solver = InteriorPointSolver()
         state = solver.solve(first).state
@@ -157,6 +159,8 @@ class TestSolverLevelEquivalence:
         assert warm.ok and reference.ok
         assert _close(warm.objective, reference.objective)
         assert second.is_feasible(warm.x, tol=1e-6)
+        certify(second, warm)
+        certify(second, reference)
 
 
 class TestPipelineEquivalence:
@@ -165,8 +169,12 @@ class TestPipelineEquivalence:
     def test_lp_pipeline(self, data):
         topology = data.draw(random_topologies(max_levels=1))
         slots = data.draw(slot_sequences(topology))
-        warm = ProfitAwareOptimizer(topology, config=OptimizerConfig(lp_method="simplex", warm_start=True))
-        cold = ProfitAwareOptimizer(topology, config=OptimizerConfig(lp_method="simplex", warm_start=False))
+        # certify="error" makes every plan_slot fail loudly if the
+        # returned solution flunks an independent CT0xx certificate.
+        warm = ProfitAwareOptimizer(topology, config=OptimizerConfig(
+            lp_method="simplex", warm_start=True, certify="error"))
+        cold = ProfitAwareOptimizer(topology, config=OptimizerConfig(
+            lp_method="simplex", warm_start=False, certify="error"))
         for arrivals, prices in slots:
             wp = warm.plan_slot(arrivals, prices)
             w_obj = warm.last_stats.objective
@@ -180,8 +188,12 @@ class TestPipelineEquivalence:
     def test_milp_pipeline(self, data):
         topology = data.draw(random_topologies(max_levels=3))
         slots = data.draw(slot_sequences(topology))
-        warm = ProfitAwareOptimizer(topology, config=OptimizerConfig(level_method="milp", milp_method="bb", warm_start=True))
-        cold = ProfitAwareOptimizer(topology, config=OptimizerConfig(level_method="milp", milp_method="bb", warm_start=False))
+        warm = ProfitAwareOptimizer(topology, config=OptimizerConfig(
+            level_method="milp", milp_method="bb", warm_start=True,
+            certify="error"))
+        cold = ProfitAwareOptimizer(topology, config=OptimizerConfig(
+            level_method="milp", milp_method="bb", warm_start=False,
+            certify="error"))
         for arrivals, prices in slots:
             warm.plan_slot(arrivals, prices)
             cold.plan_slot(arrivals, prices)
@@ -249,7 +261,7 @@ def presolvable_lp_pairs(draw, max_vars=7, max_rows=4):
 class TestPresolveComposition:
     @given(pair=presolvable_lp_pairs())
     @settings(max_examples=50, deadline=None)
-    def test_presolve_plus_warm_start_preserves_optimum(self, pair):
+    def test_presolve_plus_warm_start_preserves_optimum(self, pair, certify):
         first, second = pair
         sol1 = solve_with_presolve(first, method="simplex")
         if not sol1.ok:
@@ -257,6 +269,7 @@ class TestPresolveComposition:
             # reference must agree, and there is nothing to warm-start.
             assert not solve_lp(first, "highs").ok
             return
+        certify(first, sol1)
         warm = solve_with_presolve(second, method="simplex",
                                    state=sol1.state)
         reference = solve_lp(second, "highs")
@@ -264,3 +277,4 @@ class TestPresolveComposition:
         if reference.ok:
             assert _close(warm.objective, reference.objective)
             assert second.is_feasible(warm.x, tol=1e-6)
+            certify(second, warm)

@@ -308,6 +308,94 @@ class TestParallelMap:
         with pytest.raises(RuntimeError, match="boom"):
             parallel_map(_explode, [1])
 
+    def test_unlabeled_exception_type_unchanged(self):
+        # Without labels the original exception class must survive —
+        # callers may be catching it specifically.
+        from repro.sim.parallel import WorkerError
+
+        with pytest.raises(RuntimeError) as excinfo:
+            parallel_map(_explode, [1, 2])
+        assert not isinstance(excinfo.value, WorkerError)
+
+    def test_labels_attribute_failures_serial(self):
+        from repro.sim.parallel import WorkerError
+
+        with pytest.raises(WorkerError, match=r"item\[1\]: RuntimeError"):
+            parallel_map(
+                _explode_on_two, [1, 2], labels=["item[0]", "item[1]"]
+            )
+
+    def test_labels_attribute_failures_pooled(self):
+        from repro.sim.parallel import WorkerError
+
+        items = list(range(4))
+        with pytest.raises(WorkerError, match=r"item\[2\]: RuntimeError"):
+            parallel_map(
+                _explode_on_two, items, workers=2,
+                labels=[f"item[{i}]" for i in items],
+            )
+
+    def test_labels_chain_original_cause_serial(self):
+        from repro.sim.parallel import WorkerError
+
+        with pytest.raises(WorkerError) as excinfo:
+            parallel_map(_explode, [1], labels=["only"])
+        assert isinstance(excinfo.value.__cause__, RuntimeError)
+
+    def test_label_count_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="labels"):
+            parallel_map(_square, [1, 2], labels=["just-one"])
+
+    def test_successful_labeled_map_returns_results(self):
+        assert parallel_map(
+            _square, [1, 2, 3], labels=["a", "b", "c"]
+        ) == [1, 4, 9]
+
+
+class TestBlockFailureAttribution:
+    """A crash inside one decomposed block must name its class block."""
+
+    def _decomposable(self):
+        topo = _small_topology()
+        lp, _ = _slot_lp(
+            topo,
+            arrivals=np.array([[500.0, 300.0], [200.0, 400.0]]),
+            prices=np.array([0.05, 0.08]),
+        )
+        K, S, L = (topo.num_classes, topo.num_frontends,
+                   topo.num_datacenters)
+        blocks, coupling = class_blocks(K, S, L)
+        return lp, blocks, coupling
+
+    def test_serial_block_crash_carries_class_label(self, monkeypatch):
+        from repro.sim.parallel import WorkerError
+        from repro.solvers import sparse as sparse_mod
+
+        def boom(task):
+            raise FloatingPointError("synthetic block crash")
+
+        monkeypatch.setattr(sparse_mod, "_solve_block_task", boom)
+        with pytest.raises(
+            WorkerError,
+            match=r"block\[class=0\]: FloatingPointError",
+        ):
+            lp, blocks, coupling = self._decomposable()
+            solve_decomposed(lp, blocks, coupling)
+
+    def test_pooled_block_crash_carries_class_label(self, monkeypatch):
+        # Force the pooled branch with workers=2; the label must
+        # survive the process boundary (no __cause__ there, so the
+        # class name is folded into the message).
+        from repro.sim.parallel import WorkerError
+        from repro.solvers import sparse as sparse_mod
+
+        lp, blocks, coupling = self._decomposable()
+        monkeypatch.setattr(
+            sparse_mod, "_solve_block_task", _explode_block
+        )
+        with pytest.raises(WorkerError, match=r"block\[class="):
+            solve_decomposed(lp, blocks, coupling, workers=2)
+
 
 def _square(v):
     return v * v
@@ -315,6 +403,16 @@ def _square(v):
 
 def _explode(v):
     raise RuntimeError("boom")
+
+
+def _explode_on_two(v):
+    if v == 2:
+        raise RuntimeError("boom at two")
+    return v
+
+
+def _explode_block(task):
+    raise FloatingPointError("synthetic block crash")
 
 
 class TestOptimizerSparsePath:
