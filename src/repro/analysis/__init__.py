@@ -23,7 +23,16 @@ is the correctness tooling that keeps those bug classes out of the tree:
 * :mod:`repro.analysis.model`       — the *formulation auditor*
   (``repro audit``): static ``MD0xx`` passes over a built slot
   LP/MILP (big-M tightness, dimensional consistency, matrix
-  diagnostics, feasibility pre-checks).
+  diagnostics, feasibility pre-checks);
+* :mod:`repro.analysis.report`      — the shared finding base class,
+  renderers, exit codes, and findings-baseline machinery the whole
+  family builds on;
+* :mod:`repro.analysis.arch`        — the *architecture auditor*
+  (``repro arch``): ``AR0xx`` passes over the import graph (layer
+  contracts, cycles, the ``API_SURFACE.json`` lock, dead code,
+  hot-path purity);
+* :mod:`repro.analysis.check`       — the ``repro check`` umbrella
+  (lint + arch + audit + certify, worst-of exit code).
 
 The AST-lint layer is zero-dependency (stdlib ``ast`` + ``tokenize``),
 in line with the repo's no-new-packages policy; the model subpackage

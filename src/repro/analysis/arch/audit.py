@@ -1,0 +1,201 @@
+"""Run every architecture rule over a tree: the ``ArchReport`` API.
+
+:func:`audit_tree` is the single entry point shared by the CLI, the
+CI gate, and the tests: parse the tree once, build the usage index
+over the tree plus the usage roots (``tests/``, ``benchmarks/``,
+``examples/`` when present), hand every registered rule the shared
+:class:`~repro.analysis.arch.registry.ArchContext`, honor inline
+``# reprolint: disable=AR0xx`` directives for file-anchored findings,
+and return an :class:`ArchReport`.
+
+Like reprolint (and unlike the numeric auditors), the gate is
+*any finding* — warnings and info findings fail ``repro arch`` too,
+because every rule here flags something actionable; deliberate
+exceptions go in a findings baseline or an inline directive, not in a
+severity loophole.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.arch.contract import DEFAULT_CONTRACT, LayerContract
+from repro.analysis.arch.graph import (
+    TreeIndex,
+    build_tree_index,
+    build_usage_index,
+)
+from repro.analysis.arch.registry import (
+    ArchContext,
+    ArchFinding,
+    all_arch_rules,
+)
+from repro.analysis.report import (
+    render_findings_json,
+    render_findings_text,
+)
+from repro.analysis.suppression import (
+    SuppressionError,
+    SuppressionIndex,
+    collect_suppressions,
+)
+
+__all__ = [
+    "ArchReport",
+    "DEFAULT_USAGE_ROOTS",
+    "audit_tree",
+    "load_api_baseline",
+]
+
+#: Conventional usage roots consulted when they exist under the
+#: current directory: an export consumed only by tests or benches is
+#: alive, not dead.
+DEFAULT_USAGE_ROOTS = ("tests", "benchmarks", "examples")
+
+
+@dataclass
+class ArchReport:
+    """Outcome of one architecture audit."""
+
+    findings: List[ArchFinding] = field(default_factory=list)
+    suppressed: int = 0
+    api_surface: Dict[str, object] = field(default_factory=dict)
+    details: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    @property
+    def errors(self) -> List[ArchFinding]:
+        return [f for f in self.findings if f.severity == "error"]
+
+    def render_text(self) -> str:
+        return render_findings_text(self.findings)
+
+    def render_json(self) -> str:
+        details = dict(self.details)
+        details["suppressed"] = self.suppressed
+        return render_findings_json(self.findings, details=details)
+
+
+def load_api_baseline(path: str) -> Dict[str, object]:
+    """Parse a committed API-surface snapshot; raises ``ValueError``."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except OSError as exc:
+        raise ValueError(f"cannot read API baseline {path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"{path}: not valid JSON ({exc})") from exc
+    if not isinstance(payload, dict) or "modules" not in payload:
+        raise ValueError(f"{path}: not an API-surface snapshot")
+    return payload
+
+
+def _default_usage_paths() -> List[str]:
+    return [root for root in DEFAULT_USAGE_ROOTS if os.path.isdir(root)]
+
+
+def _suppression_for(
+    index: TreeIndex, cache: Dict[str, SuppressionIndex], path: str
+) -> Optional[SuppressionIndex]:
+    if path in cache:
+        return cache[path]
+    source = None
+    for info in index.modules.values():
+        if info.path == path:
+            source = info.source
+            break
+    if source is None:
+        cache[path] = SuppressionIndex()
+        return cache[path]
+    try:
+        cache[path] = collect_suppressions(source)
+    except SuppressionError:
+        # reprolint owns reporting malformed directives (RP0xx); a
+        # directive we cannot parse suppresses nothing here.
+        cache[path] = SuppressionIndex()
+    return cache[path]
+
+
+def audit_tree(
+    paths: Sequence[str],
+    *,
+    contract: Optional[LayerContract] = None,
+    usage_paths: Optional[Sequence[str]] = None,
+    api_baseline: Optional[Dict[str, object]] = None,
+    api_baseline_path: Optional[str] = None,
+) -> ArchReport:
+    """Audit the tree under ``paths`` with every registered rule.
+
+    ``contract`` defaults to the repo's declared layering; tests
+    inject synthetic contracts (and baselines) to drive the negative
+    paths without touching the real tree.  ``api_baseline`` (a parsed
+    snapshot) wins over ``api_baseline_path`` (a file); when neither
+    is given the surface rules only record the live snapshot — a tree
+    cannot drift from a baseline it does not have.
+    """
+    active_contract = contract if contract is not None else DEFAULT_CONTRACT
+    index = build_tree_index(paths)
+    roots = (
+        list(usage_paths) if usage_paths is not None
+        else _default_usage_paths()
+    )
+    usage = build_usage_index(index, roots)
+    baseline = api_baseline
+    baseline_source = "inline" if api_baseline is not None else ""
+    if baseline is None and api_baseline_path is not None:
+        if os.path.isfile(api_baseline_path):
+            baseline = load_api_baseline(api_baseline_path)
+            baseline_source = api_baseline_path
+        else:
+            baseline_source = f"{api_baseline_path} (missing)"
+    ctx = ArchContext(
+        index=index,
+        contract=active_contract,
+        usage=usage,
+        api_baseline=baseline,
+    )
+    raw: List[ArchFinding] = []
+    for rule in all_arch_rules():
+        raw.extend(rule.check(ctx))
+
+    cache: Dict[str, SuppressionIndex] = {}
+    kept: List[ArchFinding] = []
+    suppressed = 0
+    for finding in raw:
+        if finding.path:
+            suppressions = _suppression_for(index, cache, finding.path)
+            if suppressions is not None and suppressions.is_suppressed(
+                finding
+            ):
+                suppressed += 1
+                continue
+        kept.append(finding)
+    kept.sort(key=lambda f: f.sort_key)
+
+    eager = sum(1 for _ in index.eager_edges())
+    hot = sum(
+        1 for name in index.modules if active_contract.is_hot(name)
+    )
+    surface_modules = ctx.api_surface.get("modules", {})
+    details: Dict[str, object] = {
+        "modules": len(index.modules),
+        "packages": index.packages(),
+        "eager_edges": eager,
+        "hot_modules": hot,
+        "surface_modules": len(surface_modules)
+        if isinstance(surface_modules, dict) else 0,
+        "api_baseline": baseline_source or "none",
+        "usage_roots": roots,
+    }
+    return ArchReport(
+        findings=kept,
+        suppressed=suppressed,
+        api_surface=ctx.api_surface,
+        details=details,
+    )

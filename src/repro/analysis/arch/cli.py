@@ -1,0 +1,215 @@
+"""The ``repro arch`` subcommand (wired up by :mod:`repro.cli`).
+
+Runs the architecture auditor over a tree.  Exit codes follow the
+lint-gate convention shared by the whole analysis family:
+
+* ``0`` — no findings (after suppression and baseline filtering);
+* ``1`` — at least one finding (any severity — every AR rule flags
+  something actionable);
+* ``2`` — usage error (bad path, corrupt baseline, unwritable report).
+
+The API-surface lock reads ``API_SURFACE.json`` from the current
+directory by default (committed at the repo root, like the tracked
+``BENCH_*.json`` baselines); refresh it deliberately with
+``repro arch --write-api-baseline`` after reviewing the diff.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.arch.audit import ArchReport, audit_tree
+from repro.analysis.arch.registry import ArchFinding, all_arch_rules
+from repro.analysis.arch.surface import render_api_surface
+from repro.analysis.report import (
+    EXIT_CLEAN,
+    EXIT_FINDINGS,
+    EXIT_USAGE,
+    apply_findings_baseline,
+    read_findings_baseline,
+    write_findings_baseline,
+)
+from repro.cli_registry import register_subcommand
+
+__all__ = ["add_arch_arguments", "run_arch"]
+
+_DEFAULT_PATHS = ["src"]
+_DEFAULT_API_BASELINE = "API_SURFACE.json"
+
+
+def add_arch_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the ``repro arch`` flags to ``parser``."""
+    parser.add_argument(
+        "paths", nargs="*", default=None, metavar="PATH",
+        help="package roots to audit (default: src)",
+    )
+    parser.add_argument(
+        "--format", choices=["text", "json"], default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--out", type=str, default=None, metavar="FILE",
+        help="additionally write the JSON report to this file",
+    )
+    parser.add_argument(
+        "--baseline", type=str, default=None, metavar="FILE",
+        help="filter findings recorded in this baseline file; new "
+             "findings still fail the run",
+    )
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="write the current findings to --baseline FILE and exit 0",
+    )
+    parser.add_argument(
+        "--api-baseline", type=str, default=_DEFAULT_API_BASELINE,
+        metavar="FILE",
+        help="API-surface snapshot to diff against (default: "
+             "API_SURFACE.json; a missing file disables the diff)",
+    )
+    parser.add_argument(
+        "--write-api-baseline", action="store_true",
+        help="write the live API surface to --api-baseline FILE and "
+             "exit 0 (the deliberate way to accept surface changes)",
+    )
+    parser.add_argument(
+        "--usage-path", action="append", default=None, metavar="PATH",
+        dest="usage_paths",
+        help="extra tree consulted for name usage (repeatable; "
+             "default: tests, benchmarks, examples when present)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the AR rule catalog (codes, rationale) and exit",
+    )
+
+
+def _print_rules() -> None:
+    for rule in all_arch_rules():
+        print(f"{rule.code}  {rule.name}")
+        for code in sorted(rule.codes):
+            print(f"    {code}: {rule.codes[code]}")
+        print(f"    {rule.rationale}")
+
+
+def _baseline_sort_key(finding: ArchFinding) -> Tuple[str, str, str]:
+    # Fingerprint-first so regenerated baselines are byte-identical.
+    return (finding.component, finding.code, finding.message)
+
+
+def _baseline_fingerprint(record: Dict) -> Tuple[str, str]:
+    return (str(record["component"]), str(record["code"]))
+
+
+@register_subcommand(
+    "arch",
+    help_text="audit import layering, the public-API surface lock, "
+              "dead code, and hot-path purity; exit 1 on findings",
+    configure=add_arch_arguments,
+)
+def run_arch(args: argparse.Namespace) -> int:
+    """Execute ``repro arch`` for parsed ``args``; returns the exit
+    code."""
+    if args.list_rules:
+        _print_rules()
+        return EXIT_CLEAN
+    if args.write_baseline and args.baseline is None:
+        print("error: --write-baseline requires --baseline FILE",
+              file=sys.stderr)
+        return EXIT_USAGE
+    paths: List[str] = args.paths or _DEFAULT_PATHS
+    try:
+        report = audit_tree(
+            paths,
+            usage_paths=args.usage_paths,
+            api_baseline_path=args.api_baseline,
+        )
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+
+    if args.write_api_baseline:
+        try:
+            with open(args.api_baseline, "w", encoding="utf-8") as handle:
+                handle.write(render_api_surface(report.api_surface))
+        except OSError as exc:
+            print(f"error: cannot write API baseline: {exc}",
+                  file=sys.stderr)
+            return EXIT_USAGE
+        modules = report.api_surface.get("modules", {})
+        names = sum(
+            len(entries) for entries in modules.values()  # type: ignore[union-attr]
+        ) if isinstance(modules, dict) else 0
+        print(
+            f"wrote API surface ({len(modules)} module(s), "
+            f"{names} export(s)) to {args.api_baseline}"
+        )
+        return EXIT_CLEAN
+
+    if args.write_baseline:
+        count = write_findings_baseline(
+            report.findings, args.baseline, sort_key=_baseline_sort_key
+        )
+        print(f"wrote {count} finding(s) to baseline {args.baseline}")
+        return EXIT_CLEAN
+
+    baselined = 0
+    if args.baseline is not None:
+        try:
+            baseline = read_findings_baseline(
+                args.baseline,
+                fingerprint_of=_baseline_fingerprint,
+                tool="arch",
+            )
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot read baseline: {exc}", file=sys.stderr)
+            return EXIT_USAGE
+        report.findings, baselined = apply_findings_baseline(
+            report.findings, baseline, sort_key=_baseline_sort_key
+        )
+    report.details["baselined"] = baselined
+
+    if args.out is not None:
+        try:
+            with open(args.out, "w", encoding="utf-8") as handle:
+                handle.write(report.render_json() + "\n")
+        except OSError as exc:
+            print(f"error: cannot write report: {exc}", file=sys.stderr)
+            return EXIT_USAGE
+
+    if args.format == "json":
+        print(report.render_json())
+        return EXIT_CLEAN if report.clean else EXIT_FINDINGS
+
+    if report.findings:
+        print(report.render_text())
+    summary = (
+        f"{len(report.findings)} finding(s) in "
+        f"{report.details['modules']} module(s)"
+    )
+    if report.suppressed:
+        summary += f", {report.suppressed} suppressed"
+    if baselined:
+        summary += f", {baselined} baselined"
+    print(("" if not report.findings else "\n") + summary)
+    return EXIT_CLEAN if report.clean else EXIT_FINDINGS
+
+
+def _standalone(argv: Optional[List[str]] = None) -> int:
+    """``python -m repro.analysis.arch.cli`` — the gate without the
+    main CLI."""
+    parser = argparse.ArgumentParser(
+        prog="repro-arch",
+        description="architecture auditor: layering, API surface lock, "
+                    "dead code, hot-path purity",
+    )
+    add_arch_arguments(parser)
+    return run_arch(parser.parse_args(argv))
+
+
+if __name__ == "__main__":  # pragma: no cover - thin wrapper
+    sys.exit(_standalone())

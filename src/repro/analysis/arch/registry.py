@@ -1,0 +1,156 @@
+"""Architecture-rule registry and the context handed to every rule.
+
+Mirrors its three siblings (:mod:`repro.analysis.registry` for
+reprolint, :mod:`repro.analysis.model.registry` for the auditor,
+:mod:`repro.analysis.certify.registry` for the certifier): an
+:class:`ArchRule` registers itself under a stable ``AR0xx`` *family*
+code via :func:`register_arch`, carries a name and a rationale for the
+catalog, and yields :class:`ArchFinding` records from
+:meth:`ArchRule.check`.  Rules are stateless; everything tree-specific
+lives on the shared :class:`ArchContext` (the module index, the layer
+contract, the API-surface baseline, the usage index).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import ClassVar, Dict, Iterator, List, Optional, Type
+
+from repro.analysis.arch.contract import LayerContract
+from repro.analysis.arch.graph import TreeIndex, UsageIndex
+from repro.analysis.report import Finding
+
+__all__ = [
+    "ArchContext",
+    "ArchFinding",
+    "ArchRule",
+    "all_arch_rules",
+    "get_arch_rule",
+    "register_arch",
+]
+
+_CODE_RE = re.compile(r"^AR\d{3}$")
+
+
+@dataclass(frozen=True)
+class ArchFinding(Finding):
+    """One architecture finding.
+
+    Adds a file anchor (``path``/``line``) on top of the shared
+    component-anchored :class:`~repro.analysis.report.Finding` so
+    file-scoped rules (dead code, hot-path purity) honor the inline
+    ``# reprolint: disable=AR0xx`` directives; graph-scoped findings
+    (layering, API surface) leave the anchor empty and are excused
+    through the findings baseline instead.  The baseline fingerprint
+    is ``(component, code)`` — line-free, so structural findings
+    survive unrelated edits.
+    """
+
+    path: str = ""
+    line: int = 0
+
+    CODE_PREFIX: ClassVar[str] = "AR"
+    CODE_LABEL: ClassVar[str] = "architecture"
+    COERCE_FLOAT: ClassVar[bool] = False
+
+    def to_dict(self) -> Dict:
+        record = super().to_dict()
+        if self.path:
+            record["path"] = self.path
+            record["line"] = self.line
+        return record
+
+
+@dataclass
+class ArchContext:
+    """Everything a rule may need about the tree under audit.
+
+    Attributes
+    ----------
+    index:
+        The parsed module table and import graph.
+    contract:
+        The layer contract in force (tests inject synthetic ones).
+    usage:
+        Name-usage harvested from the tree plus the usage roots
+        (tests/, benchmarks/, examples/) so test-only consumers keep
+        an export alive.
+    api_baseline:
+        The committed API-surface snapshot (parsed JSON), or ``None``
+        when no baseline is available — the surface rules then only
+        record coverage, they cannot diff.
+    """
+
+    index: TreeIndex
+    contract: LayerContract
+    usage: UsageIndex
+    api_baseline: Optional[Dict] = None
+    #: Populated by the surface rule: the live snapshot, so the CLI
+    #: can write/diff it without re-extracting.
+    api_surface: Dict = field(default_factory=dict)
+
+
+class ArchRule:
+    """Base class for architecture rules; subclasses set the metadata.
+
+    Attributes
+    ----------
+    code:
+        The family's lead ``AR0xx`` identifier (registry key).
+    name:
+        Short kebab-case slug for ``repro arch --list-rules``.
+    codes:
+        Every code the family may emit, mapped to a one-line meaning.
+    rationale:
+        One paragraph connecting the erosion class to the system's
+        scale goals; surfaced in the catalog (docs/DEVELOPMENT.md).
+    """
+
+    code: str = ""
+    name: str = ""
+    codes: Dict[str, str] = {}
+    rationale: str = ""
+
+    def check(self, ctx: ArchContext) -> Iterator[ArchFinding]:
+        """Yield findings for the tree under audit."""
+        raise NotImplementedError
+        yield  # pragma: no cover - makes this a generator for typing
+
+
+_REGISTRY: Dict[str, ArchRule] = {}
+
+
+def register_arch(rule_cls: Type[ArchRule]) -> Type[ArchRule]:
+    """Class decorator adding one rule instance to the registry."""
+    if not _CODE_RE.match(rule_cls.code or ""):
+        raise ValueError(
+            f"rule {rule_cls.__name__} needs a code matching ARxxx, "
+            f"got {rule_cls.code!r}"
+        )
+    if rule_cls.code in _REGISTRY:
+        raise ValueError(f"duplicate arch rule code {rule_cls.code}")
+    if not rule_cls.name:
+        raise ValueError(f"rule {rule_cls.code} needs a name")
+    for code in rule_cls.codes:
+        if not _CODE_RE.match(code):
+            raise ValueError(
+                f"rule {rule_cls.code} lists a non-ARxxx code {code!r}"
+            )
+    _REGISTRY[rule_cls.code] = rule_cls()
+    return rule_cls
+
+
+def all_arch_rules() -> List[ArchRule]:
+    """Every registered rule family, sorted by lead code."""
+    return [_REGISTRY[code] for code in sorted(_REGISTRY)]
+
+
+def get_arch_rule(code: str) -> ArchRule:
+    """Look up one rule family by its lead ``AR0xx`` code."""
+    try:
+        return _REGISTRY[code]
+    except KeyError:
+        raise KeyError(
+            f"unknown arch rule code {code!r}; known: {sorted(_REGISTRY)}"
+        ) from None

@@ -12,32 +12,41 @@ Baselines are regenerated with ``repro lint --write-baseline`` after a
 deliberate decision to defer; they are a ratchet, not a dumping ground
 — the catalog in docs/DEVELOPMENT.md asks for a tracking note per
 entry.
+
+The multiset engine itself lives in :mod:`repro.analysis.report`
+(shared with ``repro arch``); this module binds it to the reprolint
+fingerprint and file format.
 """
 
 from __future__ import annotations
 
-import json
-from collections import Counter
-from dataclasses import dataclass, field
-from typing import Iterable, List, Tuple
+from typing import Dict, Iterable, List, Tuple
 
 from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.report import (
+    FindingsBaseline as Baseline,
+)
+from repro.analysis.report import (
+    apply_findings_baseline,
+    read_findings_baseline,
+    write_findings_baseline,
+)
 
 __all__ = ["Baseline", "read_baseline", "write_baseline", "apply_baseline"]
-
-_VERSION = 1
 
 Fingerprint = Tuple[str, str, int]
 
 
-@dataclass
-class Baseline:
-    """A multiset of accepted finding fingerprints."""
+def _sort_key(diagnostic: Diagnostic) -> Tuple:
+    return (*diagnostic.fingerprint, diagnostic.col, diagnostic.message)
 
-    entries: Counter = field(default_factory=Counter)
 
-    def __len__(self) -> int:
-        return int(sum(self.entries.values()))
+def _fingerprint_of(record: Dict) -> Fingerprint:
+    return (
+        str(record["path"]),
+        str(record["code"]),
+        int(record["line"]),
+    )
 
 
 def write_baseline(findings: Iterable[Diagnostic], path: str) -> int:
@@ -53,54 +62,23 @@ def write_baseline(findings: Iterable[Diagnostic], path: str) -> int:
     ordered them (``repro lint --write-baseline`` twice on an unchanged
     tree produces the same file).
     """
-    records = [
-        d.to_dict()
-        for d in sorted(findings, key=lambda d: (*d.fingerprint, d.col, d.message))
-    ]
-    payload = {"version": _VERSION, "findings": records}
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(payload, handle, indent=2)
-        handle.write("\n")
-    return len(records)
+    return write_findings_baseline(findings, path, sort_key=_sort_key)
 
 
 def read_baseline(path: str) -> Baseline:
     """Load a baseline file written by :func:`write_baseline`."""
-    with open(path, "r", encoding="utf-8") as handle:
-        payload = json.load(handle)
-    if not isinstance(payload, dict) or "findings" not in payload:
-        raise ValueError(f"{path}: not a reprolint baseline file")
-    version = payload.get("version")
-    if version != _VERSION:
-        raise ValueError(
-            f"{path}: unsupported baseline version {version!r} "
-            f"(expected {_VERSION})"
-        )
-    entries: Counter = Counter()
-    for record in payload["findings"]:
-        try:
-            fingerprint: Fingerprint = (
-                str(record["path"]),
-                str(record["code"]),
-                int(record["line"]),
-            )
-        except (KeyError, TypeError, ValueError) as exc:
-            raise ValueError(f"{path}: malformed baseline entry {record!r}") from exc
-        entries[fingerprint] += 1
-    return Baseline(entries=entries)
+    return read_findings_baseline(
+        path, fingerprint_of=_fingerprint_of, tool="reprolint"
+    )
 
 
 def apply_baseline(
     findings: Iterable[Diagnostic], baseline: Baseline
 ) -> Tuple[List[Diagnostic], int]:
     """Split findings into (new, baselined-count) against ``baseline``."""
-    budget = Counter(baseline.entries)
-    fresh: List[Diagnostic] = []
-    absorbed = 0
-    for diagnostic in sorted(findings):
-        if budget[diagnostic.fingerprint] > 0:
-            budget[diagnostic.fingerprint] -= 1
-            absorbed += 1
-        else:
-            fresh.append(diagnostic)
-    return fresh, absorbed
+    # Same order as sorted(findings) under Diagnostic's order=True
+    # (field order: path, line, col, code, message).
+    return apply_findings_baseline(
+        list(findings), baseline,
+        sort_key=lambda d: (d.path, d.line, d.col, d.code, d.message),
+    )

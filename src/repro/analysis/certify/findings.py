@@ -7,17 +7,22 @@ finding from an *independent recomputation* over a solved slot problem
 rather than over source code or an unsolved formulation.  Certificate
 findings anchor to solution components (a violated bound, a constraint
 row, a dual sign, a coupling row), so they carry a ``component`` string
-and a ``severity`` — everything else (frozen dataclass, stable ``CT0xx``
-code space disjoint from ``RP0xx``/``MD0xx``, sorted text/JSON reports)
-mirrors the other two tools so all three read and script the same way.
+and a ``severity``; the machinery (frozen dataclass, stable ``CT0xx``
+code space disjoint from ``RP0xx``/``MD0xx``/``AR0xx``, sorted
+text/JSON reports) is the shared :mod:`repro.analysis.report`
+implementation, so all the analysis tools read and script the same way.
 """
 
 from __future__ import annotations
 
-import json
-import re
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import ClassVar
+
+from repro.analysis.report import (
+    SEVERITIES,
+    Finding,
+    render_findings_json,
+    render_findings_text,
+)
 
 __all__ = [
     "SEVERITIES",
@@ -26,18 +31,8 @@ __all__ = [
     "render_certify_json",
 ]
 
-#: Severity ladder.  ``error`` findings gate ``repro certify`` (exit 1)
-#: and ``OptimizerConfig(certify="error")``; ``warning``/``info`` report.
-SEVERITIES = ("error", "warning", "info")
 
-_CODE_RE = re.compile(r"^CT\d{3}$")
-
-#: Sort rank so reports list errors first, then warnings, then info.
-_SEVERITY_RANK = {name: rank for rank, name in enumerate(SEVERITIES)}
-
-
-@dataclass(frozen=True)
-class CertFinding:
+class CertFinding(Finding):
     """One optimality-certificate finding.
 
     Attributes
@@ -59,72 +54,12 @@ class CertFinding:
         recomputed value, ...) for scripting over JSON reports.
     """
 
-    code: str
-    severity: str
-    component: str
-    message: str
-    data: Dict[str, float] = field(default_factory=dict)
-
-    def __post_init__(self) -> None:
-        if not _CODE_RE.match(self.code):
-            raise ValueError(f"certificate codes are CTxxx, got {self.code!r}")
-        if self.severity not in SEVERITIES:
-            raise ValueError(
-                f"severity must be one of {SEVERITIES}, got {self.severity!r}"
-            )
-        object.__setattr__(
-            self, "data",
-            {str(k): float(v) for k, v in dict(self.data).items()},
-        )
-
-    @property
-    def sort_key(self) -> Tuple[int, str, str, str]:
-        """Ordering: severity rank, then code, component, message."""
-        return (_SEVERITY_RANK[self.severity], self.code,
-                self.component, self.message)
-
-    def to_dict(self) -> Dict:
-        """Plain-dict form for ``--format json`` reports and traces."""
-        return {
-            "code": self.code,
-            "severity": self.severity,
-            "component": self.component,
-            "message": self.message,
-            "data": dict(self.data),
-        }
+    CODE_PREFIX: ClassVar[str] = "CT"
+    CODE_LABEL: ClassVar[str] = "certificate"
 
 
-def render_certify_text(findings: Iterable[CertFinding]) -> str:
-    """``component: SEVERITY CODE message`` lines, errors first."""
-    return "\n".join(
-        f"{f.component}: {f.severity} {f.code} {f.message}"
-        for f in sorted(findings, key=lambda f: f.sort_key)
-    )
+#: ``component: SEVERITY CODE message`` lines, errors first.
+render_certify_text = render_findings_text
 
-
-def render_certify_json(
-    findings: Iterable[CertFinding],
-    *,
-    details: Optional[Dict] = None,
-) -> str:
-    """Machine-readable report for ``repro certify --format json``."""
-    ordered: List[Dict] = [
-        f.to_dict() for f in sorted(findings, key=lambda f: f.sort_key)
-    ]
-    by_severity = {name: 0 for name in SEVERITIES}
-    for record in ordered:
-        by_severity[record["severity"]] += 1
-    return json.dumps(
-        {
-            "findings": ordered,
-            "summary": {
-                "findings": len(ordered),
-                "errors": by_severity["error"],
-                "warnings": by_severity["warning"],
-                "info": by_severity["info"],
-            },
-            "details": details if details is not None else {},
-        },
-        indent=2,
-        sort_keys=True,
-    )
+#: Machine-readable report for ``repro certify --format json``.
+render_certify_json = render_findings_json

@@ -26,7 +26,6 @@ from repro.analysis.model.bigm import (  # noqa: F401 - registration
     McCormickEnvelopeRule,
     minimal_big_for_series,
     recommended_big,
-    tight_lambda_bound,
 )
 from repro.analysis.model.feasibility import (  # noqa: F401 - registration
     FeasibilityRule,
@@ -50,11 +49,11 @@ from repro.analysis.model.registry import (
 from repro.analysis.model.units import (  # noqa: F401 - registration
     Unit,
     UnitsRule,
-    check_homogeneity,
-    default_unit_registry,
-    formulation_term_table,
 )
 
+# Dropped from this surface (AR030 dead exports): tight_lambda_bound,
+# check_homogeneity, default_unit_registry, formulation_term_table —
+# still importable from their defining modules for interactive use.
 __all__ = [
     "ModelAuditReport",
     "ModelFinding",
@@ -68,10 +67,6 @@ __all__ = [
     "get_audit_rule",
     "minimal_big_for_series",
     "recommended_big",
-    "tight_lambda_bound",
     "analyze_program",
     "Unit",
-    "default_unit_registry",
-    "formulation_term_table",
-    "check_homogeneity",
 ]

@@ -6,17 +6,22 @@ static pass over a *built slot problem* rather than over source code.
 Because model findings anchor to formulation components (a big-M row, a
 constraint family, a (class, data center) pair) instead of file/line
 locations, they carry a ``component`` string and a ``severity`` instead
-of a path anchor — everything else (frozen dataclass, stable code
-space, sorted text/JSON reports) mirrors the lint machinery so both
-tools read and script the same way.
+of a path anchor.  The machinery itself (frozen dataclass, stable code
+space, sorted text/JSON reports) is the shared
+:mod:`repro.analysis.report` implementation all four analysis tools
+delegate to, so they all read and script the same way.
 """
 
 from __future__ import annotations
 
-import json
-import re
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import ClassVar
+
+from repro.analysis.report import (
+    SEVERITIES,
+    Finding,
+    render_findings_json,
+    render_findings_text,
+)
 
 __all__ = [
     "SEVERITIES",
@@ -25,18 +30,8 @@ __all__ = [
     "render_model_json",
 ]
 
-#: Severity ladder.  ``error`` findings gate ``repro audit`` (exit 1)
-#: and ``OptimizerConfig(audit="error")``; ``warning``/``info`` report.
-SEVERITIES = ("error", "warning", "info")
 
-_CODE_RE = re.compile(r"^MD\d{3}$")
-
-#: Sort rank so reports list errors first, then warnings, then info.
-_SEVERITY_RANK = {name: rank for rank, name in enumerate(SEVERITIES)}
-
-
-@dataclass(frozen=True)
-class ModelFinding:
+class ModelFinding(Finding):
     """One formulation-audit finding.
 
     Attributes
@@ -58,72 +53,12 @@ class ModelFinding:
         suggested replacement, ...) for scripting over JSON reports.
     """
 
-    code: str
-    severity: str
-    component: str
-    message: str
-    data: Dict[str, float] = field(default_factory=dict)
-
-    def __post_init__(self) -> None:
-        if not _CODE_RE.match(self.code):
-            raise ValueError(f"audit codes are MDxxx, got {self.code!r}")
-        if self.severity not in SEVERITIES:
-            raise ValueError(
-                f"severity must be one of {SEVERITIES}, got {self.severity!r}"
-            )
-        object.__setattr__(
-            self, "data",
-            {str(k): float(v) for k, v in dict(self.data).items()},
-        )
-
-    @property
-    def sort_key(self) -> Tuple[int, str, str, str]:
-        """Ordering: severity rank, then code, component, message."""
-        return (_SEVERITY_RANK[self.severity], self.code,
-                self.component, self.message)
-
-    def to_dict(self) -> Dict:
-        """Plain-dict form for ``--format json`` reports."""
-        return {
-            "code": self.code,
-            "severity": self.severity,
-            "component": self.component,
-            "message": self.message,
-            "data": dict(self.data),
-        }
+    CODE_PREFIX: ClassVar[str] = "MD"
+    CODE_LABEL: ClassVar[str] = "audit"
 
 
-def render_model_text(findings: Iterable[ModelFinding]) -> str:
-    """``component: SEVERITY CODE message`` lines, errors first."""
-    return "\n".join(
-        f"{f.component}: {f.severity} {f.code} {f.message}"
-        for f in sorted(findings, key=lambda f: f.sort_key)
-    )
+#: ``component: SEVERITY CODE message`` lines, errors first.
+render_model_text = render_findings_text
 
-
-def render_model_json(
-    findings: Iterable[ModelFinding],
-    *,
-    details: Optional[Dict] = None,
-) -> str:
-    """Machine-readable report for ``repro audit --format json``."""
-    ordered: List[Dict] = [
-        f.to_dict() for f in sorted(findings, key=lambda f: f.sort_key)
-    ]
-    by_severity = {name: 0 for name in SEVERITIES}
-    for record in ordered:
-        by_severity[record["severity"]] += 1
-    return json.dumps(
-        {
-            "findings": ordered,
-            "summary": {
-                "findings": len(ordered),
-                "errors": by_severity["error"],
-                "warnings": by_severity["warning"],
-                "info": by_severity["info"],
-            },
-            "details": details if details is not None else {},
-        },
-        indent=2,
-        sort_keys=True,
-    )
+#: Machine-readable report for ``repro audit --format json``.
+render_model_json = render_findings_json

@@ -75,15 +75,6 @@ def lp_var_labels(topology: CloudTopology) -> List[str]:
     return labels
 
 
-def _decades(values: np.ndarray) -> float:
-    """log10 spread of the nonzero magnitudes in ``values`` (0 if < 2)."""
-    mags = np.abs(values)
-    mags = mags[mags > _ZERO_TOL]
-    if mags.size < 2:
-        return 0.0
-    return float(np.log10(mags.max()) - np.log10(mags.min()))
-
-
 def _canonical_csr(a: object) -> "_sp.csr_matrix":
     """``a`` as CSR with sub-tolerance entries dropped.
 
@@ -105,7 +96,7 @@ def _segment_spreads(
     """Per-segment log10 magnitude spread of a CSR/CSC axis.
 
     ``indptr`` delimits ``size`` segments over ``data``; segments with
-    fewer than two nonzeros spread 0 decades, as in :func:`_decades`.
+    fewer than two nonzeros spread 0 decades.
     Empty segments are safe for ``reduceat`` because they have zero
     width in ``indptr``: reducing only at the non-empty starts makes
     each reduction end exactly at its segment's end.

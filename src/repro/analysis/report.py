@@ -1,0 +1,328 @@
+"""Shared report machinery for the analysis tool family.
+
+Four sibling tools read four different artifacts — ``reprolint``
+(``RP0xx``) reads the *source*, the formulation auditor (``MD0xx``)
+reads the *problem*, the certifier (``CT0xx``) reads the *solution*,
+and the architecture auditor (``AR0xx``) reads the *codebase
+structure* — but they report the same way: a stable per-tool code
+space, a severity ladder, sorted text/JSON renderers, findings
+baselines that freeze deliberate debt, and the ``0/1/2`` exit-code
+gate convention.  That machinery used to be triplicated across
+:mod:`repro.analysis.diagnostics`, :mod:`repro.analysis.model.findings`
+and :mod:`repro.analysis.certify.findings`; this module is the single
+implementation all four delegate to.
+
+Contents:
+
+* :class:`Finding` — the severity-carrying finding base class
+  (``ModelFinding``/``CertFinding``/``ArchFinding`` subclass it by
+  setting the ``CODE_PREFIX``/``CODE_LABEL`` class vars);
+* :func:`render_findings_text` / :func:`render_findings_json` — the
+  shared renderers (identical output to the pre-extraction per-tool
+  renderers, pinned by the existing CLI tests);
+* :class:`FindingsBaseline` + :func:`write_findings_baseline` /
+  :func:`read_findings_baseline` / :func:`apply_findings_baseline` —
+  the generic multiset baseline engine (`repro.analysis.baseline`
+  wraps it with the reprolint fingerprint and file format);
+* ``EXIT_CLEAN`` / ``EXIT_FINDINGS`` / ``EXIT_USAGE`` and
+  :func:`worst_exit_code` — the exit-code convention, including the
+  worst-of combinator ``repro check`` uses.
+
+Zero-dependency on purpose (stdlib only), like the lint layer it
+serves.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import (
+    Callable,
+    ClassVar,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Protocol,
+    Sequence,
+    Tuple,
+    TypeVar,
+)
+
+__all__ = [
+    "SEVERITIES",
+    "EXIT_CLEAN",
+    "EXIT_FINDINGS",
+    "EXIT_USAGE",
+    "Finding",
+    "FindingsBaseline",
+    "SupportsBaseline",
+    "apply_findings_baseline",
+    "read_findings_baseline",
+    "render_findings_text",
+    "render_findings_json",
+    "severity_rank",
+    "worst_exit_code",
+    "write_findings_baseline",
+]
+
+#: Severity ladder shared by every severity-carrying tool.  ``error``
+#: findings gate the tool's CLI (exit 1); ``warning``/``info`` report
+#: (the AST tools gate on *any* finding instead — their rules have no
+#: benign severities).
+SEVERITIES = ("error", "warning", "info")
+
+_SEVERITY_RANK = {name: rank for rank, name in enumerate(SEVERITIES)}
+
+#: Exit-code convention every analysis CLI follows.
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_USAGE = 2
+
+
+def severity_rank(severity: str) -> int:
+    """Sort rank of ``severity``: errors first, then warnings, info."""
+    return _SEVERITY_RANK[severity]
+
+
+def worst_exit_code(codes: Iterable[int]) -> int:
+    """Worst-of combinator: usage errors (2) dominate findings (1)."""
+    worst = EXIT_CLEAN
+    for code in codes:
+        worst = max(worst, code)
+    return worst
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One component-anchored analysis finding.
+
+    Subclasses pin their code space through class vars:
+    ``CODE_PREFIX`` (``"MD"``, ``"CT"``, ``"AR"``), ``CODE_LABEL``
+    (the human name used in validation errors) and ``COERCE_FLOAT``
+    (whether ``data`` values are forced to floats — the numeric tools
+    do, the architecture auditor carries strings like signatures).
+
+    Attributes
+    ----------
+    code:
+        Stable per-tool identifier, e.g. ``MD010`` or ``AR020``.
+    severity:
+        One of :data:`SEVERITIES`.
+    component:
+        The artifact element the finding anchors to, e.g.
+        ``"bigm[request1]"`` or ``"layer[core -> sim]"``.
+    message:
+        Human-readable description with the offending specifics.
+    data:
+        Machine-readable payload for scripting over JSON reports.
+    """
+
+    code: str
+    severity: str
+    component: str
+    message: str
+    data: Dict[str, object] = field(default_factory=dict)
+
+    CODE_PREFIX: ClassVar[str] = ""
+    CODE_LABEL: ClassVar[str] = "analysis"
+    COERCE_FLOAT: ClassVar[bool] = True
+
+    def __post_init__(self) -> None:
+        prefix = self.CODE_PREFIX or "[A-Z]{2}"
+        if not re.match(rf"^{prefix}\d{{3}}$", self.code):
+            raise ValueError(
+                f"{self.CODE_LABEL} codes are "
+                f"{self.CODE_PREFIX or 'XX'}xxx, got {self.code!r}"
+            )
+        if self.severity not in SEVERITIES:
+            raise ValueError(
+                f"severity must be one of {SEVERITIES}, got {self.severity!r}"
+            )
+        if self.COERCE_FLOAT:
+            coerced: Dict[str, object] = {
+                str(k): float(v)  # type: ignore[arg-type]
+                for k, v in dict(self.data).items()
+            }
+        else:
+            coerced = {
+                str(k): (v if isinstance(v, str) else float(v))  # type: ignore[arg-type]
+                for k, v in dict(self.data).items()
+            }
+        object.__setattr__(self, "data", coerced)
+
+    @property
+    def sort_key(self) -> Tuple[int, str, str, str]:
+        """Ordering: severity rank, then code, component, message."""
+        return (_SEVERITY_RANK[self.severity], self.code,
+                self.component, self.message)
+
+    @property
+    def fingerprint(self) -> Tuple[str, ...]:
+        """Baseline-matching key: (component, code).
+
+        Deliberately line-free — structural findings must survive
+        unrelated edits moving code around a file.
+        """
+        return (self.component, self.code)
+
+    def to_dict(self) -> Dict:
+        """Plain-dict form for ``--format json`` reports and baselines."""
+        return {
+            "code": self.code,
+            "severity": self.severity,
+            "component": self.component,
+            "message": self.message,
+            "data": dict(self.data),
+        }
+
+
+def render_findings_text(findings: Iterable[Finding]) -> str:
+    """``component: SEVERITY CODE message`` lines, errors first."""
+    return "\n".join(
+        f"{f.component}: {f.severity} {f.code} {f.message}"
+        for f in sorted(findings, key=lambda f: f.sort_key)
+    )
+
+
+def render_findings_json(
+    findings: Iterable[Finding],
+    *,
+    details: Optional[Dict] = None,
+) -> str:
+    """Machine-readable report shared by the severity-carrying CLIs."""
+    ordered: List[Dict] = [
+        f.to_dict() for f in sorted(findings, key=lambda f: f.sort_key)
+    ]
+    by_severity = {name: 0 for name in SEVERITIES}
+    for record in ordered:
+        by_severity[record["severity"]] += 1
+    return json.dumps(
+        {
+            "findings": ordered,
+            "summary": {
+                "findings": len(ordered),
+                "errors": by_severity["error"],
+                "warnings": by_severity["warning"],
+                "info": by_severity["info"],
+            },
+            "details": details if details is not None else {},
+        },
+        indent=2,
+        sort_keys=True,
+    )
+
+
+# ------------------------------------------------------------- baselines
+#
+# A baseline file is a JSON snapshot of known findings.  ``--baseline
+# FILE`` filters findings matching a baseline entry, so deliberately
+# deferred debt does not fail the gate while any *new* finding still
+# does.  Matching is by fingerprint as a multiset: each entry absorbs
+# at most one live finding.
+
+_BASELINE_VERSION = 1
+
+Fingerprint = Tuple[object, ...]
+
+
+@dataclass
+class FindingsBaseline:
+    """A multiset of accepted finding fingerprints."""
+
+    entries: Counter = field(default_factory=Counter)
+
+    def __len__(self) -> int:
+        return int(sum(self.entries.values()))
+
+
+class SupportsBaseline(Protocol):
+    """Structural type: anything with a fingerprint and a dict form."""
+
+    @property
+    def fingerprint(self) -> Tuple:
+        ...  # pragma: no cover - protocol only
+
+    def to_dict(self) -> Dict:
+        ...  # pragma: no cover - protocol only
+
+
+_F = TypeVar("_F", bound=SupportsBaseline)
+
+
+def write_findings_baseline(
+    findings: Iterable[_F],
+    path: str,
+    *,
+    sort_key: Callable[[_F], Tuple],
+) -> int:
+    """Write ``findings`` as a baseline file; returns the entry count.
+
+    The full finding (including message) is stored for human review,
+    but only the fingerprint participates in matching — messages may
+    be reworded without invalidating a baseline.  ``sort_key`` must be
+    fingerprint-first so regenerating a baseline from the same
+    findings is byte-identical regardless of caller ordering.
+    """
+    records = [d.to_dict() for d in sorted(findings, key=sort_key)]
+    payload = {"version": _BASELINE_VERSION, "findings": records}
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    return len(records)
+
+
+def read_findings_baseline(
+    path: str,
+    *,
+    fingerprint_of: Callable[[Dict], Fingerprint],
+    tool: str = "findings",
+) -> FindingsBaseline:
+    """Load a baseline file written by :func:`write_findings_baseline`.
+
+    ``fingerprint_of`` rebuilds a record's matching key from its dict
+    form (raising ``KeyError``/``TypeError``/``ValueError`` on a
+    malformed record, which is surfaced as a :class:`ValueError` with
+    the offending record).
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if not isinstance(payload, dict) or "findings" not in payload:
+        raise ValueError(f"{path}: not a {tool} baseline file")
+    version = payload.get("version")
+    if version != _BASELINE_VERSION:
+        raise ValueError(
+            f"{path}: unsupported baseline version {version!r} "
+            f"(expected {_BASELINE_VERSION})"
+        )
+    entries: Counter = Counter()
+    for record in payload["findings"]:
+        try:
+            fingerprint = fingerprint_of(record)
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ValueError(
+                f"{path}: malformed baseline entry {record!r}"
+            ) from exc
+        entries[fingerprint] += 1
+    return FindingsBaseline(entries=entries)
+
+
+def apply_findings_baseline(
+    findings: Sequence[_F],
+    baseline: FindingsBaseline,
+    *,
+    sort_key: Callable[[_F], Tuple],
+) -> Tuple[List[_F], int]:
+    """Split findings into (new, baselined-count) against ``baseline``."""
+    budget = Counter(baseline.entries)
+    fresh: List[_F] = []
+    absorbed = 0
+    for finding in sorted(findings, key=sort_key):
+        if budget[tuple(finding.fingerprint)] > 0:
+            budget[tuple(finding.fingerprint)] -= 1
+            absorbed += 1
+        else:
+            fresh.append(finding)
+    return fresh, absorbed

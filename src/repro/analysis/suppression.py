@@ -61,10 +61,13 @@ def _parse_codes(raw: str, line: int) -> Set[str]:
             f"line {line}: 'reprolint: disable=' needs at least one RP code"
         )
     for code in codes:
-        if code != _ALL and not re.match(r"^RP\d{3}$", code):
+        # The directive namespace is shared with the architecture
+        # auditor (AR0xx anchors to files too); each tool only matches
+        # its own codes, so an AR code never silences an RP finding.
+        if code != _ALL and not re.match(r"^[A-Z]{2}\d{3}$", code):
             raise SuppressionError(
                 f"line {line}: bad suppression code {code!r} "
-                "(expected RPxxx or 'all')"
+                "(expected a code like RP001 or AR030, or 'all')"
             )
     return codes
 

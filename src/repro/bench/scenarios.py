@@ -100,7 +100,7 @@ class Scenario:
 SCENARIOS: Dict[str, Scenario] = {}
 
 
-def register_scenario(
+def register_scenario(  # reprolint: disable=AR030 # extension point
     name: str, description: str
 ) -> Callable[[Callable[[ScenarioRequest], ScenarioResult]],
               Callable[[ScenarioRequest], ScenarioResult]]:

@@ -393,6 +393,8 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 import repro.analysis.cli  # noqa: E402,F401  (registration side effect)
 import repro.analysis.model.cli  # noqa: E402,F401
 import repro.analysis.certify.cli  # noqa: E402,F401
+import repro.analysis.arch.cli  # noqa: E402,F401
+import repro.analysis.check  # noqa: E402,F401
 import repro.bench.cli  # noqa: E402,F401
 import repro.stream.cli  # noqa: E402,F401
 

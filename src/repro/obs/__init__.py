@@ -29,12 +29,13 @@ from repro.obs.collectors import (
     TimerStats,
 )
 from repro.obs.trace import (
-    WARM_OUTCOMES,
     SlotTrace,
     read_traces,
     write_traces,
 )
 
+# WARM_OUTCOMES stays importable from repro.obs.trace; it was dropped
+# from this surface as a dead export (AR030).
 __all__ = [
     "Collector",
     "NullCollector",
@@ -42,7 +43,6 @@ __all__ = [
     "InMemoryCollector",
     "TimerStats",
     "SlotTrace",
-    "WARM_OUTCOMES",
     "read_traces",
     "write_traces",
 ]

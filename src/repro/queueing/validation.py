@@ -8,14 +8,16 @@ used by the test suite and by the model-validation example.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Literal
+from typing import TYPE_CHECKING, Literal
 
-from repro.des.engine import Engine
-from repro.des.measurements import SojournStats
-from repro.des.processes import PoissonArrivals
-from repro.des.server import FCFSQueueServer, VirtualMachine
 from repro.queueing.mm1 import mm1_mean_delay
 from repro.utils.validation import check_positive
+
+# The simulator lives two layers up (queueing is a leaf domain model,
+# des is an engine — see AR010); it is pulled in lazily only when a
+# validation run actually simulates.
+if TYPE_CHECKING:
+    from repro.des.measurements import SojournStats
 
 __all__ = ["DelayComparison", "simulate_mm1", "compare_with_des"]
 
@@ -48,7 +50,7 @@ def simulate_mm1(
     seed: int = 0,
     discipline: Discipline = "ps",
     warmup_fraction: float = 0.1,
-) -> SojournStats:
+) -> "SojournStats":
     """Simulate one M/M/1 queue and return its sojourn statistics.
 
     Parameters
@@ -65,6 +67,11 @@ def simulate_mm1(
     warmup_fraction:
         Fraction of the horizon discarded as warmup.
     """
+    from repro.des.engine import Engine
+    from repro.des.measurements import SojournStats
+    from repro.des.processes import PoissonArrivals
+    from repro.des.server import FCFSQueueServer, VirtualMachine
+
     check_positive(service_rate, "service_rate")
     check_positive(arrival_rate, "arrival_rate")
     check_positive(horizon, "horizon")

@@ -301,6 +301,7 @@ def _dual_simplex(
 
     iterations = 0
     since_refactor = 0
+    alpha = np.empty(total)  # pivot-row scratch, reused every iteration
     while True:
         # Primal point at the current basis/statuses.
         x = np.where(vstat == _AT_UPPER, upper, lower)
@@ -378,7 +379,6 @@ def _dual_simplex(
         i = int(np.argmax(viol))
         below = viol_low[i] >= viol_up[i]
         rho = binv[i]
-        alpha = np.empty(total)
         alpha[:n] = rho @ a
         alpha[n:] = rho
         y = c_ext[basis] @ binv

@@ -10,18 +10,18 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Any, Dict, Union
+from typing import TYPE_CHECKING, Any, Dict, Union
 
 import numpy as np
 
-from repro.cloud.datacenter import DataCenter
-from repro.cloud.frontend import FrontEnd
-from repro.cloud.topology import CloudTopology
-from repro.core.request import RequestClass
-from repro.core.tuf import StepDownwardTUF
-from repro.market.market import MultiElectricityMarket
-from repro.market.prices import PriceTrace
-from repro.workload.traces import WorkloadTrace
+# The codecs serialize types from layers above utils (cloud, core,
+# market, workload); importing them eagerly here would invert the
+# layering (utils is the stdlib-only bottom — see AR010), so every
+# domain type is imported lazily inside the codec that needs it.
+if TYPE_CHECKING:
+    from repro.cloud.topology import CloudTopology
+    from repro.market.market import MultiElectricityMarket
+    from repro.workload.traces import WorkloadTrace
 
 __all__ = [
     "topology_to_dict",
@@ -71,8 +71,14 @@ def topology_to_dict(topology: CloudTopology) -> Dict[str, Any]:
     }
 
 
-def topology_from_dict(data: Dict[str, Any]) -> CloudTopology:
+def topology_from_dict(data: Dict[str, Any]) -> "CloudTopology":
     """Rebuild a topology from :func:`topology_to_dict` output."""
+    from repro.cloud.datacenter import DataCenter
+    from repro.cloud.frontend import FrontEnd
+    from repro.cloud.topology import CloudTopology
+    from repro.core.request import RequestClass
+    from repro.core.tuf import StepDownwardTUF
+
     classes = tuple(
         RequestClass(
             name=rc["name"],
@@ -117,8 +123,11 @@ def market_to_dict(market: MultiElectricityMarket) -> Dict[str, Any]:
     }
 
 
-def market_from_dict(data: Dict[str, Any]) -> MultiElectricityMarket:
+def market_from_dict(data: Dict[str, Any]) -> "MultiElectricityMarket":
     """Rebuild a market from :func:`market_to_dict` output."""
+    from repro.market.market import MultiElectricityMarket
+    from repro.market.prices import PriceTrace
+
     return MultiElectricityMarket([
         PriceTrace(t["location"], np.asarray(t["prices"], dtype=float))
         for t in data["traces"]
@@ -135,8 +144,10 @@ def trace_to_dict(trace: WorkloadTrace) -> Dict[str, Any]:
     }
 
 
-def trace_from_dict(data: Dict[str, Any]) -> WorkloadTrace:
+def trace_from_dict(data: Dict[str, Any]) -> "WorkloadTrace":
     """Rebuild a workload trace from :func:`trace_to_dict` output."""
+    from repro.workload.traces import WorkloadTrace
+
     return WorkloadTrace(
         rates=np.asarray(data["rates"], dtype=float),
         slot_duration=float(data.get("slot_duration", 1.0)),
@@ -145,16 +156,23 @@ def trace_from_dict(data: Dict[str, Any]) -> WorkloadTrace:
 
 # --------------------------------------------------------------------- I/O
 
-_KIND_CODECS = {
-    "topology": (topology_to_dict, topology_from_dict, CloudTopology),
-    "market": (market_to_dict, market_from_dict, MultiElectricityMarket),
-    "trace": (trace_to_dict, trace_from_dict, WorkloadTrace),
-}
+def _kind_codecs():
+    """kind tag -> (encode, decode, type); built lazily so the domain
+    types stay out of utils' import-time dependencies."""
+    from repro.cloud.topology import CloudTopology
+    from repro.market.market import MultiElectricityMarket
+    from repro.workload.traces import WorkloadTrace
+
+    return {
+        "topology": (topology_to_dict, topology_from_dict, CloudTopology),
+        "market": (market_to_dict, market_from_dict, MultiElectricityMarket),
+        "trace": (trace_to_dict, trace_from_dict, WorkloadTrace),
+    }
 
 
 def save_json(obj, path: PathLike) -> None:
     """Write a topology/market/trace to a JSON file with a kind tag."""
-    for kind, (encode, _, cls) in _KIND_CODECS.items():
+    for kind, (encode, _, cls) in _kind_codecs().items():
         if isinstance(obj, cls):
             payload = {"kind": kind, "data": encode(obj)}
             Path(path).write_text(json.dumps(payload, indent=2))
@@ -165,8 +183,9 @@ def save_json(obj, path: PathLike) -> None:
 def load_json(path: PathLike):
     """Load a topology/market/trace written by :func:`save_json`."""
     payload = json.loads(Path(path).read_text())
+    codecs = _kind_codecs()
     kind = payload.get("kind")
-    if kind not in _KIND_CODECS:
+    if kind not in codecs:
         raise ValueError(f"unknown or missing kind tag {kind!r}")
-    _, decode, _ = _KIND_CODECS[kind]
+    _, decode, _ = codecs[kind]
     return decode(payload["data"])
